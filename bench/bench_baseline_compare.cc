@@ -1,0 +1,123 @@
+// Experiment E12 (Section 1.1): the sketch vs the Eppstein et al.
+// insert-only baseline. Regenerates: (a) insert-only space and correctness
+// of both, (b) the baseline's failure rate under insert+delete streams
+// engineered to delete stored certificate edges -- the phenomenon that
+// motivates the paper -- while the sketch stays correct.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "exact/vertex_connectivity.h"
+#include "graph/generators.h"
+#include "util/random.h"
+#include "vertexconn/eppstein_baseline.h"
+#include "vertexconn/vc_estimator.h"
+
+namespace gms {
+namespace {
+
+void InsertOnlyComparison() {
+  Table table({"input", "n", "m", "k", "eppstein_edges", "eppstein_ok",
+               "eppstein_bytes", "sketch_ok", "sketch_bytes"});
+  struct Case {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"K24", CompleteGraph(24)});
+  cases.push_back({"4xHam(32)", UnionOfHamiltonianCycles(32, 4, 1)});
+  cases.push_back({"planted k=2", PlantedSeparator(32, 2, 2).graph});
+  for (auto& c : cases) {
+    size_t kappa = VertexConnectivity(c.g);
+    for (size_t k : {2, 3}) {
+      EppsteinCertificate cert(c.g.NumVertices(), k);
+      cert.Process(DynamicStream::InsertOnly(c.g, k));
+      bool epp_ok = cert.CertifiesKConnectivity() == (kappa >= k);
+      VcEstimatorParams p;
+      p.k = k;
+      p.epsilon = 1.0;
+      p.r_multiplier = 0.05;
+      p.forest.config = SketchConfig::Light();
+      VcEstimator est(c.g.NumVertices(), p, 100 + k);
+      est.Process(DynamicStream::InsertOnly(c.g, k + 1));
+      auto certified = est.IsAtLeastK();
+      // One-sided comparison: certify iff kappa >= 2k, reject iff < k.
+      bool sketch_ok = certified.ok() &&
+                       (kappa >= 2 * k ? *certified : true) &&
+                       (kappa < k ? !*certified : true);
+      table.AddRow({c.name, Table::Fmt(c.g.NumVertices()),
+                    Table::Fmt(c.g.NumEdges()), Table::Fmt(uint64_t{k}),
+                    Table::Fmt(cert.StoredEdges()), epp_ok ? "yes" : "NO",
+                    bench::Kb(cert.MemoryBytes()),
+                    sketch_ok ? "yes" : "NO", bench::Kb(est.MemoryBytes())});
+    }
+  }
+  table.Print("Insert-only streams: both approaches work; baseline is "
+              "smaller");
+  std::printf(
+      "\nExpected shape: eppstein_ok = yes on insert-only input with "
+      "O(kn) edges --\nfar below the sketch's polylog overhead. The sketch "
+      "buys deletion-safety.\n");
+}
+
+void DeletionFailure() {
+  Table table({"n", "k", "trials", "eppstein_wrong", "sketch_wrong"});
+  for (size_t n : {16, 24}) {
+    for (size_t k : {2, 3}) {
+      size_t trials = 6, epp_wrong = 0, sketch_wrong = 0;
+      for (uint64_t t = 0; t < trials; ++t) {
+        Graph full = CompleteGraph(n);
+        // Feed all inserts to both.
+        EppsteinCertificate cert(n, k);
+        DynamicStream inserts = DynamicStream::InsertOnly(full, t);
+        cert.Process(inserts);
+        VcEstimatorParams p;
+        p.k = k;
+        p.epsilon = 1.0;
+        p.r_multiplier = 0.1;
+        p.forest.config = SketchConfig::Light();
+        VcEstimator est(n, p, 200 + t);
+        est.Process(inserts);
+        // Adversary deletes exactly the baseline's stored edges.
+        Graph remaining = full;
+        for (const Edge& e : cert.certificate().Edges()) {
+          cert.Delete(e);
+          est.Update(e, -1);
+          remaining.RemoveEdge(e);
+        }
+        bool truth = IsKVertexConnected(remaining, k);
+        if (cert.CertifiesKConnectivity() != truth) ++epp_wrong;
+        // The sketch decision: certify means kappa >= k holds for sure.
+        auto certified = est.IsAtLeastK();
+        bool sketch_claim = certified.ok() && *certified;
+        // Wrong if it certifies a <k-connected graph, or fails to certify
+        // a 2k-connected one.
+        size_t kappa = VertexConnectivity(remaining);
+        if ((sketch_claim && kappa < k) ||
+            (!sketch_claim && kappa >= 2 * k)) {
+          ++sketch_wrong;
+        }
+      }
+      table.AddRow({Table::Fmt(uint64_t{n}), Table::Fmt(uint64_t{k}),
+                    Table::Fmt(uint64_t{trials}), Table::Fmt(epp_wrong),
+                    Table::Fmt(sketch_wrong)});
+    }
+  }
+  table.Print("Adversarial deletions: baseline fails, sketch survives");
+  std::printf(
+      "\nExpected shape: eppstein_wrong = trials (it deleted its whole "
+      "certificate and\ncannot recall the dropped redundant edges); "
+      "sketch_wrong = 0 (linearity makes\ndeletions exact).\n");
+}
+
+}  // namespace
+}  // namespace gms
+
+int main() {
+  gms::bench::Banner(
+      "E12: insert-only baseline vs linear sketches (Section 1.1)",
+      "Eppstein et al. certificates are compact but unsound under "
+      "deletions; linear sketches handle fully dynamic streams.");
+  gms::InsertOnlyComparison();
+  gms::DeletionFailure();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Experiment E14 (Section 2): the Becker et al. simultaneous-communication
+// model. Regenerates: per-player message size vs n (polylog scaling),
+// referee correctness across graph families, and hypergraph protocols.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "comm/simultaneous.h"
+#include "graph/generators.h"
+
+namespace gms {
+namespace {
+
+void MessageScaling() {
+  Table table({"n", "per_player", "total", "per_player/log^3(n)", "correct"});
+  for (size_t n : {32, 64, 128, 256, 512}) {
+    Hypergraph h = Hypergraph::FromGraph(
+        ErdosRenyi(n, 3.0 * std::log(static_cast<double>(n)) / n, n));
+    auto report = RunSimultaneousConnectivity(h, 42 + n);
+    double log_n = std::log2(static_cast<double>(n));
+    table.AddRow(
+        {Table::Fmt(uint64_t{n}), bench::Kb(report.per_player_bytes),
+         bench::Kb(report.total_bytes),
+         Table::Fmt(static_cast<double>(report.per_player_bytes) /
+                        (log_n * log_n * log_n),
+                    1),
+         report.correct ? "yes" : "NO"});
+  }
+  table.Print("One-round connectivity: message size vs n");
+  std::printf(
+      "\nExpected shape: per-player messages grow polylogarithmically (the "
+      "normalized\ncolumn roughly flat), total = n x per-player; correct = "
+      "yes throughout.\n");
+}
+
+void FamilyCorrectness() {
+  Table table({"family", "n", "connected(exact)", "referee", "components"});
+  struct Case {
+    const char* name;
+    Hypergraph h;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"cycle", Hypergraph::FromGraph(CycleGraph(64))});
+  cases.push_back({"2 comps", [] {
+                     Graph g(64);
+                     for (VertexId i = 0; i + 1 < 32; ++i) g.AddEdge(i, i + 1);
+                     for (VertexId i = 32; i + 1 < 64; ++i)
+                       g.AddEdge(i, i + 1);
+                     return Hypergraph::FromGraph(g);
+                   }()});
+  cases.push_back({"hypercycle r=4", HyperCycle(64, 4)});
+  cases.push_back({"sparse random", Hypergraph::FromGraph(
+                                        ErdosRenyi(64, 0.02, 9))});
+  for (auto& c : cases) {
+    auto report = RunSimultaneousConnectivity(c.h, 77);
+    table.AddRow({c.name, "64", report.exact_connected ? "yes" : "no",
+                  report.referee_answer_connected ? "yes" : "no",
+                  Table::Fmt(report.referee_components)});
+  }
+  table.Print("Referee answers across families (graphs and hypergraphs)");
+}
+
+}  // namespace
+}  // namespace gms
+
+int main() {
+  gms::bench::Banner(
+      "E14: simultaneous-message protocols (Section 2, Becker et al. model)",
+      "Vertex-based sketches = one message per player; the referee decodes "
+      "connectivity from the n messages.");
+  gms::MessageScaling();
+  gms::FamilyCorrectness();
+  return 0;
+}

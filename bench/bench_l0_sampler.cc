@@ -1,0 +1,112 @@
+// Experiment E15 (substrate): the Jowhari-Saglam-Tardos L0 sampler.
+// Reports (a) sample success rate and uniformity chi^2 across support
+// sizes, (b) state size per configuration, and (c) google-benchmark timing
+// of updates and samples.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "sketch/l0_sampler.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace gms {
+namespace {
+
+void AccuracyTable() {
+  bench::Banner("E15: L0-sampler accuracy (JST substrate)",
+                "Sample a nonzero coordinate of a dynamic vector; success "
+                "rate and uniformity vs support size and config.");
+  Table table({"config", "domain_bits", "support", "success", "chi2_norm",
+               "state"});
+  struct Cfg {
+    const char* name;
+    SketchConfig config;
+  } cfgs[] = {{"Light", SketchConfig::Light()},
+              {"Default", SketchConfig::Default()},
+              {"Paper", SketchConfig::Paper()}};
+  const u128 domain = u128{1} << 40;
+  for (const auto& cfg : cfgs) {
+    for (size_t support : {1, 8, 64, 512, 4096}) {
+      size_t trials = 120, ok = 0;
+      std::map<uint64_t, int> picks;
+      size_t state_bytes = 0;
+      for (uint64_t t = 0; t < trials; ++t) {
+        L0Shape shape(domain, cfg.config, 9000 + t);
+        L0State state(&shape);
+        Rng rng(t);
+        // Insert 2x the support, delete half (exercise deletions).
+        std::vector<u128> keys;
+        for (size_t i = 0; i < 2 * support; ++i) {
+          u128 k = rng.Next() & ((u128{1} << 40) - 1);
+          keys.push_back(k);
+          state.Update(k, 1);
+        }
+        for (size_t i = support; i < keys.size(); ++i) {
+          state.Update(keys[i], -1);
+        }
+        auto s = state.Sample();
+        if (s.ok()) {
+          ++ok;
+          ++picks[static_cast<uint64_t>(s->index) % 17];
+        }
+        state_bytes = state.MemoryBytes();
+      }
+      // Chi^2 of the sampled index bucketed mod 17, normalized by dof.
+      double chi2 = 0;
+      if (ok > 0) {
+        double expect = static_cast<double>(ok) / 17.0;
+        for (int b = 0; b < 17; ++b) {
+          double c = picks.count(b) ? picks[b] : 0;
+          chi2 += (c - expect) * (c - expect) / expect;
+        }
+        chi2 /= 16.0;
+      }
+      table.AddRow({cfg.name, "40", Table::Fmt(uint64_t{support}),
+                    Table::Fmt(static_cast<double>(ok) / trials, 3),
+                    Table::Fmt(chi2, 2), bench::Kb(state_bytes)});
+    }
+  }
+  table.Print("L0 sampler: success rate and uniformity");
+  std::printf(
+      "\nExpected shape: success ~1.0 at every support (the paper's whp "
+      "guarantee);\nchi2_norm ~1.0 indicates uniform sampling.\n");
+}
+
+void BM_Update(benchmark::State& state) {
+  u128 domain = u128{1} << state.range(0);
+  L0Shape shape(domain, SketchConfig::Default(), 1);
+  L0State st(&shape);
+  Rng rng(2);
+  for (auto _ : state) {
+    st.Update(rng.Next() & (domain - 1), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Update)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_Sample(benchmark::State& state) {
+  u128 domain = u128{1} << 40;
+  L0Shape shape(domain, SketchConfig::Default(), 3);
+  L0State st(&shape);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) st.Update(rng.Next() & (domain - 1), 1);
+  for (auto _ : state) {
+    auto s = st.Sample();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Sample);
+
+}  // namespace
+}  // namespace gms
+
+int main(int argc, char** argv) {
+  gms::AccuracyTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Experiments E8 and E9 (Lemma 10, Becker et al. baseline vs Theorem 15):
+// graph reconstruction. Regenerates: reconstruction success vs d for the
+// row-sketch baseline and the cut-degenerate sketch, the Lemma 10 witness
+// separation, and per-vertex space of both schemes.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "exact/degeneracy.h"
+#include "graph/generators.h"
+#include "reconstruct/cut_degenerate.h"
+#include "reconstruct/row_reconstruct.h"
+
+namespace gms {
+namespace {
+
+void SuccessVsD() {
+  Table table({"input", "degeneracy", "lightcomp", "d", "becker_rows",
+               "thm15_sketch"});
+  struct Case {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"tree(24)", RandomTree(24, 1)});
+  cases.push_back({"2-degen(24)", RandomDDegenerate(24, 2, 2)});
+  cases.push_back({"3-degen(24)", RandomDDegenerate(24, 3, 3)});
+  cases.push_back({"witness", Lemma10Witness()});
+  cases.push_back({"G(16,.3)", ErdosRenyi(16, 0.3, 4)});
+  for (auto& c : cases) {
+    Hypergraph h = Hypergraph::FromGraph(c.g);
+    size_t degen = Degeneracy(c.g);
+    size_t lightcomp = c.g.NumEdges() ? LightCompleteness(h) : 0;
+    for (size_t d = 1; d <= 4; ++d) {
+      // Becker row sketch.
+      RowReconstructSketch rows(c.g.NumVertices(), d, 600 + d);
+      rows.Process(DynamicStream::InsertOnly(c.g, d));
+      auto row_rec = rows.Reconstruct();
+      bool row_ok = row_rec.ok() && *row_rec == c.g;
+      // Theorem 15 sketch.
+      CutDegenerateReconstructor thm15(c.g.NumVertices(), 2, d, 700 + d);
+      thm15.Process(DynamicStream::InsertOnly(c.g, d + 1));
+      auto t_rec = thm15.Reconstruct();
+      bool t_ok =
+          t_rec.ok() && t_rec->complete && t_rec->hypergraph.ToGraph() == c.g;
+      table.AddRow({c.name, Table::Fmt(degen), Table::Fmt(lightcomp),
+                    Table::Fmt(uint64_t{d}), row_ok ? "ok" : "fail",
+                    t_ok ? "ok" : "fail"});
+    }
+  }
+  table.Print("Reconstruction success vs d: Becker rows vs Theorem 15");
+  std::printf(
+      "\nExpected shape: the Becker baseline needs d >= degeneracy (peeling "
+      "by degree);\nTheorem 15 succeeds already at d >= lightcomp <= "
+      "cut-degeneracy -- strictly\nearlier on the witness family (row "
+      "'witness': thm15 ok at d=2, a d the row\nsketch is not guaranteed "
+      "at; its opportunistic peeling may still pass at\nthese tiny "
+      "scales).\n");
+}
+
+void HypergraphReconstruction() {
+  Table table({"input", "n", "m", "r", "d", "complete", "match"});
+  struct Case {
+    const char* name;
+    Hypergraph h;
+    size_t rank;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"hypercycle(16,3)", HyperCycle(16, 3), 3});
+  cases.push_back({"sparse r=3", RandomUniformHypergraph(20, 20, 3, 5), 3});
+  cases.push_back({"mixed 2..4", RandomHypergraph(18, 22, 2, 4, 6), 4});
+  for (auto& c : cases) {
+    size_t d = LightCompleteness(c.h);
+    CutDegenerateReconstructor rec(c.h.NumVertices(), c.rank, d, 800);
+    rec.Process(DynamicStream::InsertOnly(c.h, 7));
+    auto r = rec.Reconstruct();
+    table.AddRow({c.name, Table::Fmt(c.h.NumVertices()),
+                  Table::Fmt(c.h.NumEdges()), Table::Fmt(uint64_t{c.rank}),
+                  Table::Fmt(uint64_t{d}),
+                  (r.ok() && r->complete) ? "yes" : "no",
+                  (r.ok() && r->hypergraph == c.h) ? "yes" : "NO"});
+  }
+  table.Print("Hypergraph reconstruction at d = LightCompleteness");
+}
+
+void SpaceComparison() {
+  Table table({"n", "d", "becker_bytes/vertex", "thm15_bytes/vertex"});
+  for (size_t n : {32, 64, 128}) {
+    for (size_t d : {1, 2, 4}) {
+      RowReconstructSketch rows(n, d, 1);
+      ForestSketchParams fp;
+      fp.config = SketchConfig::Light();
+      CutDegenerateReconstructor thm15(n, 2, d, 2, fp);
+      table.AddRow({Table::Fmt(uint64_t{n}), Table::Fmt(uint64_t{d}),
+                    bench::Kb(rows.MemoryBytes() / n),
+                    bench::Kb(thm15.MemoryBytes() / n)});
+    }
+  }
+  table.Print("Per-vertex space: both O(d polylog n), different constants");
+  std::printf(
+      "\nExpected shape: both columns grow linearly in d; the Theorem 15 "
+      "sketch pays a\nlarger polylog factor (d+1 full forest sketches) for "
+      "its strictly larger\nreconstructable class.\n");
+}
+
+}  // namespace
+}  // namespace gms
+
+int main() {
+  gms::bench::Banner(
+      "E8/E9: reconstruction (Lemma 10, Becker et al. vs Theorem 15)",
+      "Row sketches reconstruct d-degenerate graphs; the cut-degeneracy "
+      "sketch reconstructs the strictly larger d-cut-degenerate class.");
+  gms::SuccessVsD();
+  gms::HypergraphReconstruction();
+  gms::SpaceComparison();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Cross-cutting timing: stream-update throughput and decode latency of
+// every sketch in the library (google-benchmark). The paper's algorithms
+// are "low polynomial time, typically linear in the number of edges"
+// (Section 1.1); this charts the constants.
+#include <benchmark/benchmark.h>
+
+#include "connectivity/k_skeleton.h"
+#include "connectivity/spanning_forest_sketch.h"
+#include "graph/generators.h"
+#include "reconstruct/light_recovery.h"
+#include "reconstruct/row_reconstruct.h"
+#include "sparsify/sparsifier_sketch.h"
+#include "stream/stream.h"
+#include "vertexconn/vc_query_sketch.h"
+
+namespace gms {
+namespace {
+
+void BM_ForestSketchUpdate(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  SpanningForestSketch sketch(n, 2, 1);
+  Graph g = UnionOfHamiltonianCycles(n, 2, 2);
+  auto edges = g.Edges();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(Hyperedge(edges[i % edges.size()]),
+                  (i / edges.size()) % 2 == 0 ? +1 : -1);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForestSketchUpdate)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ForestSketchHyperedgeUpdate(benchmark::State& state) {
+  size_t n = 512;
+  size_t r = static_cast<size_t>(state.range(0));
+  SpanningForestSketch sketch(n, r, 3);
+  Hypergraph h = RandomUniformHypergraph(n, 512, r, 4);
+  const auto& edges = h.Edges();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(edges[i % edges.size()],
+                  (i / edges.size()) % 2 == 0 ? +1 : -1);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForestSketchHyperedgeUpdate)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_ForestDecode(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  SpanningForestSketch sketch(n, 2, 5);
+  sketch.Process(
+      DynamicStream::InsertOnly(UnionOfHamiltonianCycles(n, 2, 6), 7));
+  for (auto _ : state) {
+    auto span = sketch.ExtractSpanningGraph();
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(BM_ForestDecode)->Arg(128)->Arg(512);
+
+void BM_KSkeletonUpdate(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  size_t n = 256;
+  KSkeletonSketch sketch(n, 2, k, 8);
+  Graph g = UnionOfHamiltonianCycles(n, 2, 9);
+  auto edges = g.Edges();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(Hyperedge(edges[i % edges.size()]),
+                  (i / edges.size()) % 2 == 0 ? +1 : -1);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KSkeletonUpdate)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_VcQueryUpdate(benchmark::State& state) {
+  size_t n = 128;
+  VcQueryParams p;
+  p.k = static_cast<size_t>(state.range(0));
+  p.r_multiplier = 0.25;
+  p.forest.config = SketchConfig::Light();
+  VcQuerySketch sketch(n, p, 10);
+  Graph g = UnionOfHamiltonianCycles(n, 2, 11);
+  auto edges = g.Edges();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(edges[i % edges.size()],
+                  (i / edges.size()) % 2 == 0 ? +1 : -1);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VcQueryUpdate)->Arg(2)->Arg(4);
+
+void BM_RowSketchUpdate(benchmark::State& state) {
+  size_t n = 1024;
+  RowReconstructSketch sketch(n, static_cast<size_t>(state.range(0)), 12);
+  Graph g = RandomDDegenerate(n, 3, 13);
+  auto edges = g.Edges();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(edges[i % edges.size()],
+                  (i / edges.size()) % 2 == 0 ? +1 : -1);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RowSketchUpdate)->Arg(1)->Arg(4);
+
+void BM_SparsifierUpdate(benchmark::State& state) {
+  size_t n = 64;
+  SparsifierParams p;
+  p.k = 4;
+  p.levels = 10;
+  p.forest.config = SketchConfig::Light();
+  HypergraphSparsifierSketch sketch(n, 3, p, 14);
+  Hypergraph h = RandomUniformHypergraph(n, 256, 3, 15);
+  const auto& edges = h.Edges();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Update(edges[i % edges.size()],
+                  (i / edges.size()) % 2 == 0 ? +1 : -1);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparsifierUpdate);
+
+void BM_LightRecoveryDecode(benchmark::State& state) {
+  size_t n = 24;
+  Graph g = RandomDDegenerate(n, 2, 16);
+  LightRecoverySketch sketch(n, 2, 2, 17);
+  sketch.Process(DynamicStream::InsertOnly(g, 18));
+  for (auto _ : state) {
+    auto r = sketch.Recover();
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LightRecoveryDecode);
+
+}  // namespace
+}  // namespace gms
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Shared helpers for the experiment harness: trial loops, rate formatting,
+// and the experiment banner convention (each binary prints the DESIGN.md
+// experiment id it regenerates, followed by gms::Table rows).
+#ifndef GMS_BENCH_BENCH_UTIL_H_
+#define GMS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace gms::bench {
+
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", experiment, claim);
+  std::printf("================================================================\n");
+}
+
+/// Fraction of `trials` trials for which `trial(seed)` returns true.
+inline double SuccessRate(size_t trials, uint64_t seed_base,
+                          const std::function<bool(uint64_t)>& trial) {
+  size_t ok = 0;
+  for (size_t t = 0; t < trials; ++t) ok += trial(seed_base + t) ? 1 : 0;
+  return static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+inline std::string Kb(size_t bytes) {
+  return Table::Fmt(static_cast<double>(bytes) / 1024.0, 1) + "KiB";
+}
+
+inline std::string Rate(double per_sec) {
+  if (per_sec >= 1e6) return Table::Fmt(per_sec / 1e6, 2) + "M/s";
+  if (per_sec >= 1e3) return Table::Fmt(per_sec / 1e3, 1) + "k/s";
+  return Table::Fmt(per_sec, 1) + "/s";
+}
+
+}  // namespace gms::bench
+
+#endif  // GMS_BENCH_BENCH_UTIL_H_

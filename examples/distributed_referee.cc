@@ -1,0 +1,59 @@
+// Scenario: the Becker et al. "referee" model (Section 2) as a distributed
+// systems pattern. Each of n storage nodes knows only its own adjacency
+// (e.g. replication links it participates in); all share a public random
+// seed. Every node sends ONE compact message to a coordinator, which
+// decides global connectivity -- one round, no gossip, no edge lists.
+//
+//   $ ./distributed_referee
+#include <cstdio>
+
+#include "comm/simultaneous.h"
+#include "graph/generators.h"
+
+using namespace gms;
+
+namespace {
+
+void RunScenario(const char* name, const Hypergraph& topology,
+                 uint64_t public_seed) {
+  auto report = RunSimultaneousConnectivity(topology, public_seed);
+  std::printf(
+      "%-22s players=%3zu  message=%6.1f KiB/node  total=%8.1f KiB\n"
+      "%-22s referee: %-13s truth: %-13s %s\n\n",
+      name, report.num_players, report.per_player_bytes / 1024.0,
+      report.total_bytes / 1024.0, "",
+      report.referee_answer_connected ? "CONNECTED" : "PARTITIONED",
+      report.exact_connected ? "CONNECTED" : "PARTITIONED",
+      report.correct ? "[agree]" : "[MISMATCH]");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("distributed_referee: one-round connectivity protocols\n");
+  std::printf("-----------------------------------------------------\n\n");
+
+  // Healthy replication ring with shortcuts.
+  RunScenario("healthy fabric",
+              Hypergraph::FromGraph(UnionOfHamiltonianCycles(96, 2, 1)), 11);
+
+  // A partitioned deployment: two datacenters, the interconnect is down.
+  Graph partitioned(96);
+  for (VertexId i = 0; i + 1 < 48; ++i) partitioned.AddEdge(i, i + 1);
+  for (VertexId i = 48; i + 1 < 96; ++i) partitioned.AddEdge(i, i + 1);
+  RunScenario("partitioned fabric", Hypergraph::FromGraph(partitioned), 12);
+
+  // Multi-party replication groups as hyperedges (a quorum = one edge).
+  RunScenario("quorum hypergraph", HyperCycle(96, 4), 13);
+
+  // Sparse gossip overlay near the connectivity threshold.
+  RunScenario("threshold overlay",
+              Hypergraph::FromGraph(ErdosRenyi(96, 0.05, 2)), 14);
+
+  std::printf(
+      "Each node computed its message from ITS OWN links only "
+      "(UpdateLocal);\nthe coordinator summed messages per component and "
+      "decoded -- the\nvertex-based sketch property of Definition 1 in "
+      "action.\n");
+  return 0;
+}

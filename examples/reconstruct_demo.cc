@@ -1,0 +1,87 @@
+// Scenario: exact graph reconstruction from tiny per-vertex summaries.
+//
+// A sensor network's topology must be recovered at a basestation, but each
+// sensor can only ship a small linear summary of its own adjacency (and
+// links appear AND disappear while summaries accumulate). This is the
+// Section 4 reconstruction problem. We run both machines on the paper's
+// own separating example:
+//   * the Becker et al. row sketch (needs d-degeneracy), and
+//   * Theorem 15's cut-degeneracy sketch (needs only d-cut-degeneracy),
+// on the Lemma 10 witness -- minimum degree 3, yet 2-cut-degenerate.
+//
+//   $ ./reconstruct_demo
+#include <cstdio>
+
+#include "exact/degeneracy.h"
+#include "graph/generators.h"
+#include "reconstruct/cut_degenerate.h"
+#include "reconstruct/row_reconstruct.h"
+#include "stream/stream.h"
+
+using namespace gms;
+
+int main() {
+  std::printf("reconstruct_demo: recovering a graph from linear sketches\n");
+  std::printf("---------------------------------------------------------\n\n");
+
+  Graph g = Lemma10Witness();
+  std::printf(
+      "input: the paper's Lemma 10 witness (8 vertices, %zu edges)\n"
+      "  degeneracy        = %zu  (min degree 3: NOT 2-degenerate)\n"
+      "  cut-degeneracy    = %zu  (every induced subgraph has a cut <= 2)\n\n",
+      g.NumEdges(), Degeneracy(g), CutDegeneracyBrute(g));
+
+  DynamicStream stream = DynamicStream::WithChurn(g, 10, 1);
+  std::printf("stream: %zu updates (links flap while summaries accumulate)\n\n",
+              stream.size());
+
+  // Theorem 15 sketch provisioned at d = cut-degeneracy = 2.
+  CutDegenerateReconstructor thm15(8, 2, /*d=*/2, /*seed=*/2);
+  thm15.Process(stream);
+  auto rec = thm15.Reconstruct();
+  std::printf("[Theorem 15, d=2] ");
+  if (rec.ok() && rec->complete && rec->hypergraph.ToGraph() == g) {
+    std::printf("EXACT reconstruction in %zu peel layers, %.1f KiB state\n",
+                rec->num_layers, thm15.MemoryBytes() / 1024.0);
+  } else {
+    std::printf("failed (%s)\n",
+                rec.ok() ? "incomplete" : rec.status().ToString().c_str());
+  }
+
+  // Becker baseline provisioned at the same d = 2: no guarantee (the graph
+  // is not 2-degenerate). At its true degeneracy 3, guaranteed.
+  for (size_t d : {2, 3}) {
+    RowReconstructSketch becker(8, d, 3 + d);
+    becker.Process(stream);
+    auto row = becker.Reconstruct();
+    bool exact = row.ok() && *row == g;
+    std::printf("[Becker rows, d=%zu] %s (%.1f KiB state)%s\n", d,
+                exact ? "reconstructed" : "FAILED",
+                becker.MemoryBytes() / 1024.0,
+                d == 2 ? "  <- outside its guaranteed class" : "");
+  }
+
+  // A bigger input: random 2-degenerate graph, both succeed.
+  std::printf("\nlarger input: random 2-degenerate graph on 64 vertices\n");
+  Graph big = RandomDDegenerate(64, 2, 7);
+  DynamicStream big_stream = DynamicStream::WithChurn(big, 120, 8);
+  RowReconstructSketch becker(64, 2, 9);
+  becker.Process(big_stream);
+  auto row = becker.Reconstruct();
+  std::printf("[Becker rows, d=2]  %s, %.1f KiB total\n",
+              (row.ok() && *row == big) ? "exact" : "failed",
+              becker.MemoryBytes() / 1024.0);
+  CutDegenerateReconstructor thm15_big(64, 2, 2, 10);
+  thm15_big.Process(big_stream);
+  auto rec_big = thm15_big.Reconstruct();
+  std::printf("[Theorem 15, d=2]   %s, %.1f KiB total\n",
+              (rec_big.ok() && rec_big->complete &&
+               rec_big->hypergraph.ToGraph() == big)
+                  ? "exact"
+                  : "failed",
+              thm15_big.MemoryBytes() / 1024.0);
+  std::printf(
+      "\nTakeaway: Theorem 15 reconstructs a strictly larger class for the "
+      "same d,\nat the price of a bigger polylog factor per vertex.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Scenario: connectivity over a sliding window of interactions.
+//
+// A social/contact stream where only the most recent W interactions count:
+// every new interaction is an edge INSERT, and the interaction falling out
+// of the window is an edge DELETE. Insert-only streaming algorithms
+// fundamentally cannot do this; linear sketches handle it natively
+// (a deletion is a negative update). We track the number of connected
+// components of the window graph over time and compare with ground truth
+// at checkpoints.
+//
+//   $ ./sliding_window
+#include <cstdio>
+#include <deque>
+
+#include "connectivity/connectivity_query.h"
+#include "graph/traversal.h"
+#include "util/random.h"
+
+using namespace gms;
+
+int main() {
+  const size_t n = 64;        // actors
+  const size_t window = 120;  // interactions that "count"
+  const size_t total = 900;   // interactions in the run
+  std::printf(
+      "sliding_window: %zu actors, window of %zu interactions, %zu events\n\n",
+      n, window, total);
+
+  ConnectivityQuery sketch(n, 2, /*seed=*/1);
+  Graph truth(n);
+  std::deque<Edge> live;
+  Rng rng(2);
+
+  std::printf("%-8s %-12s %-12s %s\n", "event", "sketch", "truth", "verdict");
+  size_t checks = 0, agreements = 0, deletions = 0;
+  for (size_t t = 1; t <= total; ++t) {
+    // A community-biased random interaction (two drifting hubs).
+    VertexId hub = static_cast<VertexId>((t / 150) % 2 == 0 ? rng.Below(8)
+                                                            : 56 + rng.Below(8));
+    VertexId other = static_cast<VertexId>(rng.Below(n));
+    if (hub == other) continue;
+    Edge e(hub, other);
+    if (truth.HasEdge(e)) continue;  // multiplicity must stay 0/1
+    truth.AddEdge(e);
+    sketch.Update(Hyperedge(e), +1);
+    live.push_back(e);
+    if (live.size() > window) {
+      Edge old = live.front();
+      live.pop_front();
+      truth.RemoveEdge(old);
+      sketch.Update(Hyperedge(old), -1);
+      ++deletions;
+    }
+    if (t % 150 == 0) {
+      auto got = sketch.NumComponents();
+      size_t exact = NumComponents(truth);
+      bool ok = got.ok() && *got == exact;
+      ++checks;
+      agreements += ok ? 1 : 0;
+      std::printf("%-8zu %-12s %-12zu %s\n", t,
+                  got.ok() ? std::to_string(*got).c_str() : "decode-fail",
+                  exact, ok ? "[agree]" : "[MISMATCH]");
+    }
+  }
+  std::printf(
+      "\n%zu/%zu checkpoints agreed. The window forced %zu deletions -- the "
+      "regime\nwhere the paper's linear sketches are the only known "
+      "technique.\n",
+      agreements, checks, deletions);
+  std::printf("sketch state: %.1f KiB (the window graph itself never "
+              "exceeds %zu edges)\n",
+              sketch.MemoryBytes() / 1024.0, window);
+  return 0;
+}

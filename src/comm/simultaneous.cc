@@ -1,0 +1,43 @@
+#include "comm/simultaneous.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+
+namespace gms {
+
+CommReport RunSimultaneousConnectivity(const Hypergraph& g,
+                                       uint64_t public_seed,
+                                       const ForestSketchParams& params) {
+  CommReport report;
+  report.num_players = g.NumVertices();
+  size_t max_rank = std::max<size_t>(g.Rank(), 2);
+
+  // The public random string fixes the measurement; every player derives
+  // the same shapes from `public_seed`.
+  SpanningForestSketch referee_state(g.NumVertices(), max_rank, public_seed,
+                                     params);
+  // Each player contributes a message computed from its OWN edge list only.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (uint32_t idx : g.IncidentIndices(v)) {
+      referee_state.UpdateLocal(v, g.Edges()[idx], +1);
+    }
+  }
+  report.per_player_bytes =
+      g.NumVertices() == 0
+          ? 0
+          : referee_state.MemoryBytes() / g.NumVertices();
+  report.total_bytes = referee_state.MemoryBytes();
+
+  auto span = referee_state.ExtractSpanningGraph();
+  if (span.ok()) {
+    report.referee_answer_connected = IsConnected(*span);
+    report.referee_components = NumComponents(*span);
+  }
+  report.exact_connected = IsConnected(g);
+  report.correct = span.ok() &&
+                   report.referee_answer_connected == report.exact_connected;
+  return report;
+}
+
+}  // namespace gms

@@ -1,0 +1,38 @@
+// The Becker et al. simultaneous-communication model (Section 2): players
+// P_1..P_n each hold the hyperedges incident to one vertex; with public
+// randomness each sends ONE message to the referee Q, who must answer a
+// graph question. A vertex-based sketch gives a protocol directly: player
+// v's message is v's sketch state (a linear function of v's incident edges
+// only), and Q sums the messages per component to decode.
+//
+// This module simulates the protocol faithfully -- each player builds its
+// message from its local edge list alone -- and accounts message sizes.
+#ifndef GMS_COMM_SIMULTANEOUS_H_
+#define GMS_COMM_SIMULTANEOUS_H_
+
+#include <cstdint>
+
+#include "connectivity/spanning_forest_sketch.h"
+#include "graph/hypergraph.h"
+
+namespace gms {
+
+struct CommReport {
+  size_t num_players = 0;
+  size_t per_player_bytes = 0;  // max message size (all equal here)
+  size_t total_bytes = 0;
+  bool referee_answer_connected = false;
+  bool exact_connected = false;
+  bool correct = false;
+  size_t referee_components = 0;
+};
+
+/// Run the one-round connectivity protocol on g. `public_seed` plays the
+/// role of the shared random string.
+CommReport RunSimultaneousConnectivity(
+    const Hypergraph& g, uint64_t public_seed,
+    const ForestSketchParams& params = ForestSketchParams());
+
+}  // namespace gms
+
+#endif  // GMS_COMM_SIMULTANEOUS_H_

@@ -1,0 +1,64 @@
+#include "connectivity/connectivity_query.h"
+
+#include "exact/hypergraph_mincut.h"
+#include "graph/traversal.h"
+
+namespace gms {
+
+ConnectivityQuery::ConnectivityQuery(size_t n, size_t max_rank, uint64_t seed,
+                                     const SpanningForestSketch::Params& params)
+    : sketch_(n, max_rank, seed, params) {}
+
+Result<bool> ConnectivityQuery::IsConnected() const {
+  auto span = sketch_.ExtractSpanningGraph();
+  if (!span.ok()) return span.status();
+  return gms::IsConnected(*span);
+}
+
+Result<size_t> ConnectivityQuery::NumComponents() const {
+  auto span = sketch_.ExtractSpanningGraph();
+  if (!span.ok()) return span.status();
+  return gms::NumComponents(*span);
+}
+
+Result<bool> ConnectivityQuery::SameComponent(VertexId u, VertexId v) const {
+  auto span = sketch_.ExtractSpanningGraph();
+  if (!span.ok()) return span.status();
+  auto ids = ConnectedComponents(*span);
+  GMS_CHECK(u < ids.size() && v < ids.size());
+  return ids[u] == ids[v];
+}
+
+EdgeConnectivityQuery::EdgeConnectivityQuery(
+    size_t n, size_t max_rank, size_t k, uint64_t seed,
+    const SpanningForestSketch::Params& params)
+    : sketch_(n, max_rank, k, seed, params) {}
+
+Result<size_t> EdgeConnectivityQuery::EdgeConnectivityCapped() const {
+  auto skeleton = sketch_.Extract();
+  if (!skeleton.ok()) return skeleton.status();
+  if (!gms::IsConnected(*skeleton)) return size_t{0};
+  if (skeleton->NumVertices() < 2) return size_t{0};
+  auto cut = HypergraphMinCut(*skeleton);
+  size_t value = static_cast<size_t>(cut.value + 0.5);
+  return std::min(value, sketch_.k());
+}
+
+Result<bool> EdgeConnectivityQuery::IsKEdgeConnected() const {
+  auto capped = EdgeConnectivityCapped();
+  if (!capped.ok()) return capped.status();
+  return *capped >= sketch_.k();
+}
+
+Result<HypergraphCut> EdgeConnectivityQuery::MinCut() const {
+  auto skeleton = sketch_.Extract();
+  if (!skeleton.ok()) return skeleton.status();
+  if (skeleton->NumVertices() < 2) {
+    return Status::FailedPrecondition("min cut needs >= 2 vertices");
+  }
+  HypergraphCut cut = HypergraphMinCut(*skeleton);
+  cut.value = std::min(cut.value, static_cast<double>(sketch_.k()));
+  return cut;
+}
+
+}  // namespace gms

@@ -1,0 +1,4 @@
+#include "connectivity/incidence.h"
+
+// Header-only; TU kept for the library target.
+namespace gms {}

@@ -1,0 +1,27 @@
+// The paper's hyperedge incidence encoding (Section 4.1): vertex i's vector
+// a^i has, at the coordinate of hyperedge e,
+//     |e| - 1  if i = min e,
+//     -1       if i in e \ {min e},
+//     0        otherwise.
+// For any vertex set S, sum_{i in S} a^i is nonzero exactly on delta(S):
+// the only sub-multisets of {|e|-1, -1, ..., -1} summing to zero are the
+// empty one and the whole one. This is the property the Borůvka decode
+// relies on.
+#ifndef GMS_CONNECTIVITY_INCIDENCE_H_
+#define GMS_CONNECTIVITY_INCIDENCE_H_
+
+#include <cstdint>
+
+#include "graph/edge.h"
+
+namespace gms {
+
+/// Coefficient of vertex i at hyperedge e's coordinate (0 if i not in e).
+inline int64_t IncidenceCoefficient(const Hyperedge& e, VertexId i) {
+  if (!e.Contains(i)) return 0;
+  return i == e.MinVertex() ? static_cast<int64_t>(e.size()) - 1 : -1;
+}
+
+}  // namespace gms
+
+#endif  // GMS_CONNECTIVITY_INCIDENCE_H_

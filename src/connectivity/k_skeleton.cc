@@ -1,0 +1,55 @@
+#include "connectivity/k_skeleton.h"
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+KSkeletonSketch::KSkeletonSketch(size_t n, size_t max_rank, size_t k,
+                                 uint64_t seed,
+                                 const SpanningForestSketch::Params& params)
+    : n_(n), k_(k) {
+  GMS_CHECK(k >= 1);
+  Rng rng(seed);
+  layers_.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    layers_.emplace_back(n, max_rank, rng.Fork(), params);
+  }
+}
+
+void KSkeletonSketch::Update(const Hyperedge& e, int delta) {
+  for (auto& layer : layers_) layer.Update(e, delta);
+}
+
+void KSkeletonSketch::Process(const DynamicStream& stream) {
+  for (const auto& u : stream) Update(u.edge, u.delta);
+}
+
+void KSkeletonSketch::RemoveHyperedges(const std::vector<Hyperedge>& edges) {
+  for (auto& layer : layers_) layer.RemoveHyperedges(edges);
+}
+
+Result<Hypergraph> KSkeletonSketch::Extract() const {
+  Hypergraph skeleton(n_);
+  std::vector<Hyperedge> accumulated;
+  for (size_t i = 0; i < k_; ++i) {
+    // A^i(G - F_1 - ... - F_{i-1}) = A^i(G) - sum_j A^i(F_j): subtract the
+    // accumulated layers from a copy of layer i, then decode.
+    SpanningForestSketch layer = layers_[i];
+    layer.RemoveHyperedges(accumulated);
+    auto forest = layer.ExtractSpanningGraph();
+    if (!forest.ok()) return forest.status();
+    for (const auto& e : forest->Edges()) {
+      if (skeleton.AddEdge(e)) accumulated.push_back(e);
+    }
+  }
+  return skeleton;
+}
+
+size_t KSkeletonSketch::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) total += layer.MemoryBytes();
+  return total;
+}
+
+}  // namespace gms

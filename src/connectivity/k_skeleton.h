@@ -1,0 +1,51 @@
+// k-skeleton sketches (Definition 11, Theorem 14): k independent
+// spanning-graph sketches A^1..A^k. F_i is extracted as a spanning graph of
+// G - F_1 - ... - F_{i-1}, obtained by LINEARLY subtracting the already-
+// extracted layers from sketch A^i -- the independence of the k sketches is
+// what makes the union-bound argument valid (Section 4.2 discusses at
+// length why reusing one sketch adaptively is unsound; see
+// tests/adaptive_reuse_test.cc for an empirical demonstration).
+#ifndef GMS_CONNECTIVITY_K_SKELETON_H_
+#define GMS_CONNECTIVITY_K_SKELETON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "connectivity/spanning_forest_sketch.h"
+
+namespace gms {
+
+class KSkeletonSketch {
+ public:
+  /// Sketch from which a k-skeleton of a hypergraph on n vertices (edges of
+  /// cardinality <= max_rank) can be extracted.
+  KSkeletonSketch(size_t n, size_t max_rank, size_t k, uint64_t seed,
+                  const SpanningForestSketch::Params& params =
+                      SpanningForestSketch::Params());
+
+  size_t n() const { return n_; }
+  size_t k() const { return k_; }
+
+  void Update(const Hyperedge& e, int delta);
+  void Process(const DynamicStream& stream);
+
+  /// Linear subtraction of a known edge set from ALL layers (used by the
+  /// light-edge recovery of Theorem 15, where the subtracted sets are
+  /// deterministic functions of the input graph).
+  void RemoveHyperedges(const std::vector<Hyperedge>& edges);
+
+  /// Extract F_1 u ... u F_k where F_i spans G - F_1 - ... - F_{i-1}.
+  /// The extraction works on copies; the sketch itself is unchanged.
+  Result<Hypergraph> Extract() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  size_t n_;
+  size_t k_;
+  std::vector<SpanningForestSketch> layers_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_CONNECTIVITY_K_SKELETON_H_

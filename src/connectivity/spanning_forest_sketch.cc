@@ -1,0 +1,161 @@
+#include "connectivity/spanning_forest_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "connectivity/incidence.h"
+#include "graph/union_find.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+namespace {
+
+int DefaultRounds(size_t n, const SketchConfig& config) {
+  int log_n = 1;
+  while ((size_t{1} << log_n) < n) ++log_n;
+  return log_n + config.extra_boruvka_rounds;
+}
+
+}  // namespace
+
+SpanningForestSketch::SpanningForestSketch(size_t n, size_t max_rank,
+                                           uint64_t seed, const Params& params,
+                                           const std::vector<bool>* active)
+    : n_(n),
+      rounds_(params.rounds > 0 ? params.rounds
+                                : DefaultRounds(n, params.config)),
+      codec_(n, max_rank),
+      states_(n) {
+  GMS_CHECK(active == nullptr || active->size() == n);
+  Rng rng(seed);
+  round_shapes_.reserve(static_cast<size_t>(rounds_));
+  for (int t = 0; t < rounds_; ++t) {
+    round_shapes_.push_back(std::make_shared<const L0Shape>(
+        codec_.DomainSize(), params.config, rng.Fork()));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (active != nullptr && !(*active)[v]) continue;
+    states_[v].reserve(static_cast<size_t>(rounds_));
+    for (int t = 0; t < rounds_; ++t) {
+      states_[v].emplace_back(round_shapes_[static_cast<size_t>(t)].get());
+    }
+  }
+}
+
+void SpanningForestSketch::Update(const Hyperedge& e, int delta) {
+  GMS_CHECK_MSG(e.size() <= codec_.max_rank(), "hyperedge exceeds max_rank");
+  u128 index = codec_.Encode(e);
+  for (int t = 0; t < rounds_; ++t) {
+    const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
+    int level = shape.LevelOf(index);
+    uint64_t power = shape.level_shape(level).FingerprintPower(index);
+    for (VertexId v : e) {
+      GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
+      int64_t coeff = IncidenceCoefficient(e, v) * delta;
+      states_[v][static_cast<size_t>(t)].UpdateWithPower(index, coeff, level,
+                                                         power);
+    }
+  }
+}
+
+void SpanningForestSketch::UpdateLocal(VertexId v, const Hyperedge& e,
+                                       int delta) {
+  GMS_CHECK_MSG(e.Contains(v), "UpdateLocal: vertex not in hyperedge");
+  GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
+  u128 index = codec_.Encode(e);
+  int64_t coeff = IncidenceCoefficient(e, v) * delta;
+  for (int t = 0; t < rounds_; ++t) {
+    const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
+    int level = shape.LevelOf(index);
+    uint64_t power = shape.level_shape(level).FingerprintPower(index);
+    states_[v][static_cast<size_t>(t)].UpdateWithPower(index, coeff, level,
+                                                       power);
+  }
+}
+
+void SpanningForestSketch::Process(const DynamicStream& stream) {
+  for (const auto& u : stream) Update(u.edge, u.delta);
+}
+
+void SpanningForestSketch::RemoveHyperedges(
+    const std::vector<Hyperedge>& edges) {
+  for (const auto& e : edges) Update(e, -1);
+}
+
+Result<Hypergraph> SpanningForestSketch::ExtractSpanningGraph() const {
+  Hypergraph result(n_);
+  UnionFind uf(n_);
+  std::vector<VertexId> active_vertices;
+  for (VertexId v = 0; v < n_; ++v) {
+    if (IsActive(v)) active_vertices.push_back(v);
+  }
+  if (active_vertices.size() <= 1) return result;
+
+  for (int t = 0; t < rounds_; ++t) {
+    // Group active vertices by current component.
+    std::vector<std::vector<VertexId>> groups;
+    {
+      std::vector<int64_t> dense(n_, -1);
+      for (VertexId v : active_vertices) {
+        VertexId r = uf.Find(v);
+        if (dense[r] < 0) {
+          dense[r] = static_cast<int64_t>(groups.size());
+          groups.emplace_back();
+        }
+        groups[static_cast<size_t>(dense[r])].push_back(v);
+      }
+    }
+    if (groups.size() <= 1) break;
+
+    // Sample one crossing hyperedge per component from the summed sketch.
+    std::vector<Hyperedge> found;
+    for (const auto& group : groups) {
+      L0State acc(round_shapes_[static_cast<size_t>(t)].get());
+      for (VertexId v : group) {
+        acc.Add(states_[v][static_cast<size_t>(t)]);
+      }
+      auto sample = acc.Sample();
+      if (!sample.ok()) continue;  // isolated component or sampler failure
+      auto decoded = codec_.Decode(sample->index);
+      if (!decoded.ok()) continue;  // corrupted sample; skip defensively
+      const Hyperedge& e = *decoded;
+      // Sanity: a genuine sample crosses the component boundary and touches
+      // only active vertices.
+      bool valid = std::llabs(sample->value) <
+                       static_cast<int64_t>(codec_.max_rank()) &&
+                   sample->value != 0;
+      bool any_in = false, any_out = false;
+      for (VertexId v : e) {
+        if (!IsActive(v)) valid = false;
+        (uf.Connected(v, group[0]) ? any_in : any_out) = true;
+      }
+      if (!valid || !any_in || !any_out) continue;
+      found.push_back(e);
+    }
+    for (const auto& e : found) {
+      bool merged = false;
+      for (size_t i = 1; i < e.size(); ++i) merged |= uf.Union(e[0], e[i]);
+      if (merged) result.AddEdge(e);
+    }
+  }
+  return result;
+}
+
+size_t SpanningForestSketch::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& per_round : states_) {
+    for (const auto& state : per_round) total += state.MemoryBytes();
+  }
+  return total;
+}
+
+size_t SpanningForestSketch::CellsPerVertex() const {
+  size_t total = 0;
+  for (const auto& shape : round_shapes_) total += shape->TotalCells();
+  return total;
+}
+
+}  // namespace gms

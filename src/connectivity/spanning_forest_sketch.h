@@ -1,0 +1,94 @@
+// The AGM spanning-graph sketch (Theorem 2 for graphs, Theorem 13 for
+// hypergraphs): every vertex keeps one L0-sampler of its incidence vector
+// per Borůvka round; summing the samplers of a component yields a sampler
+// of the component's cut vector (by linearity and the Section 4.1
+// encoding), so each round contracts every component along a sampled
+// crossing hyperedge. O(log n) rounds connect everything whp.
+//
+// The sketch is vertex-based in the paper's sense: each vertex's state is a
+// linear function of the hyperedges incident to that vertex only, which is
+// what the simultaneous-communication protocol in comm/ relies on.
+#ifndef GMS_CONNECTIVITY_SPANNING_FOREST_SKETCH_H_
+#define GMS_CONNECTIVITY_SPANNING_FOREST_SKETCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/edge_codec.h"
+#include "graph/hypergraph.h"
+#include "sketch/l0_sampler.h"
+#include "sketch/sketch_config.h"
+#include "stream/stream.h"
+#include "util/status.h"
+
+namespace gms {
+
+struct ForestSketchParams {
+  SketchConfig config = SketchConfig::Default();
+  /// Borůvka rounds; 0 means ceil(log2 n) + config.extra_boruvka_rounds.
+  int rounds = 0;
+};
+
+class SpanningForestSketch {
+ public:
+  using Params = ForestSketchParams;
+
+  /// Sketch for hypergraphs on n vertices with hyperedge cardinality up to
+  /// max_rank (use 2 for graphs: the domain, and hence the number of
+  /// subsampling levels, shrinks accordingly). If `active` is non-null,
+  /// state is allocated only for vertices with active[v] = true and the
+  /// decoded graph treats inactive vertices as absent (used by the
+  /// vertex-subsampling construction of Section 3).
+  SpanningForestSketch(size_t n, size_t max_rank, uint64_t seed,
+                       const Params& params = Params(),
+                       const std::vector<bool>* active = nullptr);
+
+  size_t n() const { return n_; }
+  int rounds() const { return rounds_; }
+  bool IsActive(VertexId v) const { return !states_[v].empty(); }
+
+  /// Linear update: insert (delta=+1) or delete (delta=-1) hyperedge e.
+  /// CHECK-fails if any endpoint is inactive (callers filter first).
+  void Update(const Hyperedge& e, int delta);
+
+  /// Ingest a whole stream.
+  void Process(const DynamicStream& stream);
+
+  /// Update ONLY vertex v's measurement for hyperedge e (v must be in e).
+  /// This is the per-player operation of the simultaneous-communication
+  /// model: player v's message depends on v's incident edges alone.
+  /// Applying UpdateLocal for every endpoint of e equals Update(e, delta).
+  void UpdateLocal(VertexId v, const Hyperedge& e, int delta);
+
+  /// Subtract a known subgraph (linearity; used by k-skeleton layering).
+  void RemoveHyperedges(const std::vector<Hyperedge>& edges);
+
+  /// Decode a spanning graph of the sketched hypergraph, restricted to
+  /// active vertices. The result has the same connected components as the
+  /// input whp; per-round sampling failures are tolerated (extra rounds
+  /// absorb them) and surface only as a disconnected-looking result.
+  Result<Hypergraph> ExtractSpanningGraph() const;
+
+  /// Total bytes of per-vertex sketch state (the paper's space measure).
+  size_t MemoryBytes() const;
+
+  /// Number of linear-measurement cells per vertex (sketch "size").
+  size_t CellsPerVertex() const;
+
+  const EdgeCodec& codec() const { return codec_; }
+
+ private:
+  size_t n_;
+  int rounds_;
+  EdgeCodec codec_;
+  // Shapes are immutable and shared between copies of the sketch (copies
+  // carry the same measurement, which is exactly what linearity requires).
+  std::vector<std::shared_ptr<const L0Shape>> round_shapes_;
+  // states_[v][t]: vertex v's sampler for round t; empty if inactive.
+  std::vector<std::vector<L0State>> states_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_CONNECTIVITY_SPANNING_FOREST_SKETCH_H_

@@ -1,0 +1,100 @@
+#include "exact/cut_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+double WeightedEdgeSet::TotalWeight() const {
+  double t = 0;
+  for (double w : weights) t += w;
+  return t;
+}
+
+double WeightedCutValue(const WeightedEdgeSet& h,
+                        const std::vector<bool>& in_s) {
+  GMS_CHECK(h.edges.size() == h.weights.size());
+  double value = 0;
+  for (size_t i = 0; i < h.edges.size(); ++i) {
+    bool any_in = false, any_out = false;
+    for (VertexId v : h.edges[i]) {
+      (in_s[v] ? any_in : any_out) = true;
+      if (any_in && any_out) break;
+    }
+    if (any_in && any_out) value += h.weights[i];
+  }
+  return value;
+}
+
+namespace {
+
+void Accumulate(const Hypergraph& original, const WeightedEdgeSet& sparsifier,
+                const std::vector<bool>& in_s, CutErrorStats* stats,
+                double* rel_sum) {
+  double exact = static_cast<double>(original.CutSize(in_s));
+  double approx = WeightedCutValue(sparsifier, in_s);
+  ++stats->cuts_checked;
+  if (exact == 0 || approx == 0) {
+    if ((exact == 0) != (approx == 0)) ++stats->zero_mismatches;
+    return;
+  }
+  double rel = std::abs(approx - exact) / exact;
+  stats->max_rel_error = std::max(stats->max_rel_error, rel);
+  *rel_sum += rel;
+}
+
+}  // namespace
+
+CutErrorStats CompareAllCuts(const Hypergraph& original,
+                             const WeightedEdgeSet& sparsifier) {
+  size_t n = original.NumVertices();
+  GMS_CHECK_MSG(n >= 2 && n <= 22, "exhaustive cut comparison needs n <= 22");
+  CutErrorStats stats;
+  double rel_sum = 0;
+  std::vector<bool> in_s(n, false);
+  for (uint64_t mask = 1; mask < (1ULL << (n - 1)); ++mask) {
+    for (size_t v = 0; v + 1 < n; ++v) in_s[v] = (mask >> v) & 1;
+    in_s[n - 1] = false;
+    Accumulate(original, sparsifier, in_s, &stats, &rel_sum);
+  }
+  if (stats.cuts_checked > 0) {
+    stats.avg_rel_error = rel_sum / static_cast<double>(stats.cuts_checked);
+  }
+  return stats;
+}
+
+CutErrorStats CompareSampledCuts(const Hypergraph& original,
+                                 const WeightedEdgeSet& sparsifier,
+                                 size_t samples, uint64_t seed) {
+  size_t n = original.NumVertices();
+  GMS_CHECK(n >= 2);
+  Rng rng(seed);
+  CutErrorStats stats;
+  double rel_sum = 0;
+  std::vector<bool> in_s(n, false);
+  // All singleton cuts first (degree cuts are the classic failure mode).
+  for (size_t v = 0; v < n; ++v) {
+    std::fill(in_s.begin(), in_s.end(), false);
+    in_s[v] = true;
+    Accumulate(original, sparsifier, in_s, &stats, &rel_sum);
+  }
+  // Uniform random bipartitions (rejecting the trivial ones).
+  for (size_t t = 0; t < samples; ++t) {
+    size_t ones = 0;
+    for (size_t v = 0; v < n; ++v) {
+      in_s[v] = rng.Bernoulli(0.5);
+      ones += in_s[v] ? 1 : 0;
+    }
+    if (ones == 0 || ones == n) continue;  // skip trivial bipartitions
+    Accumulate(original, sparsifier, in_s, &stats, &rel_sum);
+  }
+  if (stats.cuts_checked > 0) {
+    stats.avg_rel_error = rel_sum / static_cast<double>(stats.cuts_checked);
+  }
+  return stats;
+}
+
+}  // namespace gms

@@ -1,0 +1,47 @@
+// Cut-evaluation utilities for sparsifier verification (Definition 17,
+// Theorems 19/20): compare the weighted cuts of a sparsifier against the
+// exact cuts of the original hypergraph, either exhaustively (small n) or
+// over a structured sample of cuts.
+#ifndef GMS_EXACT_CUT_EVAL_H_
+#define GMS_EXACT_CUT_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hypergraph.h"
+
+namespace gms {
+
+/// A weighted edge set over the same vertex universe as some hypergraph.
+struct WeightedEdgeSet {
+  std::vector<Hyperedge> edges;
+  std::vector<double> weights;
+
+  size_t size() const { return edges.size(); }
+  double TotalWeight() const;
+};
+
+/// Weighted value of the cut (S, V\S); a hyperedge counts if it intersects
+/// both sides.
+double WeightedCutValue(const WeightedEdgeSet& h, const std::vector<bool>& in_s);
+
+struct CutErrorStats {
+  double max_rel_error = 0;   // max over cuts of |w(S) - c(S)| / c(S)
+  double avg_rel_error = 0;
+  size_t cuts_checked = 0;
+  size_t zero_mismatches = 0; // cuts where exactly one side is 0
+};
+
+/// Exhaustive comparison over all 2^(n-1) - 1 cuts (n <= 22).
+CutErrorStats CompareAllCuts(const Hypergraph& original,
+                             const WeightedEdgeSet& sparsifier);
+
+/// Sampled comparison: all singleton cuts plus `samples` uniform random
+/// bipartitions (seeded).
+CutErrorStats CompareSampledCuts(const Hypergraph& original,
+                                 const WeightedEdgeSet& sparsifier,
+                                 size_t samples, uint64_t seed);
+
+}  // namespace gms
+
+#endif  // GMS_EXACT_CUT_EVAL_H_

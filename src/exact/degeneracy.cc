@@ -1,0 +1,110 @@
+#include "exact/degeneracy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "exact/hypergraph_mincut.h"
+#include "exact/strength.h"
+#include "util/check.h"
+
+namespace gms {
+
+size_t Degeneracy(const Hypergraph& g) {
+  size_t n = g.NumVertices();
+  std::vector<bool> vertex_alive(n, true);
+  std::vector<bool> edge_alive(g.NumEdges(), true);
+  std::vector<size_t> degree(n, 0);
+  for (VertexId v = 0; v < n; ++v) degree[v] = g.Degree(v);
+  size_t degeneracy = 0;
+  for (size_t removed = 0; removed < n; ++removed) {
+    // Min-degree alive vertex.
+    VertexId best = 0;
+    bool found = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (vertex_alive[v] && (!found || degree[v] < degree[best])) {
+        best = v;
+        found = true;
+      }
+    }
+    GMS_CHECK(found);
+    degeneracy = std::max(degeneracy, degree[best]);
+    vertex_alive[best] = false;
+    for (uint32_t idx : g.IncidentIndices(best)) {
+      if (!edge_alive[idx]) continue;
+      edge_alive[idx] = false;
+      for (VertexId u : g.Edges()[idx]) {
+        if (vertex_alive[u]) --degree[u];
+      }
+    }
+  }
+  return degeneracy;
+}
+
+size_t Degeneracy(const Graph& g) { return Degeneracy(Hypergraph::FromGraph(g)); }
+
+bool IsDDegenerate(const Hypergraph& g, size_t d) { return Degeneracy(g) <= d; }
+bool IsDDegenerate(const Graph& g, size_t d) { return Degeneracy(g) <= d; }
+
+size_t CutDegeneracyBrute(const Hypergraph& g) {
+  size_t n = g.NumVertices();
+  GMS_CHECK_MSG(n >= 2 && n <= 18, "brute force limited to tiny graphs");
+  size_t worst = 0;
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    if (__builtin_popcountll(mask) < 2) continue;
+    // Induced subhypergraph on the masked vertices, compacted.
+    std::vector<uint32_t> local(n, UINT32_MAX);
+    std::vector<VertexId> verts;
+    for (VertexId v = 0; v < n; ++v) {
+      if ((mask >> v) & 1) {
+        local[v] = static_cast<uint32_t>(verts.size());
+        verts.push_back(v);
+      }
+    }
+    std::vector<Hyperedge> edges;
+    for (const auto& e : g.Edges()) {
+      bool inside = true;
+      for (VertexId v : e) inside &= ((mask >> v) & 1) != 0;
+      if (!inside) continue;
+      std::vector<VertexId> mapped;
+      for (VertexId v : e) mapped.push_back(local[v]);
+      edges.push_back(Hyperedge(std::move(mapped)));
+    }
+    size_t cut;
+    if (edges.empty()) {
+      cut = 0;
+    } else {
+      std::vector<double> w(edges.size(), 1.0);
+      cut = static_cast<size_t>(
+          HypergraphMinCut(verts.size(), edges, w).value + 0.5);
+    }
+    worst = std::max(worst, cut);
+  }
+  return worst;
+}
+
+size_t CutDegeneracyBrute(const Graph& g) {
+  return CutDegeneracyBrute(Hypergraph::FromGraph(g));
+}
+
+size_t LightCompleteness(const Hypergraph& g) {
+  if (g.NumEdges() == 0) return 0;
+  size_t max_degree = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  size_t lo = 1, hi = max_degree;
+  // light_d is monotone in d (removing edges only lowers lambda_e), so
+  // binary search for the smallest d with empty residual.
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (OfflineLightEdges(g, mid).residual.NumEdges() == 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  GMS_CHECK(OfflineLightEdges(g, lo).residual.NumEdges() == 0);
+  return lo;
+}
+
+}  // namespace gms

@@ -1,0 +1,40 @@
+// Degeneracy and cut-degeneracy (Definition 9, Lemma 10).
+//
+// d-degenerate: every induced subhypergraph has a vertex of degree <= d
+// (degree = number of incident hyperedges); computed exactly by min-degree
+// peeling. d-cut-degenerate: every induced subhypergraph has a cut of size
+// <= d; strictly weaker (Lemma 10). Exact cut-degeneracy is computed by
+// exhaustive search over induced subgraphs (tiny n only); the polynomial
+// quantity min{ d : light_d(G) = E } is exposed as LightCompleteness and is
+// an upper bound on reconstructability via Theorem 15.
+#ifndef GMS_EXACT_DEGENERACY_H_
+#define GMS_EXACT_DEGENERACY_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace gms {
+
+/// Max over the peeling order of the min degree: the exact degeneracy.
+size_t Degeneracy(const Hypergraph& g);
+size_t Degeneracy(const Graph& g);
+
+bool IsDDegenerate(const Hypergraph& g, size_t d);
+bool IsDDegenerate(const Graph& g, size_t d);
+
+/// Exact cut-degeneracy by enumerating all vertex-induced subhypergraphs
+/// (n <= 18): max over subsets S with >= 2 vertices of the min cut of G[S].
+size_t CutDegeneracyBrute(const Hypergraph& g);
+size_t CutDegeneracyBrute(const Graph& g);
+
+/// Smallest d with light_d(G) = E: the exact threshold at which Theorem
+/// 15's sketch reconstructs all of G. Since d-cut-degeneracy implies
+/// light_d(G) = E (Section 4.2.1), LightCompleteness(G) <= cut-degeneracy,
+/// and it is computable in polynomial time.
+size_t LightCompleteness(const Hypergraph& g);
+
+}  // namespace gms
+
+#endif  // GMS_EXACT_DEGENERACY_H_

@@ -1,0 +1,96 @@
+#include "exact/dinic.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace gms {
+
+Dinic::Dinic(size_t num_nodes) : head_(num_nodes) {}
+
+size_t Dinic::AddArc(uint32_t u, uint32_t v, int64_t capacity) {
+  GMS_DCHECK(u < head_.size() && v < head_.size());
+  size_t id = arcs_.size();
+  head_[u].push_back(static_cast<uint32_t>(id));
+  arcs_.push_back({v, capacity});
+  head_[v].push_back(static_cast<uint32_t>(id + 1));
+  arcs_.push_back({u, 0});
+  return id;
+}
+
+void Dinic::AddUndirected(uint32_t u, uint32_t v, int64_t capacity) {
+  size_t id = AddArc(u, v, capacity);
+  arcs_[id + 1].cap = capacity;  // make the reverse arc a real arc
+}
+
+bool Dinic::Bfs(uint32_t s, uint32_t t) {
+  level_.assign(head_.size(), -1);
+  std::queue<uint32_t> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    uint32_t v = q.front();
+    q.pop();
+    for (uint32_t id : head_[v]) {
+      const ArcRec& a = arcs_[id];
+      if (a.cap > 0 && level_[a.to] < 0) {
+        level_[a.to] = level_[v] + 1;
+        q.push(a.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+int64_t Dinic::Dfs(uint32_t v, uint32_t t, int64_t pushed) {
+  if (v == t) return pushed;
+  for (uint32_t& i = iter_[v]; i < head_[v].size(); ++i) {
+    uint32_t id = head_[v][i];
+    ArcRec& a = arcs_[id];
+    if (a.cap <= 0 || level_[a.to] != level_[v] + 1) continue;
+    int64_t got = Dfs(a.to, t, std::min(pushed, a.cap));
+    if (got > 0) {
+      a.cap -= got;
+      arcs_[id ^ 1].cap += got;
+      return got;
+    }
+  }
+  level_[v] = -1;  // dead end
+  return 0;
+}
+
+int64_t Dinic::MaxFlow(uint32_t s, uint32_t t, int64_t limit) {
+  GMS_CHECK(s != t);
+  int64_t flow = 0;
+  while (flow < limit && Bfs(s, t)) {
+    iter_.assign(head_.size(), 0);
+    while (flow < limit) {
+      int64_t got = Dfs(s, t, limit - flow);
+      if (got == 0) break;
+      flow += got;
+    }
+  }
+  return flow;
+}
+
+std::vector<bool> Dinic::MinCutSourceSide(uint32_t s) const {
+  std::vector<bool> seen(head_.size(), false);
+  std::queue<uint32_t> q;
+  seen[s] = true;
+  q.push(s);
+  while (!q.empty()) {
+    uint32_t v = q.front();
+    q.pop();
+    for (uint32_t id : head_[v]) {
+      const ArcRec& a = arcs_[id];
+      if (a.cap > 0 && !seen[a.to]) {
+        seen[a.to] = true;
+        q.push(a.to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace gms

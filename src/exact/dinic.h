@@ -1,0 +1,55 @@
+// Dinic's max-flow over an explicit directed network with integer
+// capacities. The workhorse behind exact vertex connectivity (node-split
+// networks), edge connectivity between endpoints (lambda_e), and hypergraph
+// s-t cuts (Lawler networks).
+#ifndef GMS_EXACT_DINIC_H_
+#define GMS_EXACT_DINIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gms {
+
+class Dinic {
+ public:
+  static constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+
+  explicit Dinic(size_t num_nodes);
+
+  /// Adds a directed arc u -> v with the given capacity (residual arc has
+  /// capacity 0). Returns the arc id.
+  size_t AddArc(uint32_t u, uint32_t v, int64_t capacity);
+
+  /// Adds an undirected unit/weighted edge (both directions capacitated).
+  void AddUndirected(uint32_t u, uint32_t v, int64_t capacity);
+
+  /// Max flow from s to t, stopping early once `limit` is reached (pass
+  /// kInf for the exact value). The network keeps its residual state, so
+  /// call on a fresh instance per query.
+  int64_t MaxFlow(uint32_t s, uint32_t t, int64_t limit = kInf);
+
+  /// After MaxFlow: nodes reachable from s in the residual network (the
+  /// source side of a minimum cut).
+  std::vector<bool> MinCutSourceSide(uint32_t s) const;
+
+  size_t num_nodes() const { return head_.size(); }
+
+ private:
+  struct ArcRec {
+    uint32_t to;
+    int64_t cap;
+  };
+  bool Bfs(uint32_t s, uint32_t t);
+  int64_t Dfs(uint32_t v, uint32_t t, int64_t pushed);
+
+  std::vector<std::vector<uint32_t>> head_;  // node -> arc ids
+  std::vector<ArcRec> arcs_;                 // paired: arc ^ 1 is reverse
+  std::vector<int> level_;
+  std::vector<uint32_t> iter_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_EXACT_DINIC_H_

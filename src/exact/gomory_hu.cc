@@ -1,0 +1,77 @@
+#include "exact/gomory_hu.h"
+
+#include <algorithm>
+
+#include "exact/dinic.h"
+#include "util/check.h"
+
+namespace gms {
+
+GomoryHuTree::GomoryHuTree(const Graph& g) {
+  size_t n = g.NumVertices();
+  parent_.assign(n, 0);
+  cut_to_parent_.assign(n, 0);
+  depth_.assign(n, 0);
+  if (n == 0) return;
+  auto edges = g.Edges();
+  // Gusfield: process vertices 1..n-1; flow against the current parent,
+  // then re-hang same-side vertices with larger index.
+  for (VertexId i = 1; i < n; ++i) {
+    VertexId p = parent_[i];
+    Dinic net(n);
+    for (const Edge& e : edges) net.AddUndirected(e.u(), e.v(), 1);
+    int64_t flow = net.MaxFlow(i, p);
+    cut_to_parent_[i] = flow;
+    std::vector<bool> side = net.MinCutSourceSide(i);
+    for (VertexId j = i + 1; j < n; ++j) {
+      if (side[j] && parent_[j] == p) parent_[j] = i;
+    }
+    // Gusfield's fix-up: if the cut also separates p from ITS parent, hang
+    // i above p instead.
+    if (p != 0 && side[parent_[p]]) {
+      parent_[i] = parent_[p];
+      cut_to_parent_[i] = cut_to_parent_[p];
+      parent_[p] = i;
+      cut_to_parent_[p] = flow;
+    }
+  }
+  // Depths for path-min queries (fix-ups break index monotonicity, so
+  // resolve chains iteratively).
+  std::vector<bool> done(n, false);
+  done[0] = true;
+  for (VertexId v = 0; v < n; ++v) {
+    // Walk up to a resolved ancestor, then unwind.
+    std::vector<VertexId> chain;
+    VertexId x = v;
+    while (!done[x]) {
+      chain.push_back(x);
+      x = parent_[x];
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      depth_[*it] = depth_[parent_[*it]] + 1;
+      done[*it] = true;
+    }
+  }
+}
+
+int64_t GomoryHuTree::MinCut(VertexId u, VertexId v) const {
+  GMS_CHECK(u < n() && v < n() && u != v);
+  int64_t best = Dinic::kInf;
+  VertexId a = u, b = v;
+  while (a != b) {
+    if (depth_[a] < depth_[b]) std::swap(a, b);
+    best = std::min(best, cut_to_parent_[a]);
+    a = parent_[a];
+  }
+  return best;
+}
+
+std::vector<GomoryHuTree::TreeEdge> GomoryHuTree::Edges() const {
+  std::vector<TreeEdge> out;
+  for (VertexId v = 1; v < n(); ++v) {
+    out.push_back({parent_[v], v, cut_to_parent_[v]});
+  }
+  return out;
+}
+
+}  // namespace gms

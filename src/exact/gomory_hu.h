@@ -1,0 +1,49 @@
+// Gomory-Hu tree (Gusfield's variant): n-1 max-flows yield a weighted tree
+// on V whose path-minimum between u and v equals the minimum u-v edge cut
+// in G. Used as (a) a fast oracle for lambda_e over MANY edges (the
+// definition-based light_k peeling queries lambda for every edge every
+// round) and (b) an independent cross-check of the strength decomposition.
+#ifndef GMS_EXACT_GOMORY_HU_H_
+#define GMS_EXACT_GOMORY_HU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gms {
+
+class GomoryHuTree {
+ public:
+  /// Build from an unweighted graph with n-1 Dinic computations
+  /// (Gusfield: no contractions needed).
+  explicit GomoryHuTree(const Graph& g);
+
+  /// Minimum u-v edge cut value (path minimum in the tree); 0 when u and v
+  /// are disconnected.
+  int64_t MinCut(VertexId u, VertexId v) const;
+
+  /// lambda_e for an edge {u, v} of the underlying graph: identical to
+  /// MinCut(u, v) (any cut separating the endpoints contains the edge).
+  int64_t Lambda(const Edge& e) const { return MinCut(e.u(), e.v()); }
+
+  /// Tree edges as (parent, child, cut value); parent[root 0] is absent.
+  struct TreeEdge {
+    VertexId parent;
+    VertexId child;
+    int64_t cut;
+  };
+  std::vector<TreeEdge> Edges() const;
+
+  size_t n() const { return parent_.size(); }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<int64_t> cut_to_parent_;
+  // For O(depth) path-min queries (n is small in our uses, no LCA needed).
+  std::vector<uint32_t> depth_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_EXACT_GOMORY_HU_H_

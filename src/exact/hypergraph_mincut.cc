@@ -1,0 +1,140 @@
+#include "exact/hypergraph_mincut.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gms {
+
+namespace {
+
+// Queyranne key contribution of a hyperedge with |e| = s, |e ∩ A| = c and
+// weight w, towards a candidate vertex v in e \ A:
+//   key(v) = f({v}) + f(A) - f(A ∪ {v}) summed over incident edges, where
+// f is the hypergraph cut function. Per edge this works out to
+//   0   if c == 0,
+//   w   if 1 <= c <= s - 2,
+//   2w  if c == s - 1.
+double KeyVal(size_t c, size_t s, double w) {
+  if (c == 0) return 0;
+  if (c + 1 == s) return 2 * w;
+  return w;
+}
+
+}  // namespace
+
+HypergraphCut HypergraphMinCut(size_t n, const std::vector<Hyperedge>& edges,
+                               const std::vector<double>& weights) {
+  GMS_CHECK(n >= 2);
+  GMS_CHECK(edges.size() == weights.size());
+  // Contraction state: each original vertex points at a supernode id.
+  std::vector<uint32_t> super(n);
+  for (size_t v = 0; v < n; ++v) super[v] = static_cast<uint32_t>(v);
+  std::vector<std::vector<uint32_t>> merged(n);
+  for (size_t v = 0; v < n; ++v) merged[v] = {static_cast<uint32_t>(v)};
+  std::vector<uint32_t> alive(n);
+  for (size_t v = 0; v < n; ++v) alive[v] = static_cast<uint32_t>(v);
+
+  HypergraphCut best;
+  best.value = -1;
+
+  while (alive.size() > 1) {
+    // Project edges onto current supernodes; drop collapsed edges.
+    std::vector<std::vector<uint32_t>> pe;   // projected edges
+    std::vector<double> pw;
+    std::vector<std::vector<uint32_t>> incident(n);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      std::vector<uint32_t> vs;
+      for (VertexId v : edges[i]) vs.push_back(super[v]);
+      std::sort(vs.begin(), vs.end());
+      vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+      if (vs.size() < 2) continue;
+      uint32_t id = static_cast<uint32_t>(pe.size());
+      for (uint32_t v : vs) incident[v].push_back(id);
+      pe.push_back(std::move(vs));
+      pw.push_back(weights[i]);
+    }
+
+    // One maximum-adjacency (pendant-pair) phase.
+    std::vector<double> key(n, 0);
+    std::vector<bool> in_a(n, false);
+    std::vector<uint32_t> cnt(pe.size(), 0);
+    uint32_t prev = alive[0], last = alive[0];
+
+    auto absorb = [&](uint32_t sel) {
+      in_a[sel] = true;
+      for (uint32_t id : incident[sel]) {
+        size_t c = cnt[id], s = pe[id].size();
+        for (uint32_t u : pe[id]) {
+          if (!in_a[u]) key[u] += KeyVal(c + 1, s, pw[id]) - KeyVal(c, s, pw[id]);
+        }
+        cnt[id] = static_cast<uint32_t>(c + 1);
+      }
+    };
+
+    absorb(last);
+    for (size_t step = 1; step < alive.size(); ++step) {
+      uint32_t sel = UINT32_MAX;
+      for (uint32_t v : alive) {
+        if (!in_a[v] && (sel == UINT32_MAX || key[v] > key[sel])) sel = v;
+      }
+      prev = last;
+      last = sel;
+      absorb(sel);
+    }
+    // Cut of the phase: delta({last}) in the contracted hypergraph.
+    double cut_of_phase = 0;
+    for (uint32_t id : incident[last]) cut_of_phase += pw[id];
+    if (best.value < 0 || cut_of_phase < best.value) {
+      best.value = cut_of_phase;
+      best.side.assign(n, false);
+      for (uint32_t orig : merged[last]) best.side[orig] = true;
+    }
+    // Contract last into prev.
+    for (uint32_t orig : merged[last]) super[orig] = prev;
+    merged[prev].insert(merged[prev].end(), merged[last].begin(),
+                        merged[last].end());
+    alive.erase(std::find(alive.begin(), alive.end(), last));
+  }
+  // side is indexed by original vertex id already (size n).
+  best.side.resize(n);
+  return best;
+}
+
+HypergraphCut HypergraphMinCut(const Hypergraph& g) {
+  std::vector<double> w(g.NumEdges(), 1.0);
+  return HypergraphMinCut(g.NumVertices(), g.Edges(), w);
+}
+
+HypergraphCut HypergraphMinCutBrute(size_t n,
+                                    const std::vector<Hyperedge>& edges,
+                                    const std::vector<double>& weights) {
+  GMS_CHECK(n >= 2 && n <= 24);
+  HypergraphCut best;
+  best.value = -1;
+  for (uint64_t mask = 1; mask < (1ULL << (n - 1)); ++mask) {
+    // Vertex n-1 always on the 0-side: enumerate each cut once.
+    double value = 0;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      bool any_in = false, any_out = false;
+      for (VertexId v : edges[i]) {
+        bool in = v < n - 1 && ((mask >> v) & 1);
+        (in ? any_in : any_out) = true;
+      }
+      if (any_in && any_out) value += weights[i];
+    }
+    if (best.value < 0 || value < best.value) {
+      best.value = value;
+      best.side.assign(n, false);
+      for (size_t v = 0; v + 1 < n; ++v) best.side[v] = (mask >> v) & 1;
+    }
+  }
+  return best;
+}
+
+HypergraphCut HypergraphMinCutBrute(const Hypergraph& g) {
+  std::vector<double> w(g.NumEdges(), 1.0);
+  return HypergraphMinCutBrute(g.NumVertices(), g.Edges(), w);
+}
+
+}  // namespace gms

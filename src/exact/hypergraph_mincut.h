@@ -1,0 +1,37 @@
+// Global minimum cut of a weighted hypergraph via Queyranne's
+// pendant-pair algorithm (the hypergraph generalization of Stoer-Wagner,
+// cf. Klimmek-Wagner / Mak-Wong). A hyperedge crosses a cut (S, V\S) if it
+// intersects both sides and then contributes its weight once -- exactly the
+// delta_G(S) of the paper. Includes a 2^(n-1) brute force for validation.
+#ifndef GMS_EXACT_HYPERGRAPH_MINCUT_H_
+#define GMS_EXACT_HYPERGRAPH_MINCUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hypergraph.h"
+
+namespace gms {
+
+struct HypergraphCut {
+  double value = 0;
+  std::vector<bool> side;  // one shore of an optimal cut
+};
+
+/// Weighted global min cut; weights must be >= 0, n >= 2. Disconnected
+/// hypergraphs yield value 0.
+HypergraphCut HypergraphMinCut(size_t n, const std::vector<Hyperedge>& edges,
+                               const std::vector<double>& weights);
+
+/// Unit weights.
+HypergraphCut HypergraphMinCut(const Hypergraph& g);
+
+/// Exhaustive enumeration of all 2^(n-1)-1 cuts (n <= 24).
+HypergraphCut HypergraphMinCutBrute(size_t n,
+                                    const std::vector<Hyperedge>& edges,
+                                    const std::vector<double>& weights);
+HypergraphCut HypergraphMinCutBrute(const Hypergraph& g);
+
+}  // namespace gms
+
+#endif  // GMS_EXACT_HYPERGRAPH_MINCUT_H_

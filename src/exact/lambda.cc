@@ -1,0 +1,60 @@
+#include "exact/lambda.h"
+
+#include <algorithm>
+
+#include "exact/dinic.h"
+#include "util/check.h"
+
+namespace gms {
+
+int64_t MinEdgeCutBetween(const Graph& g, VertexId u, VertexId v,
+                          int64_t limit) {
+  GMS_CHECK(u != v);
+  Dinic net(g.NumVertices());
+  for (const Edge& e : g.Edges()) net.AddUndirected(e.u(), e.v(), 1);
+  return net.MaxFlow(u, v, limit < 0 ? Dinic::kInf : limit);
+}
+
+int64_t MinHyperedgeCutBetween(const Hypergraph& g, VertexId s, VertexId t,
+                               int64_t limit) {
+  GMS_CHECK(s != t);
+  // Lawler network: vertex nodes 0..n-1; hyperedge e gets nodes in(e), out(e)
+  // with a unit arc in->out; v in e contributes v->in(e) inf, out(e)->v inf.
+  size_t n = g.NumVertices();
+  size_t m = g.NumEdges();
+  Dinic net(n + 2 * m);
+  const auto& edges = g.Edges();
+  for (size_t i = 0; i < m; ++i) {
+    uint32_t ein = static_cast<uint32_t>(n + 2 * i);
+    uint32_t eout = ein + 1;
+    net.AddArc(ein, eout, 1);
+    for (VertexId v : edges[i]) {
+      net.AddArc(v, ein, Dinic::kInf);
+      net.AddArc(eout, v, Dinic::kInf);
+    }
+  }
+  return net.MaxFlow(s, t, limit < 0 ? Dinic::kInf : limit);
+}
+
+int64_t EdgeLambda(const Graph& g, const Edge& e, int64_t limit) {
+  GMS_CHECK_MSG(g.HasEdge(e), "lambda_e requires e in G");
+  return MinEdgeCutBetween(g, e.u(), e.v(), limit);
+}
+
+int64_t HyperedgeLambda(const Hypergraph& g, const Hyperedge& e,
+                        int64_t limit) {
+  GMS_CHECK_MSG(g.HasEdge(e), "lambda_e requires e in G");
+  int64_t best = -1;
+  VertexId anchor = e.MinVertex();
+  for (VertexId v : e) {
+    if (v == anchor) continue;
+    int64_t cap = limit;
+    if (best >= 0) cap = (limit < 0) ? best : std::min(limit, best);
+    int64_t cut = MinHyperedgeCutBetween(g, anchor, v, cap);
+    best = best < 0 ? cut : std::min(best, cut);
+  }
+  GMS_CHECK(best >= 1);  // e itself crosses any separating cut
+  return best;
+}
+
+}  // namespace gms

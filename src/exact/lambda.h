@@ -1,0 +1,36 @@
+// lambda_e(G): the minimum cardinality of a cut that includes (hyper)edge e
+// (Section 2 of the paper). For a graph edge {u,v} this is the minimum u-v
+// edge cut; for a hyperedge it is the minimum s-t hyperedge cut over pairs
+// of its vertices, computed on the Lawler expansion network.
+#ifndef GMS_EXACT_LAMBDA_H_
+#define GMS_EXACT_LAMBDA_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace gms {
+
+/// Minimum u-v edge cut of an unweighted graph (u != v). `limit` caps the
+/// computed value (pass -1 for exact).
+int64_t MinEdgeCutBetween(const Graph& g, VertexId u, VertexId v,
+                          int64_t limit = -1);
+
+/// Minimum s-t hyperedge cut of an unweighted hypergraph via Lawler's
+/// node-expansion network.
+int64_t MinHyperedgeCutBetween(const Hypergraph& g, VertexId s, VertexId t,
+                               int64_t limit = -1);
+
+/// lambda_e for a graph edge: e must be present in g.
+int64_t EdgeLambda(const Graph& g, const Edge& e, int64_t limit = -1);
+
+/// lambda_e for a hyperedge: e must be present in g. Uses |e|-1 max-flow
+/// queries (a cut containing e separates e's minimum vertex from some other
+/// vertex of e, and vice versa).
+int64_t HyperedgeLambda(const Hypergraph& g, const Hyperedge& e,
+                        int64_t limit = -1);
+
+}  // namespace gms
+
+#endif  // GMS_EXACT_LAMBDA_H_

@@ -1,0 +1,78 @@
+#include "exact/stoer_wagner.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gms {
+
+GlobalMinCut StoerWagner(const std::vector<std::vector<int64_t>>& weight) {
+  size_t n = weight.size();
+  GMS_CHECK_MSG(n >= 2, "min cut needs >= 2 vertices");
+  std::vector<std::vector<int64_t>> w = weight;
+  // merged[i]: original vertices currently contracted into supernode i.
+  std::vector<std::vector<uint32_t>> merged(n);
+  for (size_t i = 0; i < n; ++i) merged[i] = {static_cast<uint32_t>(i)};
+  std::vector<uint32_t> alive(n);
+  for (size_t i = 0; i < n; ++i) alive[i] = static_cast<uint32_t>(i);
+
+  GlobalMinCut best;
+  best.value = -1;
+
+  while (alive.size() > 1) {
+    // One maximum-adjacency phase over the alive supernodes.
+    std::vector<int64_t> key(n, 0);
+    std::vector<bool> in_a(n, false);
+    uint32_t prev = alive[0], last = alive[0];
+    in_a[last] = true;
+    for (uint32_t v : alive) {
+      if (v != last) key[v] = w[last][v];
+    }
+    for (size_t step = 1; step < alive.size(); ++step) {
+      uint32_t sel = UINT32_MAX;
+      for (uint32_t v : alive) {
+        if (!in_a[v] && (sel == UINT32_MAX || key[v] > key[sel])) sel = v;
+      }
+      in_a[sel] = true;
+      prev = last;
+      last = sel;
+      for (uint32_t v : alive) {
+        if (!in_a[v]) key[v] += w[sel][v];
+      }
+    }
+    int64_t cut_of_phase = key[last];
+    if (best.value < 0 || cut_of_phase < best.value) {
+      best.value = cut_of_phase;
+      best.side.assign(n, false);
+      for (uint32_t orig : merged[last]) best.side[orig] = true;
+    }
+    // Contract last into prev.
+    for (uint32_t v : alive) {
+      if (v != last && v != prev) {
+        w[prev][v] += w[last][v];
+        w[v][prev] = w[prev][v];
+      }
+    }
+    merged[prev].insert(merged[prev].end(), merged[last].begin(),
+                        merged[last].end());
+    alive.erase(std::find(alive.begin(), alive.end(), last));
+  }
+  return best;
+}
+
+GlobalMinCut StoerWagner(const Graph& g) {
+  size_t n = g.NumVertices();
+  std::vector<std::vector<int64_t>> w(n, std::vector<int64_t>(n, 0));
+  for (const Edge& e : g.Edges()) {
+    w[e.u()][e.v()] = 1;
+    w[e.v()][e.u()] = 1;
+  }
+  return StoerWagner(w);
+}
+
+size_t EdgeConnectivity(const Graph& g) {
+  if (g.NumVertices() <= 1) return 0;
+  return static_cast<size_t>(StoerWagner(g).value);
+}
+
+}  // namespace gms

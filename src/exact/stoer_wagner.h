@@ -1,0 +1,32 @@
+// Stoer-Wagner global minimum cut for weighted undirected graphs. The
+// classic O(n^3) adjacency-matrix implementation; independent of the
+// hypergraph min-cut code so the two can cross-validate each other.
+#ifndef GMS_EXACT_STOER_WAGNER_H_
+#define GMS_EXACT_STOER_WAGNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gms {
+
+struct GlobalMinCut {
+  int64_t value = 0;
+  std::vector<bool> side;  // one shore of an optimal cut
+};
+
+/// Minimum cut of a weighted graph given as an adjacency matrix (weights
+/// must be >= 0). Returns value 0 with an arbitrary separation when the
+/// graph is disconnected; requires n >= 2.
+GlobalMinCut StoerWagner(const std::vector<std::vector<int64_t>>& weight);
+
+/// Unweighted convenience wrapper (weight 1 per edge).
+GlobalMinCut StoerWagner(const Graph& g);
+
+/// Exact edge connectivity (= min cut value) of an unweighted graph.
+size_t EdgeConnectivity(const Graph& g);
+
+}  // namespace gms
+
+#endif  // GMS_EXACT_STOER_WAGNER_H_

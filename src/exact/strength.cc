@@ -1,0 +1,134 @@
+#include "exact/strength.h"
+
+#include <algorithm>
+
+#include "exact/gomory_hu.h"
+#include "exact/lambda.h"
+#include "exact/stoer_wagner.h"
+#include "graph/traversal.h"
+#include "util/check.h"
+
+namespace gms {
+
+std::vector<Hyperedge> LightLayer(const Hypergraph& cur, size_t k) {
+  std::vector<Hyperedge> layer;
+  if (cur.Rank() <= 2) {
+    // Graph fast path: one Gomory-Hu tree answers lambda_e for every edge
+    // (n-1 max-flows total instead of one per edge).
+    GomoryHuTree tree(cur.ToGraph());
+    for (const auto& e : cur.Edges()) {
+      if (tree.Lambda(e.AsEdge()) <= static_cast<int64_t>(k)) {
+        layer.push_back(e);
+      }
+    }
+    return layer;
+  }
+  for (const auto& e : cur.Edges()) {
+    if (HyperedgeLambda(cur, e, static_cast<int64_t>(k) + 1) <=
+        static_cast<int64_t>(k)) {
+      layer.push_back(e);
+    }
+  }
+  return layer;
+}
+
+LightDecomposition OfflineLightEdges(const Hypergraph& g, size_t k) {
+  LightDecomposition out;
+  out.light = Hypergraph(g.NumVertices());
+  Hypergraph cur = g;
+  while (cur.NumEdges() > 0) {
+    std::vector<Hyperedge> layer = LightLayer(cur, k);
+    if (layer.empty()) break;
+    for (const auto& e : layer) {
+      cur.RemoveEdge(e);
+      out.light.AddEdge(e);
+    }
+    out.layers.push_back(std::move(layer));
+  }
+  out.residual = std::move(cur);
+  return out;
+}
+
+namespace {
+
+void StrengthRec(const Graph& g, std::vector<VertexId> vertices,
+                 int64_t floor_value,
+                 std::unordered_map<Edge, int64_t, EdgeHasher>* strengths) {
+  while (true) {
+    if (vertices.size() < 2) return;
+    // Split into connected components of the induced subgraph.
+    std::vector<bool> in_set(g.NumVertices(), false);
+    for (VertexId v : vertices) in_set[v] = true;
+    std::vector<VertexId> removed;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (!in_set[v]) removed.push_back(v);
+    }
+    Graph induced = g.InducedExcluding(removed);
+    auto comp = ConnectedComponents(induced);
+    // Count distinct components among our vertices.
+    std::unordered_map<uint32_t, std::vector<VertexId>> groups;
+    for (VertexId v : vertices) groups[comp[v]].push_back(v);
+    if (groups.size() > 1) {
+      for (auto& [id, verts] : groups) {
+        StrengthRec(g, std::move(verts), floor_value, strengths);
+      }
+      return;
+    }
+    if (induced.NumEdges() == 0) return;
+
+    // Connected: minimum cut of the induced subgraph on a compacted index
+    // space.
+    size_t m = vertices.size();
+    std::unordered_map<VertexId, uint32_t> local;
+    for (size_t i = 0; i < m; ++i) local[vertices[i]] = static_cast<uint32_t>(i);
+    std::vector<std::vector<int64_t>> w(m, std::vector<int64_t>(m, 0));
+    for (const Edge& e : induced.Edges()) {
+      uint32_t a = local[e.u()], b = local[e.v()];
+      w[a][b] = 1;
+      w[b][a] = 1;
+    }
+    GlobalMinCut cut = StoerWagner(w);
+    int64_t fl = std::max(floor_value, cut.value);
+    std::vector<VertexId> side_a, side_b;
+    for (size_t i = 0; i < m; ++i) {
+      (cut.side[i] ? side_a : side_b).push_back(vertices[i]);
+    }
+    for (const Edge& e : induced.Edges()) {
+      bool ua = cut.side[local[e.u()]];
+      bool va = cut.side[local[e.v()]];
+      if (ua != va) {
+        int64_t& s = (*strengths)[e];
+        s = std::max(s, fl);
+      }
+    }
+    // Tail-recurse into the larger side to bound stack depth.
+    if (side_a.size() > side_b.size()) std::swap(side_a, side_b);
+    StrengthRec(g, std::move(side_a), fl, strengths);
+    vertices = std::move(side_b);
+    floor_value = fl;
+  }
+}
+
+}  // namespace
+
+std::unordered_map<Edge, int64_t, EdgeHasher> GraphStrengths(const Graph& g) {
+  std::unordered_map<Edge, int64_t, EdgeHasher> strengths;
+  std::vector<VertexId> all(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) all[v] = v;
+  StrengthRec(g, std::move(all), 0, &strengths);
+  GMS_CHECK_MSG(strengths.size() == g.NumEdges(),
+                "every edge must receive a strength");
+  return strengths;
+}
+
+std::vector<Edge> LightEdgesViaStrength(const Graph& g, size_t k) {
+  auto strengths = GraphStrengths(g);
+  std::vector<Edge> out;
+  for (const auto& [e, s] : strengths) {
+    if (s <= static_cast<int64_t>(k)) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gms

@@ -1,0 +1,51 @@
+// Offline computation of the paper's "light edge" sets (Section 4.2.1) and
+// of Benczur-Karger edge strengths (Lemma 16).
+//
+//   E_i = { e in E : lambda_e(G \ (E_1 u ... u E_{i-1})) <= k },
+//   light_k(G) = union of the E_i.
+//
+// Two independent implementations are provided for cross-validation:
+//   * the definition, via capped max-flow lambda_e computations (works for
+//     graphs and hypergraphs), and
+//   * for graphs, via the strength decomposition and Lemma 16's identity
+//     light_k(G) = { e : k_e <= k }.
+#ifndef GMS_EXACT_STRENGTH_H_
+#define GMS_EXACT_STRENGTH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace gms {
+
+/// The peeling layers E_1, E_2, ... (each nonempty) and their union.
+struct LightDecomposition {
+  std::vector<std::vector<Hyperedge>> layers;
+  Hypergraph light;     // union of the layers, as a hypergraph on n vertices
+  Hypergraph residual;  // G minus the light edges
+};
+
+/// One peeling layer: { e in g : lambda_e(g) <= k }. Uses a Gomory-Hu tree
+/// when g is 2-uniform (n-1 flows total) and capped per-edge max-flows on
+/// genuine hypergraphs.
+std::vector<Hyperedge> LightLayer(const Hypergraph& g, size_t k);
+
+/// Definition-based light_k computation (graphs: lift via
+/// Hypergraph::FromGraph). O(n) rounds of LightLayer.
+LightDecomposition OfflineLightEdges(const Hypergraph& g, size_t k);
+
+/// Benczur-Karger strength k_e for every edge of a graph: the maximum k
+/// such that some vertex-induced subgraph containing e is k-edge-connected.
+/// Computed by recursive minimum-cut decomposition.
+std::unordered_map<Edge, int64_t, EdgeHasher> GraphStrengths(const Graph& g);
+
+/// { e : k_e <= k } via GraphStrengths (Lemma 16 says this equals
+/// OfflineLightEdges(g, k).light for graphs).
+std::vector<Edge> LightEdgesViaStrength(const Graph& g, size_t k);
+
+}  // namespace gms
+
+#endif  // GMS_EXACT_STRENGTH_H_

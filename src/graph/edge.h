@@ -1,0 +1,110 @@
+// Core vertex/edge/hyperedge value types.
+//
+// A Hyperedge is a canonical (sorted, duplicate-free) set of at least two
+// vertex ids. Ordinary graph edges are the 2-uniform special case; the whole
+// sketching stack is written against Hyperedge so graphs and hypergraphs
+// share one code path, exactly as in the paper (Section 4.1).
+#ifndef GMS_GRAPH_EDGE_H_
+#define GMS_GRAPH_EDGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+using VertexId = uint32_t;
+
+/// Canonical undirected 2-edge with u() < v().
+struct Edge {
+  VertexId a = 0;
+  VertexId b = 0;
+
+  Edge() = default;
+  Edge(VertexId x, VertexId y) : a(std::min(x, y)), b(std::max(x, y)) {
+    GMS_DCHECK(x != y);
+  }
+
+  VertexId u() const { return a; }
+  VertexId v() const { return b; }
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Canonical hyperedge: strictly increasing vertex ids, cardinality >= 2.
+class Hyperedge {
+ public:
+  Hyperedge() = default;
+  explicit Hyperedge(std::vector<VertexId> vertices)
+      : vertices_(std::move(vertices)) {
+    Canonicalize();
+  }
+  Hyperedge(std::initializer_list<VertexId> vs)
+      : vertices_(vs) {
+    Canonicalize();
+  }
+  explicit Hyperedge(const Edge& e) : vertices_{e.u(), e.v()} {}
+
+  size_t size() const { return vertices_.size(); }
+  VertexId operator[](size_t i) const { return vertices_[i]; }
+  const std::vector<VertexId>& vertices() const { return vertices_; }
+  auto begin() const { return vertices_.begin(); }
+  auto end() const { return vertices_.end(); }
+
+  /// Smallest vertex id (the paper's `min e`).
+  VertexId MinVertex() const {
+    GMS_DCHECK(!vertices_.empty());
+    return vertices_.front();
+  }
+
+  bool Contains(VertexId v) const {
+    return std::binary_search(vertices_.begin(), vertices_.end(), v);
+  }
+
+  /// True iff this is an ordinary graph edge.
+  bool IsGraphEdge() const { return vertices_.size() == 2; }
+  Edge AsEdge() const {
+    GMS_DCHECK(IsGraphEdge());
+    return Edge(vertices_[0], vertices_[1]);
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Hyperedge&, const Hyperedge&) = default;
+  friend auto operator<=>(const Hyperedge&, const Hyperedge&) = default;
+
+ private:
+  void Canonicalize() {
+    std::sort(vertices_.begin(), vertices_.end());
+    vertices_.erase(std::unique(vertices_.begin(), vertices_.end()),
+                    vertices_.end());
+    GMS_CHECK_MSG(vertices_.size() >= 2, "hyperedge needs >= 2 vertices");
+  }
+
+  std::vector<VertexId> vertices_;
+};
+
+struct EdgeHasher {
+  size_t operator()(const Edge& e) const {
+    return static_cast<size_t>(
+        Mix64((static_cast<uint64_t>(e.u()) << 32) | e.v()));
+  }
+};
+
+struct HyperedgeHasher {
+  size_t operator()(const Hyperedge& e) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (VertexId v : e) h = Mix64(h ^ v);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace gms
+
+#endif  // GMS_GRAPH_EDGE_H_

@@ -1,0 +1,95 @@
+#include "graph/edge_codec.h"
+
+#include <limits>
+
+namespace gms {
+
+namespace {
+constexpr u128 kU128Max = ~static_cast<u128>(0);
+}  // namespace
+
+u128 Binomial(uint64_t m, unsigned j) {
+  if (j > m) return 0;
+  if (j == 0) return 1;
+  if (j > m - j) j = static_cast<unsigned>(m - j);
+  u128 result = 1;
+  for (unsigned i = 1; i <= j; ++i) {
+    uint64_t factor = m - j + i;
+    // result * factor / i is exact (prefix products of binomials are
+    // integers); saturate if the multiply would overflow.
+    if (result > kU128Max / factor) return kU128Max;
+    result = result * factor / i;
+  }
+  return result;
+}
+
+EdgeCodec::EdgeCodec(size_t n, size_t max_rank) : n_(n), max_rank_(max_rank) {
+  GMS_CHECK_MSG(max_rank >= 2, "max_rank must be >= 2");
+  GMS_CHECK_MSG(n >= 2, "need at least 2 vertices");
+  offset_.assign(max_rank + 1, 0);
+  u128 total = 0;
+  for (size_t s = 2; s <= max_rank; ++s) {
+    offset_[s] = total;
+    u128 block = Binomial(n, static_cast<unsigned>(s));
+    GMS_CHECK_MSG(block != kU128Max && total <= kU128Max - block,
+                  "coordinate domain overflows u128");
+    total += block;
+  }
+  GMS_CHECK_MSG((total >> 126) == 0, "coordinate domain exceeds 126 bits");
+  domain_size_ = total;
+}
+
+u128 EdgeCodec::Encode(const Hyperedge& e) const {
+  size_t s = e.size();
+  GMS_CHECK_MSG(s >= 2 && s <= max_rank_, "hyperedge cardinality out of range");
+  GMS_CHECK_MSG(e.vertices().back() < n_, "vertex id out of range");
+  // Colexicographic rank: sum_i C(v_i, i+1) over sorted vertices.
+  u128 rank = 0;
+  for (size_t i = 0; i < s; ++i) {
+    rank += Binomial(e[i], static_cast<unsigned>(i + 1));
+  }
+  return offset_[s] + rank;
+}
+
+Result<Hyperedge> EdgeCodec::Decode(u128 index) const {
+  if (index >= domain_size_) {
+    return Status::InvalidArgument("coordinate index out of range");
+  }
+  // Locate the size block.
+  size_t s = max_rank_;
+  for (size_t cand = 2; cand <= max_rank_; ++cand) {
+    u128 end = (cand == max_rank_) ? domain_size_ : offset_[cand + 1];
+    if (index < end) {
+      s = cand;
+      break;
+    }
+  }
+  u128 rank = index - offset_[s];
+  std::vector<VertexId> vs(s);
+  // Greedy colex unranking from the largest position down.
+  uint64_t upper = n_;  // exclusive bound for the next vertex
+  for (size_t pos = s; pos >= 1; --pos) {
+    // Largest m in [pos-1, upper) with C(m, pos) <= rank.
+    uint64_t lo = static_cast<uint64_t>(pos) - 1, hi = upper - 1, best = lo;
+    while (lo <= hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (Binomial(mid, static_cast<unsigned>(pos)) <= rank) {
+        best = mid;
+        lo = mid + 1;
+      } else {
+        if (mid == 0) break;
+        hi = mid - 1;
+      }
+    }
+    vs[pos - 1] = static_cast<VertexId>(best);
+    rank -= Binomial(best, static_cast<unsigned>(pos));
+    upper = best;
+    if (pos == 1) break;
+  }
+  if (rank != 0) {
+    return Status::Internal("combinadic unranking left a residue");
+  }
+  return Hyperedge(std::move(vs));
+}
+
+}  // namespace gms

@@ -1,0 +1,361 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+Graph PathGraph(size_t n) {
+  Graph g(n);
+  for (VertexId i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph CycleGraph(size_t n) {
+  GMS_CHECK(n >= 3);
+  Graph g = PathGraph(n);
+  g.AddEdge(static_cast<VertexId>(n - 1), 0);
+  return g;
+}
+
+Graph StarGraph(size_t n) {
+  GMS_CHECK(n >= 2);
+  Graph g(n);
+  for (VertexId i = 1; i < n; ++i) g.AddEdge(0, i);
+  return g;
+}
+
+Graph CompleteGraph(size_t n) {
+  Graph g(n);
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+Graph CompleteBipartite(size_t a, size_t b) {
+  Graph g(a + b);
+  for (VertexId i = 0; i < a; ++i) {
+    for (VertexId j = 0; j < b; ++j) {
+      g.AddEdge(i, static_cast<VertexId>(a + j));
+    }
+  }
+  return g;
+}
+
+Graph Lemma10Witness() {
+  // Vertices v1..v4 = 0..3, u1..u4 = 4..7. Edges {vi,vj} and {ui,uj} for all
+  // i<j except (1,4), plus {v1,u1} and {v4,u4}.
+  Graph g(8);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      if (i == 0 && j == 3) continue;
+      g.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+      g.AddEdge(static_cast<VertexId>(4 + i), static_cast<VertexId>(4 + j));
+    }
+  }
+  g.AddEdge(0, 4);  // {v1, u1}
+  g.AddEdge(3, 7);  // {v4, u4}
+  return g;
+}
+
+Hypergraph CompleteUniformHypergraph(size_t n, size_t r) {
+  GMS_CHECK(r >= 2 && r <= n);
+  Hypergraph h(n);
+  std::vector<VertexId> pick(r);
+  // Iterate all r-subsets with the standard odometer.
+  std::iota(pick.begin(), pick.end(), 0);
+  while (true) {
+    h.AddEdge(Hyperedge(pick));
+    // Advance.
+    size_t i = r;
+    while (i > 0 && pick[i - 1] == n - r + (i - 1)) --i;
+    if (i == 0) break;
+    ++pick[i - 1];
+    for (size_t j = i; j < r; ++j) pick[j] = pick[j - 1] + 1;
+  }
+  return h;
+}
+
+Hypergraph HyperCycle(size_t n, size_t r) {
+  GMS_CHECK(r >= 2 && n > r);
+  Hypergraph h(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<VertexId> vs(r);
+    for (size_t j = 0; j < r; ++j) vs[j] = static_cast<VertexId>((i + j) % n);
+    h.AddEdge(Hyperedge(std::move(vs)));
+  }
+  return h;
+}
+
+Graph ErdosRenyi(size_t n, double p, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(p)) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+Graph Gnm(size_t n, size_t m, uint64_t seed) {
+  GMS_CHECK(n >= 2);
+  size_t max_m = n * (n - 1) / 2;
+  GMS_CHECK_MSG(m <= max_m, "too many edges requested");
+  Rng rng(seed);
+  Graph g(n);
+  while (g.NumEdges() < m) {
+    VertexId u = static_cast<VertexId>(rng.Below(n));
+    VertexId v = static_cast<VertexId>(rng.Below(n));
+    if (u != v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph RandomTree(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> label(n);
+  std::iota(label.begin(), label.end(), 0);
+  Shuffle(label, rng);
+  Graph g(n);
+  for (size_t i = 1; i < n; ++i) {
+    size_t parent = rng.Below(i);
+    g.AddEdge(label[i], label[parent]);
+  }
+  return g;
+}
+
+Graph UnionOfHamiltonianCycles(size_t n, size_t c, uint64_t seed) {
+  GMS_CHECK(n >= 3);
+  Rng rng(seed);
+  Graph g(n);
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (size_t t = 0; t < c; ++t) {
+    Shuffle(perm, rng);
+    for (size_t i = 0; i < n; ++i) {
+      VertexId u = perm[i], v = perm[(i + 1) % n];
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+PlantedSeparatorGraph PlantedSeparator(size_t n, size_t k, uint64_t seed) {
+  GMS_CHECK_MSG(n >= 2 * (k + 3) + k, "n too small for planted separator");
+  Rng rng(seed);
+  PlantedSeparatorGraph out;
+  size_t rest = n - k;
+  size_t a_size = rest / 2;
+  size_t b_size = rest - a_size;
+  // Layout: [0, a_size) = A, [a_size, a_size + b_size) = B, tail = S.
+  out.graph = Graph(n);
+  Graph& g = out.graph;
+  auto densify = [&](VertexId lo, size_t cnt) {
+    // Internal structure: union of enough Hamiltonian cycles to make each
+    // side more than k-vertex-connected internally.
+    std::vector<VertexId> perm(cnt);
+    std::iota(perm.begin(), perm.end(), lo);
+    size_t cycles = k + 2;
+    for (size_t t = 0; t < cycles; ++t) {
+      Shuffle(perm, rng);
+      for (size_t i = 0; i < cnt; ++i) {
+        if (perm[i] != perm[(i + 1) % cnt]) {
+          g.AddEdge(perm[i], perm[(i + 1) % cnt]);
+        }
+      }
+    }
+  };
+  densify(0, a_size);
+  densify(static_cast<VertexId>(a_size), b_size);
+  for (size_t s = 0; s < k; ++s) {
+    VertexId sep = static_cast<VertexId>(rest + s);
+    out.separator.push_back(sep);
+    for (VertexId v = 0; v < rest; ++v) g.AddEdge(sep, v);
+    // Separator vertices also form a clique among themselves.
+    for (size_t t = s + 1; t < k; ++t) {
+      g.AddEdge(sep, static_cast<VertexId>(rest + t));
+    }
+  }
+  for (VertexId v = 0; v < a_size; ++v) out.side_a.push_back(v);
+  for (VertexId v = static_cast<VertexId>(a_size); v < rest; ++v) {
+    out.side_b.push_back(v);
+  }
+  return out;
+}
+
+Graph RandomDDegenerate(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Shuffle(order, rng);
+  for (size_t i = 1; i < n; ++i) {
+    size_t links = std::min(d, i);
+    for (size_t t = 0; t < links; ++t) {
+      g.AddEdge(order[i], order[rng.Below(i)]);
+    }
+  }
+  return g;
+}
+
+PlantedHyperSeparator PlantedHypergraphSeparator(size_t n, size_t k, size_t r,
+                                                 uint64_t seed) {
+  GMS_CHECK(r >= 2 && k >= 1);
+  size_t rest = n - k;
+  size_t a_size = rest / 2;
+  size_t b_size = rest - a_size;
+  GMS_CHECK_MSG(a_size >= (k + 1) * (r - 1) && a_size >= 4,
+                "n too small for the requested (k, r)");
+  Rng rng(seed);
+  PlantedHyperSeparator out;
+  out.hypergraph = Hypergraph(n);
+  Hypergraph& h = out.hypergraph;
+  // Layout: [0, a_size) = A, [a_size, rest) = B, [rest, n) = S.
+  auto densify = [&](VertexId lo, size_t cnt) {
+    // 2-edges from k+2 Hamiltonian cycles: side connectivity > k.
+    std::vector<VertexId> perm(cnt);
+    std::iota(perm.begin(), perm.end(), lo);
+    for (size_t t = 0; t < k + 2; ++t) {
+      Shuffle(perm, rng);
+      for (size_t i = 0; i < cnt; ++i) {
+        VertexId x = perm[i], y = perm[(i + 1) % cnt];
+        if (x != y) h.AddEdge(Hyperedge{x, y});
+      }
+    }
+    // Decorative in-side hyperedges of full rank (cannot hurt: induced
+    // semantics only ever deletes them).
+    for (size_t t = 0; t < cnt / 2; ++t) {
+      std::vector<VertexId> vs;
+      while (vs.size() < std::min(r, cnt)) {
+        VertexId v = static_cast<VertexId>(lo + rng.Below(cnt));
+        if (std::find(vs.begin(), vs.end(), v) == vs.end()) vs.push_back(v);
+      }
+      h.AddEdge(Hyperedge(std::move(vs)));
+    }
+  };
+  densify(0, a_size);
+  densify(static_cast<VertexId>(a_size), b_size);
+  // Each separator vertex reaches each side via k+1 hyperedges whose
+  // side-parts are pairwise disjoint, so < k removals cannot sever it.
+  for (size_t s = 0; s < k; ++s) {
+    VertexId sep = static_cast<VertexId>(rest + s);
+    out.separator.push_back(sep);
+    for (int side = 0; side < 2; ++side) {
+      size_t lo = side == 0 ? 0 : a_size;
+      size_t cnt = side == 0 ? a_size : b_size;
+      std::vector<VertexId> pool(cnt);
+      std::iota(pool.begin(), pool.end(), static_cast<VertexId>(lo));
+      Shuffle(pool, rng);
+      for (size_t blk = 0; blk < k + 1; ++blk) {
+        std::vector<VertexId> vs = {sep};
+        for (size_t j = 0; j < r - 1; ++j) {
+          vs.push_back(pool[blk * (r - 1) + j]);
+        }
+        h.AddEdge(Hyperedge(std::move(vs)));
+      }
+    }
+  }
+  for (VertexId v = 0; v < a_size; ++v) out.side_a.push_back(v);
+  for (VertexId v = static_cast<VertexId>(a_size); v < rest; ++v) {
+    out.side_b.push_back(v);
+  }
+  return out;
+}
+
+Hypergraph RandomUniformHypergraph(size_t n, size_t m, size_t r,
+                                   uint64_t seed) {
+  return RandomHypergraph(n, m, r, r, seed);
+}
+
+Hypergraph RandomHypergraph(size_t n, size_t m, size_t r_min, size_t r_max,
+                            uint64_t seed) {
+  GMS_CHECK(r_min >= 2 && r_min <= r_max && r_max <= n);
+  Rng rng(seed);
+  Hypergraph h(n);
+  size_t attempts = 0;
+  while (h.NumEdges() < m) {
+    GMS_CHECK_MSG(++attempts < 100 * m + 10000,
+                  "hypergraph too dense to sample distinct edges");
+    size_t r = r_min + rng.Below(r_max - r_min + 1);
+    std::vector<VertexId> vs;
+    while (vs.size() < r) {
+      VertexId v = static_cast<VertexId>(rng.Below(n));
+      if (std::find(vs.begin(), vs.end(), v) == vs.end()) vs.push_back(v);
+    }
+    h.AddEdge(Hyperedge(std::move(vs)));
+  }
+  return h;
+}
+
+PlantedCutHypergraph PlantedHypergraphCut(size_t n, size_t r, size_t cut_size,
+                                          size_t edges_per_side,
+                                          uint64_t seed) {
+  GMS_CHECK(n >= 2 * r + 2);
+  Rng rng(seed);
+  PlantedCutHypergraph out;
+  out.planted_cut_size = cut_size;
+  out.in_s.assign(n, false);
+  size_t half = n / 2;
+  for (size_t v = 0; v < half; ++v) out.in_s[v] = true;
+  Hypergraph h(n);
+
+  auto sample_within = [&](size_t lo, size_t hi, size_t r_here) {
+    std::vector<VertexId> vs;
+    while (vs.size() < r_here) {
+      VertexId v = static_cast<VertexId>(lo + rng.Below(hi - lo));
+      if (std::find(vs.begin(), vs.end(), v) == vs.end()) vs.push_back(v);
+    }
+    return Hyperedge(std::move(vs));
+  };
+
+  // Make each side internally well connected: a tight hyper-cycle plus
+  // random hyperedges. The hyper-cycle alone gives min internal cut ~ r-1;
+  // add pairwise edges along a scaffold of multiplicity so the internal min
+  // cut comfortably exceeds cut_size.
+  auto densify = [&](size_t lo, size_t hi) {
+    size_t cnt = hi - lo;
+    std::vector<VertexId> perm(cnt);
+    std::iota(perm.begin(), perm.end(), static_cast<VertexId>(lo));
+    size_t cycles = cut_size + 2;
+    for (size_t t = 0; t < cycles; ++t) {
+      Shuffle(perm, rng);
+      for (size_t i = 0; i < cnt; ++i) {
+        VertexId a = perm[i], b = perm[(i + 1) % cnt];
+        if (a != b) h.AddEdge(Hyperedge{a, b});
+      }
+    }
+    for (size_t t = 0; t < edges_per_side; ++t) {
+      h.AddEdge(sample_within(lo, hi, std::min(r, cnt)));
+    }
+  };
+  densify(0, half);
+  densify(half, n);
+
+  // Exactly cut_size crossing hyperedges, each with vertices on both sides.
+  size_t added = 0, attempts = 0;
+  while (added < cut_size) {
+    GMS_CHECK(++attempts < 1000 * (cut_size + 1));
+    size_t left = 1 + rng.Below(r - 1);
+    size_t right = r - left;
+    if (right == 0) right = 1;
+    std::vector<VertexId> vs;
+    while (vs.size() < left) {
+      VertexId v = static_cast<VertexId>(rng.Below(half));
+      if (std::find(vs.begin(), vs.end(), v) == vs.end()) vs.push_back(v);
+    }
+    while (vs.size() < left + right) {
+      VertexId v = static_cast<VertexId>(half + rng.Below(n - half));
+      if (std::find(vs.begin(), vs.end(), v) == vs.end()) vs.push_back(v);
+    }
+    if (h.AddEdge(Hyperedge(std::move(vs)))) ++added;
+  }
+  out.hypergraph = std::move(h);
+  return out;
+}
+
+}  // namespace gms

@@ -1,0 +1,101 @@
+// Workload generators: the synthetic graph and hypergraph families used by
+// the test suite and the experiment harness (DESIGN.md Section 4). All
+// generators are deterministic in the seed.
+#ifndef GMS_GRAPH_GENERATORS_H_
+#define GMS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace gms {
+
+// ---------- Deterministic families ----------
+
+Graph PathGraph(size_t n);
+Graph CycleGraph(size_t n);
+Graph StarGraph(size_t n);
+Graph CompleteGraph(size_t n);
+Graph CompleteBipartite(size_t a, size_t b);
+
+/// The paper's Lemma 10 witness: 8 vertices, minimum degree 3 (so not
+/// 2-degenerate) yet 2-cut-degenerate.
+Graph Lemma10Witness();
+
+/// Complete r-uniform hypergraph on n vertices (small n only).
+Hypergraph CompleteUniformHypergraph(size_t n, size_t r);
+
+/// "Hyper-cycle": n vertices, hyperedges {i, i+1, ..., i+r-1} mod n.
+Hypergraph HyperCycle(size_t n, size_t r);
+
+// ---------- Random families ----------
+
+/// G(n, p).
+Graph ErdosRenyi(size_t n, double p, uint64_t seed);
+
+/// Uniform random graph with exactly m distinct edges.
+Graph Gnm(size_t n, size_t m, uint64_t seed);
+
+/// Uniformly random spanning tree (random Prüfer-free attachment tree:
+/// vertex i attaches to a uniform earlier vertex, then labels shuffled).
+Graph RandomTree(size_t n, uint64_t seed);
+
+/// Union of c independent random Hamiltonian cycles; whp 2c-edge-connected
+/// and (for n >> c) 2c-vertex-connected. Standard k-connectivity workload.
+Graph UnionOfHamiltonianCycles(size_t n, size_t c, uint64_t seed);
+
+/// Graph with vertex connectivity exactly k: two dense sides A, B (random
+/// graphs topped up to be k+1-connected internally via Hamiltonian cycles)
+/// with NO direct A-B edges; a separator set S of k vertices adjacent to
+/// every vertex of A and B. Removing S disconnects; no smaller set does.
+struct PlantedSeparatorGraph {
+  Graph graph;
+  std::vector<VertexId> separator;   // the k separator vertices
+  std::vector<VertexId> side_a;      // representative side-A vertices
+  std::vector<VertexId> side_b;
+};
+PlantedSeparatorGraph PlantedSeparator(size_t n, size_t k, uint64_t seed);
+
+/// d-degenerate random graph: vertex i (in a random insertion order) links
+/// to min(d, i) uniformly chosen earlier vertices.
+Graph RandomDDegenerate(size_t n, size_t d, uint64_t seed);
+
+/// Random r-uniform hypergraph with m distinct hyperedges.
+Hypergraph RandomUniformHypergraph(size_t n, size_t m, size_t r,
+                                   uint64_t seed);
+
+/// Random hypergraph with m distinct hyperedges of cardinality uniform in
+/// [r_min, r_max].
+Hypergraph RandomHypergraph(size_t n, size_t m, size_t r_min, size_t r_max,
+                            uint64_t seed);
+
+/// Hypergraph with vertex connectivity exactly k under induced semantics:
+/// two sides, each internally dense with hyperedges of rank <= r; no
+/// hyperedge mixes the sides; every cross connection is a hyperedge
+/// containing one separator vertex plus same-side vertices. Removing the
+/// k separator vertices kills every crossing hyperedge.
+struct PlantedHyperSeparator {
+  Hypergraph hypergraph;
+  std::vector<VertexId> separator;
+  std::vector<VertexId> side_a;
+  std::vector<VertexId> side_b;
+};
+PlantedHyperSeparator PlantedHypergraphSeparator(size_t n, size_t k, size_t r,
+                                                 uint64_t seed);
+
+/// Hypergraph with a planted minimum cut: two halves made internally dense
+/// (min cut inside each half > cut_size) plus exactly cut_size crossing
+/// hyperedges. Returns the hypergraph and the planted side-membership.
+struct PlantedCutHypergraph {
+  Hypergraph hypergraph;
+  std::vector<bool> in_s;  // planted side
+  size_t planted_cut_size;
+};
+PlantedCutHypergraph PlantedHypergraphCut(size_t n, size_t r, size_t cut_size,
+                                          size_t edges_per_side,
+                                          uint64_t seed);
+
+}  // namespace gms
+
+#endif  // GMS_GRAPH_GENERATORS_H_

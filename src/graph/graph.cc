@@ -1,0 +1,61 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace gms {
+
+bool Graph::AddEdge(const Edge& e) {
+  GMS_CHECK_MSG(e.v() < NumVertices(), "edge endpoint out of range");
+  if (!adj_[e.u()].insert(e.v()).second) return false;
+  adj_[e.v()].insert(e.u());
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::RemoveEdge(const Edge& e) {
+  GMS_CHECK_MSG(e.v() < NumVertices(), "edge endpoint out of range");
+  if (adj_[e.u()].erase(e.v()) == 0) return false;
+  adj_[e.v()].erase(e.u());
+  --num_edges_;
+  return true;
+}
+
+size_t Graph::MinDegree() const {
+  size_t best = NumVertices() ? adj_[0].size() : 0;
+  for (const auto& nbrs : adj_) best = std::min(best, nbrs.size());
+  return best;
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : adj_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+void Graph::AddAll(const Graph& other) {
+  GMS_CHECK(other.NumVertices() == NumVertices());
+  for (const Edge& e : other.Edges()) AddEdge(e);
+}
+
+Graph Graph::InducedExcluding(const std::vector<VertexId>& removed) const {
+  std::vector<bool> gone(NumVertices(), false);
+  for (VertexId v : removed) {
+    GMS_CHECK(v < NumVertices());
+    gone[v] = true;
+  }
+  Graph out(NumVertices());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    if (gone[u]) continue;
+    for (VertexId v : adj_[u]) {
+      if (u < v && !gone[v]) out.AddEdge(u, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace gms

@@ -1,0 +1,69 @@
+// Simple undirected graph with adjacency sets: the offline representation
+// used by exact algorithms, decoded sketches, and verifiers.
+#ifndef GMS_GRAPH_GRAPH_H_
+#define GMS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/edge.h"
+#include "util/check.h"
+
+namespace gms {
+
+/// Undirected simple graph on vertices {0, ..., n-1}.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(size_t n) : adj_(n) {}
+  Graph(size_t n, const std::vector<Edge>& edges) : adj_(n) {
+    for (const Edge& e : edges) AddEdge(e);
+  }
+
+  size_t NumVertices() const { return adj_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Adds the edge if absent; returns true if it was inserted.
+  bool AddEdge(const Edge& e);
+  bool AddEdge(VertexId u, VertexId v) { return AddEdge(Edge(u, v)); }
+
+  /// Removes the edge if present; returns true if it was removed.
+  bool RemoveEdge(const Edge& e);
+
+  bool HasEdge(const Edge& e) const {
+    GMS_DCHECK(e.v() < NumVertices());
+    return adj_[e.u()].contains(e.v());
+  }
+  bool HasEdge(VertexId u, VertexId v) const { return HasEdge(Edge(u, v)); }
+
+  size_t Degree(VertexId v) const { return adj_[v].size(); }
+  size_t MinDegree() const;
+
+  const std::unordered_set<VertexId>& Neighbors(VertexId v) const {
+    return adj_[v];
+  }
+
+  /// All edges, each once, in unspecified order.
+  std::vector<Edge> Edges() const;
+
+  /// Union of edge sets (vertex counts must match).
+  void AddAll(const Graph& other);
+
+  /// Induced subgraph on vertices where keep[v] is true. Vertex ids are
+  /// preserved (the result has the same vertex count; dropped vertices are
+  /// isolated). This matches how the paper treats G \ S.
+  Graph InducedExcluding(const std::vector<VertexId>& removed) const;
+
+  friend bool operator==(const Graph& x, const Graph& y) {
+    return x.adj_ == y.adj_;
+  }
+
+ private:
+  std::vector<std::unordered_set<VertexId>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace gms
+
+#endif  // GMS_GRAPH_GRAPH_H_

@@ -1,0 +1,112 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+
+#include "graph/union_find.h"
+
+namespace gms {
+
+std::vector<uint32_t> ConnectedComponents(const Graph& g) {
+  UnionFind uf(g.NumVertices());
+  for (const Edge& e : g.Edges()) uf.Union(e.u(), e.v());
+  return uf.ComponentIds();
+}
+
+std::vector<uint32_t> ConnectedComponents(const Hypergraph& g) {
+  UnionFind uf(g.NumVertices());
+  for (const auto& e : g.Edges()) {
+    for (size_t i = 1; i < e.size(); ++i) uf.Union(e[0], e[i]);
+  }
+  return uf.ComponentIds();
+}
+
+namespace {
+template <typename G>
+size_t NumComponentsImpl(const G& g) {
+  auto ids = ConnectedComponents(g);
+  uint32_t max_id = 0;
+  for (uint32_t id : ids) max_id = std::max(max_id, id);
+  return ids.empty() ? 0 : static_cast<size_t>(max_id) + 1;
+}
+}  // namespace
+
+size_t NumComponents(const Graph& g) { return NumComponentsImpl(g); }
+size_t NumComponents(const Hypergraph& g) { return NumComponentsImpl(g); }
+
+bool IsConnected(const Graph& g) {
+  return g.NumVertices() <= 1 || NumComponents(g) == 1;
+}
+bool IsConnected(const Hypergraph& g) {
+  return g.NumVertices() <= 1 || NumComponents(g) == 1;
+}
+
+bool IsConnectedExcluding(const Graph& g,
+                          const std::vector<VertexId>& removed) {
+  std::vector<bool> gone(g.NumVertices(), false);
+  for (VertexId v : removed) gone[v] = true;
+  UnionFind uf(g.NumVertices());
+  for (const Edge& e : g.Edges()) {
+    if (!gone[e.u()] && !gone[e.v()]) uf.Union(e.u(), e.v());
+  }
+  VertexId first = 0;
+  bool seen_first = false;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (gone[v]) continue;
+    if (!seen_first) {
+      first = v;
+      seen_first = true;
+    } else if (!uf.Connected(first, v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsConnectedExcluding(const Hypergraph& g,
+                          const std::vector<VertexId>& removed) {
+  std::vector<bool> gone(g.NumVertices(), false);
+  for (VertexId v : removed) gone[v] = true;
+  UnionFind uf(g.NumVertices());
+  for (const auto& e : g.Edges()) {
+    bool alive = true;
+    for (VertexId v : e) alive &= !gone[v];
+    if (!alive) continue;
+    for (size_t i = 1; i < e.size(); ++i) uf.Union(e[0], e[i]);
+  }
+  VertexId first = 0;
+  bool seen_first = false;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (gone[v]) continue;
+    if (!seen_first) {
+      first = v;
+      seen_first = true;
+    } else if (!uf.Connected(first, v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Graph SpanningForest(const Graph& g) {
+  Graph forest(g.NumVertices());
+  UnionFind uf(g.NumVertices());
+  for (const Edge& e : g.Edges()) {
+    if (uf.Union(e.u(), e.v())) forest.AddEdge(e);
+  }
+  return forest;
+}
+
+Hypergraph SpanningSubhypergraph(const Hypergraph& g) {
+  Hypergraph span(g.NumVertices());
+  UnionFind uf(g.NumVertices());
+  for (const auto& e : g.Edges()) {
+    bool useful = false;
+    for (size_t i = 1; i < e.size(); ++i) {
+      if (uf.Union(e[0], e[i])) useful = true;
+    }
+    if (useful) span.AddEdge(e);
+  }
+  return span;
+}
+
+}  // namespace gms

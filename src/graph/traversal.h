@@ -1,0 +1,44 @@
+// Offline traversal utilities: connectivity, components, spanning forests,
+// for graphs and hypergraphs. These are the ground-truth counterparts the
+// sketch decoders are verified against.
+#ifndef GMS_GRAPH_TRAVERSAL_H_
+#define GMS_GRAPH_TRAVERSAL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace gms {
+
+/// Component id per vertex, dense in [0, #components).
+std::vector<uint32_t> ConnectedComponents(const Graph& g);
+std::vector<uint32_t> ConnectedComponents(const Hypergraph& g);
+
+size_t NumComponents(const Graph& g);
+size_t NumComponents(const Hypergraph& g);
+
+bool IsConnected(const Graph& g);
+bool IsConnected(const Hypergraph& g);
+
+/// Connectivity of g restricted to vertices NOT in `removed` (G \ S in the
+/// paper). An empty or single-vertex remainder counts as connected.
+bool IsConnectedExcluding(const Graph& g, const std::vector<VertexId>& removed);
+
+/// Hypergraph version with induced-subhypergraph semantics: a hyperedge
+/// survives the removal only if NONE of its vertices were removed (the
+/// same rule by which a hyperedge belongs to a vertex-subsampled G_i in
+/// Section 3).
+bool IsConnectedExcluding(const Hypergraph& g,
+                          const std::vector<VertexId>& removed);
+
+/// BFS spanning forest (one tree per component).
+Graph SpanningForest(const Graph& g);
+
+/// Spanning sub-hypergraph: greedily keep hyperedges that reduce the number
+/// of union-find components (a 1-skeleton in the paper's terminology).
+Hypergraph SpanningSubhypergraph(const Hypergraph& g);
+
+}  // namespace gms
+
+#endif  // GMS_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,45 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace gms {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), num_components_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+VertexId UnionFind::Find(VertexId x) {
+  GMS_DCHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(VertexId a, VertexId b) {
+  VertexId ra = Find(a), rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_components_;
+  return true;
+}
+
+std::vector<uint32_t> UnionFind::ComponentIds() {
+  std::vector<uint32_t> ids(parent_.size());
+  std::vector<int64_t> dense(parent_.size(), -1);
+  uint32_t next = 0;
+  for (VertexId v = 0; v < parent_.size(); ++v) {
+    VertexId r = Find(v);
+    if (dense[r] < 0) dense[r] = next++;
+    ids[v] = static_cast<uint32_t>(dense[r]);
+  }
+  return ids;
+}
+
+}  // namespace gms

@@ -1,0 +1,40 @@
+// Disjoint-set forest with union by size and path halving. Used by the
+// Borůvka decode loop of the spanning-forest sketch and by offline
+// component/forest computations.
+#ifndef GMS_GRAPH_UNION_FIND_H_
+#define GMS_GRAPH_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge.h"
+
+namespace gms {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  VertexId Find(VertexId x);
+
+  /// Merge the sets of a and b; returns true if they were distinct.
+  bool Union(VertexId a, VertexId b);
+
+  bool Connected(VertexId a, VertexId b) { return Find(a) == Find(b); }
+
+  size_t NumComponents() const { return num_components_; }
+  size_t ComponentSize(VertexId x) { return size_[Find(x)]; }
+
+  /// Representative -> dense component index in [0, NumComponents()),
+  /// listed for every vertex.
+  std::vector<uint32_t> ComponentIds();
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_components_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_GRAPH_UNION_FIND_H_

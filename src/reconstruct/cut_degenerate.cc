@@ -1,0 +1,15 @@
+#include "reconstruct/cut_degenerate.h"
+
+namespace gms {
+
+Result<ReconstructionResult> CutDegenerateReconstructor::Reconstruct() const {
+  auto recovered = sketch_.Recover();
+  if (!recovered.ok()) return recovered.status();
+  ReconstructionResult out;
+  out.hypergraph = std::move(recovered->light);
+  out.complete = !recovered->residual_nonempty;
+  out.num_layers = recovered->layers.size();
+  return out;
+}
+
+}  // namespace gms

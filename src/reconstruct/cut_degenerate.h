@@ -1,0 +1,47 @@
+// Full reconstruction of d-cut-degenerate hypergraphs (Theorem 15's
+// headline application): a thin wrapper over LightRecoverySketch that
+// returns the reconstructed hypergraph and reports whether reconstruction
+// was provably complete.
+#ifndef GMS_RECONSTRUCT_CUT_DEGENERATE_H_
+#define GMS_RECONSTRUCT_CUT_DEGENERATE_H_
+
+#include <cstdint>
+
+#include "reconstruct/light_recovery.h"
+
+namespace gms {
+
+struct ReconstructionResult {
+  Hypergraph hypergraph;
+  /// True when the peeling consumed everything the sketch could see; false
+  /// when a (k+1)-heavy residual remained (the input was not
+  /// d-cut-degenerate at this d).
+  bool complete = false;
+  size_t num_layers = 0;
+};
+
+class CutDegenerateReconstructor {
+ public:
+  /// Reconstructs any d-cut-degenerate hypergraph exactly, in
+  /// O(dn polylog n) space.
+  CutDegenerateReconstructor(size_t n, size_t max_rank, size_t d,
+                             uint64_t seed,
+                             const ForestSketchParams& params =
+                                 ForestSketchParams())
+      : sketch_(n, max_rank, d, seed, params) {}
+
+  void Update(const Hyperedge& e, int delta) { sketch_.Update(e, delta); }
+  void Process(const DynamicStream& stream) { sketch_.Process(stream); }
+
+  Result<ReconstructionResult> Reconstruct() const;
+
+  size_t d() const { return sketch_.k(); }
+  size_t MemoryBytes() const { return sketch_.MemoryBytes(); }
+
+ private:
+  LightRecoverySketch sketch_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_RECONSTRUCT_CUT_DEGENERATE_H_

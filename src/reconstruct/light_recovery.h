@@ -1,0 +1,67 @@
+// Light-edge recovery (Section 4.2.1, Theorem 15): from ONE (k+1)-skeleton
+// sketch B(G), recover
+//   E_i = { e : lambda_e(G - E_1 - ... - E_{i-1}) <= k },  light_k = U E_i.
+//
+// The peeling reuses the single sketch across iterations -- sound here
+// (unlike adaptive k-skeleton construction, Section 4.2's cautionary tale)
+// because each E_i is a deterministic function of the input graph, so the
+// union bound ranges over FIXED events. Each iteration extracts a
+// (k+1)-skeleton S_i of the residual and keeps the edges with
+// lambda_e(S_i) <= k, which by Lemma 12 are exactly the residual's light
+// edges (and every such edge is necessarily present in S_i).
+//
+// If G is k-cut-degenerate, light_k(G) = E and this sketch reconstructs
+// the entire hypergraph in O(kn polylog n) space.
+#ifndef GMS_RECONSTRUCT_LIGHT_RECOVERY_H_
+#define GMS_RECONSTRUCT_LIGHT_RECOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "connectivity/k_skeleton.h"
+#include "graph/hypergraph.h"
+#include "stream/stream.h"
+
+namespace gms {
+
+struct LightRecoveryResult {
+  std::vector<std::vector<Hyperedge>> layers;  // E_1, E_2, ...
+  Hypergraph light;  // union of the layers
+  /// True if a final skeleton extraction found leftover (non-light) edges,
+  /// i.e. the graph was NOT k-cut-degenerate-recoverable in full.
+  bool residual_nonempty = false;
+};
+
+class LightRecoverySketch {
+ public:
+  /// Recovers light_k of hypergraphs on n vertices with hyperedges of
+  /// cardinality <= max_rank. Internally a (k+1)-layer skeleton sketch.
+  LightRecoverySketch(size_t n, size_t max_rank, size_t k, uint64_t seed,
+                      const ForestSketchParams& params = ForestSketchParams());
+
+  size_t n() const { return n_; }
+  size_t k() const { return k_; }
+
+  void Update(const Hyperedge& e, int delta) { skeleton_.Update(e, delta); }
+  void Process(const DynamicStream& stream) { skeleton_.Process(stream); }
+
+  /// Linearly subtract a known edge set (e.g. layers recovered at other
+  /// sampling levels in the Section 5 sparsifier).
+  void RemoveKnown(const std::vector<Hyperedge>& edges) {
+    skeleton_.RemoveHyperedges(edges);
+  }
+
+  /// Run the peeling. Works on a copy; the sketch is reusable.
+  Result<LightRecoveryResult> Recover() const;
+
+  size_t MemoryBytes() const { return skeleton_.MemoryBytes(); }
+
+ private:
+  size_t n_;
+  size_t k_;
+  KSkeletonSketch skeleton_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_RECONSTRUCT_LIGHT_RECOVERY_H_

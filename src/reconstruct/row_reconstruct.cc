@@ -1,0 +1,80 @@
+#include "reconstruct/row_reconstruct.h"
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+RowReconstructSketch::RowReconstructSketch(size_t n, size_t d, uint64_t seed,
+                                           const Params& params)
+    : n_(n), d_(d) {
+  GMS_CHECK(n >= 2);
+  int capacity =
+      params.capacity_factor * (static_cast<int>(d) + 1);
+  Rng rng(seed);
+  shape_ = std::make_shared<const SSparseShape>(
+      /*domain=*/static_cast<u128>(n), capacity, params.rows,
+      /*buckets=*/2 * capacity, rng.Fork());
+  rows_.reserve(n);
+  for (size_t v = 0; v < n; ++v) rows_.emplace_back(shape_.get());
+}
+
+void RowReconstructSketch::Update(const Edge& e, int delta) {
+  GMS_CHECK(e.v() < n_);
+  // Row u gets a mark at coordinate v and vice versa.
+  rows_[e.u()].Update(static_cast<u128>(e.v()), delta);
+  rows_[e.v()].Update(static_cast<u128>(e.u()), delta);
+}
+
+void RowReconstructSketch::Process(const DynamicStream& stream) {
+  for (const auto& u : stream) {
+    GMS_CHECK_MSG(u.edge.IsGraphEdge(), "row sketches take graph streams");
+    Update(u.edge.AsEdge(), u.delta);
+  }
+}
+
+Result<Graph> RowReconstructSketch::Reconstruct() const {
+  std::vector<SSparseState> work = rows_;
+  std::vector<bool> resolved(n_, false);
+  Graph out(n_);
+  size_t remaining = n_;
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (resolved[v]) continue;
+      auto decoded = work[v].Decode();
+      if (!decoded.ok()) continue;  // degree still above capacity
+      // Validate: every entry must be a +1 at a distinct other vertex.
+      bool valid = true;
+      for (const auto& entry : *decoded) {
+        valid &= entry.value == 1 && entry.index < static_cast<u128>(n_) &&
+                 static_cast<VertexId>(entry.index) != v;
+      }
+      if (!valid) continue;
+      for (const auto& entry : *decoded) {
+        VertexId u = static_cast<VertexId>(entry.index);
+        out.AddEdge(v, u);
+        // Linearly remove the edge from both rows.
+        work[v].Update(entry.index, -1);
+        work[u].Update(static_cast<u128>(v), -1);
+      }
+      resolved[v] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    return Status::DecodeFailure(
+        "row peeling stuck: residual min degree exceeds row capacity");
+  }
+  return out;
+}
+
+size_t RowReconstructSketch::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& row : rows_) total += row.MemoryBytes();
+  return total;
+}
+
+}  // namespace gms

@@ -1,0 +1,57 @@
+// The Becker et al. [5] baseline that Theorem 15 strictly generalizes:
+// reconstruct a d-DEGENERATE graph from an O(d polylog n)-size sparse-
+// recovery sketch of each adjacency-matrix row. Decoding peels minimum-
+// degree vertices: a d-degenerate graph always has a vertex of degree <= d
+// whose row decodes; its edges are then linearly subtracted from the
+// neighbours' rows, reducing their degrees, and so on.
+#ifndef GMS_RECONSTRUCT_ROW_RECONSTRUCT_H_
+#define GMS_RECONSTRUCT_ROW_RECONSTRUCT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sketch/sparse_recovery.h"
+#include "stream/stream.h"
+
+namespace gms {
+
+struct RowSketchParams {
+  int rows = 3;
+  /// Row-sketch capacity as a multiple of (d+1); the decode requires the
+  /// momentary degree of some vertex to stay within capacity.
+  int capacity_factor = 2;
+};
+
+class RowReconstructSketch {
+ public:
+  using Params = RowSketchParams;
+
+  RowReconstructSketch(size_t n, size_t d, uint64_t seed,
+                       const Params& params = Params());
+
+  size_t n() const { return n_; }
+  size_t d() const { return d_; }
+  int capacity() const { return shape_->capacity(); }
+
+  void Update(const Edge& e, int delta);
+  void Process(const DynamicStream& stream);
+
+  /// Peel-decode the graph. Succeeds for every d-degenerate input whp;
+  /// DecodeFailure when peeling gets stuck (graph has a subgraph of min
+  /// degree above the row capacity).
+  Result<Graph> Reconstruct() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  size_t n_;
+  size_t d_;
+  std::shared_ptr<const SSparseShape> shape_;
+  std::vector<SSparseState> rows_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_RECONSTRUCT_ROW_RECONSTRUCT_H_

@@ -1,0 +1,96 @@
+#include "sketch/l0_sampler.h"
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+L0Shape::L0Shape(u128 domain, const SketchConfig& config, uint64_t seed)
+    : domain_(domain) {
+  GMS_CHECK_MSG(domain >= 1, "empty domain");
+  Rng rng(seed);
+  int max_level = BitWidth128(domain);  // levels 0..max_level
+  level_hash_ = LevelHash(rng.Fork(), max_level);
+  selection_hash_ = PolyHash(/*independence=*/2, rng.Fork());
+  levels_.reserve(static_cast<size_t>(max_level) + 1);
+  for (int j = 0; j <= max_level; ++j) {
+    levels_.emplace_back(domain, config.sparse_capacity, config.rows,
+                         config.BucketsPerRow(), rng.Fork());
+  }
+}
+
+size_t L0Shape::TotalCells() const {
+  size_t total = 0;
+  for (const auto& shape : levels_) {
+    total += static_cast<size_t>(shape.NumCells());
+  }
+  return total;
+}
+
+L0State::L0State(const L0Shape* shape) : shape_(shape) {
+  levels_.reserve(static_cast<size_t>(shape->num_levels()));
+  for (int j = 0; j < shape->num_levels(); ++j) {
+    levels_.emplace_back(&shape->level_shape(j));
+  }
+}
+
+void L0State::Update(u128 index, int64_t delta) {
+  GMS_DCHECK(index < shape_->domain());
+  levels_[static_cast<size_t>(shape_->LevelOf(index))].Update(index, delta);
+}
+
+void L0State::Add(const L0State& other) {
+  GMS_CHECK_MSG(shape_ == other.shape_, "adding L0 states of different shapes");
+  for (size_t j = 0; j < levels_.size(); ++j) levels_[j].Add(other.levels_[j]);
+}
+
+bool L0State::IsZero() const {
+  for (const auto& level : levels_) {
+    if (!level.IsZero()) return false;
+  }
+  return true;
+}
+
+Result<SparseEntry> L0State::Sample() const {
+  bool saw_nonzero = false;
+  // Scan from the sparsest (highest) level down; the first level whose
+  // recovery decodes a nonempty support yields the sample.
+  for (int j = shape_->num_levels() - 1; j >= 0; --j) {
+    const SSparseState& level = levels_[static_cast<size_t>(j)];
+    if (level.IsZero()) continue;
+    saw_nonzero = true;
+    auto decoded = level.Decode();
+    if (!decoded.ok()) continue;  // too dense here; try a denser level anyway
+    const auto& entries = *decoded;
+    if (entries.empty()) continue;
+    // Pick the entry with the smallest selection hash: a symmetric choice,
+    // so the returned coordinate is (approximately) uniform on the support.
+    const SparseEntry* best = &entries[0];
+    uint64_t best_h = shape_->SelectionHash(entries[0].index);
+    for (size_t t = 1; t < entries.size(); ++t) {
+      uint64_t h = shape_->SelectionHash(entries[t].index);
+      if (h < best_h) {
+        best_h = h;
+        best = &entries[t];
+      }
+    }
+    return *best;
+  }
+  if (!saw_nonzero) {
+    return Status::DecodeFailure("vector is zero (nothing to sample)");
+  }
+  return Status::DecodeFailure("no decodable level");
+}
+
+Result<std::vector<SparseEntry>> L0State::TryRecoverLevel(int level) const {
+  GMS_CHECK(level >= 0 && level < shape_->num_levels());
+  return levels_[static_cast<size_t>(level)].Decode();
+}
+
+size_t L0State::MemoryBytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& level : levels_) total += level.MemoryBytes();
+  return total;
+}
+
+}  // namespace gms

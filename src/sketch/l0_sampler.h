@@ -1,0 +1,95 @@
+// L0-sampling (Jowhari-Saglam-Tardos style): sample a (pseudo-)uniform
+// nonzero coordinate of a dynamically-updated integer vector using
+// polylog-size linear state.
+//
+// Construction: a pairwise-independent level hash partitions the index
+// domain into geometric levels (P[level = j] ~ 2^-(j-1)); each level keeps
+// an s-sparse recovery of the coordinates assigned to it. Whatever the
+// support size F0, some level receives between 1 and s surviving
+// coordinates in expectation, and its recovery decodes them exactly; the
+// sampler returns the recovered coordinate with the smallest selection
+// hash (stable and symmetric across coordinates, hence pseudo-uniform).
+//
+// Like the sparse-recovery layer, the randomness lives in a shared
+// L0Shape; L0States of the same shape are linear and summable. This is the
+// substrate for every sketch in the paper (Theorems 2, 13, 14, 15, 20).
+#ifndef GMS_SKETCH_L0_SAMPLER_H_
+#define GMS_SKETCH_L0_SAMPLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "sketch/sketch_config.h"
+#include "sketch/sparse_recovery.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace gms {
+
+class L0Shape {
+ public:
+  /// domain: exclusive upper bound on coordinate indices (< 2^126).
+  L0Shape(u128 domain, const SketchConfig& config, uint64_t seed);
+
+  u128 domain() const { return domain_; }
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  const SSparseShape& level_shape(int j) const { return levels_[j]; }
+
+  /// Which level an index belongs to (partition semantics: exactly one).
+  int LevelOf(u128 index) const { return level_hash_.Level(index); }
+
+  /// Selection hash used to break ties uniformly among recovered entries.
+  uint64_t SelectionHash(u128 index) const {
+    return Mix64(selection_hash_.Eval(index));
+  }
+
+  /// Cells across all levels (for space accounting).
+  size_t TotalCells() const;
+
+ private:
+  u128 domain_;
+  LevelHash level_hash_;
+  PolyHash selection_hash_;
+  std::vector<SSparseShape> levels_;
+};
+
+class L0State {
+ public:
+  explicit L0State(const L0Shape* shape);
+
+  /// Apply a linear update: vector[index] += delta.
+  void Update(u128 index, int64_t delta);
+
+  /// As Update, with the level and fingerprint power precomputed by the
+  /// caller (they depend only on the shared shape, so callers updating many
+  /// states with the same coordinate compute them once).
+  void UpdateWithPower(u128 index, int64_t delta, int level, uint64_t power) {
+    levels_[static_cast<size_t>(level)].UpdateWithPower(index, delta, power);
+  }
+
+  /// Coordinate-wise addition of another state of the same shape.
+  void Add(const L0State& other);
+
+  bool IsZero() const;
+
+  /// Sample one nonzero coordinate. DecodeFailure if the vector is nonzero
+  /// at no decodable level (the sketch's whp failure event), or if the
+  /// vector appears to be zero everywhere.
+  Result<SparseEntry> Sample() const;
+
+  /// Recover the entire support if some single level holds all of it
+  /// (useful for tests); normally callers should use Sample().
+  Result<std::vector<SparseEntry>> TryRecoverLevel(int level) const;
+
+  size_t MemoryBytes() const;
+
+  const L0Shape& shape() const { return *shape_; }
+
+ private:
+  const L0Shape* shape_;
+  std::vector<SSparseState> levels_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_SKETCH_L0_SAMPLER_H_

@@ -1,0 +1,4 @@
+#include "sketch/sketch_config.h"
+
+// Presets are header-inline; TU kept for the library target.
+namespace gms {}

@@ -1,0 +1,140 @@
+#include "sketch/sparse_recovery.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+SSparseShape::SSparseShape(u128 domain, int capacity, int rows, int buckets,
+                           uint64_t seed)
+    : domain_(domain), capacity_(capacity), rows_(rows), buckets_(buckets) {
+  GMS_CHECK(capacity >= 1 && rows >= 1 && buckets >= 1);
+  GMS_CHECK_MSG((domain >> 126) == 0, "domain exceeds 126 bits");
+  Rng rng(seed);
+  z_ = rng.Below(kMersenne61 - 2) + 1;  // uniform nonzero field element
+  row_hash_.reserve(static_cast<size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    row_hash_.emplace_back(/*independence=*/2, rng.Fork());
+  }
+}
+
+SSparseState::SSparseState(const SSparseShape* shape)
+    : shape_(shape),
+      cells_(static_cast<size_t>(shape->NumCells())) {}
+
+void SSparseState::Update(u128 index, int64_t delta) {
+  UpdateWithPower(index, delta, shape_->FingerprintPower(index));
+}
+
+void SSparseState::UpdateWithPower(u128 index, int64_t delta,
+                                   uint64_t power) {
+  GMS_DCHECK(index < shape_->domain());
+  if (delta == 0) return;
+  uint64_t fp_delta = FpMul(FpFromInt64(delta), power);
+  for (int r = 0; r < shape_->rows(); ++r) {
+    OneSparseCell& cell =
+        cells_[static_cast<size_t>(r) * shape_->buckets() +
+               shape_->Bucket(r, index)];
+    cell.weight += delta;
+    cell.index_sum += index * static_cast<u128>(static_cast<i128>(delta));
+    cell.fingerprint = FpAdd(cell.fingerprint, fp_delta);
+  }
+}
+
+void SSparseState::Add(const SSparseState& other) {
+  GMS_CHECK_MSG(shape_ == other.shape_, "adding states of different shapes");
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i].AddCell(other.cells_[i]);
+}
+
+bool SSparseState::IsZero() const {
+  return std::all_of(cells_.begin(), cells_.end(),
+                     [](const OneSparseCell& c) { return c.IsZero(); });
+}
+
+int DecodeOneSparse(const OneSparseCell& cell, const SSparseShape& shape,
+                    SparseEntry* out) {
+  if (cell.IsZero()) return 0;
+  if (cell.weight == 0) return -1;
+  i128 s = static_cast<i128>(cell.index_sum);
+  i128 w = cell.weight;
+  if (s % w != 0) return -1;
+  i128 idx = s / w;
+  if (idx < 0 || static_cast<u128>(idx) >= shape.domain()) return -1;
+  u128 index = static_cast<u128>(idx);
+  uint64_t expect =
+      FpMul(FpFromInt64(cell.weight), shape.FingerprintPower(index));
+  if (expect != cell.fingerprint) return -1;
+  out->index = index;
+  out->value = cell.weight;
+  return 1;
+}
+
+Result<std::vector<SparseEntry>> SSparseState::Decode() const {
+  const SSparseShape& shape = *shape_;
+  std::vector<OneSparseCell> work = cells_;
+  std::vector<SparseEntry> recovered;
+  // Peel: repeatedly find a decodable 1-sparse cell whose claimed index
+  // actually routes to that cell, remove the item everywhere, repeat.
+  const int max_iters = shape.capacity() * 4 + 8;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool all_zero = std::all_of(work.begin(), work.end(),
+                                [](const OneSparseCell& c) {
+                                  return c.IsZero();
+                                });
+    bool progress = false;
+    for (int r = 0; r < shape.rows() && !progress && !all_zero; ++r) {
+      for (int b = 0; b < shape.buckets() && !progress; ++b) {
+        OneSparseCell& cell =
+            work[static_cast<size_t>(r) * shape.buckets() + b];
+        if (cell.IsZero()) continue;
+        SparseEntry entry;
+        if (DecodeOneSparse(cell, shape, &entry) != 1) continue;
+        if (shape.Bucket(r, entry.index) != b) continue;  // ghost guard
+        // Subtract the item from every row.
+        uint64_t power = shape.FingerprintPower(entry.index);
+        uint64_t fp_delta = FpMul(FpFromInt64(entry.value), power);
+        for (int rr = 0; rr < shape.rows(); ++rr) {
+          OneSparseCell& c =
+              work[static_cast<size_t>(rr) * shape.buckets() +
+                   shape.Bucket(rr, entry.index)];
+          c.weight -= entry.value;
+          c.index_sum -=
+              entry.index * static_cast<u128>(static_cast<i128>(entry.value));
+          c.fingerprint = FpSub(c.fingerprint, fp_delta);
+        }
+        recovered.push_back(entry);
+        progress = true;
+      }
+    }
+    if (all_zero) {
+      // Merge duplicate extractions (an index can be peeled twice if a
+      // ghost decode temporarily drove it negative).
+      std::sort(recovered.begin(), recovered.end(),
+                [](const SparseEntry& a, const SparseEntry& b) {
+                  return a.index < b.index;
+                });
+      std::vector<SparseEntry> merged;
+      for (const auto& e : recovered) {
+        if (!merged.empty() && merged.back().index == e.index) {
+          merged.back().value += e.value;
+        } else {
+          merged.push_back(e);
+        }
+      }
+      merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                  [](const SparseEntry& e) {
+                                    return e.value == 0;
+                                  }),
+                   merged.end());
+      return merged;
+    }
+    if (!progress) {
+      return Status::DecodeFailure("sparse-recovery peeling stuck");
+    }
+  }
+  return Status::DecodeFailure("sparse-recovery iteration cap reached");
+}
+
+}  // namespace gms

@@ -1,0 +1,130 @@
+// Exact sparse recovery of dynamically-updated integer vectors over a huge
+// implicit index domain (up to 2^120 coordinates).
+//
+// OneSparseCell is the classic (sum, index-weighted sum, fingerprint)
+// triple: it decodes a vector that is exactly 1-sparse and detects (whp,
+// via a random-evaluation fingerprint over F_{2^61-1}) every other case.
+// SSparseRecovery hashes coordinates into rows x buckets of cells and
+// decodes any vector of support <= capacity by IBLT-style peeling.
+//
+// Shapes vs. states: an SSparseShape holds the hash functions and
+// fingerprint randomness; an SSparseState holds only the cells. All states
+// sharing a shape implement the SAME linear measurement, so states can be
+// added coordinate-wise -- this is what makes per-vertex sketches summable
+// across a component in the AGM decode loop, and what lets k-skeleton /
+// light-edge recovery subtract previously-recovered subgraphs (Section 4).
+#ifndef GMS_SKETCH_SPARSE_RECOVERY_H_
+#define GMS_SKETCH_SPARSE_RECOVERY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/field.h"
+#include "util/hash.h"
+#include "util/status.h"
+#include "util/uint128.h"
+
+namespace gms {
+
+/// One recovered coordinate: (index, value).
+struct SparseEntry {
+  u128 index = 0;
+  int64_t value = 0;
+
+  friend bool operator==(const SparseEntry&, const SparseEntry&) = default;
+};
+
+/// The 1-sparse recovery triple. 32 bytes (u128 leads so alignment padding
+/// is zero); trivially copyable; linear.
+struct OneSparseCell {
+  u128 index_sum = 0;       // sum of index*value, wrapping mod 2^128
+  int64_t weight = 0;       // sum of values
+  uint64_t fingerprint = 0; // sum of value * z^index over F_p
+
+  void AddCell(const OneSparseCell& o) {
+    weight += o.weight;
+    index_sum += o.index_sum;
+    fingerprint = FpAdd(fingerprint, o.fingerprint);
+  }
+  bool IsZero() const {
+    return weight == 0 && index_sum == 0 && fingerprint == 0;
+  }
+};
+
+/// Shared measurement definition for an s-sparse recovery structure.
+class SSparseShape {
+ public:
+  /// domain: exclusive upper bound on coordinate indices (< 2^126).
+  /// capacity: max support size decodable. rows/buckets control the peeling
+  /// hash table (buckets should be >= 2 * capacity).
+  SSparseShape(u128 domain, int capacity, int rows, int buckets,
+               uint64_t seed);
+
+  u128 domain() const { return domain_; }
+  int capacity() const { return capacity_; }
+  int rows() const { return rows_; }
+  int buckets() const { return buckets_; }
+  int NumCells() const { return rows_ * buckets_; }
+  uint64_t z() const { return z_; }
+
+  /// Bucket of `index` in row r.
+  int Bucket(int row, u128 index) const {
+    return static_cast<int>(
+        row_hash_[row].EvalBelow(index, static_cast<uint32_t>(buckets_)));
+  }
+
+  /// z^(index mod p-1): the fingerprint basis value for a coordinate.
+  uint64_t FingerprintPower(u128 index) const {
+    return FpPow(z_, static_cast<uint64_t>(index % (kMersenne61 - 1)));
+  }
+
+ private:
+  u128 domain_;
+  int capacity_;
+  int rows_;
+  int buckets_;
+  uint64_t z_;
+  std::vector<PolyHash> row_hash_;
+};
+
+/// Cell array implementing the shape's measurement. Linear: supports
+/// Update (insert/delete = +/- delta) and Add (vector addition).
+class SSparseState {
+ public:
+  explicit SSparseState(const SSparseShape* shape);
+
+  void Update(u128 index, int64_t delta);
+
+  /// As Update but with the fingerprint power precomputed by the caller
+  /// (saves repeated FpPow when several states ingest the same coordinate).
+  void UpdateWithPower(u128 index, int64_t delta, uint64_t power);
+
+  void Add(const SSparseState& other);
+  bool IsZero() const;
+
+  /// Exact recovery by peeling. Returns the full support (index, value)
+  /// pairs if the vector's support is <= capacity (whp); DecodeFailure if
+  /// peeling gets stuck or a consistency check fails.
+  Result<std::vector<SparseEntry>> Decode() const;
+
+  size_t MemoryBytes() const {
+    return cells_.size() * sizeof(OneSparseCell) + sizeof(*this);
+  }
+
+  const SSparseShape& shape() const { return *shape_; }
+
+ private:
+  friend class SSparseDecoder;
+  const SSparseShape* shape_;
+  std::vector<OneSparseCell> cells_;  // row-major [row][bucket]
+};
+
+/// Attempt to decode a single cell as exactly-1-sparse.
+/// Returns: 1 with *out filled if 1-sparse, 0 if zero, -1 if undecodable.
+int DecodeOneSparse(const OneSparseCell& cell, const SSparseShape& shape,
+                    SparseEntry* out);
+
+}  // namespace gms
+
+#endif  // GMS_SKETCH_SPARSE_RECOVERY_H_

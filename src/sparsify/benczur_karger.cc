@@ -1,0 +1,33 @@
+#include "sparsify/benczur_karger.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exact/strength.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+WeightedEdgeSet BenczurKargerSparsify(const Graph& g, const BkParams& params,
+                                      uint64_t seed) {
+  GMS_CHECK(params.epsilon > 0);
+  Rng rng(seed);
+  WeightedEdgeSet out;
+  if (g.NumEdges() == 0) return out;
+  auto strengths = GraphStrengths(g);
+  double ln_n =
+      std::log(static_cast<double>(std::max<size_t>(g.NumVertices(), 2)));
+  double c = params.c_factor * ln_n;
+  for (const auto& [e, k_e] : strengths) {
+    double p = std::min(
+        1.0, c / (params.epsilon * params.epsilon * static_cast<double>(k_e)));
+    if (rng.Bernoulli(p)) {
+      out.edges.push_back(Hyperedge(e));
+      out.weights.push_back(1.0 / p);
+    }
+  }
+  return out;
+}
+
+}  // namespace gms

@@ -1,0 +1,29 @@
+// Offline Benczur-Karger graph sparsification [6], the non-streaming
+// baseline the Section 5 algorithm is measured against: sample each edge
+// with probability p_e = min(1, c / (eps^2 k_e)) where k_e is the edge's
+// strength, weight survivors by 1/p_e. Requires the whole graph in memory
+// and strength computation -- everything the dynamic-stream setting
+// forbids -- but gives the classic quality/size reference point.
+#ifndef GMS_SPARSIFY_BENCZUR_KARGER_H_
+#define GMS_SPARSIFY_BENCZUR_KARGER_H_
+
+#include <cstdint>
+
+#include "exact/cut_eval.h"
+#include "graph/graph.h"
+
+namespace gms {
+
+struct BkParams {
+  double epsilon = 0.5;
+  /// The O(log n) oversampling constant c in p_e = c / (eps^2 k_e).
+  double c_factor = 1.0;  // multiplied by ln(n)
+};
+
+/// Importance-sampled sparsifier of an unweighted graph.
+WeightedEdgeSet BenczurKargerSparsify(const Graph& g, const BkParams& params,
+                                      uint64_t seed);
+
+}  // namespace gms
+
+#endif  // GMS_SPARSIFY_BENCZUR_KARGER_H_

@@ -1,0 +1,97 @@
+#include "sparsify/sparsifier_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+size_t SparsifierParams::ResolveLevels(size_t n) const {
+  if (levels > 0) return levels;
+  double log_n = std::log2(static_cast<double>(std::max<size_t>(n, 2)));
+  return static_cast<size_t>(std::ceil(3.0 * log_n));
+}
+
+size_t SparsifierParams::ResolveK(size_t n, size_t max_rank,
+                                  size_t resolved_levels) const {
+  if (k > 0) return k;
+  GMS_CHECK(epsilon > 0);
+  double eps = epsilon;
+  if (reparameterize) eps /= 2.0 * static_cast<double>(resolved_levels);
+  double ln_n = std::log(static_cast<double>(std::max<size_t>(n, 2)));
+  double value =
+      k_constant / (eps * eps) * (ln_n + static_cast<double>(max_rank));
+  return std::max<size_t>(1, static_cast<size_t>(std::ceil(value)));
+}
+
+HypergraphSparsifierSketch::HypergraphSparsifierSketch(
+    size_t n, size_t max_rank, const SparsifierParams& params, uint64_t seed)
+    : n_(n), codec_(n, max_rank) {
+  Rng rng(seed);
+  size_t levels = params.ResolveLevels(n);
+  k_ = params.ResolveK(n, max_rank, levels);
+  sample_hash_ = LevelHash(rng.Fork(), static_cast<int>(levels));
+  level_sketches_.reserve(levels + 1);
+  for (size_t i = 0; i <= levels; ++i) {
+    level_sketches_.emplace_back(n, max_rank, k_, rng.Fork(), params.forest);
+  }
+}
+
+int HypergraphSparsifierSketch::SampleLevel(const Hyperedge& e) const {
+  return sample_hash_.Level(codec_.Encode(e));
+}
+
+void HypergraphSparsifierSketch::Update(const Hyperedge& e, int delta) {
+  int depth = SampleLevel(e);
+  for (int i = 0; i <= depth && i < static_cast<int>(level_sketches_.size());
+       ++i) {
+    level_sketches_[static_cast<size_t>(i)].Update(e, delta);
+  }
+}
+
+void HypergraphSparsifierSketch::Process(const DynamicStream& stream) {
+  for (const auto& u : stream) Update(u.edge, u.delta);
+}
+
+Result<SparsifierOutput> HypergraphSparsifierSketch::ExtractSparsifier()
+    const {
+  SparsifierOutput out;
+  // Edges already claimed by earlier levels, with their sampling depths so
+  // deeper levels subtract only what they ingested.
+  std::vector<std::pair<Hyperedge, int>> claimed;
+  double weight = 1.0;
+  for (size_t i = 0; i < level_sketches_.size(); ++i, weight *= 2.0) {
+    LightRecoverySketch level = level_sketches_[i];
+    std::vector<Hyperedge> to_subtract;
+    for (const auto& [e, depth] : claimed) {
+      if (depth >= static_cast<int>(i)) to_subtract.push_back(e);
+    }
+    level.RemoveKnown(to_subtract);
+    auto recovered = level.Recover();
+    if (!recovered.ok()) return recovered.status();
+    const auto& f_i = recovered->light.Edges();
+    out.level_sizes.push_back(f_i.size());
+    for (const auto& e : f_i) {
+      out.sparsifier.edges.push_back(e);
+      out.sparsifier.weights.push_back(weight);
+      claimed.emplace_back(e, SampleLevel(e));
+    }
+    // Stop early once a level is fully consumed with nothing heavier left:
+    // all deeper levels are subsets and thus also empty after subtraction.
+    if (f_i.empty() && !recovered->residual_nonempty) break;
+    if (i + 1 == level_sketches_.size() && recovered->residual_nonempty) {
+      out.truncated = true;
+    }
+  }
+  return out;
+}
+
+size_t HypergraphSparsifierSketch::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& level : level_sketches_) total += level.MemoryBytes();
+  return total;
+}
+
+}  // namespace gms

@@ -1,0 +1,82 @@
+// Hypergraph sparsification in dynamic streams (Section 5, Theorems 19/20).
+//
+// Streaming state: nested half-samples G = G_0 ⊇ G_1 ⊇ ... ⊇ G_l (edge e
+// belongs to G_i iff its sampling hash has >= i trailing zeros, so
+// insertions and deletions route consistently), with one light-edge
+// recovery sketch per level. Post-processing (the paper's algorithm):
+//   F_i = light_k(H_i),  H_i = G_i \ (F_0 u ... u F_{i-1}),
+// realized by linearly subtracting the already-extracted F_j (restricted to
+// the edges that level i actually ingested) before recovering. The output
+// sum_i 2^i F_i is a (1+eps)^l-sparsifier (Theorem 19); re-parameterizing
+// eps <- eps/(2l) gives (1+eps) (Theorem 20) at the cost of a larger k.
+#ifndef GMS_SPARSIFY_SPARSIFIER_SKETCH_H_
+#define GMS_SPARSIFY_SPARSIFIER_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exact/cut_eval.h"
+#include "reconstruct/light_recovery.h"
+#include "util/hash.h"
+
+namespace gms {
+
+struct SparsifierParams {
+  double epsilon = 1.0;
+  /// Sampling levels l; 0 means the paper's 3*ceil(log2 n). In experiments
+  /// ceil(log2 m) + 2 levels suffice (G_l must be empty whp).
+  size_t levels = 0;
+  /// Peeling threshold k; 0 means ceil(k_constant * eps^-2 * (ln n + r)).
+  size_t k = 0;
+  /// The O(.) constant in Lemma 18's k = O(eps^-2 (log n + r)).
+  double k_constant = 0.5;
+  /// Apply the Theorem 20 re-parameterization eps <- eps/(2*levels) when
+  /// resolving k (costly; off by default so benches can sweep both).
+  bool reparameterize = false;
+  ForestSketchParams forest;
+
+  size_t ResolveLevels(size_t n) const;
+  size_t ResolveK(size_t n, size_t max_rank, size_t levels) const;
+};
+
+struct SparsifierOutput {
+  WeightedEdgeSet sparsifier;
+  /// Per-level edge counts |F_i| (diagnostics).
+  std::vector<size_t> level_sizes;
+  /// True if the deepest level still held (k+1)-heavy edges: the level
+  /// budget was too small and some weight is missing (should not happen
+  /// with the paper's l = 3 log n).
+  bool truncated = false;
+};
+
+class HypergraphSparsifierSketch {
+ public:
+  HypergraphSparsifierSketch(size_t n, size_t max_rank,
+                             const SparsifierParams& params, uint64_t seed);
+
+  size_t n() const { return n_; }
+  size_t levels() const { return level_sketches_.size() - 1; }
+  size_t k() const { return k_; }
+
+  void Update(const Hyperedge& e, int delta);
+  void Process(const DynamicStream& stream);
+
+  /// Run the per-level light-edge recoveries and assemble sum_i 2^i F_i.
+  Result<SparsifierOutput> ExtractSparsifier() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  /// Sampling depth of a hyperedge: e is in G_i iff SampleLevel(e) >= i.
+  int SampleLevel(const Hyperedge& e) const;
+
+  size_t n_;
+  size_t k_;
+  EdgeCodec codec_;
+  LevelHash sample_hash_;
+  std::vector<LightRecoverySketch> level_sketches_;  // index 0..levels
+};
+
+}  // namespace gms
+
+#endif  // GMS_SPARSIFY_SPARSIFIER_SKETCH_H_

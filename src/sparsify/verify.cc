@@ -1,0 +1,29 @@
+#include "sparsify/verify.h"
+
+namespace gms {
+
+SparsifierReport VerifySparsifier(const Hypergraph& original,
+                                  const WeightedEdgeSet& sparsifier,
+                                  double epsilon, size_t exhaustive_threshold,
+                                  size_t samples, uint64_t seed) {
+  SparsifierReport report;
+  report.original_edges = original.NumEdges();
+  report.sparsifier_edges = sparsifier.size();
+  report.compression =
+      report.original_edges == 0
+          ? 0.0
+          : static_cast<double>(report.sparsifier_edges) /
+                static_cast<double>(report.original_edges);
+  if (original.NumVertices() <= exhaustive_threshold) {
+    report.stats = CompareAllCuts(original, sparsifier);
+    report.exhaustive = true;
+  } else {
+    report.stats = CompareSampledCuts(original, sparsifier, samples, seed);
+    report.exhaustive = false;
+  }
+  report.within_epsilon = report.stats.zero_mismatches == 0 &&
+                          report.stats.max_rel_error <= epsilon;
+  return report;
+}
+
+}  // namespace gms

@@ -1,0 +1,32 @@
+// Sparsifier verification: drive the cut-comparison machinery of
+// exact/cut_eval.h and summarize quality against a target epsilon.
+#ifndef GMS_SPARSIFY_VERIFY_H_
+#define GMS_SPARSIFY_VERIFY_H_
+
+#include <cstdint>
+
+#include "exact/cut_eval.h"
+#include "graph/hypergraph.h"
+
+namespace gms {
+
+struct SparsifierReport {
+  CutErrorStats stats;
+  size_t original_edges = 0;
+  size_t sparsifier_edges = 0;
+  double compression = 0;  // sparsifier_edges / original_edges
+  bool within_epsilon = false;
+  bool exhaustive = false;  // all cuts vs sampled cuts
+};
+
+/// Compare every cut when n <= exhaustive_threshold, otherwise singleton
+/// cuts plus `samples` random bipartitions.
+SparsifierReport VerifySparsifier(const Hypergraph& original,
+                                  const WeightedEdgeSet& sparsifier,
+                                  double epsilon,
+                                  size_t exhaustive_threshold = 18,
+                                  size_t samples = 2000, uint64_t seed = 1);
+
+}  // namespace gms
+
+#endif  // GMS_SPARSIFY_VERIFY_H_

@@ -1,0 +1,133 @@
+#include "stream/io.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gms {
+
+namespace {
+
+Result<ParsedStream> ParseLines(std::istream& in, bool allow_deltas) {
+  ParsedStream out;
+  bool have_header = false;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok) || tok[0] == '#') continue;
+    if (tok == "n") {
+      size_t n = 0;
+      if (!(ls >> n) || n == 0) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": bad vertex count");
+      }
+      out.n = n;
+      have_header = true;
+      continue;
+    }
+    if (!have_header) {
+      return Status::InvalidArgument("missing 'n <count>' header");
+    }
+    int delta = +1;
+    std::vector<VertexId> vs;
+    if (tok == "+" || tok == "-") {
+      if (!allow_deltas && tok == "-") {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": deletions not allowed in a static edge list");
+      }
+      delta = tok == "+" ? +1 : -1;
+    } else {
+      // The token is the first vertex id.
+      char* end = nullptr;
+      unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+      if (end == tok.c_str() || *end != '\0') {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": unrecognized token '" + tok + "'");
+      }
+      if (v >= out.n) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": vertex id out of range");
+      }
+      vs.push_back(static_cast<VertexId>(v));
+    }
+    unsigned long v;
+    while (ls >> v) {
+      if (v >= out.n) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": vertex id out of range");
+      }
+      vs.push_back(static_cast<VertexId>(v));
+    }
+    if (vs.size() < 2) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": hyperedge needs >= 2 vertices");
+    }
+    out.stream.Push(Hyperedge(std::move(vs)), delta);
+  }
+  if (!have_header) {
+    return Status::InvalidArgument("missing 'n <count>' header");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ParsedStream> ReadStream(std::istream& in) {
+  auto parsed = ParseLines(in, /*allow_deltas=*/true);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->stream.Validate()) {
+    return Status::InvalidArgument(
+        "stream violates 0/1 multiplicity (delete before insert or double "
+        "insert)");
+  }
+  return parsed;
+}
+
+Result<ParsedStream> ReadStreamFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadStream(in);
+}
+
+Result<Hypergraph> ReadHypergraph(std::istream& in) {
+  auto parsed = ParseLines(in, /*allow_deltas=*/false);
+  if (!parsed.ok()) return parsed.status();
+  return parsed->stream.Materialize(parsed->n);
+}
+
+Result<Hypergraph> ReadHypergraphFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadHypergraph(in);
+}
+
+std::string WriteStream(size_t n, const DynamicStream& stream) {
+  std::string out = "n " + std::to_string(n) + "\n";
+  for (const auto& u : stream) {
+    out += u.delta > 0 ? "+" : "-";
+    for (VertexId v : u.edge) {
+      out += " " + std::to_string(v);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string WriteHypergraph(const Hypergraph& g) {
+  std::string out = "n " + std::to_string(g.NumVertices()) + "\n";
+  for (const auto& e : g.Edges()) {
+    bool first = true;
+    for (VertexId v : e) {
+      if (!first) out += " ";
+      out += std::to_string(v);
+      first = false;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gms

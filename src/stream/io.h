@@ -1,0 +1,41 @@
+// Text I/O for graphs, hypergraphs and dynamic streams.
+//
+// Stream format ("gms stream", one record per line):
+//   n <num_vertices>           header, required first
+//   + v1 v2 [v3 ...]           hyperedge insertion
+//   - v1 v2 [v3 ...]           hyperedge deletion
+//   # anything                 comment
+// Edge-list format for static (hyper)graphs is the same without +/- (every
+// line inserts).
+#ifndef GMS_STREAM_IO_H_
+#define GMS_STREAM_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+#include "stream/stream.h"
+#include "util/status.h"
+
+namespace gms {
+
+/// Parse a dynamic stream. Returns the declared vertex count and updates.
+struct ParsedStream {
+  size_t n = 0;
+  DynamicStream stream;
+};
+Result<ParsedStream> ReadStream(std::istream& in);
+Result<ParsedStream> ReadStreamFromString(const std::string& text);
+
+/// Parse a static hypergraph (edge-list lines, `n` header required).
+Result<Hypergraph> ReadHypergraph(std::istream& in);
+Result<Hypergraph> ReadHypergraphFromString(const std::string& text);
+
+/// Serialize.
+std::string WriteStream(size_t n, const DynamicStream& stream);
+std::string WriteHypergraph(const Hypergraph& g);
+
+}  // namespace gms
+
+#endif  // GMS_STREAM_IO_H_

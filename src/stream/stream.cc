@@ -1,0 +1,122 @@
+#include "stream/stream.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+bool DynamicStream::Validate() const {
+  std::unordered_map<Hyperedge, int, HyperedgeHasher> mult;
+  for (const auto& u : updates_) {
+    int& m = mult[u.edge];
+    m += u.delta;
+    if (m < 0 || m > 1) return false;
+  }
+  return true;
+}
+
+Hypergraph DynamicStream::Materialize(size_t n) const {
+  std::unordered_map<Hyperedge, int, HyperedgeHasher> mult;
+  for (const auto& u : updates_) mult[u.edge] += u.delta;
+  Hypergraph g(n);
+  for (const auto& [e, m] : mult) {
+    GMS_CHECK_MSG(m == 0 || m == 1, "stream leaves non-0/1 multiplicity");
+    if (m == 1) g.AddEdge(e);
+  }
+  return g;
+}
+
+DynamicStream DynamicStream::InsertOnly(const Hypergraph& g, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<StreamUpdate> ups;
+  ups.reserve(g.NumEdges());
+  for (const auto& e : g.Edges()) ups.emplace_back(e, +1);
+  Shuffle(ups, rng);
+  return DynamicStream(std::move(ups));
+}
+
+DynamicStream DynamicStream::InsertOnly(const Graph& g, uint64_t seed) {
+  return InsertOnly(Hypergraph::FromGraph(g), seed);
+}
+
+DynamicStream DynamicStream::WithChurn(const Hypergraph& g, size_t decoys,
+                                       size_t r, uint64_t seed) {
+  Rng rng(seed);
+  size_t n = g.NumVertices();
+  GMS_CHECK(r >= 2 && r <= n);
+  // Sample decoy hyperedges disjoint from g's edge set and from each other
+  // (a repeated decoy would break the 0/1 multiplicity invariant).
+  std::vector<Hyperedge> decoy_edges;
+  std::unordered_set<Hyperedge, HyperedgeHasher> decoy_seen;
+  size_t attempts = 0;
+  // Dense inputs may not have `decoys` distinct absent hyperedges; stop at
+  // whatever the rejection sampler finds within the attempt budget.
+  size_t max_attempts = 200 * (decoys + 1) + 10000;
+  while (decoy_edges.size() < decoys && attempts < max_attempts) {
+    ++attempts;
+    std::vector<VertexId> vs;
+    while (vs.size() < r) {
+      VertexId v = static_cast<VertexId>(rng.Below(n));
+      bool dup = false;
+      for (VertexId w : vs) dup |= (w == v);
+      if (!dup) vs.push_back(v);
+    }
+    Hyperedge e(std::move(vs));
+    if (!g.HasEdge(e) && decoy_seen.insert(e).second) {
+      decoy_edges.push_back(std::move(e));
+    }
+  }
+
+  // Build: real inserts (in random order) interleaved with decoy
+  // insert/delete pairs. To keep multiplicities valid we emit each decoy's
+  // insert before its delete by assigning two sorted random timestamps.
+  struct Stamped {
+    double t;
+    StreamUpdate u;
+  };
+  std::vector<Stamped> stamped;
+  for (const auto& e : g.Edges()) {
+    stamped.push_back({rng.NextDouble(), StreamUpdate(e, +1)});
+  }
+  for (const auto& e : decoy_edges) {
+    double t1 = rng.NextDouble(), t2 = rng.NextDouble();
+    if (t1 > t2) std::swap(t1, t2);
+    stamped.push_back({t1, StreamUpdate(e, +1)});
+    stamped.push_back({t2, StreamUpdate(e, -1)});
+  }
+  std::sort(stamped.begin(), stamped.end(),
+            [](const Stamped& a, const Stamped& b) { return a.t < b.t; });
+  std::vector<StreamUpdate> ups;
+  ups.reserve(stamped.size());
+  for (auto& s : stamped) ups.push_back(std::move(s.u));
+  return DynamicStream(std::move(ups));
+}
+
+DynamicStream DynamicStream::WithChurn(const Graph& g, size_t decoys,
+                                       uint64_t seed) {
+  return WithChurn(Hypergraph::FromGraph(g), decoys, 2, seed);
+}
+
+DynamicStream DynamicStream::InsertThenDeleteDown(const Hypergraph& full,
+                                                  const Hypergraph& final_graph,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<StreamUpdate> inserts, deletes;
+  for (const auto& e : full.Edges()) {
+    inserts.emplace_back(e, +1);
+    if (!final_graph.HasEdge(e)) deletes.emplace_back(e, -1);
+  }
+  for (const auto& e : final_graph.Edges()) {
+    GMS_CHECK_MSG(full.HasEdge(e), "final graph must be a subgraph of full");
+  }
+  Shuffle(inserts, rng);
+  Shuffle(deletes, rng);
+  std::vector<StreamUpdate> ups = std::move(inserts);
+  ups.insert(ups.end(), deletes.begin(), deletes.end());
+  return DynamicStream(std::move(ups));
+}
+
+}  // namespace gms

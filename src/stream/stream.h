@@ -1,0 +1,74 @@
+// The dynamic graph stream model (Section 2): the input is a sequence of
+// hyperedge insertions and deletions; the final graph is whatever survives.
+// Builders produce insert-only streams, streams with "churn" (edges inserted
+// and later deleted, which defeats insert-only algorithms like the Eppstein
+// et al. baseline), and adversarial delete-heavy patterns.
+#ifndef GMS_STREAM_STREAM_H_
+#define GMS_STREAM_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/hypergraph.h"
+
+namespace gms {
+
+struct StreamUpdate {
+  Hyperedge edge;
+  int delta = +1;  // +1 insert, -1 delete
+
+  StreamUpdate() = default;
+  StreamUpdate(Hyperedge e, int d) : edge(std::move(e)), delta(d) {}
+
+  friend bool operator==(const StreamUpdate&, const StreamUpdate&) = default;
+};
+
+/// A materialized dynamic stream. Invariant (checked by Validate): the
+/// multiplicity of every hyperedge stays in {0, 1} at every prefix.
+class DynamicStream {
+ public:
+  DynamicStream() = default;
+  explicit DynamicStream(std::vector<StreamUpdate> updates)
+      : updates_(std::move(updates)) {}
+
+  const std::vector<StreamUpdate>& updates() const { return updates_; }
+  size_t size() const { return updates_.size(); }
+  auto begin() const { return updates_.begin(); }
+  auto end() const { return updates_.end(); }
+
+  void Push(Hyperedge e, int delta) { updates_.emplace_back(std::move(e), delta); }
+
+  /// True iff multiplicities stay in {0,1} throughout.
+  bool Validate() const;
+
+  /// The hypergraph defined by the stream (n vertices).
+  Hypergraph Materialize(size_t n) const;
+
+  // ---------- Builders ----------
+
+  /// Insert-only stream of g's hyperedges in a seeded random order.
+  static DynamicStream InsertOnly(const Hypergraph& g, uint64_t seed);
+  static DynamicStream InsertOnly(const Graph& g, uint64_t seed);
+
+  /// Stream whose final graph is g but which additionally inserts-and-later-
+  /// deletes `decoys` extra hyperedges not in g (uniform r-subsets), all
+  /// interleaved in a seeded random order that keeps multiplicities valid.
+  static DynamicStream WithChurn(const Hypergraph& g, size_t decoys, size_t r,
+                                 uint64_t seed);
+  static DynamicStream WithChurn(const Graph& g, size_t decoys, uint64_t seed);
+
+  /// Insert every edge of `full`, then delete those not in `final_graph`.
+  /// This is the adversarial pattern of Theorem 5's INDEX reduction: commit
+  /// to a superset first, carve the instance out with deletions.
+  static DynamicStream InsertThenDeleteDown(const Hypergraph& full,
+                                            const Hypergraph& final_graph,
+                                            uint64_t seed);
+
+ private:
+  std::vector<StreamUpdate> updates_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_STREAM_STREAM_H_

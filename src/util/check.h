@@ -1,0 +1,36 @@
+// Invariant-check macros. GMS_CHECK aborts on violation in all build modes;
+// GMS_DCHECK compiles out in NDEBUG builds. Library code uses these for
+// programmer errors only; recoverable conditions go through gms::Status.
+#ifndef GMS_UTIL_CHECK_H_
+#define GMS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define GMS_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "GMS_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define GMS_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "GMS_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define GMS_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define GMS_DCHECK(cond) GMS_CHECK(cond)
+#endif
+
+#endif  // GMS_UTIL_CHECK_H_

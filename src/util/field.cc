@@ -1,0 +1,21 @@
+#include "util/field.h"
+
+namespace gms {
+
+uint64_t FpPow(uint64_t a, uint64_t e) {
+  uint64_t base = a >= kMersenne61 ? a - kMersenne61 : a;
+  uint64_t result = 1;
+  while (e > 0) {
+    if (e & 1) result = FpMul(result, base);
+    base = FpMul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+uint64_t FpInv(uint64_t a) {
+  GMS_CHECK_MSG(a % kMersenne61 != 0, "inverse of zero");
+  return FpPow(a, kMersenne61 - 2);
+}
+
+}  // namespace gms

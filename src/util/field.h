@@ -1,0 +1,73 @@
+// Arithmetic in the prime field F_p with p = 2^61 - 1 (a Mersenne prime).
+// Used for sketch fingerprints and for the k-wise independent polynomial
+// hash families. The Mersenne structure gives branch-light modular
+// reduction: x mod p = (x >> 61) + (x & p), followed by one conditional
+// subtraction.
+#ifndef GMS_UTIL_FIELD_H_
+#define GMS_UTIL_FIELD_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/uint128.h"
+
+namespace gms {
+
+/// The field modulus 2^61 - 1.
+inline constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// Reduce a value < 2^122 into [0, p).
+inline uint64_t FpReduce(u128 x) {
+  uint64_t lo = static_cast<uint64_t>(x & kMersenne61);
+  uint64_t hi = static_cast<uint64_t>(x >> 61);
+  uint64_t r = lo + hi;
+  // hi < 2^61 and lo < 2^61 so r < 2^62: one more folding step suffices.
+  r = (r & kMersenne61) + (r >> 61);
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+/// Reduce an arbitrary u128 into [0, p).
+inline uint64_t FpReduceFull(u128 x) {
+  // Fold the top 67 bits down first so the operand fits FpReduce's 2^122
+  // precondition (it does already: 128 < 122 is false, so fold once).
+  u128 folded = (x & kMersenne61) + (x >> 61);
+  return FpReduce(folded);
+}
+
+inline uint64_t FpAdd(uint64_t a, uint64_t b) {
+  uint64_t r = a + b;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+inline uint64_t FpSub(uint64_t a, uint64_t b) {
+  return a >= b ? a - b : a + kMersenne61 - b;
+}
+
+inline uint64_t FpNeg(uint64_t a) { return a == 0 ? 0 : kMersenne61 - a; }
+
+inline uint64_t FpMul(uint64_t a, uint64_t b) {
+  GMS_DCHECK(a < kMersenne61 && b < kMersenne61);
+  return FpReduce(static_cast<u128>(a) * b);
+}
+
+/// a^e mod p by binary exponentiation.
+uint64_t FpPow(uint64_t a, uint64_t e);
+
+/// Multiplicative inverse (a != 0) via Fermat's little theorem.
+uint64_t FpInv(uint64_t a);
+
+/// Map a signed 64-bit integer into F_p (negative values wrap to p - |v|).
+inline uint64_t FpFromInt64(int64_t v) {
+  if (v >= 0) return FpReduce(static_cast<u128>(static_cast<uint64_t>(v)));
+  uint64_t m = FpReduce(static_cast<u128>(static_cast<uint64_t>(-v)));
+  return FpNeg(m);
+}
+
+/// Map a u128 into F_p.
+inline uint64_t FpFromU128(u128 v) { return FpReduceFull(v); }
+
+}  // namespace gms
+
+#endif  // GMS_UTIL_FIELD_H_

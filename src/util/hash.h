@@ -1,0 +1,76 @@
+// k-wise independent hash families over F_p, p = 2^61 - 1.
+//
+// A degree-(t-1) polynomial with uniformly random coefficients evaluated at
+// the key is a t-wise independent family over F_p. Keys are coordinate
+// indices in the (huge, implicit) hyperedge space and may be 128-bit; they
+// are injected into F_p by splitting into two 61-bit-reducible halves and
+// combining with an extra random multiplier, so distinct 128-bit keys map to
+// distinct field points except with probability <= 2/p per pair (absorbed
+// into the sketch failure probability).
+#ifndef GMS_UTIL_HASH_H_
+#define GMS_UTIL_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/field.h"
+#include "util/random.h"
+#include "util/uint128.h"
+
+namespace gms {
+
+/// t-wise independent hash from u128 keys to [0, p).
+class PolyHash {
+ public:
+  /// Build a hash with the given independence t >= 2, seeded deterministically.
+  PolyHash(int independence, uint64_t seed);
+
+  /// Default-constructed hash is unusable; assign before use.
+  PolyHash() = default;
+
+  /// Hash to a field element in [0, 2^61 - 1).
+  uint64_t Eval(u128 key) const;
+
+  /// Hash to [0, bound) via multiply-shift on the field output. bound must
+  /// be <= 2^32 to keep the modulo bias negligible relative to p.
+  uint32_t EvalBelow(u128 key, uint32_t bound) const {
+    return static_cast<uint32_t>(Eval(key) % bound);
+  }
+
+  int independence() const { return static_cast<int>(coeffs_.size()); }
+
+ private:
+  // Fold a 128-bit key into a single field element, pairwise-injectively
+  // up to probability 1/p (uses the random mixer_).
+  uint64_t FoldKey(u128 key) const;
+
+  std::vector<uint64_t> coeffs_;  // degree t-1 .. 0
+  uint64_t mixer_ = 1;            // random multiplier for the high half
+};
+
+/// Geometric level function for L0-sampler subsampling: level(key) = number
+/// of consecutive low-order zero bits in a pairwise-independent-ish 64-bit
+/// hash of the key, capped at max_level. P[level >= j] ~= 2^-j.
+class LevelHash {
+ public:
+  LevelHash(uint64_t seed, int max_level)
+      : hash_(/*independence=*/2, seed), max_level_(max_level) {}
+  LevelHash() = default;
+
+  int Level(u128 key) const {
+    uint64_t h = Mix64(hash_.Eval(key));
+    if (h == 0) return max_level_;
+    int tz = __builtin_ctzll(h);
+    return tz < max_level_ ? tz : max_level_;
+  }
+
+  int max_level() const { return max_level_; }
+
+ private:
+  PolyHash hash_;
+  int max_level_ = 0;
+};
+
+}  // namespace gms
+
+#endif  // GMS_UTIL_HASH_H_

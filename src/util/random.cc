@@ -1,0 +1,5 @@
+#include "util/random.h"
+
+// Header-only implementation; this file exists so the target has a TU and a
+// place for future out-of-line additions.
+namespace gms {}

@@ -1,0 +1,102 @@
+// Deterministic, seedable random number generation. All randomized
+// components in graphsketch take an explicit 64-bit seed so that every
+// experiment and test is exactly reproducible; independent subcomponents
+// derive their own streams with SplitMix64 so seeds never collide by
+// accident.
+#ifndef GMS_UTIL_RANDOM_H_
+#define GMS_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/uint128.h"
+
+namespace gms {
+
+/// SplitMix64 step: statistically strong 64->64 mixing; used both as a
+/// stream-splitter and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a single value (Stafford variant 13).
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Small, fast, and good enough for every randomized
+/// algorithm here (the k-wise independent hash families carry the actual
+/// theoretical guarantees; the PRNG only seeds them).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses Lemire rejection.
+  uint64_t Below(uint64_t bound) {
+    GMS_DCHECK(bound > 0);
+    u128 m = static_cast<u128>(Next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<u128>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    GMS_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli(p).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Derive an independent child seed (stream splitting).
+  uint64_t Fork() { return Next() ^ 0xd1b54a32d192ed03ULL; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// Fisher-Yates shuffle of a random-access container.
+template <typename Container>
+void Shuffle(Container& c, Rng& rng) {
+  for (size_t i = c.size(); i > 1; --i) {
+    size_t j = rng.Below(i);
+    using std::swap;
+    swap(c[i - 1], c[j]);
+  }
+}
+
+}  // namespace gms
+
+#endif  // GMS_UTIL_RANDOM_H_

@@ -1,0 +1,34 @@
+#include "util/status.h"
+
+namespace gms {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case StatusCode::kOk:
+      name = "OK";
+      break;
+    case StatusCode::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case StatusCode::kFailedPrecondition:
+      name = "FailedPrecondition";
+      break;
+    case StatusCode::kOutOfRange:
+      name = "OutOfRange";
+      break;
+    case StatusCode::kDecodeFailure:
+      name = "DecodeFailure";
+      break;
+    case StatusCode::kUnimplemented:
+      name = "Unimplemented";
+      break;
+    case StatusCode::kInternal:
+      name = "Internal";
+      break;
+  }
+  if (message_.empty()) return name;
+  return std::string(name) + ": " + message_;
+}
+
+}  // namespace gms

@@ -1,0 +1,119 @@
+// Arrow/RocksDB-style Status and Result<T>. Library code does not throw;
+// recoverable failures -- notably sketch decode failures, which occur with
+// small but nonzero probability by design -- are returned as values.
+#ifndef GMS_UTIL_STATUS_H_
+#define GMS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gms {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  // A sketch-decode query could not be answered (e.g. an L0-sampler found no
+  // decodable level, or sparse recovery saw more nonzeros than its capacity).
+  // This is the "with high probability" failure event of the paper's
+  // theorems, surfaced as a value.
+  kDecodeFailure,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Operation outcome. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status DecodeFailure(std::string msg) {
+    return Status(StatusCode::kDecodeFailure, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsDecodeFailure() const { return code_ == StatusCode::kDecodeFailure; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "DecodeFailure: no decodable level".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-Status. Accessing the value of a failed Result aborts; callers
+/// must test ok() (or use value_or / status()).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    GMS_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GMS_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    GMS_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    GMS_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagate a non-OK Status from an expression.
+#define GMS_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::gms::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace gms
+
+#endif  // GMS_UTIL_STATUS_H_

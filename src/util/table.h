@@ -1,0 +1,41 @@
+// Minimal aligned-column table printer used by the benchmark harness and
+// examples to emit the experiment rows recorded in EXPERIMENTS.md. Also
+// writes CSV so results can be post-processed.
+#ifndef GMS_UTIL_TABLE_H_
+#define GMS_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace gms {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Render with aligned columns to stdout, with an optional title banner.
+  void Print(const std::string& title = "") const;
+
+  /// Render as CSV (header + rows).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  // Cell formatting helpers.
+  static std::string Fmt(double v, int precision = 4);
+  static std::string Fmt(uint64_t v);
+  static std::string Fmt(int64_t v);
+  static std::string Fmt(int v) { return Fmt(static_cast<int64_t>(v)); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_UTIL_TABLE_H_

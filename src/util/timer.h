@@ -1,0 +1,25 @@
+// Wall-clock timer for the experiment harness.
+#ifndef GMS_UTIL_TIMER_H_
+#define GMS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace gms {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_UTIL_TIMER_H_

@@ -1,0 +1,45 @@
+// Helpers for the 128-bit integer types used for hyperedge coordinate
+// indices. The coordinate space P_r(V) has dimension sum_{s=2..r} C(n, s),
+// which overflows 64 bits already at r = 4, n ~ 10^5; all index arithmetic
+// is done in unsigned __int128.
+#ifndef GMS_UTIL_UINT128_H_
+#define GMS_UTIL_UINT128_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gms {
+
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+/// Decimal rendering (the standard library cannot print __int128).
+inline std::string U128ToString(u128 x) {
+  if (x == 0) return "0";
+  std::string out;
+  while (x > 0) {
+    out.push_back(static_cast<char>('0' + static_cast<int>(x % 10)));
+    x /= 10;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+inline std::string I128ToString(i128 x) {
+  if (x < 0) return "-" + U128ToString(static_cast<u128>(-x));
+  return U128ToString(static_cast<u128>(x));
+}
+
+/// floor(log2(x)) for x > 0; returns 0 for x == 0.
+inline int Log2Floor128(u128 x) {
+  if (x == 0) return 0;
+  uint64_t hi = static_cast<uint64_t>(x >> 64);
+  if (hi != 0) return 127 - __builtin_clzll(hi);
+  return 63 - __builtin_clzll(static_cast<uint64_t>(x));
+}
+
+/// Number of bits needed to represent x (0 -> 0 bits).
+inline int BitWidth128(u128 x) { return x == 0 ? 0 : Log2Floor128(x) + 1; }
+
+}  // namespace gms
+
+#endif  // GMS_UTIL_UINT128_H_

@@ -1,0 +1,50 @@
+#include "vertexconn/eppstein_baseline.h"
+
+#include "exact/vertex_connectivity.h"
+#include "util/check.h"
+
+namespace gms {
+
+EppsteinCertificate::EppsteinCertificate(size_t n, size_t k)
+    : k_(k), cert_(n) {
+  GMS_CHECK(k >= 1);
+}
+
+bool EppsteinCertificate::Insert(const Edge& e) {
+  if (cert_.HasEdge(e)) return false;
+  // Drop iff there are already k vertex-disjoint paths between the
+  // endpoints among the stored edges.
+  int64_t paths = VertexDisjointPaths(cert_, e.u(), e.v(),
+                                      static_cast<int64_t>(k_));
+  if (paths >= static_cast<int64_t>(k_)) {
+    ++dropped_;
+    return false;
+  }
+  cert_.AddEdge(e);
+  return true;
+}
+
+void EppsteinCertificate::Delete(const Edge& e) { cert_.RemoveEdge(e); }
+
+void EppsteinCertificate::Process(const DynamicStream& stream) {
+  for (const auto& u : stream) {
+    GMS_CHECK_MSG(u.edge.IsGraphEdge(), "baseline takes graph streams");
+    if (u.delta > 0) {
+      Insert(u.edge.AsEdge());
+    } else {
+      Delete(u.edge.AsEdge());
+    }
+  }
+}
+
+bool EppsteinCertificate::CertifiesKConnectivity() const {
+  return IsKVertexConnected(cert_, k_);
+}
+
+size_t EppsteinCertificate::MemoryBytes() const {
+  // Two directed adjacency entries per stored edge plus vertex headers.
+  return cert_.NumEdges() * 2 * sizeof(VertexId) +
+         cert_.NumVertices() * sizeof(void*);
+}
+
+}  // namespace gms

@@ -1,0 +1,53 @@
+// The insert-only baseline of Eppstein, Galil, Italiano and Nissenzweig
+// [13], as discussed in Section 1.1: on inserting {u,v}, DROP the edge iff
+// the stored certificate already contains k vertex-disjoint u-v paths.
+// O(kn) stored edges suffice to answer k-vertex-connectivity questions for
+// insert-only streams -- and the paper's motivating observation is that the
+// approach is UNSOUND under deletions: a dropped edge may have been
+// witnessed by paths that are later deleted. ProcessAllowingDeletes
+// implements the naive extension so benchmarks can exhibit the failure.
+#ifndef GMS_VERTEXCONN_EPPSTEIN_BASELINE_H_
+#define GMS_VERTEXCONN_EPPSTEIN_BASELINE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "stream/stream.h"
+
+namespace gms {
+
+class EppsteinCertificate {
+ public:
+  EppsteinCertificate(size_t n, size_t k);
+
+  /// Insert; returns true iff the edge was stored.
+  bool Insert(const Edge& e);
+
+  /// Naive deletion: remove the edge if stored, silently no-op otherwise.
+  /// This is exactly the unsound behaviour the paper warns about.
+  void Delete(const Edge& e);
+
+  /// Feed a stream, applying Insert/Delete per update.
+  void Process(const DynamicStream& stream);
+
+  const Graph& certificate() const { return cert_; }
+  size_t StoredEdges() const { return cert_.NumEdges(); }
+  size_t DroppedEdges() const { return dropped_; }
+  size_t k() const { return k_; }
+
+  /// Certificate guarantee (insert-only): min(k, kappa(cert)) equals
+  /// min(k, kappa(G)). Computed exactly on the certificate.
+  bool CertifiesKConnectivity() const;
+
+  /// Approximate memory footprint (adjacency storage), for space tables.
+  size_t MemoryBytes() const;
+
+ private:
+  size_t k_;
+  Graph cert_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace gms
+
+#endif  // GMS_VERTEXCONN_EPPSTEIN_BASELINE_H_

@@ -1,0 +1,69 @@
+#include "vertexconn/hyper_vc_query.h"
+
+#include "graph/traversal.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+HyperVcQuerySketch::HyperVcQuerySketch(size_t n, size_t max_rank,
+                                       const VcQueryParams& params,
+                                       uint64_t seed)
+    : n_(n), params_(params), h_(n) {
+  GMS_CHECK(params.k >= 1);
+  Rng rng(seed);
+  size_t r_subgraphs = params.ResolveR(n);
+  kept_.reserve(r_subgraphs);
+  sketches_.reserve(r_subgraphs);
+  for (size_t i = 0; i < r_subgraphs; ++i) {
+    std::vector<bool> kept(n, false);
+    for (VertexId v = 0; v < n; ++v) {
+      kept[v] = rng.Bernoulli(1.0 / static_cast<double>(params.k));
+    }
+    kept_.push_back(kept);
+    sketches_.emplace_back(n, max_rank, rng.Fork(), params.forest, &kept_[i]);
+  }
+}
+
+void HyperVcQuerySketch::Update(const Hyperedge& e, int delta) {
+  for (size_t i = 0; i < sketches_.size(); ++i) {
+    bool all_kept = true;
+    for (VertexId v : e) all_kept &= kept_[i][v];
+    if (all_kept) sketches_[i].Update(e, delta);
+  }
+}
+
+void HyperVcQuerySketch::Process(const DynamicStream& stream) {
+  for (const auto& u : stream) Update(u.edge, u.delta);
+}
+
+Status HyperVcQuerySketch::Finalize() {
+  Hypergraph h(n_);
+  for (const auto& sketch : sketches_) {
+    auto span = sketch.ExtractSpanningGraph();
+    if (!span.ok()) return span.status();
+    for (const auto& e : span->Edges()) h.AddEdge(e);
+  }
+  h_ = std::move(h);
+  finalized_ = true;
+  return Status::OK();
+}
+
+Result<bool> HyperVcQuerySketch::Disconnects(
+    const std::vector<VertexId>& s) const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("call Finalize() after the stream");
+  }
+  if (s.size() > params_.k) {
+    return Status::InvalidArgument("query set larger than the sketch's k");
+  }
+  return !IsConnectedExcluding(h_, s);
+}
+
+size_t HyperVcQuerySketch::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& sketch : sketches_) total += sketch.MemoryBytes();
+  return total;
+}
+
+}  // namespace gms

@@ -1,0 +1,66 @@
+// Hypergraph vertex-removal queries: the Section 4.1 remark made concrete.
+//
+// The paper notes that substituting the hypergraph spanning-graph sketch
+// (Theorem 13) for Theorem 2 makes the Section 3 vertex-connectivity
+// constructions "go through for hypergraphs unchanged". This class is that
+// construction: R vertex-subsampled sub-hypergraphs G_i (a hyperedge
+// belongs to G_i iff ALL its vertices were kept -- induced semantics), one
+// spanning-graph sketch per G_i, and queries on the union H of the decoded
+// spanning graphs: removing S (|S| <= k) disconnects G iff it disconnects
+// H, whp (Lemma 3's proof is oblivious to edge cardinality).
+//
+// Note on estimation: only the QUERY structure generalizes cleanly. Under
+// induced semantics a removed vertex kills whole hyperedges, so exact
+// kappa becomes a colored-cut problem with no known max-flow formulation;
+// exact ground truth is exponential (VertexConnectivityBrute) and the
+// Theorem 8 postprocessing step would inherit that cost.
+#ifndef GMS_VERTEXCONN_HYPER_VC_QUERY_H_
+#define GMS_VERTEXCONN_HYPER_VC_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "connectivity/spanning_forest_sketch.h"
+#include "graph/hypergraph.h"
+#include "stream/stream.h"
+#include "vertexconn/vc_query_sketch.h"
+
+namespace gms {
+
+class HyperVcQuerySketch {
+ public:
+  HyperVcQuerySketch(size_t n, size_t max_rank, const VcQueryParams& params,
+                     uint64_t seed);
+
+  size_t n() const { return n_; }
+  size_t k() const { return params_.k; }
+  size_t R() const { return sketches_.size(); }
+
+  /// Linear update; the hyperedge is routed to every subsample that kept
+  /// ALL of its vertices.
+  void Update(const Hyperedge& e, int delta);
+  void Process(const DynamicStream& stream);
+
+  /// Assemble H = union of decoded spanning graphs; call once after the
+  /// stream, then query repeatedly.
+  Status Finalize();
+
+  /// Does removing S (|S| <= k) disconnect the hypergraph? Uses induced
+  /// semantics: hyperedges touching S are gone.
+  Result<bool> Disconnects(const std::vector<VertexId>& s) const;
+
+  const Hypergraph& union_graph() const { return h_; }
+  size_t MemoryBytes() const;
+
+ private:
+  size_t n_;
+  VcQueryParams params_;
+  std::vector<std::vector<bool>> kept_;
+  std::vector<SpanningForestSketch> sketches_;
+  Hypergraph h_;
+  bool finalized_ = false;
+};
+
+}  // namespace gms
+
+#endif  // GMS_VERTEXCONN_HYPER_VC_QUERY_H_

@@ -1,0 +1,114 @@
+#include "vertexconn/lower_bound.h"
+
+#include "graph/traversal.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+VcLowerBoundInstance MakeVcLowerBoundInstance(size_t k, size_t n_r,
+                                              uint64_t seed) {
+  GMS_CHECK(k >= 1 && n_r >= 3);
+  Rng rng(seed);
+  VcLowerBoundInstance inst;
+  inst.k = k;
+  inst.n_r = n_r;
+  size_t rows = k + 1;
+  size_t n = rows + n_r;
+  auto l = [&](size_t i) { return static_cast<VertexId>(i); };
+  auto r = [&](size_t j) { return static_cast<VertexId>(rows + j); };
+
+  // Random bit matrix.
+  std::vector<std::vector<bool>> x(rows, std::vector<bool>(n_r));
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < n_r; ++j) x[i][j] = rng.Bernoulli(0.5);
+  }
+  // Probe a random bit.
+  inst.bit_i = rng.Below(rows);
+  inst.bit_j = rng.Below(n_r);
+  // Ensure row bit_i has a 1 outside column bit_j so l_i stays attached and
+  // the query isolates exactly the probed bit.
+  size_t anchor = rng.Below(n_r - 1);
+  if (anchor >= inst.bit_j) ++anchor;
+  x[inst.bit_i][anchor] = true;
+  inst.bit_value = x[inst.bit_i][inst.bit_j];
+
+  inst.graph = Graph(n);
+  std::vector<StreamUpdate> alice;
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < n_r; ++j) {
+      if (x[i][j]) {
+        Edge e(l(i), r(j));
+        inst.graph.AddEdge(e);
+        alice.emplace_back(Hyperedge(e), +1);
+      }
+    }
+  }
+  Shuffle(alice, rng);
+  // Bob connects R \ {r_j} with a path (the paper uses a clique; a path
+  // carries the same connectivity information in O(n) edges).
+  std::vector<StreamUpdate> bob;
+  VertexId prev = static_cast<VertexId>(-1);
+  for (size_t j = 0; j < n_r; ++j) {
+    if (j == inst.bit_j) continue;
+    if (prev != static_cast<VertexId>(-1)) {
+      Edge e(prev, r(j));
+      inst.graph.AddEdge(e);
+      bob.emplace_back(Hyperedge(e), +1);
+    }
+    prev = r(j);
+  }
+  std::vector<StreamUpdate> ups = std::move(alice);
+  ups.insert(ups.end(), bob.begin(), bob.end());
+  inst.stream = DynamicStream(std::move(ups));
+
+  // Query: remove all of L except l_{bit_i}.
+  for (size_t i = 0; i < rows; ++i) {
+    if (i != inst.bit_i) inst.query.push_back(l(i));
+  }
+  inst.ground_truth_disconnects =
+      !IsConnectedExcluding(inst.graph, inst.query);
+  // By construction the query disconnects iff the probed bit is 0.
+  GMS_CHECK(inst.ground_truth_disconnects == !inst.bit_value);
+  return inst;
+}
+
+SfstLowerBoundInstance MakeSfstLowerBoundInstance(size_t n, uint64_t seed) {
+  GMS_CHECK(n >= 2);
+  Rng rng(seed);
+  SfstLowerBoundInstance inst;
+  inst.n = n;
+  // Blocks: T = [0, n), U = [n, 2n), V = [2n, 3n), W = [3n, 4n).
+  auto t = [&](size_t i) { return static_cast<VertexId>(i); };
+  auto u = [&](size_t i) { return static_cast<VertexId>(n + i); };
+  auto v = [&](size_t i) { return static_cast<VertexId>(2 * n + i); };
+  auto w = [&](size_t i) { return static_cast<VertexId>(3 * n + i); };
+
+  std::vector<std::vector<bool>> x(n, std::vector<bool>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) x[i][j] = rng.Bernoulli(0.5);
+  }
+  inst.bit_i = rng.Below(n);
+  inst.bit_j = rng.Below(n);
+  inst.bit_value = x[inst.bit_i][inst.bit_j];
+
+  inst.graph = Graph(4 * n);
+  // Alice: edges {t_k, u_l} and {v_l, w_k} for each x_{l,k} = 1.
+  for (size_t row = 0; row < n; ++row) {
+    for (size_t col = 0; col < n; ++col) {
+      if (x[row][col]) {
+        inst.graph.AddEdge(t(col), u(row));
+        inst.graph.AddEdge(v(row), w(col));
+      }
+    }
+  }
+  // Bob: the probe edge {u_i, v_i}.
+  inst.graph.AddEdge(u(inst.bit_i), v(inst.bit_i));
+  inst.u_i = u(inst.bit_i);
+  inst.v_i = v(inst.bit_i);
+  inst.t_j = t(inst.bit_j);
+  inst.w_j = w(inst.bit_j);
+  return inst;
+}
+
+}  // namespace gms

@@ -1,0 +1,60 @@
+// Hard-instance generators for the two space lower bounds:
+//
+//  * Theorem 5 (Omega(kn) for vertex-removal queries): the INDEX reduction
+//    on a bipartite graph L x R, |L| = k+1, |R| = n_r. Alice encodes a bit
+//    matrix as edges; Bob connects R \ {r_j} and queries S = L \ {l_i};
+//    the answer reveals bit (i, j).
+//
+//  * Theorem 21 (Omega(n^2) for scan-first search trees): Alice encodes an
+//    n x n bit matrix into a 4-block graph; Bob adds one edge {u_i, v_i}
+//    and reads bit (i, j) off any valid SFST.
+//
+// Benchmarks stream these instances through the corresponding sketches and
+// chart accuracy against sketch size, exhibiting the information-theoretic
+// wall empirically.
+#ifndef GMS_VERTEXCONN_LOWER_BOUND_H_
+#define GMS_VERTEXCONN_LOWER_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "stream/stream.h"
+
+namespace gms {
+
+struct VcLowerBoundInstance {
+  size_t k = 0;        // |L| - 1: the query budget
+  size_t n_r = 0;      // |R|
+  Graph graph;         // final graph (Alice's edges + Bob's connector path)
+  DynamicStream stream;
+  std::vector<VertexId> query;  // S = L \ {l_i}, |S| = k
+  size_t bit_i = 0, bit_j = 0;  // the probed index
+  bool bit_value = false;       // x_{i,j}
+  bool ground_truth_disconnects = false;  // removing S disconnects graph?
+};
+
+/// Random INDEX instance: x uniform in {0,1}^{(k+1) x n_r} conditioned on
+/// every row having at least one 1 outside the probed column (so that l_i
+/// itself stays attached and the query isolates exactly the probed bit).
+VcLowerBoundInstance MakeVcLowerBoundInstance(size_t k, size_t n_r,
+                                              uint64_t seed);
+
+struct SfstLowerBoundInstance {
+  size_t n = 0;  // matrix dimension; graph has 4n vertices
+  Graph graph;   // Alice's edges plus Bob's {u_i, v_i}
+  size_t bit_i = 0, bit_j = 0;
+  bool bit_value = false;
+  VertexId u_i = 0, v_i = 0;  // Bob's edge endpoints
+  VertexId t_j = 0, w_j = 0;  // the witness neighbours for bit (i, j)
+};
+
+/// Theorem 21 instance: T u U u V u W blocks of n vertices each; Alice adds
+/// {t_k, u_l} and {v_l, w_k} iff x_{l,k} = 1; Bob adds {u_i, v_i}. In any
+/// SFST rooted anywhere, x_{i,j} = 1 iff {t_j, u_i} or {v_i, w_j} is a tree
+/// edge (all neighbours of u_i or of v_i are adopted when first scanned).
+SfstLowerBoundInstance MakeSfstLowerBoundInstance(size_t n, uint64_t seed);
+
+}  // namespace gms
+
+#endif  // GMS_VERTEXCONN_LOWER_BOUND_H_

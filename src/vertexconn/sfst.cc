@@ -1,0 +1,102 @@
+#include "vertexconn/sfst.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/traversal.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+Graph ScanFirstSearchTree(const Graph& g, VertexId root, uint64_t seed) {
+  size_t n = g.NumVertices();
+  GMS_CHECK(root < n);
+  Rng rng(seed);
+  Graph tree(n);
+  std::vector<bool> marked(n, false), scanned(n, false);
+  std::vector<VertexId> frontier;  // marked but unscanned
+  marked[root] = true;
+  frontier.push_back(root);
+  while (!frontier.empty()) {
+    // Scan an arbitrary marked-but-unscanned vertex (seeded choice).
+    size_t pick = rng.Below(frontier.size());
+    VertexId x = frontier[pick];
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+    scanned[x] = true;
+    for (VertexId y : g.Neighbors(x)) {
+      if (!marked[y]) {
+        marked[y] = true;
+        tree.AddEdge(x, y);
+        frontier.push_back(y);
+      }
+    }
+  }
+  return tree;
+}
+
+bool IsValidScanFirstTree(const Graph& g, const Graph& tree, VertexId root) {
+  size_t n = g.NumVertices();
+  if (tree.NumVertices() != n) return false;
+  // Tree edges must exist in g.
+  for (const Edge& e : tree.Edges()) {
+    if (!g.HasEdge(e)) return false;
+  }
+  // Tree must span root's component: orient it away from the root by BFS.
+  std::vector<int64_t> parent(n, -2);
+  parent[root] = -1;
+  std::vector<VertexId> order = {root};
+  for (size_t head = 0; head < order.size(); ++head) {
+    VertexId x = order[head];
+    for (VertexId y : tree.Neighbors(x)) {
+      if (parent[y] == -2) {
+        parent[y] = x;
+        order.push_back(y);
+      }
+    }
+  }
+  auto comp = ConnectedComponents(g);
+  size_t comp_size = 0;
+  for (VertexId v = 0; v < n; ++v) comp_size += comp[v] == comp[root] ? 1 : 0;
+  if (order.size() != comp_size) return false;
+  if (tree.NumEdges() != comp_size - 1) return false;
+
+  // Greedy replay: scanning x is legal once every g-neighbour of x that is
+  // NOT an x-child in the tree has been marked; then the unmarked
+  // neighbours (= exactly the x-children) get marked. Greedy is safe
+  // because eligibility is monotone (children can only be marked by their
+  // own tree parent).
+  std::vector<bool> marked(n, false), scanned(n, false);
+  marked[root] = true;
+  size_t scanned_count = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (VertexId x : order) {
+      if (!marked[x] || scanned[x]) continue;
+      bool eligible = true;
+      for (VertexId y : g.Neighbors(x)) {
+        bool is_child = tree.HasEdge(x, y) && parent[y] == x;
+        if (!is_child && !marked[y]) {
+          eligible = false;
+          break;
+        }
+      }
+      if (!eligible) continue;
+      scanned[x] = true;
+      ++scanned_count;
+      for (VertexId y : g.Neighbors(x)) {
+        if (!marked[y]) {
+          // Must be adopted as a child right now.
+          if (!(tree.HasEdge(x, y) && parent[y] == x)) return false;
+          marked[y] = true;
+        }
+      }
+      progress = true;
+    }
+  }
+  return scanned_count == order.size();
+}
+
+}  // namespace gms

@@ -1,0 +1,29 @@
+// Scan-first search trees (Appendix A): the offline algorithm, plus a
+// validity checker. Cheriyan-Kao-Thurimella show unions of k SFSTs certify
+// k-vertex-connectivity; Theorem 21 proves no small-space stream algorithm
+// can construct one, which is why Section 3 abandons this route.
+#ifndef GMS_VERTEXCONN_SFST_H_
+#define GMS_VERTEXCONN_SFST_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace gms {
+
+/// Offline scan-first search from `root` (seeded arbitrary choices): scan a
+/// marked-but-unscanned vertex, adding its edges to UNMARKED neighbours and
+/// marking them, until none remain. Returns the tree of the root's
+/// component (other components untouched).
+Graph ScanFirstSearchTree(const Graph& g, VertexId root, uint64_t seed);
+
+/// Checks the defining property used by Theorem 21's reduction: for every
+/// non-leaf... precisely, that `tree` is a spanning tree of root's
+/// component in which some scan order explains every edge. We verify the
+/// simulatable characterization: a BFS-like replay in which each tree
+/// vertex's children are exactly its unmarked neighbours at scan time.
+bool IsValidScanFirstTree(const Graph& g, const Graph& tree, VertexId root);
+
+}  // namespace gms
+
+#endif  // GMS_VERTEXCONN_SFST_H_

@@ -1,0 +1,104 @@
+#include "vertexconn/vc_query_sketch.h"
+
+#include <cmath>
+
+#include "graph/traversal.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace gms {
+
+SubsampledForestUnion::SubsampledForestUnion(size_t n, size_t k,
+                                             size_t r_subgraphs, uint64_t seed,
+                                             const ForestSketchParams& params)
+    : n_(n), k_(k), covered_(n, false) {
+  GMS_CHECK(k >= 1);
+  GMS_CHECK(r_subgraphs >= 1);
+  Rng rng(seed);
+  kept_.reserve(r_subgraphs);
+  sketches_.reserve(r_subgraphs);
+  for (size_t i = 0; i < r_subgraphs; ++i) {
+    std::vector<bool> kept(n, false);
+    for (VertexId v = 0; v < n; ++v) {
+      // Delete with probability 1 - 1/k, i.e. keep with probability 1/k.
+      if (rng.Bernoulli(1.0 / static_cast<double>(k))) {
+        kept[v] = true;
+        covered_[v] = true;
+      }
+    }
+    kept_.push_back(kept);
+    sketches_.emplace_back(n, /*max_rank=*/2, rng.Fork(), params, &kept_[i]);
+  }
+}
+
+void SubsampledForestUnion::Update(const Edge& e, int delta) {
+  Hyperedge he(e);
+  for (size_t i = 0; i < sketches_.size(); ++i) {
+    if (kept_[i][e.u()] && kept_[i][e.v()]) {
+      sketches_[i].Update(he, delta);
+    }
+  }
+}
+
+void SubsampledForestUnion::Process(const DynamicStream& stream) {
+  for (const auto& u : stream) {
+    GMS_CHECK_MSG(u.edge.IsGraphEdge(),
+                  "vertex-connectivity sketches take graph streams");
+    Update(u.edge.AsEdge(), u.delta);
+  }
+}
+
+Result<Graph> SubsampledForestUnion::BuildUnionGraph() const {
+  Graph h(n_);
+  for (const auto& sketch : sketches_) {
+    auto forest = sketch.ExtractSpanningGraph();
+    if (!forest.ok()) return forest.status();
+    for (const auto& e : forest->Edges()) h.AddEdge(e.AsEdge());
+  }
+  return h;
+}
+
+size_t SubsampledForestUnion::NumUncovered() const {
+  size_t count = 0;
+  for (bool c : covered_) count += c ? 0 : 1;
+  return count;
+}
+
+size_t SubsampledForestUnion::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& sketch : sketches_) total += sketch.MemoryBytes();
+  return total;
+}
+
+size_t VcQueryParams::ResolveR(size_t n) const {
+  if (explicit_r > 0) return explicit_r;
+  double paper_r = 16.0 * static_cast<double>(k) * static_cast<double>(k) *
+                   std::log(static_cast<double>(std::max<size_t>(n, 2)));
+  size_t r = static_cast<size_t>(std::ceil(r_multiplier * paper_r));
+  return std::max<size_t>(r, 1);
+}
+
+VcQuerySketch::VcQuerySketch(size_t n, const VcQueryParams& params,
+                             uint64_t seed)
+    : params_(params),
+      forests_(n, params.k, params.ResolveR(n), seed, params.forest) {}
+
+Status VcQuerySketch::Finalize() {
+  auto h = forests_.BuildUnionGraph();
+  if (!h.ok()) return h.status();
+  h_ = std::move(*h);
+  finalized_ = true;
+  return Status::OK();
+}
+
+Result<bool> VcQuerySketch::Disconnects(const std::vector<VertexId>& s) const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("call Finalize() after the stream");
+  }
+  if (s.size() > params_.k) {
+    return Status::InvalidArgument("query set larger than the sketch's k");
+  }
+  return !IsConnectedExcluding(h_, s);
+}
+
+}  // namespace gms

@@ -1,0 +1,101 @@
+// Vertex-connectivity query sketches (Section 3.1, Theorem 4).
+//
+// For i = 1..R (paper: R = 16 k^2 ln n), G_i keeps each vertex with
+// probability 1/k; the sketch maintains a spanning-forest sketch of each
+// G_i (an edge enters sketch i iff both endpoints were kept). At query
+// time H = T_1 u ... u T_R is assembled once, and by Lemma 3, for ANY set
+// S of at most k vertices, H \ S is connected iff G \ S is connected whp.
+// Total space O(kn polylog n): each G_i has ~n/k sketched vertices.
+#ifndef GMS_VERTEXCONN_VC_QUERY_SKETCH_H_
+#define GMS_VERTEXCONN_VC_QUERY_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "connectivity/spanning_forest_sketch.h"
+#include "graph/graph.h"
+#include "stream/stream.h"
+
+namespace gms {
+
+/// Shared substrate for Theorems 4 and 8: R vertex-subsampled spanning-
+/// forest sketches plus assembly of the union graph H.
+class SubsampledForestUnion {
+ public:
+  /// keep probability 1/k; R independent subsamples.
+  SubsampledForestUnion(size_t n, size_t k, size_t r_subgraphs, uint64_t seed,
+                        const ForestSketchParams& params);
+
+  size_t n() const { return n_; }
+  size_t k() const { return k_; }
+  size_t R() const { return sketches_.size(); }
+
+  void Update(const Edge& e, int delta);
+  void Process(const DynamicStream& stream);
+
+  /// H = union of one extracted spanning forest per subsample.
+  Result<Graph> BuildUnionGraph() const;
+
+  /// covered[v]: v was kept in at least one subsample (vertices never
+  /// covered are invisible to H; with the paper's R this happens with
+  /// probability <= n^{-(16k-1)}).
+  const std::vector<bool>& covered() const { return covered_; }
+  size_t NumUncovered() const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  size_t n_;
+  size_t k_;
+  std::vector<std::vector<bool>> kept_;  // kept_[i][v]
+  std::vector<bool> covered_;
+  std::vector<SpanningForestSketch> sketches_;
+};
+
+struct VcQueryParams {
+  size_t k = 2;  // max queried separator size
+  /// Multiplier on the paper's R = 16 k^2 ln n (1.0 = paper constants;
+  /// benchmarks sweep this to locate the empirical success threshold).
+  double r_multiplier = 1.0;
+  /// If nonzero, overrides R entirely.
+  size_t explicit_r = 0;
+  ForestSketchParams forest;
+
+  size_t ResolveR(size_t n) const;
+};
+
+/// Theorem 4: after one pass over a dynamic edge stream, answers "does
+/// removing S (|S| <= k) disconnect the graph?" for any query set S chosen
+/// AFTER the stream.
+class VcQuerySketch {
+ public:
+  VcQuerySketch(size_t n, const VcQueryParams& params, uint64_t seed);
+
+  void Update(const Edge& e, int delta) { forests_.Update(e, delta); }
+  void Process(const DynamicStream& stream) { forests_.Process(stream); }
+
+  /// Assemble H once; call after the stream ends, then query repeatedly.
+  Status Finalize();
+
+  /// Whether removing S disconnects the graph (Lemma 3 semantics: the
+  /// surviving vertices fail to be mutually connected). Requires
+  /// Finalize(); |S| must be <= k.
+  Result<bool> Disconnects(const std::vector<VertexId>& s) const;
+
+  /// The assembled union graph H (valid after Finalize()).
+  const Graph& union_graph() const { return h_; }
+
+  size_t R() const { return forests_.R(); }
+  size_t k() const { return params_.k; }
+  size_t MemoryBytes() const { return forests_.MemoryBytes(); }
+
+ private:
+  VcQueryParams params_;
+  SubsampledForestUnion forests_;
+  Graph h_;
+  bool finalized_ = false;
+};
+
+}  // namespace gms
+
+#endif  // GMS_VERTEXCONN_VC_QUERY_SKETCH_H_

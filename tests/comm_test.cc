@@ -1,0 +1,60 @@
+// Tests for the simultaneous-communication protocol simulation.
+#include <gtest/gtest.h>
+
+#include "comm/simultaneous.h"
+#include "graph/generators.h"
+
+namespace gms {
+namespace {
+
+TEST(CommTest, ConnectedGraphAnsweredCorrectly) {
+  Hypergraph h = Hypergraph::FromGraph(UnionOfHamiltonianCycles(32, 2, 1));
+  auto report = RunSimultaneousConnectivity(h, 42);
+  EXPECT_TRUE(report.correct);
+  EXPECT_TRUE(report.referee_answer_connected);
+  EXPECT_EQ(report.num_players, 32u);
+}
+
+TEST(CommTest, DisconnectedGraphAnsweredCorrectly) {
+  Hypergraph h(20);
+  for (VertexId i = 0; i + 1 < 10; ++i) {
+    h.AddEdge(Hyperedge{i, static_cast<VertexId>(i + 1)});
+  }
+  for (VertexId i = 10; i + 1 < 20; ++i) {
+    h.AddEdge(Hyperedge{i, static_cast<VertexId>(i + 1)});
+  }
+  auto report = RunSimultaneousConnectivity(h, 43);
+  EXPECT_TRUE(report.correct);
+  EXPECT_FALSE(report.referee_answer_connected);
+  EXPECT_EQ(report.referee_components, 2u);
+}
+
+TEST(CommTest, HypergraphPlayers) {
+  Hypergraph h = HyperCycle(18, 3);
+  auto report = RunSimultaneousConnectivity(h, 44);
+  EXPECT_TRUE(report.correct);
+  EXPECT_TRUE(report.referee_answer_connected);
+}
+
+TEST(CommTest, MessageSizePolylog) {
+  // Per-player message bytes must grow far slower than n: compare n=32 vs
+  // n=256 -- an 8x vertex growth should well under 8x the message (it is
+  // polylog: rounds x levels x cells).
+  Hypergraph small = Hypergraph::FromGraph(CycleGraph(32));
+  Hypergraph large = Hypergraph::FromGraph(CycleGraph(256));
+  auto rs = RunSimultaneousConnectivity(small, 45);
+  auto rl = RunSimultaneousConnectivity(large, 46);
+  EXPECT_LT(static_cast<double>(rl.per_player_bytes),
+            3.0 * static_cast<double>(rs.per_player_bytes));
+  EXPECT_TRUE(rl.correct);
+}
+
+TEST(CommTest, TotalBytesIsPlayersTimesMessage) {
+  Hypergraph h = Hypergraph::FromGraph(CycleGraph(24));
+  auto report = RunSimultaneousConnectivity(h, 47);
+  EXPECT_NEAR(static_cast<double>(report.total_bytes),
+              static_cast<double>(report.per_player_bytes * 24), 24.0 * 64);
+}
+
+}  // namespace
+}  // namespace gms

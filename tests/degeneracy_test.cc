@@ -1,0 +1,96 @@
+// Tests for degeneracy, cut-degeneracy (Definition 9), Lemma 10's strict
+// separation, and the LightCompleteness threshold.
+#include <gtest/gtest.h>
+
+#include "exact/degeneracy.h"
+#include "exact/strength.h"
+#include "graph/generators.h"
+
+namespace gms {
+namespace {
+
+TEST(DegeneracyTest, KnownFamilies) {
+  EXPECT_EQ(Degeneracy(PathGraph(6)), 1u);
+  EXPECT_EQ(Degeneracy(RandomTree(20, 1)), 1u);
+  EXPECT_EQ(Degeneracy(CycleGraph(6)), 2u);
+  EXPECT_EQ(Degeneracy(CompleteGraph(5)), 4u);
+  EXPECT_EQ(Degeneracy(CompleteBipartite(3, 7)), 3u);
+}
+
+TEST(DegeneracyTest, HypergraphPeeling) {
+  Hypergraph h = HyperCycle(8, 3);
+  // Every vertex has degree 3; removing one vertex kills 3 hyperedges and
+  // drops neighbours' degrees.
+  EXPECT_EQ(Degeneracy(h), 3u);
+  Hypergraph single(4);
+  single.AddEdge(Hyperedge{0, 1, 2, 3});
+  EXPECT_EQ(Degeneracy(single), 1u);
+}
+
+TEST(DegeneracyTest, IsDDegenerate) {
+  Graph g = CycleGraph(5);
+  EXPECT_FALSE(IsDDegenerate(g, 1));
+  EXPECT_TRUE(IsDDegenerate(g, 2));
+  EXPECT_TRUE(IsDDegenerate(g, 3));
+}
+
+TEST(Lemma10Test, DegeneracyImpliesCutDegeneracy) {
+  // Check d-cut-degeneracy <= d-degeneracy on small random graphs.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = ErdosRenyi(9, 0.35, 900 + seed);
+    EXPECT_LE(CutDegeneracyBrute(g), Degeneracy(g)) << "seed=" << seed;
+  }
+}
+
+TEST(Lemma10Test, WitnessSeparatesTheNotions) {
+  // The paper's 8-vertex witness: minimum degree 3 (hence not 2-degenerate)
+  // but 2-cut-degenerate.
+  Graph g = Lemma10Witness();
+  EXPECT_FALSE(IsDDegenerate(g, 2));
+  EXPECT_EQ(CutDegeneracyBrute(g), 2u);
+}
+
+TEST(CutDegeneracyTest, KnownFamilies) {
+  EXPECT_EQ(CutDegeneracyBrute(PathGraph(6)), 1u);
+  EXPECT_EQ(CutDegeneracyBrute(CycleGraph(6)), 2u);
+  EXPECT_EQ(CutDegeneracyBrute(CompleteGraph(5)), 4u);
+}
+
+TEST(CutDegeneracyTest, HypergraphWitness) {
+  Hypergraph h = HyperCycle(7, 3);
+  size_t cd = CutDegeneracyBrute(h);
+  EXPECT_GE(cd, 2u);
+  EXPECT_LE(cd, Degeneracy(h));
+}
+
+TEST(LightCompletenessTest, MatchesReconstructionThreshold) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = ErdosRenyi(10, 0.4, 950 + seed);
+    if (g.NumEdges() == 0) continue;
+    Hypergraph h = Hypergraph::FromGraph(g);
+    size_t d = LightCompleteness(h);
+    EXPECT_EQ(OfflineLightEdges(h, d).residual.NumEdges(), 0u);
+    if (d > 1) {
+      EXPECT_GT(OfflineLightEdges(h, d - 1).residual.NumEdges(), 0u);
+    }
+  }
+}
+
+TEST(LightCompletenessTest, AtMostCutDegeneracy) {
+  // Section 4.2.1: d-cut-degenerate => light_d = E, so the completeness
+  // threshold is bounded by the cut-degeneracy.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = ErdosRenyi(9, 0.4, 970 + seed);
+    if (g.NumEdges() == 0) continue;
+    Hypergraph h = Hypergraph::FromGraph(g);
+    EXPECT_LE(LightCompleteness(h), CutDegeneracyBrute(g)) << "seed=" << seed;
+  }
+}
+
+TEST(LightCompletenessTest, WitnessReconstructsAtTwo) {
+  Hypergraph h = Hypergraph::FromGraph(Lemma10Witness());
+  EXPECT_LE(LightCompleteness(h), 2u);
+}
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,112 @@
+// Tests for the Dinic max-flow substrate.
+#include <gtest/gtest.h>
+
+#include "exact/dinic.h"
+#include "exact/lambda.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace gms {
+namespace {
+
+TEST(DinicTest, SingleArc) {
+  Dinic net(2);
+  net.AddArc(0, 1, 5);
+  EXPECT_EQ(net.MaxFlow(0, 1), 5);
+}
+
+TEST(DinicTest, SeriesBottleneck) {
+  Dinic net(3);
+  net.AddArc(0, 1, 5);
+  net.AddArc(1, 2, 3);
+  EXPECT_EQ(net.MaxFlow(0, 2), 3);
+}
+
+TEST(DinicTest, ParallelPathsAdd) {
+  Dinic net(4);
+  net.AddArc(0, 1, 2);
+  net.AddArc(1, 3, 2);
+  net.AddArc(0, 2, 3);
+  net.AddArc(2, 3, 3);
+  EXPECT_EQ(net.MaxFlow(0, 3), 5);
+}
+
+TEST(DinicTest, ClassicTextbookNetwork) {
+  // CLRS figure: max flow 23.
+  Dinic net(6);
+  net.AddArc(0, 1, 16);
+  net.AddArc(0, 2, 13);
+  net.AddArc(1, 2, 10);
+  net.AddArc(2, 1, 4);
+  net.AddArc(1, 3, 12);
+  net.AddArc(3, 2, 9);
+  net.AddArc(2, 4, 14);
+  net.AddArc(4, 3, 7);
+  net.AddArc(3, 5, 20);
+  net.AddArc(4, 5, 4);
+  EXPECT_EQ(net.MaxFlow(0, 5), 23);
+}
+
+TEST(DinicTest, DisconnectedIsZero) {
+  Dinic net(4);
+  net.AddArc(0, 1, 10);
+  net.AddArc(2, 3, 10);
+  EXPECT_EQ(net.MaxFlow(0, 3), 0);
+}
+
+TEST(DinicTest, LimitCapsComputation) {
+  Dinic net(2);
+  net.AddArc(0, 1, 1000);
+  EXPECT_EQ(net.MaxFlow(0, 1, 7), 7);
+}
+
+TEST(DinicTest, UndirectedEdgesCarryBothWays) {
+  Dinic net(3);
+  net.AddUndirected(0, 1, 1);
+  net.AddUndirected(1, 2, 1);
+  EXPECT_EQ(net.MaxFlow(0, 2), 1);
+  Dinic net2(3);
+  net2.AddUndirected(0, 1, 1);
+  net2.AddUndirected(1, 2, 1);
+  EXPECT_EQ(net2.MaxFlow(2, 0), 1);  // symmetric
+}
+
+TEST(DinicTest, MinCutSourceSideIsACut) {
+  Dinic net(6);
+  net.AddArc(0, 1, 3);
+  net.AddArc(0, 2, 2);
+  net.AddArc(1, 3, 1);
+  net.AddArc(2, 3, 4);
+  net.AddArc(3, 4, 10);
+  net.AddArc(4, 5, 2);
+  int64_t flow = net.MaxFlow(0, 5);
+  auto side = net.MinCutSourceSide(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[5]);
+  EXPECT_EQ(flow, 2);
+}
+
+TEST(DinicTest, MatchesEdgeCutOnRandomGraphs) {
+  // Cross-check: min u-v edge cut computed by Dinic equals the brute-force
+  // minimum over all u-v separating bipartitions, on tiny random graphs.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = ErdosRenyi(9, 0.4, seed);
+    VertexId u = 0, v = 8;
+    int64_t flow = MinEdgeCutBetween(g, u, v);
+    // Brute force over bipartitions with u on one side, v on the other.
+    int64_t best = INT64_MAX;
+    size_t n = g.NumVertices();
+    for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+      if (((mask >> u) & 1) != 1 || ((mask >> v) & 1) != 0) continue;
+      int64_t cut = 0;
+      for (const Edge& e : g.Edges()) {
+        if (((mask >> e.u()) & 1) != ((mask >> e.v()) & 1)) ++cut;
+      }
+      best = std::min(best, cut);
+    }
+    EXPECT_EQ(flow, best) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,146 @@
+// Property tests for the combinadic hyperedge <-> index codec.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/edge_codec.h"
+#include "util/random.h"
+
+namespace gms {
+namespace {
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(Binomial(5, 0), 1u);
+  EXPECT_EQ(Binomial(5, 1), 5u);
+  EXPECT_EQ(Binomial(5, 2), 10u);
+  EXPECT_EQ(Binomial(5, 5), 1u);
+  EXPECT_EQ(Binomial(5, 6), 0u);
+  EXPECT_EQ(Binomial(0, 0), 1u);
+}
+
+TEST(BinomialTest, PascalIdentity) {
+  for (uint64_t m = 1; m < 40; ++m) {
+    for (unsigned j = 1; j <= 8 && j <= m; ++j) {
+      EXPECT_EQ(Binomial(m, j), Binomial(m - 1, j - 1) + Binomial(m - 1, j));
+    }
+  }
+}
+
+TEST(BinomialTest, LargeValuesExact) {
+  // C(100000, 4) = 100000*99999*99998*99997/24.
+  u128 expect = static_cast<u128>(100000) * 99999 / 2 * 99998 / 3 * 99997 / 4;
+  EXPECT_EQ(Binomial(100000, 4), expect);
+}
+
+TEST(EdgeCodecTest, DomainSizes) {
+  EdgeCodec c2(10, 2);
+  EXPECT_EQ(c2.DomainSize(), 45u);  // C(10,2)
+  EdgeCodec c3(10, 3);
+  EXPECT_EQ(c3.DomainSize(), 45u + 120u);  // + C(10,3)
+  EdgeCodec c4(6, 4);
+  EXPECT_EQ(c4.DomainSize(), 15u + 20u + 15u);
+}
+
+TEST(EdgeCodecTest, ExhaustiveRoundTripSmall) {
+  EdgeCodec codec(7, 4);
+  std::set<std::string> seen;
+  for (u128 idx = 0; idx < codec.DomainSize(); ++idx) {
+    auto e = codec.Decode(idx);
+    ASSERT_TRUE(e.ok()) << U128ToString(idx);
+    EXPECT_EQ(codec.Encode(*e), idx);
+    seen.insert(e->ToString());
+  }
+  // All indices decode to distinct hyperedges: a bijection.
+  EXPECT_EQ(static_cast<u128>(seen.size()), codec.DomainSize());
+}
+
+TEST(EdgeCodecTest, GraphEdgesRoundTrip) {
+  EdgeCodec codec(100, 2);
+  for (VertexId u = 0; u < 100; u += 7) {
+    for (VertexId v = u + 1; v < 100; v += 5) {
+      Hyperedge e{u, v};
+      auto back = codec.Decode(codec.Encode(e));
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(*back, e);
+    }
+  }
+}
+
+TEST(EdgeCodecTest, RandomRoundTripLargeDomain) {
+  const size_t n = 50000;
+  EdgeCodec codec(n, 5);
+  Rng rng(42);
+  for (int t = 0; t < 500; ++t) {
+    size_t r = 2 + rng.Below(4);
+    std::vector<VertexId> vs;
+    while (vs.size() < r) {
+      VertexId v = static_cast<VertexId>(rng.Below(n));
+      bool dup = false;
+      for (VertexId w : vs) dup |= w == v;
+      if (!dup) vs.push_back(v);
+    }
+    Hyperedge e(vs);
+    u128 idx = codec.Encode(e);
+    ASSERT_LT(idx, codec.DomainSize());
+    auto back = codec.Decode(idx);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, e);
+  }
+}
+
+TEST(EdgeCodecTest, OutOfRangeIndexRejected) {
+  EdgeCodec codec(10, 3);
+  auto r = codec.Decode(codec.DomainSize());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeCodecTest, SizeBlocksAreContiguous) {
+  EdgeCodec codec(9, 3);
+  // First C(9,2) indices are pairs, the rest triples.
+  u128 pairs = Binomial(9, 2);
+  for (u128 idx = 0; idx < codec.DomainSize(); ++idx) {
+    auto e = codec.Decode(idx);
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(e->size(), idx < pairs ? 2u : 3u);
+  }
+}
+
+// Parameterized sweep: round trip over (n, r) combinations.
+class CodecSweep : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {
+};
+
+TEST_P(CodecSweep, EncodeDecodeBijectionOnSample) {
+  auto [n, r] = GetParam();
+  EdgeCodec codec(n, r);
+  Rng rng(n * 31 + r);
+  std::set<std::string> edges;
+  std::set<std::string> indices;
+  for (int t = 0; t < 300; ++t) {
+    size_t size = 2 + rng.Below(r - 1);
+    std::vector<VertexId> vs;
+    while (vs.size() < size) {
+      VertexId v = static_cast<VertexId>(rng.Below(n));
+      bool dup = false;
+      for (VertexId w : vs) dup |= w == v;
+      if (!dup) vs.push_back(v);
+    }
+    Hyperedge e(vs);
+    u128 idx = codec.Encode(e);
+    auto back = codec.Decode(idx);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, e);
+    bool new_edge = edges.insert(e.ToString()).second;
+    bool new_index = indices.insert(U128ToString(idx)).second;
+    EXPECT_EQ(new_edge, new_index);  // injectivity on the sample
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CodecSweep,
+    ::testing::Values(std::make_tuple(16, 3), std::make_tuple(64, 4),
+                      std::make_tuple(256, 3), std::make_tuple(1024, 5),
+                      std::make_tuple(4096, 4)));
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,90 @@
+// Tests for the Eppstein et al. insert-only baseline: it works on
+// insert-only streams, respects the O(kn) space bound, and demonstrably
+// BREAKS under deletions (the motivating observation of Section 1.1).
+#include <gtest/gtest.h>
+
+#include "exact/vertex_connectivity.h"
+#include "graph/generators.h"
+#include "vertexconn/eppstein_baseline.h"
+
+namespace gms {
+namespace {
+
+TEST(EppsteinTest, InsertOnlyCertifiesConnectivity) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Graph g = UnionOfHamiltonianCycles(24, 3, 60 + seed);
+    size_t kappa = VertexConnectivity(g);
+    for (size_t k = 1; k <= 3; ++k) {
+      EppsteinCertificate cert(24, k);
+      cert.Process(DynamicStream::InsertOnly(g, seed));
+      // min(k, kappa(cert)) = min(k, kappa(G)).
+      size_t cert_kappa = VertexConnectivity(cert.certificate());
+      EXPECT_EQ(std::min(k, cert_kappa), std::min(k, kappa))
+          << "seed=" << seed << " k=" << k;
+      EXPECT_EQ(cert.CertifiesKConnectivity(), kappa >= k);
+    }
+  }
+}
+
+TEST(EppsteinTest, SpaceStaysNearKn) {
+  Graph g = CompleteGraph(24);  // 276 edges
+  EppsteinCertificate cert(24, 2);
+  cert.Process(DynamicStream::InsertOnly(g, 1));
+  // The certificate keeps O(kn) edges: for k=2 far fewer than all 276.
+  EXPECT_LE(cert.StoredEdges(), 2u * 24u);
+  EXPECT_GT(cert.DroppedEdges(), 150u);
+}
+
+TEST(EppsteinTest, DroppedEdgesAreRedundantInsertOnly) {
+  Graph g = CompleteBipartite(6, 6);
+  EppsteinCertificate cert(12, 3);
+  cert.Process(DynamicStream::InsertOnly(g, 2));
+  EXPECT_TRUE(cert.CertifiesKConnectivity());
+  EXPECT_TRUE(IsKVertexConnected(g, 3));
+}
+
+TEST(EppsteinTest, DeletionsBreakTheCertificate) {
+  // Adversarial pattern: stream a dense graph, let the baseline drop
+  // edges, then delete the stored witnesses. The baseline believes
+  // connectivity survives (it cannot recall dropped edges) while the true
+  // graph is disconnected -- or vice versa the certificate answer diverges
+  // from the truth.
+  size_t n = 14;
+  Graph full = CompleteGraph(n);
+  EppsteinCertificate cert(n, 2);
+  cert.Process(DynamicStream::InsertOnly(full, 3));
+  ASSERT_GT(cert.DroppedEdges(), 0u);
+  // Delete every edge the certificate stored.
+  Graph stored = cert.certificate();
+  Graph remaining = full;
+  for (const Edge& e : stored.Edges()) {
+    cert.Delete(e);
+    remaining.RemoveEdge(e);
+  }
+  // Truth: the remaining graph (only the dropped edges) is typically still
+  // well-connected; the certificate is now empty and reports kappa = 0.
+  EXPECT_EQ(cert.StoredEdges(), 0u);
+  EXPECT_FALSE(cert.CertifiesKConnectivity());
+  EXPECT_TRUE(IsKVertexConnected(remaining, 2))
+      << "the adversarial instance should leave a 2-connected remainder";
+  // The baseline's answer disagrees with the truth: the failure mode.
+  EXPECT_NE(cert.CertifiesKConnectivity(), IsKVertexConnected(remaining, 2));
+}
+
+TEST(EppsteinTest, DuplicateInsertIgnored) {
+  EppsteinCertificate cert(6, 2);
+  EXPECT_TRUE(cert.Insert(Edge(0, 1)));
+  EXPECT_FALSE(cert.Insert(Edge(0, 1)));
+  EXPECT_EQ(cert.StoredEdges(), 1u);
+}
+
+TEST(EppsteinTest, MemoryAccountingMonotone) {
+  EppsteinCertificate cert(10, 2);
+  size_t before = cert.MemoryBytes();
+  cert.Insert(Edge(0, 1));
+  cert.Insert(Edge(2, 3));
+  EXPECT_GT(cert.MemoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,180 @@
+// Cross-validation of the exact connectivity algorithms: Even-Tarjan vertex
+// connectivity vs. brute force, Stoer-Wagner vs. cut enumeration, the
+// hypergraph min-cut MA algorithm vs. brute force.
+#include <gtest/gtest.h>
+
+#include "exact/hypergraph_mincut.h"
+#include "exact/stoer_wagner.h"
+#include "exact/vertex_connectivity.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+
+namespace gms {
+namespace {
+
+TEST(VertexConnectivityTest, KnownFamilies) {
+  EXPECT_EQ(VertexConnectivity(CompleteGraph(6)), 5u);
+  EXPECT_EQ(VertexConnectivity(CycleGraph(8)), 2u);
+  EXPECT_EQ(VertexConnectivity(PathGraph(8)), 1u);
+  EXPECT_EQ(VertexConnectivity(StarGraph(8)), 1u);
+  EXPECT_EQ(VertexConnectivity(CompleteBipartite(3, 5)), 3u);
+}
+
+TEST(VertexConnectivityTest, DisconnectedAndTiny) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(VertexConnectivity(g), 0u);
+  EXPECT_EQ(VertexConnectivity(Graph(1)), 0u);
+  EXPECT_EQ(VertexConnectivity(Graph(0)), 0u);
+  Graph k2(2);
+  k2.AddEdge(0, 1);
+  EXPECT_EQ(VertexConnectivity(k2), 1u);
+}
+
+TEST(VertexConnectivityTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Graph g = ErdosRenyi(9, 0.35 + 0.03 * static_cast<double>(seed), seed);
+    EXPECT_EQ(VertexConnectivity(g), VertexConnectivityBrute(g))
+        << "seed=" << seed;
+  }
+}
+
+TEST(VertexConnectivityTest, DecisionVersionAgrees) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = ErdosRenyi(10, 0.5, 100 + seed);
+    size_t kappa = VertexConnectivity(g);
+    for (size_t k = 0; k <= kappa + 1; ++k) {
+      EXPECT_EQ(IsKVertexConnected(g, k), k <= kappa)
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(VertexConnectivityTest, MinimumVertexCutIsValid) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = ErdosRenyi(10, 0.4, 200 + seed);
+    if (!IsConnected(g)) continue;
+    auto cut = MinimumVertexCut(g);
+    size_t kappa = VertexConnectivity(g);
+    if (!cut.has_value()) {
+      EXPECT_EQ(kappa, g.NumVertices() - 1);  // complete
+      continue;
+    }
+    EXPECT_EQ(cut->size(), kappa);
+    EXPECT_FALSE(IsConnectedExcluding(g, *cut));
+  }
+}
+
+TEST(VertexConnectivityTest, PlantedSeparatorsFoundExactly) {
+  for (size_t k = 1; k <= 4; ++k) {
+    auto planted = PlantedSeparator(36, k, 55 + k);
+    EXPECT_EQ(VertexConnectivity(planted.graph), k);
+    EXPECT_TRUE(IsKVertexConnected(planted.graph, k));
+    EXPECT_FALSE(IsKVertexConnected(planted.graph, k + 1));
+  }
+}
+
+TEST(VertexDisjointPathsTest, MengerOnKnownGraph) {
+  // Two disjoint paths 0-1-3 and 0-2-3 in the 4-cycle.
+  Graph c4 = CycleGraph(4);
+  EXPECT_EQ(VertexDisjointPaths(c4, 0, 2), 2);
+}
+
+TEST(StoerWagnerTest, KnownFamilies) {
+  EXPECT_EQ(EdgeConnectivity(CompleteGraph(7)), 6u);
+  EXPECT_EQ(EdgeConnectivity(CycleGraph(9)), 2u);
+  EXPECT_EQ(EdgeConnectivity(PathGraph(9)), 1u);
+  Graph disconnected(4);
+  disconnected.AddEdge(0, 1);
+  EXPECT_EQ(EdgeConnectivity(disconnected), 0u);
+}
+
+TEST(StoerWagnerTest, CutSideIsConsistent) {
+  Graph g = CycleGraph(6);
+  auto cut = StoerWagner(g);
+  EXPECT_EQ(cut.value, 2);
+  // The reported side must actually achieve the value.
+  int64_t crossing = 0;
+  for (const Edge& e : g.Edges()) {
+    if (cut.side[e.u()] != cut.side[e.v()]) ++crossing;
+  }
+  EXPECT_EQ(crossing, cut.value);
+}
+
+TEST(StoerWagnerTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = ErdosRenyi(9, 0.45, 300 + seed);
+    auto sw = StoerWagner(g);
+    auto brute = HypergraphMinCutBrute(Hypergraph::FromGraph(g));
+    EXPECT_DOUBLE_EQ(static_cast<double>(sw.value), brute.value)
+        << "seed=" << seed;
+  }
+}
+
+TEST(StoerWagnerTest, WeightedInstance) {
+  // Triangle with one heavy edge: min cut isolates the light corner.
+  std::vector<std::vector<int64_t>> w = {
+      {0, 10, 1}, {10, 0, 1}, {1, 1, 0}};
+  auto cut = StoerWagner(w);
+  EXPECT_EQ(cut.value, 2);
+}
+
+TEST(HypergraphMinCutTest, MatchesBruteForceUniform) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(8, 12, 3, 400 + seed);
+    auto fast = HypergraphMinCut(h);
+    auto brute = HypergraphMinCutBrute(h);
+    EXPECT_DOUBLE_EQ(fast.value, brute.value) << "seed=" << seed;
+    // The reported side achieves the value.
+    EXPECT_DOUBLE_EQ(static_cast<double>(h.CutSize(fast.side)), fast.value);
+  }
+}
+
+TEST(HypergraphMinCutTest, MatchesBruteForceMixedRanks) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Hypergraph h = RandomHypergraph(9, 14, 2, 4, 500 + seed);
+    auto fast = HypergraphMinCut(h);
+    auto brute = HypergraphMinCutBrute(h);
+    EXPECT_DOUBLE_EQ(fast.value, brute.value) << "seed=" << seed;
+  }
+}
+
+TEST(HypergraphMinCutTest, WeightedEdges) {
+  // Two triangles sharing nothing, joined by one heavy and one light
+  // hyperedge: min cut = lighter crossing combination.
+  std::vector<Hyperedge> edges = {
+      Hyperedge{0, 1, 2}, Hyperedge{3, 4, 5}, Hyperedge{0, 3},
+      Hyperedge{1, 4}};
+  std::vector<double> w = {100, 100, 0.5, 0.25};
+  auto cut = HypergraphMinCut(6, edges, w);
+  auto brute = HypergraphMinCutBrute(6, edges, w);
+  EXPECT_DOUBLE_EQ(cut.value, brute.value);
+  EXPECT_DOUBLE_EQ(cut.value, 0.75);
+}
+
+TEST(HypergraphMinCutTest, PlantedCutFound) {
+  auto planted = PlantedHypergraphCut(16, 3, 2, 20, 77);
+  auto cut = HypergraphMinCut(planted.hypergraph);
+  EXPECT_DOUBLE_EQ(cut.value, 2.0);
+}
+
+TEST(HypergraphMinCutTest, DisconnectedYieldsZero) {
+  Hypergraph h(6);
+  h.AddEdge(Hyperedge{0, 1, 2});
+  h.AddEdge(Hyperedge{3, 4, 5});
+  auto cut = HypergraphMinCut(h);
+  EXPECT_DOUBLE_EQ(cut.value, 0.0);
+}
+
+TEST(HypergraphMinCutTest, GraphSpecialCaseAgreesWithStoerWagner) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = ErdosRenyi(12, 0.35, 600 + seed);
+    auto sw = StoerWagner(g);
+    auto hg = HypergraphMinCut(Hypergraph::FromGraph(g));
+    EXPECT_DOUBLE_EQ(static_cast<double>(sw.value), hg.value)
+        << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gms

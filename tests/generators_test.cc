@@ -1,0 +1,110 @@
+// Tests for the workload generators (DESIGN.md Section 4): structural
+// guarantees the experiments rely on.
+#include <gtest/gtest.h>
+
+#include "exact/degeneracy.h"
+#include "exact/stoer_wagner.h"
+#include "exact/vertex_connectivity.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+
+namespace gms {
+namespace {
+
+TEST(GeneratorsTest, DeterministicFamilies) {
+  EXPECT_EQ(PathGraph(5).NumEdges(), 4u);
+  EXPECT_EQ(CycleGraph(5).NumEdges(), 5u);
+  EXPECT_EQ(StarGraph(6).NumEdges(), 5u);
+  EXPECT_EQ(CompleteGraph(6).NumEdges(), 15u);
+  EXPECT_EQ(CompleteBipartite(3, 4).NumEdges(), 12u);
+  EXPECT_TRUE(IsConnected(CycleGraph(9)));
+}
+
+TEST(GeneratorsTest, Lemma10WitnessShape) {
+  Graph g = Lemma10Witness();
+  EXPECT_EQ(g.NumVertices(), 8u);
+  // Min degree 3 (paper: "G has minimum degree 3").
+  EXPECT_EQ(g.MinDegree(), 3u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, CompleteUniformHypergraphCounts) {
+  Hypergraph h = CompleteUniformHypergraph(6, 3);
+  EXPECT_EQ(h.NumEdges(), 20u);  // C(6,3)
+  EXPECT_EQ(h.Rank(), 3u);
+  EXPECT_TRUE(IsConnected(h));
+}
+
+TEST(GeneratorsTest, HyperCycleShape) {
+  Hypergraph h = HyperCycle(10, 3);
+  EXPECT_EQ(h.NumEdges(), 10u);
+  EXPECT_TRUE(IsConnected(h));
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(h.Degree(v), 3u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministicInSeed) {
+  Graph a = ErdosRenyi(30, 0.2, 5);
+  Graph b = ErdosRenyi(30, 0.2, 5);
+  Graph c = ErdosRenyi(30, 0.2, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(GeneratorsTest, GnmExactCount) {
+  Graph g = Gnm(20, 37, 9);
+  EXPECT_EQ(g.NumEdges(), 37u);
+}
+
+TEST(GeneratorsTest, RandomTreeIsTree) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph t = RandomTree(25, seed);
+    EXPECT_EQ(t.NumEdges(), 24u);
+    EXPECT_TRUE(IsConnected(t));
+  }
+}
+
+TEST(GeneratorsTest, HamiltonianCyclesConnectivity) {
+  Graph g = UnionOfHamiltonianCycles(24, 2, 3);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_GE(EdgeConnectivity(g), 2u);
+  EXPECT_GE(VertexConnectivity(g), 2u);
+}
+
+TEST(GeneratorsTest, PlantedSeparatorHasExactConnectivity) {
+  for (size_t k = 1; k <= 3; ++k) {
+    auto planted = PlantedSeparator(30, k, 100 + k);
+    EXPECT_EQ(VertexConnectivity(planted.graph), k) << "k=" << k;
+    EXPECT_EQ(planted.separator.size(), k);
+    // Removing the separator disconnects.
+    EXPECT_FALSE(IsConnectedExcluding(planted.graph, planted.separator));
+    // Sides are nonempty and disjoint from the separator.
+    EXPECT_FALSE(planted.side_a.empty());
+    EXPECT_FALSE(planted.side_b.empty());
+  }
+}
+
+TEST(GeneratorsTest, RandomDDegenerateRespectsBound) {
+  for (size_t d = 1; d <= 4; ++d) {
+    Graph g = RandomDDegenerate(40, d, 17 + d);
+    // Construction adds <= d earlier-neighbours per vertex.
+    EXPECT_LE(Degeneracy(g), d);
+  }
+}
+
+TEST(GeneratorsTest, RandomHypergraphCardinalities) {
+  Hypergraph h = RandomHypergraph(30, 50, 2, 4, 21);
+  EXPECT_EQ(h.NumEdges(), 50u);
+  for (const auto& e : h.Edges()) {
+    EXPECT_GE(e.size(), 2u);
+    EXPECT_LE(e.size(), 4u);
+  }
+}
+
+TEST(GeneratorsTest, PlantedHypergraphCutValue) {
+  auto planted = PlantedHypergraphCut(20, 3, 2, 15, 33);
+  // The planted bipartition has exactly the planted number of crossers.
+  EXPECT_EQ(planted.hypergraph.CutSize(planted.in_s), 2u);
+}
+
+}  // namespace
+}  // namespace gms

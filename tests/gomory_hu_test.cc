@@ -1,0 +1,91 @@
+// Tests for the Gomory-Hu (Gusfield) tree: all-pairs min cuts match direct
+// max-flow computations, and the tree accelerates lambda_e queries.
+#include <gtest/gtest.h>
+
+#include "exact/gomory_hu.h"
+#include "exact/lambda.h"
+#include "exact/stoer_wagner.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+
+namespace gms {
+namespace {
+
+TEST(GomoryHuTest, PathGraph) {
+  Graph g = PathGraph(6);
+  GomoryHuTree tree(g);
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) {
+      EXPECT_EQ(tree.MinCut(u, v), 1);
+    }
+  }
+}
+
+TEST(GomoryHuTest, CompleteGraph) {
+  Graph g = CompleteGraph(7);
+  GomoryHuTree tree(g);
+  for (VertexId u = 0; u < 7; ++u) {
+    for (VertexId v = u + 1; v < 7; ++v) {
+      EXPECT_EQ(tree.MinCut(u, v), 6);
+    }
+  }
+}
+
+TEST(GomoryHuTest, DisconnectedPairsAreZero) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  GomoryHuTree tree(g);
+  EXPECT_EQ(tree.MinCut(0, 3), 0);
+  EXPECT_EQ(tree.MinCut(2, 5), 0);
+  EXPECT_EQ(tree.MinCut(0, 2), 1);
+  EXPECT_EQ(tree.MinCut(3, 4), 1);
+}
+
+TEST(GomoryHuTest, AllPairsMatchDirectFlows) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = ErdosRenyi(11, 0.35, 40 + seed);
+    GomoryHuTree tree(g);
+    for (VertexId u = 0; u < 11; ++u) {
+      for (VertexId v = u + 1; v < 11; ++v) {
+        EXPECT_EQ(tree.MinCut(u, v), MinEdgeCutBetween(g, u, v))
+            << "seed=" << seed << " pair " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(GomoryHuTest, TreeMinEqualsGlobalMinCut) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = ErdosRenyi(12, 0.4, 50 + seed);
+    if (!IsConnected(g)) continue;
+    GomoryHuTree tree(g);
+    int64_t tree_min = INT64_MAX;
+    for (const auto& te : tree.Edges()) tree_min = std::min(tree_min, te.cut);
+    EXPECT_EQ(static_cast<size_t>(tree_min), EdgeConnectivity(g))
+        << "seed=" << seed;
+  }
+}
+
+TEST(GomoryHuTest, LambdaMatchesDirectComputation) {
+  Graph g = UnionOfHamiltonianCycles(14, 2, 7);
+  GomoryHuTree tree(g);
+  for (const Edge& e : g.Edges()) {
+    EXPECT_EQ(tree.Lambda(e), EdgeLambda(g, e));
+  }
+}
+
+TEST(GomoryHuTest, EdgesFormASpanningTree) {
+  Graph g = ErdosRenyi(15, 0.4, 60);
+  GomoryHuTree tree(g);
+  auto edges = tree.Edges();
+  EXPECT_EQ(edges.size(), 14u);
+  // Every vertex except the root appears exactly once as a child.
+  std::vector<int> child_count(15, 0);
+  for (const auto& te : edges) ++child_count[te.child];
+  for (VertexId v = 1; v < 15; ++v) EXPECT_EQ(child_count[v], 1) << v;
+}
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,138 @@
+// Tests for the hypergraph vertex-connectivity extension (the Section 4.1
+// remark): induced-semantics removal queries, the planted-separator
+// generator, and the exhaustive hypergraph kappa.
+#include <gtest/gtest.h>
+
+#include "exact/vertex_connectivity.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "util/random.h"
+#include "vertexconn/hyper_vc_query.h"
+
+namespace gms {
+namespace {
+
+TEST(HypergraphExcludingTest, InducedSemantics) {
+  // {0,1,2} dies when 2 is removed even though 0,1 survive.
+  Hypergraph h(5);
+  h.AddEdge(Hyperedge{0, 1, 2});
+  h.AddEdge(Hyperedge{2, 3});
+  h.AddEdge(Hyperedge{3, 4});
+  EXPECT_TRUE(IsConnectedExcluding(h, {}));
+  EXPECT_FALSE(IsConnectedExcluding(h, {2}));  // kills BOTH incident edges
+  EXPECT_FALSE(IsConnectedExcluding(h, {3}));
+  EXPECT_TRUE(IsConnectedExcluding(h, {4}));
+  // Removing 0 kills {0,1,2} too, stranding vertex 1.
+  EXPECT_FALSE(IsConnectedExcluding(h, {0}));
+  EXPECT_TRUE(IsConnectedExcluding(h, {0, 1}));
+}
+
+TEST(HypergraphExcludingTest, MatchesGraphSemanticsOn2Uniform) {
+  Graph g = ErdosRenyi(12, 0.3, 1);
+  Hypergraph h = Hypergraph::FromGraph(g);
+  Rng rng(2);
+  for (int t = 0; t < 30; ++t) {
+    std::vector<VertexId> s;
+    for (int j = 0; j < 3; ++j) {
+      VertexId v = static_cast<VertexId>(rng.Below(12));
+      bool dup = false;
+      for (VertexId w : s) dup |= w == v;
+      if (!dup) s.push_back(v);
+    }
+    EXPECT_EQ(IsConnectedExcluding(g, s), IsConnectedExcluding(h, s));
+  }
+}
+
+TEST(HypergraphKappaBruteTest, KnownFamilies) {
+  // Hyper-cycle (10, 3): removing 2 adjacent-ish vertices kills a window
+  // of hyperedges; connectivity is small but positive.
+  Hypergraph ring = HyperCycle(10, 3);
+  size_t kappa = VertexConnectivityBrute(ring);
+  EXPECT_GE(kappa, 1u);
+  EXPECT_LE(kappa, 4u);
+  // A single hyperedge over 4 vertices: no removal of <= 2 vertices
+  // disconnects... removing any vertex kills the edge, isolating the rest.
+  Hypergraph single(4);
+  single.AddEdge(Hyperedge{0, 1, 2, 3});
+  EXPECT_EQ(VertexConnectivityBrute(single), 1u);
+}
+
+TEST(HypergraphKappaBruteTest, PlantedSeparatorIsExact) {
+  for (size_t k : {1, 2}) {
+    auto planted = PlantedHypergraphSeparator(16, k, 3, 10 + k);
+    EXPECT_EQ(VertexConnectivityBrute(planted.hypergraph), k) << "k=" << k;
+    EXPECT_FALSE(
+        IsConnectedExcluding(planted.hypergraph, planted.separator));
+  }
+}
+
+TEST(HyperVcQueryTest, FindsPlantedSeparator) {
+  auto planted = PlantedHypergraphSeparator(24, 2, 3, 1);
+  VcQueryParams p;
+  p.k = 2;
+  p.r_multiplier = 0.5;
+  p.forest.config = SketchConfig::Light();
+  HyperVcQuerySketch sketch(24, 3, p, 2);
+  sketch.Process(DynamicStream::InsertOnly(planted.hypergraph, 3));
+  ASSERT_TRUE(sketch.Finalize().ok());
+  auto hit = sketch.Disconnects(planted.separator);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(*hit);
+}
+
+TEST(HyperVcQueryTest, AgreesWithTruthOnRandomQueries) {
+  auto planted = PlantedHypergraphSeparator(24, 2, 3, 4);
+  const Hypergraph& h = planted.hypergraph;
+  VcQueryParams p;
+  p.k = 2;
+  p.r_multiplier = 0.5;
+  p.forest.config = SketchConfig::Light();
+  HyperVcQuerySketch sketch(24, 3, p, 5);
+  sketch.Process(DynamicStream::WithChurn(h, 40, 3, 6));
+  ASSERT_TRUE(sketch.Finalize().ok());
+  Rng rng(7);
+  size_t agree = 0, total = 0;
+  for (int t = 0; t < 15; ++t) {
+    std::vector<VertexId> s;
+    while (s.size() < 2) {
+      VertexId v = static_cast<VertexId>(rng.Below(24));
+      bool dup = false;
+      for (VertexId w : s) dup |= w == v;
+      if (!dup) s.push_back(v);
+    }
+    auto got = sketch.Disconnects(s);
+    ASSERT_TRUE(got.ok());
+    bool truth = !IsConnectedExcluding(h, s);
+    agree += (*got == truth) ? 1 : 0;
+    ++total;
+  }
+  EXPECT_EQ(agree, total);
+}
+
+TEST(HyperVcQueryTest, UnionGraphIsSubhypergraph) {
+  Hypergraph h = HyperCycle(20, 3);
+  VcQueryParams p;
+  p.k = 2;
+  p.r_multiplier = 0.5;
+  p.forest.config = SketchConfig::Light();
+  HyperVcQuerySketch sketch(20, 3, p, 8);
+  sketch.Process(DynamicStream::InsertOnly(h, 9));
+  ASSERT_TRUE(sketch.Finalize().ok());
+  for (const auto& e : sketch.union_graph().Edges()) {
+    EXPECT_TRUE(h.HasEdge(e));
+  }
+}
+
+TEST(HyperVcQueryTest, OversizedQueryRejected) {
+  VcQueryParams p;
+  p.k = 1;
+  p.explicit_r = 4;
+  p.forest.config = SketchConfig::Light();
+  HyperVcQuerySketch sketch(10, 3, p, 10);
+  ASSERT_TRUE(sketch.Finalize().ok());
+  auto r = sketch.Disconnects({0, 1});
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,84 @@
+// Direct verification of the Section 4.1 encoding lemma: for vertex
+// vectors a^i with coordinate e equal to |e|-1 at i = min(e), -1 at the
+// other members, and 0 elsewhere, the nonzero coordinates of
+// sum_{i in S} a^i are EXACTLY delta(S) -- because the only sub-multisets
+// of {|e|-1, -1, ..., -1} summing to zero are the empty and full ones.
+// This identity is what every decode in the library rides on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "connectivity/incidence.h"
+#include "graph/edge_codec.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace gms {
+namespace {
+
+TEST(IncidenceTest, CoefficientsMatchDefinition) {
+  Hyperedge e{3, 7, 9};
+  EXPECT_EQ(IncidenceCoefficient(e, 3), 2);   // min vertex: |e| - 1
+  EXPECT_EQ(IncidenceCoefficient(e, 7), -1);
+  EXPECT_EQ(IncidenceCoefficient(e, 9), -1);
+  EXPECT_EQ(IncidenceCoefficient(e, 4), 0);   // not a member
+}
+
+TEST(IncidenceTest, CoefficientsSumToZeroOverTheEdge) {
+  // The full-row sum is zero: sum_{i in e} a^i_e = (|e|-1) - (|e|-1).
+  for (size_t r = 2; r <= 5; ++r) {
+    std::vector<VertexId> vs;
+    for (size_t i = 0; i < r; ++i) vs.push_back(static_cast<VertexId>(2 * i));
+    Hyperedge e(vs);
+    int64_t sum = 0;
+    for (VertexId v : e) sum += IncidenceCoefficient(e, v);
+    EXPECT_EQ(sum, 0);
+  }
+}
+
+// The lemma itself, checked on random hypergraphs and random vertex sets:
+// coordinate e of sum_{i in S} a^i is nonzero IFF e crosses (S, V \ S).
+class IncidenceLemmaSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncidenceLemmaSweep, SupportOfSummedVectorsIsTheCut) {
+  uint64_t seed = GetParam();
+  size_t n = 14;
+  Hypergraph h = RandomHypergraph(n, 25, 2, 4, seed);
+  Rng rng(seed * 7 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<bool> in_s(n, false);
+    for (size_t v = 0; v < n; ++v) in_s[v] = rng.Bernoulli(0.5);
+    for (const auto& e : h.Edges()) {
+      int64_t coordinate = 0;
+      bool any_in = false, any_out = false;
+      for (VertexId v : e) {
+        if (in_s[v]) {
+          coordinate += IncidenceCoefficient(e, v);
+          any_in = true;
+        } else {
+          any_out = true;
+        }
+      }
+      bool crosses = any_in && any_out;
+      EXPECT_EQ(coordinate != 0, crosses)
+          << "edge " << e.ToString() << " seed " << seed;
+      // And the value is bounded by the rank, as the decoder assumes.
+      EXPECT_LE(std::abs(coordinate), static_cast<int64_t>(e.size()) - 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncidenceLemmaSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(IncidenceTest, NonMembersNeverContribute) {
+  // Coordinates of edges not incident to any S-vertex stay zero even for
+  // large S: no false positives in delta(S).
+  Hyperedge e{10, 11, 12};
+  int64_t sum = 0;
+  for (VertexId v = 0; v < 10; ++v) sum += IncidenceCoefficient(e, v);
+  EXPECT_EQ(sum, 0);
+}
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,84 @@
+// Tests for the text stream / hypergraph format.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "stream/io.h"
+
+namespace gms {
+namespace {
+
+TEST(IoTest, ParsesStreamWithDeltas) {
+  auto parsed = ReadStreamFromString(
+      "# comment\n"
+      "n 5\n"
+      "+ 0 1\n"
+      "+ 1 2 3\n"
+      "- 0 1\n"
+      "+ 0 4\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->n, 5u);
+  EXPECT_EQ(parsed->stream.size(), 4u);
+  Hypergraph h = parsed->stream.Materialize(5);
+  EXPECT_EQ(h.NumEdges(), 2u);
+  EXPECT_TRUE(h.HasEdge(Hyperedge{1, 2, 3}));
+  EXPECT_TRUE(h.HasEdge(Hyperedge{0, 4}));
+}
+
+TEST(IoTest, BareLinesAreInsertions) {
+  auto parsed = ReadStreamFromString("n 4\n0 1\n2 3\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->stream.size(), 2u);
+}
+
+TEST(IoTest, RejectsMissingHeader) {
+  auto parsed = ReadStreamFromString("+ 0 1\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(IoTest, RejectsOutOfRangeVertex) {
+  auto parsed = ReadStreamFromString("n 3\n+ 0 7\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(IoTest, RejectsSingletonEdge) {
+  auto parsed = ReadStreamFromString("n 3\n+ 1\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(IoTest, RejectsBadMultiplicity) {
+  auto parsed = ReadStreamFromString("n 3\n- 0 1\n");
+  EXPECT_FALSE(parsed.ok());
+  auto dup = ReadStreamFromString("n 3\n+ 0 1\n+ 0 1\n");
+  EXPECT_FALSE(dup.ok());
+}
+
+TEST(IoTest, RejectsGarbageToken) {
+  auto parsed = ReadStreamFromString("n 3\nxyz 1\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(IoTest, HypergraphRoundTrip) {
+  Hypergraph h = RandomHypergraph(12, 20, 2, 4, 1);
+  std::string text = WriteHypergraph(h);
+  auto back = ReadHypergraphFromString(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(*back == h);
+}
+
+TEST(IoTest, StreamRoundTrip) {
+  Graph g = CycleGraph(8);
+  DynamicStream s = DynamicStream::WithChurn(g, 10, 2);
+  std::string text = WriteStream(8, s);
+  auto back = ReadStreamFromString(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->n, 8u);
+  EXPECT_EQ(back->stream.updates(), s.updates());
+}
+
+TEST(IoTest, StaticReaderRejectsDeletions) {
+  auto h = ReadHypergraphFromString("n 3\n+ 0 1\n- 0 1\n");
+  EXPECT_FALSE(h.ok());
+}
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,130 @@
+// Tests for Theorem 15's light-edge recovery sketch: the recovered set must
+// equal the offline light_k decomposition, layer by layer semantics, for
+// graphs and hypergraphs, under churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "exact/strength.h"
+#include "graph/generators.h"
+#include "reconstruct/light_recovery.h"
+
+namespace gms {
+namespace {
+
+std::set<std::string> EdgeSet(const Hypergraph& h) {
+  std::set<std::string> out;
+  for (const auto& e : h.Edges()) out.insert(e.ToString());
+  return out;
+}
+
+TEST(LightRecoveryTest, RecoversSparseGraphEntirely) {
+  // Trees are 1-cut-degenerate: k=1 recovers everything.
+  Graph t = RandomTree(24, 1);
+  LightRecoverySketch sketch(24, 2, /*k=*/1, 2);
+  sketch.Process(DynamicStream::InsertOnly(t, 3));
+  auto r = sketch.Recover();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->residual_nonempty);
+  EXPECT_EQ(EdgeSet(r->light), EdgeSet(Hypergraph::FromGraph(t)));
+}
+
+TEST(LightRecoveryTest, MatchesOfflineDecomposition) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Graph g = ErdosRenyi(16, 0.25, 10 + seed);
+    Hypergraph h = Hypergraph::FromGraph(g);
+    size_t k = 2;
+    auto offline = OfflineLightEdges(h, k);
+    LightRecoverySketch sketch(16, 2, k, 20 + seed);
+    sketch.Process(DynamicStream::InsertOnly(g, seed));
+    auto r = sketch.Recover();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(EdgeSet(r->light), EdgeSet(offline.light)) << "seed=" << seed;
+    EXPECT_EQ(r->residual_nonempty, offline.residual.NumEdges() > 0);
+  }
+}
+
+TEST(LightRecoveryTest, HeavyCoreLeftBehind) {
+  // 6-clique with a pendant path: k=2 recovers the path, not the clique.
+  Graph g(10);
+  for (VertexId i = 0; i < 6; ++i) {
+    for (VertexId j = i + 1; j < 6; ++j) g.AddEdge(i, j);
+  }
+  g.AddEdge(5, 6);
+  g.AddEdge(6, 7);
+  g.AddEdge(7, 8);
+  g.AddEdge(8, 9);
+  LightRecoverySketch sketch(10, 2, 2, 30);
+  sketch.Process(DynamicStream::InsertOnly(g, 4));
+  auto r = sketch.Recover();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->residual_nonempty);
+  EXPECT_EQ(r->light.NumEdges(), 4u);  // the pendant path only
+  for (const auto& e : r->light.Edges()) {
+    EXPECT_GE(e.MinVertex(), 5u);
+  }
+}
+
+TEST(LightRecoveryTest, HypergraphLightEdges) {
+  for (uint64_t seed = 0; seed < 2; ++seed) {
+    Hypergraph h = RandomUniformHypergraph(14, 18, 3, 40 + seed);
+    size_t k = 2;
+    auto offline = OfflineLightEdges(h, k);
+    LightRecoverySketch sketch(14, 3, k, 50 + seed);
+    sketch.Process(DynamicStream::InsertOnly(h, seed));
+    auto r = sketch.Recover();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(EdgeSet(r->light), EdgeSet(offline.light)) << "seed=" << seed;
+  }
+}
+
+TEST(LightRecoveryTest, ChurnStream) {
+  Graph g = RandomDDegenerate(20, 2, 60);
+  DynamicStream stream = DynamicStream::WithChurn(g, 120, 61);
+  Hypergraph h = Hypergraph::FromGraph(g);
+  auto offline = OfflineLightEdges(h, 2);
+  LightRecoverySketch sketch(20, 2, 2, 62);
+  sketch.Process(stream);
+  auto r = sketch.Recover();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(EdgeSet(r->light), EdgeSet(offline.light));
+}
+
+TEST(LightRecoveryTest, LayersMatchOfflineLayerCount) {
+  // Chain of triangles connected by bridges: bridges peel first, then the
+  // triangles become peelable -- at least two layers at k=2.
+  Graph g(9);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);  // bridge
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(3, 5);
+  g.AddEdge(5, 6);  // bridge
+  g.AddEdge(6, 7);
+  g.AddEdge(7, 8);
+  g.AddEdge(6, 8);
+  LightRecoverySketch sketch(9, 2, 2, 70);
+  sketch.Process(DynamicStream::InsertOnly(g, 5));
+  auto r = sketch.Recover();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->residual_nonempty);
+  EXPECT_EQ(r->light.NumEdges(), g.NumEdges());
+  // Everything is light at k=2 here, and it peels in one layer (every edge
+  // has lambda <= 2 already in G).
+  ASSERT_GE(r->layers.size(), 1u);
+  EXPECT_EQ(r->layers[0].size(), g.NumEdges());
+}
+
+TEST(LightRecoveryTest, EmptyGraph) {
+  LightRecoverySketch sketch(8, 2, 2, 80);
+  auto r = sketch.Recover();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->light.NumEdges(), 0u);
+  EXPECT_FALSE(r->residual_nonempty);
+}
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,86 @@
+// Tests for scan-first search trees (Appendix A) and the Theorem 21 bit-
+// recovery property.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "vertexconn/lower_bound.h"
+#include "vertexconn/sfst.h"
+
+namespace gms {
+namespace {
+
+TEST(SfstTest, ProducesSpanningTreeOfComponent) {
+  Graph g = UnionOfHamiltonianCycles(20, 2, 1);
+  Graph t = ScanFirstSearchTree(g, 0, 2);
+  EXPECT_EQ(t.NumEdges(), 19u);
+  EXPECT_TRUE(IsConnected(t));
+  for (const Edge& e : t.Edges()) EXPECT_TRUE(g.HasEdge(e));
+}
+
+TEST(SfstTest, GeneratedTreesValidateAcrossSeeds) {
+  Graph g = ErdosRenyi(16, 0.3, 3);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph t = ScanFirstSearchTree(g, 0, seed);
+    EXPECT_TRUE(IsValidScanFirstTree(g, t, 0)) << "seed=" << seed;
+  }
+}
+
+TEST(SfstTest, BfsTreeOfStarIsTheStar) {
+  Graph g = StarGraph(8);
+  Graph t = ScanFirstSearchTree(g, 0, 4);
+  EXPECT_EQ(t.NumEdges(), 7u);
+  EXPECT_TRUE(IsValidScanFirstTree(g, t, 0));
+}
+
+TEST(SfstTest, NotEverySpanningTreeIsScanFirst) {
+  // On the 4-cycle rooted at 0, a scan-first tree scans 0 first and adopts
+  // BOTH neighbours 1 and 3; the path 0-1-2-3 (through edge 2-3) leaves 3
+  // to be adopted by 2, but 3 was an unmarked neighbour of scanned 0 --
+  // invalid.
+  Graph c4 = CycleGraph(4);
+  Graph path(4);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  path.AddEdge(2, 3);
+  EXPECT_FALSE(IsValidScanFirstTree(c4, path, 0));
+  Graph proper(4);
+  proper.AddEdge(0, 1);
+  proper.AddEdge(0, 3);
+  proper.AddEdge(1, 2);
+  EXPECT_TRUE(IsValidScanFirstTree(c4, proper, 0));
+}
+
+TEST(SfstTest, RejectsNonSubgraphTrees) {
+  Graph g = PathGraph(4);
+  Graph fake(4);
+  fake.AddEdge(0, 2);  // not an edge of g
+  fake.AddEdge(0, 1);
+  fake.AddEdge(2, 3);
+  EXPECT_FALSE(IsValidScanFirstTree(g, fake, 0));
+}
+
+TEST(SfstLowerBoundTest, BitRecoveryBiconditional) {
+  // Theorem 21: x_{i,j} = 1 iff {t_j, u_i} or {v_i, w_j} appears in any
+  // SFST (rooted in u_i's component). Check over instances and seeds.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    auto inst = MakeSfstLowerBoundInstance(6, 100 + seed);
+    for (uint64_t tree_seed = 0; tree_seed < 3; ++tree_seed) {
+      Graph t = ScanFirstSearchTree(inst.graph, inst.u_i, tree_seed);
+      bool present = t.NumVertices() > 0 &&
+                     (t.HasEdge(Edge(inst.t_j, inst.u_i)) ||
+                      t.HasEdge(Edge(inst.v_i, inst.w_j)));
+      EXPECT_EQ(present, inst.bit_value)
+          << "seed=" << seed << " tree_seed=" << tree_seed;
+    }
+  }
+}
+
+TEST(SfstLowerBoundTest, InstanceShape) {
+  auto inst = MakeSfstLowerBoundInstance(5, 7);
+  EXPECT_EQ(inst.graph.NumVertices(), 20u);
+  EXPECT_TRUE(inst.graph.HasEdge(inst.u_i, inst.v_i));
+}
+
+}  // namespace
+}  // namespace gms

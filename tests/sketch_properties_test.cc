@@ -1,0 +1,155 @@
+// Cross-cutting property tests on the sketching stack: linearity (update
+// order irrelevance, insert/delete cancellation, state addition =
+// input union), determinism in the seed, and measurement-sharing across
+// copies. These are the algebraic facts every theorem in the paper builds
+// on, checked over parameterized seed sweeps.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "connectivity/k_skeleton.h"
+#include "connectivity/spanning_forest_sketch.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "sketch/l0_sampler.h"
+#include "stream/stream.h"
+#include "util/random.h"
+
+namespace gms {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, ForestSketchIsOrderInvariant) {
+  uint64_t seed = GetParam();
+  Graph g = ErdosRenyi(20, 0.25, seed);
+  SpanningForestSketch a(20, 2, 4242);
+  SpanningForestSketch b(20, 2, 4242);
+  a.Process(DynamicStream::InsertOnly(g, seed + 1));
+  b.Process(DynamicStream::InsertOnly(g, seed + 2));  // different order
+  auto ra = a.ExtractSpanningGraph();
+  auto rb = b.ExtractSpanningGraph();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(*ra == *rb);  // same final vector -> identical state
+}
+
+TEST_P(SeedSweep, ForestSketchChurnEqualsDirect) {
+  uint64_t seed = GetParam();
+  Graph g = UnionOfHamiltonianCycles(18, 2, seed);
+  SpanningForestSketch direct(18, 2, 999);
+  SpanningForestSketch churned(18, 2, 999);
+  direct.Process(DynamicStream::InsertOnly(g, seed));
+  churned.Process(DynamicStream::WithChurn(g, 60, seed));
+  auto rd = direct.ExtractSpanningGraph();
+  auto rc = churned.ExtractSpanningGraph();
+  ASSERT_TRUE(rd.ok());
+  ASSERT_TRUE(rc.ok());
+  EXPECT_TRUE(*rd == *rc);  // cancelled decoys leave no trace
+}
+
+TEST_P(SeedSweep, L0StateAdditionEqualsUnionStream) {
+  uint64_t seed = GetParam();
+  L0Shape shape(1 << 20, SketchConfig::Default(), 777);
+  L0State a(&shape), b(&shape), whole(&shape);
+  Rng rng(seed);
+  for (int i = 0; i < 300; ++i) {
+    u128 idx = rng.Below(1 << 20);
+    int64_t delta = rng.Bernoulli(0.5) ? 1 : -1;
+    whole.Update(idx, delta);
+    (i % 2 == 0 ? a : b).Update(idx, delta);
+  }
+  a.Add(b);
+  // Identical states sample identically (decode is deterministic).
+  auto sa = a.Sample();
+  auto sw = whole.Sample();
+  EXPECT_EQ(sa.ok(), sw.ok());
+  if (sa.ok() && sw.ok()) {
+    EXPECT_EQ(sa->index, sw->index);
+    EXPECT_EQ(sa->value, sw->value);
+  }
+}
+
+TEST_P(SeedSweep, SkeletonSubtractionEqualsNeverInserted) {
+  uint64_t seed = GetParam();
+  Graph g = ErdosRenyi(16, 0.3, seed);
+  auto edges = g.Edges();
+  if (edges.size() < 4) return;
+  // Remove a few edges linearly vs never inserting them.
+  std::vector<Hyperedge> removed = {Hyperedge(edges[0]), Hyperedge(edges[2])};
+  KSkeletonSketch full(16, 2, 2, 31337);
+  KSkeletonSketch partial(16, 2, 2, 31337);
+  for (const Edge& e : edges) {
+    full.Update(Hyperedge(e), +1);
+    bool skip = false;
+    for (const auto& r : removed) skip |= (Hyperedge(e) == r);
+    if (!skip) partial.Update(Hyperedge(e), +1);
+  }
+  full.RemoveHyperedges(removed);
+  auto rf = full.Extract();
+  auto rp = partial.Extract();
+  ASSERT_TRUE(rf.ok());
+  ASSERT_TRUE(rp.ok());
+  EXPECT_TRUE(*rf == *rp);
+}
+
+TEST_P(SeedSweep, SketchCopiesShareTheMeasurement) {
+  uint64_t seed = GetParam();
+  SpanningForestSketch original(14, 2, seed * 3 + 1);
+  Graph g = CycleGraph(14);
+  original.Process(DynamicStream::InsertOnly(g, seed));
+  SpanningForestSketch copy = original;  // shares shapes
+  copy.RemoveHyperedges({Hyperedge{0, 1}});
+  copy.Update(Hyperedge{0, 1}, +1);  // undo on the copy
+  auto ro = original.ExtractSpanningGraph();
+  auto rc = copy.ExtractSpanningGraph();
+  ASSERT_TRUE(ro.ok());
+  ASSERT_TRUE(rc.ok());
+  EXPECT_TRUE(*ro == *rc);
+}
+
+TEST_P(SeedSweep, DifferentSeedsDifferentMeasurements) {
+  uint64_t seed = GetParam();
+  // Two sketches with different seeds are allowed to decode different
+  // (both valid) spanning graphs of a cycle; at minimum their internal
+  // measurement must differ, which we observe via memory-identical inputs
+  // giving different forests at least sometimes. Here we only assert both
+  // decode valid spanning graphs.
+  Graph g = CycleGraph(12);
+  SpanningForestSketch a(12, 2, seed * 2 + 1);
+  SpanningForestSketch b(12, 2, seed * 2 + 2);
+  a.Process(DynamicStream::InsertOnly(g, 1));
+  b.Process(DynamicStream::InsertOnly(g, 1));
+  auto ra = a.ExtractSpanningGraph();
+  auto rb = b.ExtractSpanningGraph();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(IsConnected(*ra));
+  EXPECT_TRUE(IsConnected(*rb));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+TEST(SketchPropertyTest, EmptyPlusEmptyIsEmpty) {
+  L0Shape shape(1000, SketchConfig::Default(), 1);
+  L0State a(&shape), b(&shape);
+  a.Add(b);
+  EXPECT_TRUE(a.IsZero());
+}
+
+TEST(SketchPropertyTest, NegatedStateCancelsViaAddition) {
+  L0Shape shape(1 << 16, SketchConfig::Default(), 2);
+  L0State pos(&shape), neg(&shape);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    u128 idx = rng.Below(1 << 16);
+    pos.Update(idx, 2);
+    neg.Update(idx, -2);
+  }
+  pos.Add(neg);
+  EXPECT_TRUE(pos.IsZero());
+}
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,77 @@
+// Tests for the dynamic stream model and its builders.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "stream/stream.h"
+
+namespace gms {
+namespace {
+
+TEST(StreamTest, InsertOnlyMaterializesTheGraph) {
+  Graph g = ErdosRenyi(20, 0.3, 1);
+  DynamicStream s = DynamicStream::InsertOnly(g, 2);
+  EXPECT_TRUE(s.Validate());
+  EXPECT_EQ(s.size(), g.NumEdges());
+  Hypergraph back = s.Materialize(20);
+  EXPECT_EQ(back.ToGraph(), g);
+}
+
+TEST(StreamTest, InsertOnlyOrderIsSeeded) {
+  Graph g = ErdosRenyi(20, 0.3, 1);
+  DynamicStream a = DynamicStream::InsertOnly(g, 7);
+  DynamicStream b = DynamicStream::InsertOnly(g, 7);
+  DynamicStream c = DynamicStream::InsertOnly(g, 8);
+  EXPECT_EQ(a.updates(), b.updates());
+  EXPECT_NE(a.updates(), c.updates());
+}
+
+TEST(StreamTest, ChurnLeavesFinalGraphIntact) {
+  Graph g = CycleGraph(15);
+  DynamicStream s = DynamicStream::WithChurn(g, /*decoys=*/50, /*seed=*/3);
+  EXPECT_TRUE(s.Validate());
+  EXPECT_EQ(s.size(), g.NumEdges() + 2 * 50);
+  EXPECT_EQ(s.Materialize(15).ToGraph(), g);
+}
+
+TEST(StreamTest, ChurnHasInterleavedDeletes) {
+  Graph g = CycleGraph(10);
+  DynamicStream s = DynamicStream::WithChurn(g, 30, 4);
+  bool saw_delete_before_end = false;
+  for (size_t i = 0; i + 30 < s.size(); ++i) {
+    if (s.updates()[i].delta < 0) saw_delete_before_end = true;
+  }
+  EXPECT_TRUE(saw_delete_before_end);
+}
+
+TEST(StreamTest, HypergraphChurn) {
+  Hypergraph h = HyperCycle(12, 3);
+  DynamicStream s = DynamicStream::WithChurn(h, 40, 3, 9);
+  EXPECT_TRUE(s.Validate());
+  EXPECT_EQ(s.Materialize(12), h);
+}
+
+TEST(StreamTest, InsertThenDeleteDown) {
+  Graph full = CompleteGraph(8);
+  Graph target = CycleGraph(8);
+  DynamicStream s = DynamicStream::InsertThenDeleteDown(
+      Hypergraph::FromGraph(full), Hypergraph::FromGraph(target), 5);
+  EXPECT_TRUE(s.Validate());
+  EXPECT_EQ(s.Materialize(8).ToGraph(), target);
+  EXPECT_EQ(s.size(), full.NumEdges() + (full.NumEdges() - target.NumEdges()));
+}
+
+TEST(StreamTest, ValidateCatchesDoubleInsert) {
+  DynamicStream s;
+  s.Push(Hyperedge{0, 1}, +1);
+  s.Push(Hyperedge{0, 1}, +1);
+  EXPECT_FALSE(s.Validate());
+}
+
+TEST(StreamTest, ValidateCatchesDeleteBeforeInsert) {
+  DynamicStream s;
+  s.Push(Hyperedge{0, 1}, -1);
+  EXPECT_FALSE(s.Validate());
+}
+
+}  // namespace
+}  // namespace gms

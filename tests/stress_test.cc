@@ -1,0 +1,153 @@
+// Randomized end-to-end fuzzing: generate random dynamic streams (random
+// final graphs, random churn, adversarial delete-down patterns), push them
+// through every query structure, and compare each answer against exact
+// ground truth. Any silent wrong answer -- the one failure mode a sketch
+// library must never have -- trips these tests.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "connectivity/connectivity_query.h"
+#include "exact/hypergraph_mincut.h"
+#include "exact/stoer_wagner.h"
+#include "exact/strength.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "reconstruct/light_recovery.h"
+#include "stream/stream.h"
+#include "util/random.h"
+
+namespace gms {
+namespace {
+
+// A random dynamic stream whose final graph is drawn from a random family.
+struct FuzzCase {
+  Hypergraph final_graph;
+  DynamicStream stream;
+  size_t max_rank;
+};
+
+FuzzCase MakeFuzzCase(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase out;
+  switch (rng.Below(4)) {
+    case 0: {
+      out.final_graph =
+          Hypergraph::FromGraph(ErdosRenyi(n, rng.NextDouble() * 0.3, seed));
+      out.max_rank = 2;
+      break;
+    }
+    case 1: {
+      out.final_graph = RandomUniformHypergraph(
+          n, n + rng.Below(2 * n), 3, seed);
+      out.max_rank = 3;
+      break;
+    }
+    case 2: {
+      out.final_graph = RandomHypergraph(n, n + rng.Below(n), 2, 4, seed);
+      out.max_rank = 4;
+      break;
+    }
+    default: {
+      out.final_graph = Hypergraph::FromGraph(RandomTree(n, seed));
+      out.max_rank = 2;
+      break;
+    }
+  }
+  switch (rng.Below(3)) {
+    case 0:
+      out.stream = DynamicStream::InsertOnly(out.final_graph, seed + 1);
+      break;
+    case 1:
+      out.stream = DynamicStream::WithChurn(
+          out.final_graph, rng.Below(2 * n) + 5,
+          std::max<size_t>(2, out.max_rank - 1), seed + 2);
+      break;
+    default: {
+      // Delete-down from a strict superset.
+      Hypergraph superset = out.final_graph;
+      size_t extra = rng.Below(n) + 3;
+      size_t attempts = 0;
+      while (extra > 0 && ++attempts < 50 * n) {
+        std::vector<VertexId> vs;
+        size_t r = 2 + rng.Below(out.max_rank - 1);
+        while (vs.size() < r) {
+          VertexId v = static_cast<VertexId>(rng.Below(n));
+          bool dup = false;
+          for (VertexId w : vs) dup |= w == v;
+          if (!dup) vs.push_back(v);
+        }
+        if (superset.AddEdge(Hyperedge(std::move(vs)))) --extra;
+      }
+      out.stream = DynamicStream::InsertThenDeleteDown(
+          superset, out.final_graph, seed + 3);
+      break;
+    }
+  }
+  return out;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, ComponentCountsMatchTruth) {
+  uint64_t seed = GetParam();
+  FuzzCase fc = MakeFuzzCase(24, 1000 + seed);
+  ASSERT_TRUE(fc.stream.Validate());
+  ConnectivityQuery q(24, fc.max_rank, 5000 + seed);
+  q.Process(fc.stream);
+  auto got = q.NumComponents();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, NumComponents(fc.final_graph)) << "seed=" << seed;
+}
+
+TEST_P(FuzzSweep, CappedEdgeConnectivityMatchesTruth) {
+  uint64_t seed = GetParam();
+  FuzzCase fc = MakeFuzzCase(18, 2000 + seed);
+  size_t k = 1 + seed % 4;
+  EdgeConnectivityQuery q(18, fc.max_rank, k, 6000 + seed);
+  q.Process(fc.stream);
+  auto got = q.EdgeConnectivityCapped();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  size_t exact;
+  if (fc.final_graph.NumVertices() < 2 || !IsConnected(fc.final_graph)) {
+    exact = 0;
+  } else {
+    exact = static_cast<size_t>(HypergraphMinCut(fc.final_graph).value + 0.5);
+  }
+  EXPECT_EQ(*got, std::min(exact, k)) << "seed=" << seed;
+}
+
+TEST_P(FuzzSweep, LightRecoveryMatchesOffline) {
+  uint64_t seed = GetParam();
+  FuzzCase fc = MakeFuzzCase(14, 3000 + seed);
+  size_t k = 1 + seed % 3;
+  LightRecoverySketch sketch(14, fc.max_rank, k, 7000 + seed);
+  sketch.Process(fc.stream);
+  auto rec = sketch.Recover();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  auto offline = OfflineLightEdges(fc.final_graph, k);
+  EXPECT_EQ(rec->light.NumEdges(), offline.light.NumEdges())
+      << "seed=" << seed;
+  for (const auto& e : rec->light.Edges()) {
+    EXPECT_TRUE(offline.light.HasEdge(e)) << e.ToString();
+  }
+}
+
+TEST_P(FuzzSweep, SpanningGraphNeverInventsEdges) {
+  uint64_t seed = GetParam();
+  FuzzCase fc = MakeFuzzCase(30, 4000 + seed);
+  ConnectivityQuery q(30, fc.max_rank, 8000 + seed);
+  q.Process(fc.stream);
+  auto span = q.SpanningGraph();
+  ASSERT_TRUE(span.ok());
+  for (const auto& e : span->Edges()) {
+    EXPECT_TRUE(fc.final_graph.HasEdge(e))
+        << "ghost edge " << e.ToString() << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, FuzzSweep,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,85 @@
+// Tests for the Theorem 8 vertex-connectivity estimator.
+#include <gtest/gtest.h>
+
+#include "exact/vertex_connectivity.h"
+#include "graph/generators.h"
+#include "vertexconn/vc_estimator.h"
+
+namespace gms {
+namespace {
+
+VcEstimatorParams TestParams(size_t k, double eps) {
+  VcEstimatorParams p;
+  p.k = k;
+  p.epsilon = eps;
+  // Paper constants (160 k^2 / eps ln n) are far beyond what these scales
+  // need; the bench sweeps the multiplier.
+  p.r_multiplier = 0.05;
+  p.forest.config = SketchConfig::Light();
+  return p;
+}
+
+TEST(VcEstimatorParamsTest, ResolveRFormula) {
+  VcEstimatorParams p;
+  p.k = 2;
+  p.epsilon = 0.5;
+  p.r_multiplier = 1.0;
+  // 160 * 4 / 0.5 * ln(50) ~ 5007.
+  EXPECT_NEAR(static_cast<double>(p.ResolveR(50)), 5007.0, 5.0);
+}
+
+TEST(VcEstimatorTest, KappaOfSubgraphNeverExceedsTruth) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Graph g = UnionOfHamiltonianCycles(30, 2, 30 + seed);
+    size_t truth = VertexConnectivity(g);
+    VcEstimator est(30, TestParams(2, 1.0), 40 + seed);
+    est.Process(DynamicStream::InsertOnly(g, seed));
+    auto kappa = est.EstimateKappa();
+    ASSERT_TRUE(kappa.ok());
+    EXPECT_LE(*kappa, truth);
+  }
+}
+
+TEST(VcEstimatorTest, HighlyConnectedGraphCertified) {
+  // kappa(G) clearly above (1+eps)k: H should reach k.
+  Graph g = UnionOfHamiltonianCycles(40, 4, 50);  // kappa well above 2(1+1)
+  ASSERT_GE(VertexConnectivity(g), 5u);
+  VcEstimator est(40, TestParams(2, 1.0), 51);
+  est.Process(DynamicStream::InsertOnly(g, 52));
+  auto at_least = est.IsAtLeastK();
+  ASSERT_TRUE(at_least.ok());
+  EXPECT_TRUE(*at_least);
+}
+
+TEST(VcEstimatorTest, LowConnectivityNeverCertified) {
+  // kappa(G) = 1 < k = 2: IsAtLeastK must be false (one-sided guarantee,
+  // holds with certainty because H is a subgraph).
+  Graph g = PathGraph(30);
+  VcEstimator est(30, TestParams(2, 1.0), 53);
+  est.Process(DynamicStream::InsertOnly(g, 54));
+  auto at_least = est.IsAtLeastK();
+  ASSERT_TRUE(at_least.ok());
+  EXPECT_FALSE(*at_least);
+}
+
+TEST(VcEstimatorTest, SeparatorBoundRespectedUnderChurn) {
+  auto planted = PlantedSeparator(32, 2, 55);
+  DynamicStream stream = DynamicStream::WithChurn(planted.graph, 150, 56);
+  VcEstimator est(32, TestParams(2, 1.0), 57);
+  est.Process(stream);
+  auto kappa = est.EstimateKappa();
+  ASSERT_TRUE(kappa.ok());
+  EXPECT_LE(*kappa, 2u);  // kappa(H) <= kappa(G) = 2
+}
+
+TEST(VcEstimatorTest, UnionGraphAvailable) {
+  Graph g = CycleGraph(20);
+  VcEstimator est(20, TestParams(2, 1.0), 58);
+  est.Process(DynamicStream::InsertOnly(g, 59));
+  auto h = est.UnionGraph();
+  ASSERT_TRUE(h.ok());
+  for (const Edge& e : h->Edges()) EXPECT_TRUE(g.HasEdge(e));
+}
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,140 @@
+// Tests for the Theorem 4 vertex-connectivity query sketch.
+#include <gtest/gtest.h>
+
+#include "exact/vertex_connectivity.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "util/random.h"
+#include "vertexconn/vc_query_sketch.h"
+
+namespace gms {
+namespace {
+
+VcQueryParams TestParams(size_t k) {
+  VcQueryParams p;
+  p.k = k;
+  // The paper's R = 16 k^2 ln n is overkill at test scales; half suffices
+  // empirically and keeps the suite fast (the bench sweeps this knob).
+  p.r_multiplier = 0.5;
+  p.forest.config = SketchConfig::Light();
+  return p;
+}
+
+TEST(VcQueryParamsTest, ResolveRFollowsPaperFormula) {
+  VcQueryParams p;
+  p.k = 3;
+  p.r_multiplier = 1.0;
+  size_t r = p.ResolveR(100);
+  // 16 * 9 * ln(100) ~ 663.
+  EXPECT_NEAR(static_cast<double>(r), 663.0, 2.0);
+  p.explicit_r = 10;
+  EXPECT_EQ(p.ResolveR(100), 10u);
+}
+
+TEST(VcQueryTest, FindsPlantedSeparator) {
+  auto planted = PlantedSeparator(40, 2, 1);
+  VcQuerySketch sketch(40, TestParams(2), 2);
+  sketch.Process(DynamicStream::InsertOnly(planted.graph, 3));
+  ASSERT_TRUE(sketch.Finalize().ok());
+  auto disconnects = sketch.Disconnects(planted.separator);
+  ASSERT_TRUE(disconnects.ok());
+  EXPECT_TRUE(*disconnects);
+}
+
+TEST(VcQueryTest, NonSeparatorsPass) {
+  auto planted = PlantedSeparator(40, 2, 4);
+  VcQuerySketch sketch(40, TestParams(2), 5);
+  sketch.Process(DynamicStream::InsertOnly(planted.graph, 6));
+  ASSERT_TRUE(sketch.Finalize().ok());
+  // Random non-separator pairs must not disconnect.
+  Rng rng(7);
+  for (int t = 0; t < 10; ++t) {
+    VertexId a = planted.side_a[rng.Below(planted.side_a.size())];
+    VertexId b = planted.side_b[rng.Below(planted.side_b.size())];
+    auto disconnects = sketch.Disconnects({a, b});
+    ASSERT_TRUE(disconnects.ok());
+    bool truth = !IsConnectedExcluding(planted.graph, {a, b});
+    EXPECT_EQ(*disconnects, truth);
+  }
+}
+
+TEST(VcQueryTest, AgreesWithGroundTruthOnRandomQueries) {
+  Graph g = UnionOfHamiltonianCycles(36, 2, 8);
+  VcQuerySketch sketch(36, TestParams(3), 9);
+  sketch.Process(DynamicStream::InsertOnly(g, 10));
+  ASSERT_TRUE(sketch.Finalize().ok());
+  Rng rng(11);
+  size_t agreements = 0, total = 0;
+  for (int t = 0; t < 20; ++t) {
+    std::vector<VertexId> s;
+    while (s.size() < 3) {
+      VertexId v = static_cast<VertexId>(rng.Below(36));
+      bool dup = false;
+      for (VertexId w : s) dup |= w == v;
+      if (!dup) s.push_back(v);
+    }
+    auto got = sketch.Disconnects(s);
+    ASSERT_TRUE(got.ok());
+    bool truth = !IsConnectedExcluding(g, s);
+    agreements += (*got == truth) ? 1 : 0;
+    ++total;
+  }
+  // Lemma 3 holds per-query whp; demand perfection at this scale.
+  EXPECT_EQ(agreements, total);
+}
+
+TEST(VcQueryTest, WorksUnderChurn) {
+  auto planted = PlantedSeparator(32, 2, 12);
+  DynamicStream stream = DynamicStream::WithChurn(planted.graph, 200, 13);
+  VcQuerySketch sketch(32, TestParams(2), 14);
+  sketch.Process(stream);
+  ASSERT_TRUE(sketch.Finalize().ok());
+  auto disconnects = sketch.Disconnects(planted.separator);
+  ASSERT_TRUE(disconnects.ok());
+  EXPECT_TRUE(*disconnects);
+}
+
+TEST(VcQueryTest, QueryBeforeFinalizeFails) {
+  VcQuerySketch sketch(16, TestParams(2), 15);
+  auto r = sketch.Disconnects({0});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(VcQueryTest, OversizedQueryRejected) {
+  VcQuerySketch sketch(16, TestParams(2), 16);
+  ASSERT_TRUE(sketch.Finalize().ok());
+  auto r = sketch.Disconnects({0, 1, 2});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VcQueryTest, UnionGraphIsSubgraph) {
+  Graph g = UnionOfHamiltonianCycles(30, 3, 17);
+  VcQuerySketch sketch(30, TestParams(2), 18);
+  sketch.Process(DynamicStream::InsertOnly(g, 19));
+  ASSERT_TRUE(sketch.Finalize().ok());
+  for (const Edge& e : sketch.union_graph().Edges()) {
+    EXPECT_TRUE(g.HasEdge(e));
+  }
+}
+
+TEST(SubsampledForestUnionTest, CoverageGrowsWithR) {
+  ForestSketchParams fp;
+  fp.config = SketchConfig::Light();
+  SubsampledForestUnion few(60, 4, 2, 20, fp);
+  SubsampledForestUnion many(60, 4, 60, 21, fp);
+  EXPECT_GE(few.NumUncovered(), many.NumUncovered());
+  EXPECT_EQ(many.NumUncovered(), 0u);  // 60 samples at rate 1/4: whp all
+}
+
+TEST(SubsampledForestUnionTest, MemoryScalesWithR) {
+  ForestSketchParams fp;
+  fp.config = SketchConfig::Light();
+  SubsampledForestUnion a(40, 2, 5, 22, fp);
+  SubsampledForestUnion b(40, 2, 20, 22, fp);
+  EXPECT_LT(a.MemoryBytes(), b.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace gms
