@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_adaptive_reuse"
+  "../bench/bench_adaptive_reuse.pdb"
+  "CMakeFiles/bench_adaptive_reuse.dir/bench_adaptive_reuse.cc.o"
+  "CMakeFiles/bench_adaptive_reuse.dir/bench_adaptive_reuse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

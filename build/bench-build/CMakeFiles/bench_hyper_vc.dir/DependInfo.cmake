@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_hyper_vc.cc" "bench-build/CMakeFiles/bench_hyper_vc.dir/bench_hyper_vc.cc.o" "gcc" "bench-build/CMakeFiles/bench_hyper_vc.dir/bench_hyper_vc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gms_vertexconn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_sparsify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_reconstruct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_connectivity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

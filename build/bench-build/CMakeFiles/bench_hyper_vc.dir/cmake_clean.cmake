@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hyper_vc"
+  "../bench/bench_hyper_vc.pdb"
+  "CMakeFiles/bench_hyper_vc.dir/bench_hyper_vc.cc.o"
+  "CMakeFiles/bench_hyper_vc.dir/bench_hyper_vc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hyper_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

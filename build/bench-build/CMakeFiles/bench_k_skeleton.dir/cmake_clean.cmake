@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_k_skeleton"
+  "../bench/bench_k_skeleton.pdb"
+  "CMakeFiles/bench_k_skeleton.dir/bench_k_skeleton.cc.o"
+  "CMakeFiles/bench_k_skeleton.dir/bench_k_skeleton.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_k_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_karger_sampling"
+  "../bench/bench_karger_sampling.pdb"
+  "CMakeFiles/bench_karger_sampling.dir/bench_karger_sampling.cc.o"
+  "CMakeFiles/bench_karger_sampling.dir/bench_karger_sampling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_karger_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_l0_sampler"
+  "../bench/bench_l0_sampler.pdb"
+  "CMakeFiles/bench_l0_sampler.dir/bench_l0_sampler.cc.o"
+  "CMakeFiles/bench_l0_sampler.dir/bench_l0_sampler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_l0_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

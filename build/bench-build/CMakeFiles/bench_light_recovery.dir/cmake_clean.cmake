@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_light_recovery"
+  "../bench/bench_light_recovery.pdb"
+  "CMakeFiles/bench_light_recovery.dir/bench_light_recovery.cc.o"
+  "CMakeFiles/bench_light_recovery.dir/bench_light_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_light_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reconstruct"
+  "../bench/bench_reconstruct.pdb"
+  "CMakeFiles/bench_reconstruct.dir/bench_reconstruct.cc.o"
+  "CMakeFiles/bench_reconstruct.dir/bench_reconstruct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spanning_forest"
+  "../bench/bench_spanning_forest.pdb"
+  "CMakeFiles/bench_spanning_forest.dir/bench_spanning_forest.cc.o"
+  "CMakeFiles/bench_spanning_forest.dir/bench_spanning_forest.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spanning_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sparsifier"
+  "../bench/bench_sparsifier.pdb"
+  "CMakeFiles/bench_sparsifier.dir/bench_sparsifier.cc.o"
+  "CMakeFiles/bench_sparsifier.dir/bench_sparsifier.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparsifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_vc_estimate"
+  "../bench/bench_vc_estimate.pdb"
+  "CMakeFiles/bench_vc_estimate.dir/bench_vc_estimate.cc.o"
+  "CMakeFiles/bench_vc_estimate.dir/bench_vc_estimate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vc_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_referee.dir/distributed_referee.cc.o"
+  "CMakeFiles/distributed_referee.dir/distributed_referee.cc.o.d"
+  "distributed_referee"
+  "distributed_referee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_referee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypergraph_sparsify.dir/hypergraph_sparsify.cc.o"
+  "CMakeFiles/hypergraph_sparsify.dir/hypergraph_sparsify.cc.o.d"
+  "hypergraph_sparsify"
+  "hypergraph_sparsify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypergraph_sparsify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

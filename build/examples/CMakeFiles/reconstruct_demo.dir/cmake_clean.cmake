@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconstruct_demo.dir/reconstruct_demo.cc.o"
+  "CMakeFiles/reconstruct_demo.dir/reconstruct_demo.cc.o.d"
+  "reconstruct_demo"
+  "reconstruct_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconstruct_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_window.dir/sliding_window.cc.o"
+  "CMakeFiles/sliding_window.dir/sliding_window.cc.o.d"
+  "sliding_window"
+  "sliding_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_cli.dir/stream_cli.cc.o"
+  "CMakeFiles/stream_cli.dir/stream_cli.cc.o.d"
+  "stream_cli"
+  "stream_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_comm.dir/comm/simultaneous.cc.o"
+  "CMakeFiles/gms_comm.dir/comm/simultaneous.cc.o.d"
+  "libgms_comm.a"
+  "libgms_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_connectivity.dir/connectivity/connectivity_query.cc.o"
+  "CMakeFiles/gms_connectivity.dir/connectivity/connectivity_query.cc.o.d"
+  "CMakeFiles/gms_connectivity.dir/connectivity/incidence.cc.o"
+  "CMakeFiles/gms_connectivity.dir/connectivity/incidence.cc.o.d"
+  "CMakeFiles/gms_connectivity.dir/connectivity/k_skeleton.cc.o"
+  "CMakeFiles/gms_connectivity.dir/connectivity/k_skeleton.cc.o.d"
+  "CMakeFiles/gms_connectivity.dir/connectivity/spanning_forest_sketch.cc.o"
+  "CMakeFiles/gms_connectivity.dir/connectivity/spanning_forest_sketch.cc.o.d"
+  "libgms_connectivity.a"
+  "libgms_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exact/cut_eval.cc" "src/CMakeFiles/gms_exact.dir/exact/cut_eval.cc.o" "gcc" "src/CMakeFiles/gms_exact.dir/exact/cut_eval.cc.o.d"
+  "/root/repo/src/exact/degeneracy.cc" "src/CMakeFiles/gms_exact.dir/exact/degeneracy.cc.o" "gcc" "src/CMakeFiles/gms_exact.dir/exact/degeneracy.cc.o.d"
+  "/root/repo/src/exact/dinic.cc" "src/CMakeFiles/gms_exact.dir/exact/dinic.cc.o" "gcc" "src/CMakeFiles/gms_exact.dir/exact/dinic.cc.o.d"
+  "/root/repo/src/exact/gomory_hu.cc" "src/CMakeFiles/gms_exact.dir/exact/gomory_hu.cc.o" "gcc" "src/CMakeFiles/gms_exact.dir/exact/gomory_hu.cc.o.d"
+  "/root/repo/src/exact/hypergraph_mincut.cc" "src/CMakeFiles/gms_exact.dir/exact/hypergraph_mincut.cc.o" "gcc" "src/CMakeFiles/gms_exact.dir/exact/hypergraph_mincut.cc.o.d"
+  "/root/repo/src/exact/lambda.cc" "src/CMakeFiles/gms_exact.dir/exact/lambda.cc.o" "gcc" "src/CMakeFiles/gms_exact.dir/exact/lambda.cc.o.d"
+  "/root/repo/src/exact/stoer_wagner.cc" "src/CMakeFiles/gms_exact.dir/exact/stoer_wagner.cc.o" "gcc" "src/CMakeFiles/gms_exact.dir/exact/stoer_wagner.cc.o.d"
+  "/root/repo/src/exact/strength.cc" "src/CMakeFiles/gms_exact.dir/exact/strength.cc.o" "gcc" "src/CMakeFiles/gms_exact.dir/exact/strength.cc.o.d"
+  "/root/repo/src/exact/vertex_connectivity.cc" "src/CMakeFiles/gms_exact.dir/exact/vertex_connectivity.cc.o" "gcc" "src/CMakeFiles/gms_exact.dir/exact/vertex_connectivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_exact.dir/exact/cut_eval.cc.o"
+  "CMakeFiles/gms_exact.dir/exact/cut_eval.cc.o.d"
+  "CMakeFiles/gms_exact.dir/exact/degeneracy.cc.o"
+  "CMakeFiles/gms_exact.dir/exact/degeneracy.cc.o.d"
+  "CMakeFiles/gms_exact.dir/exact/dinic.cc.o"
+  "CMakeFiles/gms_exact.dir/exact/dinic.cc.o.d"
+  "CMakeFiles/gms_exact.dir/exact/gomory_hu.cc.o"
+  "CMakeFiles/gms_exact.dir/exact/gomory_hu.cc.o.d"
+  "CMakeFiles/gms_exact.dir/exact/hypergraph_mincut.cc.o"
+  "CMakeFiles/gms_exact.dir/exact/hypergraph_mincut.cc.o.d"
+  "CMakeFiles/gms_exact.dir/exact/lambda.cc.o"
+  "CMakeFiles/gms_exact.dir/exact/lambda.cc.o.d"
+  "CMakeFiles/gms_exact.dir/exact/stoer_wagner.cc.o"
+  "CMakeFiles/gms_exact.dir/exact/stoer_wagner.cc.o.d"
+  "CMakeFiles/gms_exact.dir/exact/strength.cc.o"
+  "CMakeFiles/gms_exact.dir/exact/strength.cc.o.d"
+  "CMakeFiles/gms_exact.dir/exact/vertex_connectivity.cc.o"
+  "CMakeFiles/gms_exact.dir/exact/vertex_connectivity.cc.o.d"
+  "libgms_exact.a"
+  "libgms_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/edge_codec.cc" "src/CMakeFiles/gms_graph.dir/graph/edge_codec.cc.o" "gcc" "src/CMakeFiles/gms_graph.dir/graph/edge_codec.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/gms_graph.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/gms_graph.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/gms_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/gms_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/hypergraph.cc" "src/CMakeFiles/gms_graph.dir/graph/hypergraph.cc.o" "gcc" "src/CMakeFiles/gms_graph.dir/graph/hypergraph.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/CMakeFiles/gms_graph.dir/graph/traversal.cc.o" "gcc" "src/CMakeFiles/gms_graph.dir/graph/traversal.cc.o.d"
+  "/root/repo/src/graph/union_find.cc" "src/CMakeFiles/gms_graph.dir/graph/union_find.cc.o" "gcc" "src/CMakeFiles/gms_graph.dir/graph/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_graph.dir/graph/edge_codec.cc.o"
+  "CMakeFiles/gms_graph.dir/graph/edge_codec.cc.o.d"
+  "CMakeFiles/gms_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/gms_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/gms_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/gms_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/gms_graph.dir/graph/hypergraph.cc.o"
+  "CMakeFiles/gms_graph.dir/graph/hypergraph.cc.o.d"
+  "CMakeFiles/gms_graph.dir/graph/traversal.cc.o"
+  "CMakeFiles/gms_graph.dir/graph/traversal.cc.o.d"
+  "CMakeFiles/gms_graph.dir/graph/union_find.cc.o"
+  "CMakeFiles/gms_graph.dir/graph/union_find.cc.o.d"
+  "libgms_graph.a"
+  "libgms_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_reconstruct.dir/reconstruct/cut_degenerate.cc.o"
+  "CMakeFiles/gms_reconstruct.dir/reconstruct/cut_degenerate.cc.o.d"
+  "CMakeFiles/gms_reconstruct.dir/reconstruct/light_recovery.cc.o"
+  "CMakeFiles/gms_reconstruct.dir/reconstruct/light_recovery.cc.o.d"
+  "CMakeFiles/gms_reconstruct.dir/reconstruct/row_reconstruct.cc.o"
+  "CMakeFiles/gms_reconstruct.dir/reconstruct/row_reconstruct.cc.o.d"
+  "libgms_reconstruct.a"
+  "libgms_reconstruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/l0_sampler.cc" "src/CMakeFiles/gms_sketch.dir/sketch/l0_sampler.cc.o" "gcc" "src/CMakeFiles/gms_sketch.dir/sketch/l0_sampler.cc.o.d"
+  "/root/repo/src/sketch/sketch_config.cc" "src/CMakeFiles/gms_sketch.dir/sketch/sketch_config.cc.o" "gcc" "src/CMakeFiles/gms_sketch.dir/sketch/sketch_config.cc.o.d"
+  "/root/repo/src/sketch/sparse_recovery.cc" "src/CMakeFiles/gms_sketch.dir/sketch/sparse_recovery.cc.o" "gcc" "src/CMakeFiles/gms_sketch.dir/sketch/sparse_recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

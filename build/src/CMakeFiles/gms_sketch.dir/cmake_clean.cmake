@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_sketch.dir/sketch/l0_sampler.cc.o"
+  "CMakeFiles/gms_sketch.dir/sketch/l0_sampler.cc.o.d"
+  "CMakeFiles/gms_sketch.dir/sketch/sketch_config.cc.o"
+  "CMakeFiles/gms_sketch.dir/sketch/sketch_config.cc.o.d"
+  "CMakeFiles/gms_sketch.dir/sketch/sparse_recovery.cc.o"
+  "CMakeFiles/gms_sketch.dir/sketch/sparse_recovery.cc.o.d"
+  "libgms_sketch.a"
+  "libgms_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

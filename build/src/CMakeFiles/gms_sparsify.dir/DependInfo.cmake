@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparsify/benczur_karger.cc" "src/CMakeFiles/gms_sparsify.dir/sparsify/benczur_karger.cc.o" "gcc" "src/CMakeFiles/gms_sparsify.dir/sparsify/benczur_karger.cc.o.d"
+  "/root/repo/src/sparsify/sparsifier_sketch.cc" "src/CMakeFiles/gms_sparsify.dir/sparsify/sparsifier_sketch.cc.o" "gcc" "src/CMakeFiles/gms_sparsify.dir/sparsify/sparsifier_sketch.cc.o.d"
+  "/root/repo/src/sparsify/verify.cc" "src/CMakeFiles/gms_sparsify.dir/sparsify/verify.cc.o" "gcc" "src/CMakeFiles/gms_sparsify.dir/sparsify/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gms_reconstruct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_connectivity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

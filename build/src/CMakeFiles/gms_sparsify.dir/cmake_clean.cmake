@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_sparsify.dir/sparsify/benczur_karger.cc.o"
+  "CMakeFiles/gms_sparsify.dir/sparsify/benczur_karger.cc.o.d"
+  "CMakeFiles/gms_sparsify.dir/sparsify/sparsifier_sketch.cc.o"
+  "CMakeFiles/gms_sparsify.dir/sparsify/sparsifier_sketch.cc.o.d"
+  "CMakeFiles/gms_sparsify.dir/sparsify/verify.cc.o"
+  "CMakeFiles/gms_sparsify.dir/sparsify/verify.cc.o.d"
+  "libgms_sparsify.a"
+  "libgms_sparsify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_sparsify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

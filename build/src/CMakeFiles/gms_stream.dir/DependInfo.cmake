@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/io.cc" "src/CMakeFiles/gms_stream.dir/stream/io.cc.o" "gcc" "src/CMakeFiles/gms_stream.dir/stream/io.cc.o.d"
+  "/root/repo/src/stream/stream.cc" "src/CMakeFiles/gms_stream.dir/stream/stream.cc.o" "gcc" "src/CMakeFiles/gms_stream.dir/stream/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

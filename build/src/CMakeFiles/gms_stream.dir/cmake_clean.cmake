@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_stream.dir/stream/io.cc.o"
+  "CMakeFiles/gms_stream.dir/stream/io.cc.o.d"
+  "CMakeFiles/gms_stream.dir/stream/stream.cc.o"
+  "CMakeFiles/gms_stream.dir/stream/stream.cc.o.d"
+  "libgms_stream.a"
+  "libgms_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

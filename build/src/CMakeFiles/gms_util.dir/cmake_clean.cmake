@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_util.dir/util/field.cc.o"
+  "CMakeFiles/gms_util.dir/util/field.cc.o.d"
+  "CMakeFiles/gms_util.dir/util/hash.cc.o"
+  "CMakeFiles/gms_util.dir/util/hash.cc.o.d"
+  "CMakeFiles/gms_util.dir/util/random.cc.o"
+  "CMakeFiles/gms_util.dir/util/random.cc.o.d"
+  "CMakeFiles/gms_util.dir/util/status.cc.o"
+  "CMakeFiles/gms_util.dir/util/status.cc.o.d"
+  "CMakeFiles/gms_util.dir/util/table.cc.o"
+  "CMakeFiles/gms_util.dir/util/table.cc.o.d"
+  "libgms_util.a"
+  "libgms_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

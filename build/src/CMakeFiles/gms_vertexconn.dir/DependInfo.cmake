@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vertexconn/eppstein_baseline.cc" "src/CMakeFiles/gms_vertexconn.dir/vertexconn/eppstein_baseline.cc.o" "gcc" "src/CMakeFiles/gms_vertexconn.dir/vertexconn/eppstein_baseline.cc.o.d"
+  "/root/repo/src/vertexconn/hyper_vc_query.cc" "src/CMakeFiles/gms_vertexconn.dir/vertexconn/hyper_vc_query.cc.o" "gcc" "src/CMakeFiles/gms_vertexconn.dir/vertexconn/hyper_vc_query.cc.o.d"
+  "/root/repo/src/vertexconn/lower_bound.cc" "src/CMakeFiles/gms_vertexconn.dir/vertexconn/lower_bound.cc.o" "gcc" "src/CMakeFiles/gms_vertexconn.dir/vertexconn/lower_bound.cc.o.d"
+  "/root/repo/src/vertexconn/sfst.cc" "src/CMakeFiles/gms_vertexconn.dir/vertexconn/sfst.cc.o" "gcc" "src/CMakeFiles/gms_vertexconn.dir/vertexconn/sfst.cc.o.d"
+  "/root/repo/src/vertexconn/vc_estimator.cc" "src/CMakeFiles/gms_vertexconn.dir/vertexconn/vc_estimator.cc.o" "gcc" "src/CMakeFiles/gms_vertexconn.dir/vertexconn/vc_estimator.cc.o.d"
+  "/root/repo/src/vertexconn/vc_query_sketch.cc" "src/CMakeFiles/gms_vertexconn.dir/vertexconn/vc_query_sketch.cc.o" "gcc" "src/CMakeFiles/gms_vertexconn.dir/vertexconn/vc_query_sketch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gms_connectivity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

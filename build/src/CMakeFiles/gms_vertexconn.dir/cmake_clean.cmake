@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_vertexconn.dir/vertexconn/eppstein_baseline.cc.o"
+  "CMakeFiles/gms_vertexconn.dir/vertexconn/eppstein_baseline.cc.o.d"
+  "CMakeFiles/gms_vertexconn.dir/vertexconn/hyper_vc_query.cc.o"
+  "CMakeFiles/gms_vertexconn.dir/vertexconn/hyper_vc_query.cc.o.d"
+  "CMakeFiles/gms_vertexconn.dir/vertexconn/lower_bound.cc.o"
+  "CMakeFiles/gms_vertexconn.dir/vertexconn/lower_bound.cc.o.d"
+  "CMakeFiles/gms_vertexconn.dir/vertexconn/sfst.cc.o"
+  "CMakeFiles/gms_vertexconn.dir/vertexconn/sfst.cc.o.d"
+  "CMakeFiles/gms_vertexconn.dir/vertexconn/vc_estimator.cc.o"
+  "CMakeFiles/gms_vertexconn.dir/vertexconn/vc_estimator.cc.o.d"
+  "CMakeFiles/gms_vertexconn.dir/vertexconn/vc_query_sketch.cc.o"
+  "CMakeFiles/gms_vertexconn.dir/vertexconn/vc_query_sketch.cc.o.d"
+  "libgms_vertexconn.a"
+  "libgms_vertexconn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_vertexconn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/boundary_test.cc" "tests/CMakeFiles/gms_app_tests.dir/boundary_test.cc.o" "gcc" "tests/CMakeFiles/gms_app_tests.dir/boundary_test.cc.o.d"
+  "/root/repo/tests/comm_test.cc" "tests/CMakeFiles/gms_app_tests.dir/comm_test.cc.o" "gcc" "tests/CMakeFiles/gms_app_tests.dir/comm_test.cc.o.d"
+  "/root/repo/tests/cut_degenerate_test.cc" "tests/CMakeFiles/gms_app_tests.dir/cut_degenerate_test.cc.o" "gcc" "tests/CMakeFiles/gms_app_tests.dir/cut_degenerate_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/gms_app_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/gms_app_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/light_recovery_test.cc" "tests/CMakeFiles/gms_app_tests.dir/light_recovery_test.cc.o" "gcc" "tests/CMakeFiles/gms_app_tests.dir/light_recovery_test.cc.o.d"
+  "/root/repo/tests/row_reconstruct_test.cc" "tests/CMakeFiles/gms_app_tests.dir/row_reconstruct_test.cc.o" "gcc" "tests/CMakeFiles/gms_app_tests.dir/row_reconstruct_test.cc.o.d"
+  "/root/repo/tests/sparsifier_test.cc" "tests/CMakeFiles/gms_app_tests.dir/sparsifier_test.cc.o" "gcc" "tests/CMakeFiles/gms_app_tests.dir/sparsifier_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/gms_app_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/gms_app_tests.dir/stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gms_vertexconn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_sparsify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_reconstruct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_connectivity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

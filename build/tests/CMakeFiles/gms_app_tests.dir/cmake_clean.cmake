@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_app_tests.dir/boundary_test.cc.o"
+  "CMakeFiles/gms_app_tests.dir/boundary_test.cc.o.d"
+  "CMakeFiles/gms_app_tests.dir/comm_test.cc.o"
+  "CMakeFiles/gms_app_tests.dir/comm_test.cc.o.d"
+  "CMakeFiles/gms_app_tests.dir/cut_degenerate_test.cc.o"
+  "CMakeFiles/gms_app_tests.dir/cut_degenerate_test.cc.o.d"
+  "CMakeFiles/gms_app_tests.dir/integration_test.cc.o"
+  "CMakeFiles/gms_app_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/gms_app_tests.dir/light_recovery_test.cc.o"
+  "CMakeFiles/gms_app_tests.dir/light_recovery_test.cc.o.d"
+  "CMakeFiles/gms_app_tests.dir/row_reconstruct_test.cc.o"
+  "CMakeFiles/gms_app_tests.dir/row_reconstruct_test.cc.o.d"
+  "CMakeFiles/gms_app_tests.dir/sparsifier_test.cc.o"
+  "CMakeFiles/gms_app_tests.dir/sparsifier_test.cc.o.d"
+  "CMakeFiles/gms_app_tests.dir/stress_test.cc.o"
+  "CMakeFiles/gms_app_tests.dir/stress_test.cc.o.d"
+  "gms_app_tests"
+  "gms_app_tests.pdb"
+  "gms_app_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_app_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/edge_codec_test.cc" "tests/CMakeFiles/gms_core_tests.dir/edge_codec_test.cc.o" "gcc" "tests/CMakeFiles/gms_core_tests.dir/edge_codec_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/gms_core_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/gms_core_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/gms_core_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/gms_core_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/gms_core_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/gms_core_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/l0_sampler_test.cc" "tests/CMakeFiles/gms_core_tests.dir/l0_sampler_test.cc.o" "gcc" "tests/CMakeFiles/gms_core_tests.dir/l0_sampler_test.cc.o.d"
+  "/root/repo/tests/sparse_recovery_test.cc" "tests/CMakeFiles/gms_core_tests.dir/sparse_recovery_test.cc.o" "gcc" "tests/CMakeFiles/gms_core_tests.dir/sparse_recovery_test.cc.o.d"
+  "/root/repo/tests/stream_test.cc" "tests/CMakeFiles/gms_core_tests.dir/stream_test.cc.o" "gcc" "tests/CMakeFiles/gms_core_tests.dir/stream_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/gms_core_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/gms_core_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gms_vertexconn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_sparsify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_reconstruct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_connectivity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

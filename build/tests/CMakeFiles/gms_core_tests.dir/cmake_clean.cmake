@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_core_tests.dir/edge_codec_test.cc.o"
+  "CMakeFiles/gms_core_tests.dir/edge_codec_test.cc.o.d"
+  "CMakeFiles/gms_core_tests.dir/generators_test.cc.o"
+  "CMakeFiles/gms_core_tests.dir/generators_test.cc.o.d"
+  "CMakeFiles/gms_core_tests.dir/graph_test.cc.o"
+  "CMakeFiles/gms_core_tests.dir/graph_test.cc.o.d"
+  "CMakeFiles/gms_core_tests.dir/io_test.cc.o"
+  "CMakeFiles/gms_core_tests.dir/io_test.cc.o.d"
+  "CMakeFiles/gms_core_tests.dir/l0_sampler_test.cc.o"
+  "CMakeFiles/gms_core_tests.dir/l0_sampler_test.cc.o.d"
+  "CMakeFiles/gms_core_tests.dir/sparse_recovery_test.cc.o"
+  "CMakeFiles/gms_core_tests.dir/sparse_recovery_test.cc.o.d"
+  "CMakeFiles/gms_core_tests.dir/stream_test.cc.o"
+  "CMakeFiles/gms_core_tests.dir/stream_test.cc.o.d"
+  "CMakeFiles/gms_core_tests.dir/util_test.cc.o"
+  "CMakeFiles/gms_core_tests.dir/util_test.cc.o.d"
+  "gms_core_tests"
+  "gms_core_tests.pdb"
+  "gms_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

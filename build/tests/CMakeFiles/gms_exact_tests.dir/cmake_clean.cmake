@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_exact_tests.dir/degeneracy_test.cc.o"
+  "CMakeFiles/gms_exact_tests.dir/degeneracy_test.cc.o.d"
+  "CMakeFiles/gms_exact_tests.dir/dinic_test.cc.o"
+  "CMakeFiles/gms_exact_tests.dir/dinic_test.cc.o.d"
+  "CMakeFiles/gms_exact_tests.dir/exact_connectivity_test.cc.o"
+  "CMakeFiles/gms_exact_tests.dir/exact_connectivity_test.cc.o.d"
+  "CMakeFiles/gms_exact_tests.dir/gomory_hu_test.cc.o"
+  "CMakeFiles/gms_exact_tests.dir/gomory_hu_test.cc.o.d"
+  "CMakeFiles/gms_exact_tests.dir/lambda_strength_test.cc.o"
+  "CMakeFiles/gms_exact_tests.dir/lambda_strength_test.cc.o.d"
+  "gms_exact_tests"
+  "gms_exact_tests.pdb"
+  "gms_exact_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_exact_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

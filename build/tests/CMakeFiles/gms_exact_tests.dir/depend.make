@@ -1,0 +1,2 @@
+# Empty dependencies file for gms_exact_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_sketch_tests.dir/adaptive_reuse_test.cc.o"
+  "CMakeFiles/gms_sketch_tests.dir/adaptive_reuse_test.cc.o.d"
+  "CMakeFiles/gms_sketch_tests.dir/connectivity_query_test.cc.o"
+  "CMakeFiles/gms_sketch_tests.dir/connectivity_query_test.cc.o.d"
+  "CMakeFiles/gms_sketch_tests.dir/incidence_test.cc.o"
+  "CMakeFiles/gms_sketch_tests.dir/incidence_test.cc.o.d"
+  "CMakeFiles/gms_sketch_tests.dir/k_skeleton_test.cc.o"
+  "CMakeFiles/gms_sketch_tests.dir/k_skeleton_test.cc.o.d"
+  "CMakeFiles/gms_sketch_tests.dir/sketch_properties_test.cc.o"
+  "CMakeFiles/gms_sketch_tests.dir/sketch_properties_test.cc.o.d"
+  "CMakeFiles/gms_sketch_tests.dir/spanning_forest_sketch_test.cc.o"
+  "CMakeFiles/gms_sketch_tests.dir/spanning_forest_sketch_test.cc.o.d"
+  "gms_sketch_tests"
+  "gms_sketch_tests.pdb"
+  "gms_sketch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_sketch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_vertexconn_tests.dir/eppstein_test.cc.o"
+  "CMakeFiles/gms_vertexconn_tests.dir/eppstein_test.cc.o.d"
+  "CMakeFiles/gms_vertexconn_tests.dir/hyper_vc_test.cc.o"
+  "CMakeFiles/gms_vertexconn_tests.dir/hyper_vc_test.cc.o.d"
+  "CMakeFiles/gms_vertexconn_tests.dir/lower_bound_test.cc.o"
+  "CMakeFiles/gms_vertexconn_tests.dir/lower_bound_test.cc.o.d"
+  "CMakeFiles/gms_vertexconn_tests.dir/sfst_test.cc.o"
+  "CMakeFiles/gms_vertexconn_tests.dir/sfst_test.cc.o.d"
+  "CMakeFiles/gms_vertexconn_tests.dir/vc_estimator_test.cc.o"
+  "CMakeFiles/gms_vertexconn_tests.dir/vc_estimator_test.cc.o.d"
+  "CMakeFiles/gms_vertexconn_tests.dir/vc_query_test.cc.o"
+  "CMakeFiles/gms_vertexconn_tests.dir/vc_query_test.cc.o.d"
+  "gms_vertexconn_tests"
+  "gms_vertexconn_tests.pdb"
+  "gms_vertexconn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_vertexconn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gms_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/gms_exact_tests[1]_include.cmake")
+include("/root/repo/build/tests/gms_sketch_tests[1]_include.cmake")
+include("/root/repo/build/tests/gms_vertexconn_tests[1]_include.cmake")
+include("/root/repo/build/tests/gms_app_tests[1]_include.cmake")
