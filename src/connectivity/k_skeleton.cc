@@ -1,6 +1,7 @@
 #include "connectivity/k_skeleton.h"
 
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace gms {
@@ -8,7 +9,7 @@ namespace gms {
 KSkeletonSketch::KSkeletonSketch(size_t n, size_t max_rank, size_t k,
                                  uint64_t seed,
                                  const SpanningForestSketch::Params& params)
-    : n_(n), k_(k) {
+    : n_(n), k_(k), threads_(params.threads) {
   GMS_CHECK(k >= 1);
   Rng rng(seed);
   layers_.reserve(k);
@@ -18,11 +19,38 @@ KSkeletonSketch::KSkeletonSketch(size_t n, size_t max_rank, size_t k,
 }
 
 void KSkeletonSketch::Update(const Hyperedge& e, int delta) {
-  for (auto& layer : layers_) layer.Update(e, delta);
+  if (layers_.empty()) return;
+  UpdateEncoded(e, layers_[0].codec().Encode(e), delta);
+}
+
+void KSkeletonSketch::UpdateEncoded(const Hyperedge& e, u128 index,
+                                    int delta) {
+  for (auto& layer : layers_) layer.UpdateEncoded(e, index, delta);
+}
+
+void KSkeletonSketch::Process(std::span<const StreamUpdate> updates) {
+  if (layers_.empty() || updates.empty()) return;
+  // One encode per update, shared by all k layers.
+  const EdgeCodec& codec = layers_[0].codec();
+  std::vector<u128> indices(updates.size());
+  for (size_t j = 0; j < updates.size(); ++j) {
+    GMS_CHECK_MSG(updates[j].edge.size() <= codec.max_rank(),
+                  "hyperedge exceeds max_rank");
+    indices[j] = codec.Encode(updates[j].edge);
+  }
+  // Layers are independent sketches; shard them across the pool.
+  ParallelFor(threads_, layers_.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t j = 0; j < updates.size(); ++j) {
+        layers_[i].UpdateEncoded(updates[j].edge, indices[j],
+                                 updates[j].delta);
+      }
+    }
+  });
 }
 
 void KSkeletonSketch::Process(const DynamicStream& stream) {
-  for (const auto& u : stream) Update(u.edge, u.delta);
+  Process(std::span<const StreamUpdate>(stream.updates()));
 }
 
 void KSkeletonSketch::RemoveHyperedges(const std::vector<Hyperedge>& edges) {
@@ -37,7 +65,9 @@ Result<Hypergraph> KSkeletonSketch::Extract() const {
     // accumulated layers from a copy of layer i, then decode.
     SpanningForestSketch layer = layers_[i];
     layer.RemoveHyperedges(accumulated);
-    auto forest = layer.ExtractSpanningGraph();
+    // Layers must decode sequentially (each subtracts its predecessors),
+    // but each decode's per-round component summations use the pool.
+    auto forest = layer.ExtractSpanningGraph(threads_);
     if (!forest.ok()) return forest.status();
     for (const auto& e : forest->Edges()) {
       if (skeleton.AddEdge(e)) accumulated.push_back(e);
@@ -50,6 +80,14 @@ size_t KSkeletonSketch::MemoryBytes() const {
   size_t total = 0;
   for (const auto& layer : layers_) total += layer.MemoryBytes();
   return total;
+}
+
+bool KSkeletonSketch::StateEquals(const KSkeletonSketch& other) const {
+  if (layers_.size() != other.layers_.size()) return false;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (!layers_[i].StateEquals(other.layers_[i])) return false;
+  }
+  return true;
 }
 
 }  // namespace gms

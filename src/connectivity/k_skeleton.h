@@ -9,6 +9,7 @@
 #define GMS_CONNECTIVITY_K_SKELETON_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "connectivity/spanning_forest_sketch.h"
@@ -27,6 +28,16 @@ class KSkeletonSketch {
   size_t k() const { return k_; }
 
   void Update(const Hyperedge& e, int delta);
+
+  /// As Update with the codec index precomputed (all k layers share one
+  /// (n, max_rank) domain, so containers of skeleton sketches -- e.g. the
+  /// sparsifier's levels -- encode each update exactly once).
+  void UpdateEncoded(const Hyperedge& e, u128 index, int delta);
+
+  /// Batched ingestion: encodes each update once and shards the k
+  /// independent layers across params.threads workers (bit-identical to
+  /// the serial path; each layer is owned by one worker).
+  void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
 
   /// Linear subtraction of a known edge set from ALL layers (used by the
@@ -40,9 +51,13 @@ class KSkeletonSketch {
 
   size_t MemoryBytes() const;
 
+  /// Bit-identity of all per-layer states (for the determinism suite).
+  bool StateEquals(const KSkeletonSketch& other) const;
+
  private:
   size_t n_;
   size_t k_;
+  size_t threads_;
   std::vector<SpanningForestSketch> layers_;
 };
 

@@ -7,6 +7,7 @@
 #include "connectivity/incidence.h"
 #include "graph/union_find.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace gms {
@@ -27,6 +28,7 @@ SpanningForestSketch::SpanningForestSketch(size_t n, size_t max_rank,
     : n_(n),
       rounds_(params.rounds > 0 ? params.rounds
                                 : DefaultRounds(n, params.config)),
+      threads_(params.threads),
       codec_(n, max_rank),
       states_(n) {
   GMS_CHECK(active == nullptr || active->size() == n);
@@ -45,20 +47,27 @@ SpanningForestSketch::SpanningForestSketch(size_t n, size_t max_rank,
   }
 }
 
+void SpanningForestSketch::ApplyToRound(int t, const Hyperedge& e, u128 index,
+                                        int delta) {
+  const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
+  int level = shape.LevelOf(index);
+  uint64_t power = shape.level_shape(level).FingerprintPower(index);
+  for (VertexId v : e) {
+    GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
+    int64_t coeff = IncidenceCoefficient(e, v) * delta;
+    states_[v][static_cast<size_t>(t)].UpdateWithPower(index, coeff, level,
+                                                       power);
+  }
+}
+
 void SpanningForestSketch::Update(const Hyperedge& e, int delta) {
   GMS_CHECK_MSG(e.size() <= codec_.max_rank(), "hyperedge exceeds max_rank");
-  u128 index = codec_.Encode(e);
-  for (int t = 0; t < rounds_; ++t) {
-    const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
-    int level = shape.LevelOf(index);
-    uint64_t power = shape.level_shape(level).FingerprintPower(index);
-    for (VertexId v : e) {
-      GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
-      int64_t coeff = IncidenceCoefficient(e, v) * delta;
-      states_[v][static_cast<size_t>(t)].UpdateWithPower(index, coeff, level,
-                                                         power);
-    }
-  }
+  UpdateEncoded(e, codec_.Encode(e), delta);
+}
+
+void SpanningForestSketch::UpdateEncoded(const Hyperedge& e, u128 index,
+                                         int delta) {
+  for (int t = 0; t < rounds_; ++t) ApplyToRound(t, e, index, delta);
 }
 
 void SpanningForestSketch::UpdateLocal(VertexId v, const Hyperedge& e,
@@ -76,8 +85,29 @@ void SpanningForestSketch::UpdateLocal(VertexId v, const Hyperedge& e,
   }
 }
 
+void SpanningForestSketch::Process(std::span<const StreamUpdate> updates) {
+  // Encode once per update (the combinadic rank is the same for every
+  // round), then hand each worker a contiguous block of rounds: round
+  // columns are disjoint state, so no worker ever touches another's cells.
+  std::vector<u128> indices(updates.size());
+  for (size_t j = 0; j < updates.size(); ++j) {
+    GMS_CHECK_MSG(updates[j].edge.size() <= codec_.max_rank(),
+                  "hyperedge exceeds max_rank");
+    indices[j] = codec_.Encode(updates[j].edge);
+  }
+  ParallelFor(threads_, static_cast<size_t>(rounds_),
+              [&](size_t begin, size_t end) {
+                for (size_t t = begin; t < end; ++t) {
+                  for (size_t j = 0; j < updates.size(); ++j) {
+                    ApplyToRound(static_cast<int>(t), updates[j].edge,
+                                 indices[j], updates[j].delta);
+                  }
+                }
+              });
+}
+
 void SpanningForestSketch::Process(const DynamicStream& stream) {
-  for (const auto& u : stream) Update(u.edge, u.delta);
+  Process(std::span<const StreamUpdate>(stream.updates()));
 }
 
 void SpanningForestSketch::RemoveHyperedges(
@@ -85,7 +115,9 @@ void SpanningForestSketch::RemoveHyperedges(
   for (const auto& e : edges) Update(e, -1);
 }
 
-Result<Hypergraph> SpanningForestSketch::ExtractSpanningGraph() const {
+Result<Hypergraph> SpanningForestSketch::ExtractSpanningGraph(
+    size_t threads) const {
+  if (threads == 0) threads = threads_;
   Hypergraph result(n_);
   UnionFind uf(n_);
   std::vector<VertexId> active_vertices;
@@ -95,8 +127,11 @@ Result<Hypergraph> SpanningForestSketch::ExtractSpanningGraph() const {
   if (active_vertices.size() <= 1) return result;
 
   for (int t = 0; t < rounds_; ++t) {
-    // Group active vertices by current component.
+    // Group active vertices by current component; comp[v] snapshots the
+    // component index so the parallel summation below never touches the
+    // (path-compressing, hence mutating) union-find.
     std::vector<std::vector<VertexId>> groups;
+    std::vector<int64_t> comp(n_, -1);
     {
       std::vector<int64_t> dense(n_, -1);
       for (VertexId v : active_vertices) {
@@ -105,37 +140,48 @@ Result<Hypergraph> SpanningForestSketch::ExtractSpanningGraph() const {
           dense[r] = static_cast<int64_t>(groups.size());
           groups.emplace_back();
         }
+        comp[v] = dense[r];
         groups[static_cast<size_t>(dense[r])].push_back(v);
       }
     }
     if (groups.size() <= 1) break;
 
     // Sample one crossing hyperedge per component from the summed sketch.
-    std::vector<Hyperedge> found;
-    for (const auto& group : groups) {
-      L0State acc(round_shapes_[static_cast<size_t>(t)].get());
-      for (VertexId v : group) {
-        acc.Add(states_[v][static_cast<size_t>(t)]);
+    // Components are independent read-only reductions over this round's
+    // states, so they fan out across the pool; merging stays serial and in
+    // group order, which keeps the decode deterministic.
+    std::vector<Hyperedge> found(groups.size());
+    std::vector<char> has_found(groups.size(), 0);
+    ParallelFor(threads, groups.size(), [&](size_t begin, size_t end) {
+      for (size_t g = begin; g < end; ++g) {
+        const auto& group = groups[g];
+        L0State acc(round_shapes_[static_cast<size_t>(t)].get());
+        for (VertexId v : group) {
+          acc.Add(states_[v][static_cast<size_t>(t)]);
+        }
+        auto sample = acc.Sample();
+        if (!sample.ok()) continue;  // isolated component or sampler failure
+        auto decoded = codec_.Decode(sample->index);
+        if (!decoded.ok()) continue;  // corrupted sample; skip defensively
+        const Hyperedge& e = *decoded;
+        // Sanity: a genuine sample crosses the component boundary and
+        // touches only active vertices.
+        bool valid = std::llabs(sample->value) <
+                         static_cast<int64_t>(codec_.max_rank()) &&
+                     sample->value != 0;
+        bool any_in = false, any_out = false;
+        for (VertexId v : e) {
+          if (!IsActive(v)) valid = false;
+          (comp[v] == static_cast<int64_t>(g) ? any_in : any_out) = true;
+        }
+        if (!valid || !any_in || !any_out) continue;
+        found[g] = e;
+        has_found[g] = 1;
       }
-      auto sample = acc.Sample();
-      if (!sample.ok()) continue;  // isolated component or sampler failure
-      auto decoded = codec_.Decode(sample->index);
-      if (!decoded.ok()) continue;  // corrupted sample; skip defensively
-      const Hyperedge& e = *decoded;
-      // Sanity: a genuine sample crosses the component boundary and touches
-      // only active vertices.
-      bool valid = std::llabs(sample->value) <
-                       static_cast<int64_t>(codec_.max_rank()) &&
-                   sample->value != 0;
-      bool any_in = false, any_out = false;
-      for (VertexId v : e) {
-        if (!IsActive(v)) valid = false;
-        (uf.Connected(v, group[0]) ? any_in : any_out) = true;
-      }
-      if (!valid || !any_in || !any_out) continue;
-      found.push_back(e);
-    }
-    for (const auto& e : found) {
+    });
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (!has_found[g]) continue;
+      const Hyperedge& e = found[g];
       bool merged = false;
       for (size_t i = 1; i < e.size(); ++i) merged |= uf.Union(e[0], e[i]);
       if (merged) result.AddEdge(e);

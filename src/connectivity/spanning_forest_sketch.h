@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/edge_codec.h"
@@ -28,6 +29,10 @@ struct ForestSketchParams {
   SketchConfig config = SketchConfig::Default();
   /// Borůvka rounds; 0 means ceil(log2 n) + config.extra_boruvka_rounds.
   int rounds = 0;
+  /// Worker threads for batched ingestion (sharded by round) and for the
+  /// per-round component summation in ExtractSpanningGraph. 1 = serial.
+  /// Results are bit-identical for every value (see util/parallel.h).
+  size_t threads = 1;
 };
 
 class SpanningForestSketch {
@@ -52,6 +57,16 @@ class SpanningForestSketch {
   /// CHECK-fails if any endpoint is inactive (callers filter first).
   void Update(const Hyperedge& e, int delta);
 
+  /// As Update, with codec().Encode(e) precomputed by the caller. Containers
+  /// holding many sketches over the same (n, max_rank) domain encode each
+  /// stream update once and fan it out to every sketch with this.
+  void UpdateEncoded(const Hyperedge& e, u128 index, int delta);
+
+  /// Batched ingestion: encodes each update once, then shards the Borůvka
+  /// rounds (independent sketch columns) across params.threads workers.
+  /// Bit-identical to updating serially in order.
+  void Process(std::span<const StreamUpdate> updates);
+
   /// Ingest a whole stream.
   void Process(const DynamicStream& stream);
 
@@ -68,7 +83,17 @@ class SpanningForestSketch {
   /// active vertices. The result has the same connected components as the
   /// input whp; per-round sampling failures are tolerated (extra rounds
   /// absorb them) and surface only as a disconnected-looking result.
-  Result<Hypergraph> ExtractSpanningGraph() const;
+  /// Within each round the per-component sketch summations fan out across
+  /// `threads` workers (0 = the params.threads this sketch was built with);
+  /// components merge in a fixed order, so the decode is deterministic.
+  Result<Hypergraph> ExtractSpanningGraph(size_t threads = 0) const;
+
+  /// True iff the other sketch carries bit-identical per-vertex state
+  /// (same n, rounds, and measurement values; for the determinism suite).
+  bool StateEquals(const SpanningForestSketch& other) const {
+    return n_ == other.n_ && rounds_ == other.rounds_ &&
+           states_ == other.states_;
+  }
 
   /// Total bytes of per-vertex sketch state (the paper's space measure).
   size_t MemoryBytes() const;
@@ -79,8 +104,12 @@ class SpanningForestSketch {
   const EdgeCodec& codec() const { return codec_; }
 
  private:
+  /// Apply hyperedge e (precomputed index) to round t's column only.
+  void ApplyToRound(int t, const Hyperedge& e, u128 index, int delta);
+
   size_t n_;
   int rounds_;
+  size_t threads_;
   EdgeCodec codec_;
   // Shapes are immutable and shared between copies of the sketch (copies
   // carry the same measurement, which is exactly what linearity requires).

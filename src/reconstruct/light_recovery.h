@@ -43,6 +43,14 @@ class LightRecoverySketch {
   size_t k() const { return k_; }
 
   void Update(const Hyperedge& e, int delta) { skeleton_.Update(e, delta); }
+  /// As Update with the codec index precomputed by the caller (the
+  /// sparsifier's levels all share one (n, max_rank) domain).
+  void UpdateEncoded(const Hyperedge& e, u128 index, int delta) {
+    skeleton_.UpdateEncoded(e, index, delta);
+  }
+  void Process(std::span<const StreamUpdate> updates) {
+    skeleton_.Process(updates);
+  }
   void Process(const DynamicStream& stream) { skeleton_.Process(stream); }
 
   /// Linearly subtract a known edge set (e.g. layers recovered at other
@@ -55,6 +63,11 @@ class LightRecoverySketch {
   Result<LightRecoveryResult> Recover() const;
 
   size_t MemoryBytes() const { return skeleton_.MemoryBytes(); }
+
+  /// Bit-identity of the underlying skeleton state (determinism suite).
+  bool StateEquals(const LightRecoverySketch& other) const {
+    return skeleton_.StateEquals(other.skeleton_);
+  }
 
  private:
   size_t n_;

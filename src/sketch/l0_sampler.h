@@ -83,6 +83,12 @@ class L0State {
 
   size_t MemoryBytes() const;
 
+  /// Cell-wise equality across all levels (bit-identity of the measurement
+  /// value; shapes may be distinct objects with the same randomness).
+  friend bool operator==(const L0State& a, const L0State& b) {
+    return a.levels_ == b.levels_;
+  }
+
   const L0Shape& shape() const { return *shape_; }
 
  private:

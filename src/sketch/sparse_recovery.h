@@ -50,6 +50,8 @@ struct OneSparseCell {
   bool IsZero() const {
     return weight == 0 && index_sum == 0 && fingerprint == 0;
   }
+
+  friend bool operator==(const OneSparseCell&, const OneSparseCell&) = default;
 };
 
 /// Shared measurement definition for an s-sparse recovery structure.
@@ -110,6 +112,13 @@ class SSparseState {
 
   size_t MemoryBytes() const {
     return cells_.size() * sizeof(OneSparseCell) + sizeof(*this);
+  }
+
+  /// Cell-wise equality (same measurement VALUE; the shapes may be distinct
+  /// objects). Used by the determinism suite to assert that parallel
+  /// ingestion leaves bit-identical state.
+  friend bool operator==(const SSparseState& a, const SSparseState& b) {
+    return a.cells_ == b.cells_;
   }
 
   const SSparseShape& shape() const { return *shape_; }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace gms {
@@ -28,7 +29,7 @@ size_t SparsifierParams::ResolveK(size_t n, size_t max_rank,
 
 HypergraphSparsifierSketch::HypergraphSparsifierSketch(
     size_t n, size_t max_rank, const SparsifierParams& params, uint64_t seed)
-    : n_(n), codec_(n, max_rank) {
+    : n_(n), threads_(params.threads), codec_(n, max_rank) {
   Rng rng(seed);
   size_t levels = params.ResolveLevels(n);
   k_ = params.ResolveK(n, max_rank, levels);
@@ -44,15 +45,40 @@ int HypergraphSparsifierSketch::SampleLevel(const Hyperedge& e) const {
 }
 
 void HypergraphSparsifierSketch::Update(const Hyperedge& e, int delta) {
-  int depth = SampleLevel(e);
+  u128 index = codec_.Encode(e);
+  int depth = sample_hash_.Level(index);
   for (int i = 0; i <= depth && i < static_cast<int>(level_sketches_.size());
        ++i) {
-    level_sketches_[static_cast<size_t>(i)].Update(e, delta);
+    level_sketches_[static_cast<size_t>(i)].UpdateEncoded(e, index, delta);
   }
 }
 
+void HypergraphSparsifierSketch::Process(std::span<const StreamUpdate> updates) {
+  if (updates.empty()) return;
+  // Precompute each update's codec index (the sampling hash and every level
+  // row share the same (n, max_rank) domain) and its sampling depth.
+  std::vector<u128> indices(updates.size());
+  std::vector<int> depths(updates.size());
+  for (size_t j = 0; j < updates.size(); ++j) {
+    indices[j] = codec_.Encode(updates[j].edge);
+    depths[j] = sample_hash_.Level(indices[j]);
+  }
+  // Shard the level rows: each row is an independent linear sketch owned by
+  // one worker, ingesting exactly the updates whose depth reaches it.
+  ParallelFor(threads_, level_sketches_.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t j = 0; j < updates.size(); ++j) {
+        if (depths[j] >= static_cast<int>(i)) {
+          level_sketches_[i].UpdateEncoded(updates[j].edge, indices[j],
+                                           updates[j].delta);
+        }
+      }
+    }
+  });
+}
+
 void HypergraphSparsifierSketch::Process(const DynamicStream& stream) {
-  for (const auto& u : stream) Update(u.edge, u.delta);
+  Process(std::span<const StreamUpdate>(stream.updates()));
 }
 
 Result<SparsifierOutput> HypergraphSparsifierSketch::ExtractSparsifier()
@@ -92,6 +118,17 @@ size_t HypergraphSparsifierSketch::MemoryBytes() const {
   size_t total = 0;
   for (const auto& level : level_sketches_) total += level.MemoryBytes();
   return total;
+}
+
+bool HypergraphSparsifierSketch::StateEquals(
+    const HypergraphSparsifierSketch& other) const {
+  if (level_sketches_.size() != other.level_sketches_.size()) return false;
+  for (size_t i = 0; i < level_sketches_.size(); ++i) {
+    if (!level_sketches_[i].StateEquals(other.level_sketches_[i])) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace gms

@@ -13,6 +13,7 @@
 #define GMS_SPARSIFY_SPARSIFIER_SKETCH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "exact/cut_eval.h"
@@ -33,6 +34,9 @@ struct SparsifierParams {
   /// Apply the Theorem 20 re-parameterization eps <- eps/(2*levels) when
   /// resolving k (costly; off by default so benches can sweep both).
   bool reparameterize = false;
+  /// Worker threads sharding the level rows during batched Process
+  /// (1 = serial; outputs are bit-identical for every value).
+  size_t threads = 1;
   ForestSketchParams forest;
 
   size_t ResolveLevels(size_t n) const;
@@ -59,6 +63,11 @@ class HypergraphSparsifierSketch {
   size_t k() const { return k_; }
 
   void Update(const Hyperedge& e, int delta);
+
+  /// Batched ingestion: each update's codec index and sampling depth are
+  /// computed once; the level rows (independent light-recovery sketches)
+  /// are sharded across params.threads workers. Bit-identical to serial.
+  void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
 
   /// Run the per-level light-edge recoveries and assemble sum_i 2^i F_i.
@@ -66,12 +75,16 @@ class HypergraphSparsifierSketch {
 
   size_t MemoryBytes() const;
 
+  /// Bit-identity of all level-row states (for the determinism suite).
+  bool StateEquals(const HypergraphSparsifierSketch& other) const;
+
  private:
   /// Sampling depth of a hyperedge: e is in G_i iff SampleLevel(e) >= i.
   int SampleLevel(const Hyperedge& e) const;
 
   size_t n_;
   size_t k_;
+  size_t threads_;
   EdgeCodec codec_;
   LevelHash sample_hash_;
   std::vector<LightRecoverySketch> level_sketches_;  // index 0..levels

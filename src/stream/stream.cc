@@ -43,7 +43,8 @@ DynamicStream DynamicStream::InsertOnly(const Graph& g, uint64_t seed) {
 }
 
 DynamicStream DynamicStream::WithChurn(const Hypergraph& g, size_t decoys,
-                                       size_t r, uint64_t seed) {
+                                       size_t r, uint64_t seed,
+                                       size_t* achieved_decoys) {
   Rng rng(seed);
   size_t n = g.NumVertices();
   GMS_CHECK(r >= 2 && r <= n);
@@ -69,6 +70,9 @@ DynamicStream DynamicStream::WithChurn(const Hypergraph& g, size_t decoys,
       decoy_edges.push_back(std::move(e));
     }
   }
+  // Surface the achieved count: silently delivering fewer decoys than
+  // requested would mislabel any axis swept over `decoys`.
+  if (achieved_decoys != nullptr) *achieved_decoys = decoy_edges.size();
 
   // Build: real inserts (in random order) interleaved with decoy
   // insert/delete pairs. To keep multiplicities valid we emit each decoy's
@@ -96,8 +100,9 @@ DynamicStream DynamicStream::WithChurn(const Hypergraph& g, size_t decoys,
 }
 
 DynamicStream DynamicStream::WithChurn(const Graph& g, size_t decoys,
-                                       uint64_t seed) {
-  return WithChurn(Hypergraph::FromGraph(g), decoys, 2, seed);
+                                       uint64_t seed,
+                                       size_t* achieved_decoys) {
+  return WithChurn(Hypergraph::FromGraph(g), decoys, 2, seed, achieved_decoys);
 }
 
 DynamicStream DynamicStream::InsertThenDeleteDown(const Hypergraph& full,

@@ -54,9 +54,15 @@ class DynamicStream {
   /// Stream whose final graph is g but which additionally inserts-and-later-
   /// deletes `decoys` extra hyperedges not in g (uniform r-subsets), all
   /// interleaved in a seeded random order that keeps multiplicities valid.
+  /// Dense inputs may not have `decoys` distinct absent hyperedges, in which
+  /// case the rejection sampler stops short; if `achieved_decoys` is
+  /// non-null it receives the number of decoys actually placed, so callers
+  /// sweeping churn can label their axes with the real value.
   static DynamicStream WithChurn(const Hypergraph& g, size_t decoys, size_t r,
-                                 uint64_t seed);
-  static DynamicStream WithChurn(const Graph& g, size_t decoys, uint64_t seed);
+                                 uint64_t seed,
+                                 size_t* achieved_decoys = nullptr);
+  static DynamicStream WithChurn(const Graph& g, size_t decoys, uint64_t seed,
+                                 size_t* achieved_decoys = nullptr);
 
   /// Insert every edge of `full`, then delete those not in `final_graph`.
   /// This is the adversarial pattern of Theorem 5's INDEX reduction: commit

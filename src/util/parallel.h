@@ -1,0 +1,93 @@
+// Fixed thread pool and deterministic parallel-for.
+//
+// The sketching stack parallelizes by SHARDING OWNERSHIP, not by locking:
+// a structure made of many independent linear states (the R subsampled
+// forests of Theorem 4, the k layers of a skeleton sketch, the rows of the
+// Section 5 sparsifier, the Boruvka rounds within one forest sketch)
+// partitions its states into contiguous static shards, and each shard is
+// mutated by exactly one worker. Because sketches are linear and a shard
+// sees its updates in stream order, the result is bit-identical to the
+// serial path for every thread count -- there is nothing to synchronize on
+// the hot path and nothing for the schedule to reorder.
+#ifndef GMS_UTIL_PARALLEL_H_
+#define GMS_UTIL_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gms {
+
+/// Process-wide pool of helper threads, grown on demand and kept for the
+/// lifetime of the process (workers block on a condition variable between
+/// jobs; an idle pool costs nothing on the hot path).
+class ThreadPool {
+ public:
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The shared pool. First use from any thread creates it.
+  static ThreadPool& Shared();
+
+  /// Invoke fn(shard) for every shard in [0, shards): shard 0 runs on the
+  /// calling thread, shard s > 0 on helper thread s-1. Blocks until all
+  /// shards return. Top-level only -- a shard that itself reaches a
+  /// ParallelFor runs it inline (see below), so nesting cannot deadlock.
+  void Run(size_t shards, const std::function<void(size_t)>& fn);
+
+  /// True while the calling thread is executing a shard of some Run.
+  static bool InParallelRegion();
+
+ private:
+  ThreadPool() = default;
+  void EnsureHelpers(size_t count);  // callers hold mu_
+  void HelperLoop(size_t helper);
+
+  std::mutex run_mu_;  // serializes concurrent top-level Run calls
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> helpers_;
+  const std::function<void(size_t)>* task_ = nullptr;
+  size_t shards_ = 0;
+  size_t pending_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// The contiguous static shard [begin, end) of [0, n) with index `shard`
+/// out of `shards`. Depends only on (n, shard, shards), never on the
+/// schedule: this is what makes parallel sketch ingestion deterministic.
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+inline ShardRange ShardOf(size_t n, size_t shard, size_t shards) {
+  return ShardRange{shard * n / shards, (shard + 1) * n / shards};
+}
+
+/// Run body(begin, end) over at most `threads` contiguous static shards of
+/// [0, n). threads <= 1, n <= 1, or a call from inside another parallel
+/// region runs the whole range inline on the calling thread; the shard
+/// boundaries (and hence state ownership) are identical either way.
+inline void ParallelFor(size_t threads, size_t n,
+                        const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  size_t shards = threads < n ? threads : n;
+  if (shards <= 1 || ThreadPool::InParallelRegion()) {
+    body(0, n);
+    return;
+  }
+  ThreadPool::Shared().Run(shards, [&](size_t shard) {
+    ShardRange r = ShardOf(n, shard, shards);
+    if (r.begin < r.end) body(r.begin, r.end);
+  });
+}
+
+}  // namespace gms
+
+#endif  // GMS_UTIL_PARALLEL_H_

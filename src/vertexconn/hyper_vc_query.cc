@@ -2,6 +2,7 @@
 
 #include "graph/traversal.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace gms {
@@ -33,16 +34,59 @@ void HyperVcQuerySketch::Update(const Hyperedge& e, int delta) {
   }
 }
 
+void HyperVcQuerySketch::Process(std::span<const StreamUpdate> updates) {
+  if (sketches_.empty() || updates.empty()) return;
+  // One encode per update, shared across the R subsamples.
+  const EdgeCodec& codec = sketches_[0].codec();
+  std::vector<u128> indices(updates.size());
+  for (size_t j = 0; j < updates.size(); ++j) {
+    GMS_CHECK_MSG(updates[j].edge.size() <= codec.max_rank(),
+                  "hyperedge exceeds max_rank");
+    indices[j] = codec.Encode(updates[j].edge);
+  }
+  ParallelFor(params_.threads, sketches_.size(),
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  const std::vector<bool>& kept = kept_[i];
+                  for (size_t j = 0; j < updates.size(); ++j) {
+                    const Hyperedge& e = updates[j].edge;
+                    bool all_kept = true;
+                    for (VertexId v : e) all_kept &= kept[v];
+                    if (all_kept) {
+                      sketches_[i].UpdateEncoded(e, indices[j],
+                                                 updates[j].delta);
+                    }
+                  }
+                }
+              });
+}
+
 void HyperVcQuerySketch::Process(const DynamicStream& stream) {
-  for (const auto& u : stream) Update(u.edge, u.delta);
+  Process(std::span<const StreamUpdate>(stream.updates()));
 }
 
 Status HyperVcQuerySketch::Finalize() {
+  // R independent decodes fan out across the pool; H is assembled serially
+  // in sketch order, so the union graph is deterministic.
+  std::vector<std::vector<Hyperedge>> decoded(sketches_.size());
+  std::vector<Status> status(sketches_.size());
+  ParallelFor(params_.threads, sketches_.size(),
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  auto span = sketches_[i].ExtractSpanningGraph(/*threads=*/1);
+                  if (!span.ok()) {
+                    status[i] = span.status();
+                    continue;
+                  }
+                  decoded[i] = span->Edges();
+                }
+              });
+  for (const Status& st : status) {
+    if (!st.ok()) return st;
+  }
   Hypergraph h(n_);
-  for (const auto& sketch : sketches_) {
-    auto span = sketch.ExtractSpanningGraph();
-    if (!span.ok()) return span.status();
-    for (const auto& e : span->Edges()) h.AddEdge(e);
+  for (const auto& edges : decoded) {
+    for (const auto& e : edges) h.AddEdge(e);
   }
   h_ = std::move(h);
   finalized_ = true;
@@ -54,16 +98,23 @@ Result<bool> HyperVcQuerySketch::Disconnects(
   if (!finalized_) {
     return Status::FailedPrecondition("call Finalize() after the stream");
   }
-  if (s.size() > params_.k) {
-    return Status::InvalidArgument("query set larger than the sketch's k");
-  }
-  return !IsConnectedExcluding(h_, s);
+  auto distinct = NormalizeQuerySet(s, n_, params_.k);
+  if (!distinct.ok()) return distinct.status();
+  return !IsConnectedExcluding(h_, *distinct);
 }
 
 size_t HyperVcQuerySketch::MemoryBytes() const {
   size_t total = 0;
   for (const auto& sketch : sketches_) total += sketch.MemoryBytes();
   return total;
+}
+
+bool HyperVcQuerySketch::StateEquals(const HyperVcQuerySketch& other) const {
+  if (sketches_.size() != other.sketches_.size()) return false;
+  for (size_t i = 0; i < sketches_.size(); ++i) {
+    if (!sketches_[i].StateEquals(other.sketches_[i])) return false;
+  }
+  return true;
 }
 
 }  // namespace gms

@@ -18,6 +18,7 @@
 #define GMS_VERTEXCONN_HYPER_VC_QUERY_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "connectivity/spanning_forest_sketch.h"
@@ -39,6 +40,10 @@ class HyperVcQuerySketch {
   /// Linear update; the hyperedge is routed to every subsample that kept
   /// ALL of its vertices.
   void Update(const Hyperedge& e, int delta);
+
+  /// Batched ingestion: one codec encode per update, R sketches sharded
+  /// across params.threads workers (bit-identical to the serial path).
+  void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
 
   /// Assemble H = union of decoded spanning graphs; call once after the
@@ -46,11 +51,16 @@ class HyperVcQuerySketch {
   Status Finalize();
 
   /// Does removing S (|S| <= k) disconnect the hypergraph? Uses induced
-  /// semantics: hyperedges touching S are gone.
+  /// semantics: hyperedges touching S are gone. S is deduplicated and
+  /// range-checked (out-of-range ids are InvalidArgument; distinct count
+  /// goes against k).
   Result<bool> Disconnects(const std::vector<VertexId>& s) const;
 
   const Hypergraph& union_graph() const { return h_; }
   size_t MemoryBytes() const;
+
+  /// Bit-identity of all per-sketch states (for the determinism suite).
+  bool StateEquals(const HyperVcQuerySketch& other) const;
 
  private:
   size_t n_;

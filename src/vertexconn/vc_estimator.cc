@@ -21,7 +21,8 @@ size_t VcEstimatorParams::ResolveR(size_t n) const {
 VcEstimator::VcEstimator(size_t n, const VcEstimatorParams& params,
                          uint64_t seed)
     : params_(params),
-      forests_(n, params.k, params.ResolveR(n), seed, params.forest) {}
+      forests_(n, params.k, params.ResolveR(n), seed, params.forest,
+               params.threads) {}
 
 Result<size_t> VcEstimator::EstimateKappa() const {
   auto h = forests_.BuildUnionGraph();

@@ -20,6 +20,8 @@ struct VcEstimatorParams {
   /// Multiplier on the paper's R = 160 k^2 eps^-1 ln n.
   double r_multiplier = 1.0;
   size_t explicit_r = 0;
+  /// Worker threads sharding the R sketches (1 = serial, bit-identical).
+  size_t threads = 1;
   ForestSketchParams forest;
 
   size_t ResolveR(size_t n) const;

@@ -1,17 +1,38 @@
 #include "vertexconn/vc_query_sketch.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "graph/traversal.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace gms {
 
+Result<std::vector<VertexId>> NormalizeQuerySet(const std::vector<VertexId>& s,
+                                                size_t n, size_t k) {
+  std::vector<VertexId> distinct;
+  distinct.reserve(s.size());
+  for (VertexId v : s) {
+    if (v >= n) {
+      return Status::InvalidArgument("query vertex id out of range");
+    }
+    if (std::find(distinct.begin(), distinct.end(), v) == distinct.end()) {
+      distinct.push_back(v);
+    }
+  }
+  if (distinct.size() > k) {
+    return Status::InvalidArgument("query set larger than the sketch's k");
+  }
+  return distinct;
+}
+
 SubsampledForestUnion::SubsampledForestUnion(size_t n, size_t k,
                                              size_t r_subgraphs, uint64_t seed,
-                                             const ForestSketchParams& params)
-    : n_(n), k_(k), covered_(n, false) {
+                                             const ForestSketchParams& params,
+                                             size_t threads)
+    : n_(n), k_(k), threads_(threads), covered_(n, false) {
   GMS_CHECK(k >= 1);
   GMS_CHECK(r_subgraphs >= 1);
   Rng rng(seed);
@@ -40,22 +61,71 @@ void SubsampledForestUnion::Update(const Edge& e, int delta) {
   }
 }
 
-void SubsampledForestUnion::Process(const DynamicStream& stream) {
-  for (const auto& u : stream) {
-    GMS_CHECK_MSG(u.edge.IsGraphEdge(),
+void SubsampledForestUnion::Process(std::span<const StreamUpdate> updates) {
+  if (sketches_.empty() || updates.empty()) return;
+  // Encode once per update: every subsample shares the same (n, 2) codec,
+  // so the combinadic rank -- the expensive part of an update -- need not
+  // be re-derived R times.
+  const EdgeCodec& codec = sketches_[0].codec();
+  std::vector<u128> indices(updates.size());
+  for (size_t j = 0; j < updates.size(); ++j) {
+    GMS_CHECK_MSG(updates[j].edge.IsGraphEdge(),
                   "vertex-connectivity sketches take graph streams");
-    Update(u.edge.AsEdge(), u.delta);
+    indices[j] = codec.Encode(updates[j].edge);
   }
+  // Shard the R independent sketches: each is owned by exactly one worker
+  // and sees its updates in stream order, so the result is bit-identical
+  // to the serial path.
+  ParallelFor(threads_, sketches_.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const std::vector<bool>& kept = kept_[i];
+      for (size_t j = 0; j < updates.size(); ++j) {
+        const Hyperedge& e = updates[j].edge;
+        if (kept[e[0]] && kept[e[1]]) {
+          sketches_[i].UpdateEncoded(e, indices[j], updates[j].delta);
+        }
+      }
+    }
+  });
+}
+
+void SubsampledForestUnion::Process(const DynamicStream& stream) {
+  Process(std::span<const StreamUpdate>(stream.updates()));
 }
 
 Result<Graph> SubsampledForestUnion::BuildUnionGraph() const {
+  // Fan the R independent extractions out across the pool; assemble H
+  // serially in sketch order (Graph equality is order-insensitive, but a
+  // fixed merge order also keeps error propagation deterministic).
+  std::vector<std::vector<Hyperedge>> forest_edges(sketches_.size());
+  std::vector<Status> status(sketches_.size());
+  ParallelFor(threads_, sketches_.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      auto forest = sketches_[i].ExtractSpanningGraph(/*threads=*/1);
+      if (!forest.ok()) {
+        status[i] = forest.status();
+        continue;
+      }
+      forest_edges[i] = forest->Edges();
+    }
+  });
+  for (const Status& st : status) {
+    if (!st.ok()) return st;
+  }
   Graph h(n_);
-  for (const auto& sketch : sketches_) {
-    auto forest = sketch.ExtractSpanningGraph();
-    if (!forest.ok()) return forest.status();
-    for (const auto& e : forest->Edges()) h.AddEdge(e.AsEdge());
+  for (const auto& edges : forest_edges) {
+    for (const auto& e : edges) h.AddEdge(e.AsEdge());
   }
   return h;
+}
+
+bool SubsampledForestUnion::StateEquals(
+    const SubsampledForestUnion& other) const {
+  if (sketches_.size() != other.sketches_.size()) return false;
+  for (size_t i = 0; i < sketches_.size(); ++i) {
+    if (!sketches_[i].StateEquals(other.sketches_[i])) return false;
+  }
+  return true;
 }
 
 size_t SubsampledForestUnion::NumUncovered() const {
@@ -81,7 +151,8 @@ size_t VcQueryParams::ResolveR(size_t n) const {
 VcQuerySketch::VcQuerySketch(size_t n, const VcQueryParams& params,
                              uint64_t seed)
     : params_(params),
-      forests_(n, params.k, params.ResolveR(n), seed, params.forest) {}
+      forests_(n, params.k, params.ResolveR(n), seed, params.forest,
+               params.threads) {}
 
 Status VcQuerySketch::Finalize() {
   auto h = forests_.BuildUnionGraph();
@@ -95,10 +166,9 @@ Result<bool> VcQuerySketch::Disconnects(const std::vector<VertexId>& s) const {
   if (!finalized_) {
     return Status::FailedPrecondition("call Finalize() after the stream");
   }
-  if (s.size() > params_.k) {
-    return Status::InvalidArgument("query set larger than the sketch's k");
-  }
-  return !IsConnectedExcluding(h_, s);
+  auto distinct = NormalizeQuerySet(s, forests_.n(), params_.k);
+  if (!distinct.ok()) return distinct.status();
+  return !IsConnectedExcluding(h_, *distinct);
 }
 
 }  // namespace gms

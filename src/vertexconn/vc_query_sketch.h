@@ -10,6 +10,7 @@
 #define GMS_VERTEXCONN_VC_QUERY_SKETCH_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "connectivity/spanning_forest_sketch.h"
@@ -18,23 +19,44 @@
 
 namespace gms {
 
+/// Validate a removal-query set: every id must be < n (InvalidArgument
+/// otherwise), duplicates are dropped, and the DISTINCT count must be <= k.
+/// Returns the deduplicated set. Shared by the graph and hypergraph
+/// Theorem 4 query sketches.
+Result<std::vector<VertexId>> NormalizeQuerySet(const std::vector<VertexId>& s,
+                                                size_t n, size_t k);
+
 /// Shared substrate for Theorems 4 and 8: R vertex-subsampled spanning-
 /// forest sketches plus assembly of the union graph H.
 class SubsampledForestUnion {
  public:
-  /// keep probability 1/k; R independent subsamples.
+  /// keep probability 1/k; R independent subsamples. `threads` workers
+  /// shard the R sketches for batched ingestion and union-graph extraction
+  /// (each sketch is owned by exactly one worker; results are bit-identical
+  /// to the serial path for every thread count).
   SubsampledForestUnion(size_t n, size_t k, size_t r_subgraphs, uint64_t seed,
-                        const ForestSketchParams& params);
+                        const ForestSketchParams& params, size_t threads = 1);
 
   size_t n() const { return n_; }
   size_t k() const { return k_; }
   size_t R() const { return sketches_.size(); }
+  size_t threads() const { return threads_; }
 
   void Update(const Edge& e, int delta);
+
+  /// Batched ingestion: each update's codec index is encoded once and
+  /// fanned out to the sketches that kept both endpoints, with the R
+  /// sketches sharded across the worker pool.
+  void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
 
-  /// H = union of one extracted spanning forest per subsample.
+  /// H = union of one extracted spanning forest per subsample; the R
+  /// per-sketch extractions fan out across the pool, and H is assembled
+  /// serially in sketch order (deterministic).
   Result<Graph> BuildUnionGraph() const;
+
+  /// Bit-identity of all per-sketch states (for the determinism suite).
+  bool StateEquals(const SubsampledForestUnion& other) const;
 
   /// covered[v]: v was kept in at least one subsample (vertices never
   /// covered are invisible to H; with the paper's R this happens with
@@ -47,6 +69,7 @@ class SubsampledForestUnion {
  private:
   size_t n_;
   size_t k_;
+  size_t threads_;
   std::vector<std::vector<bool>> kept_;  // kept_[i][v]
   std::vector<bool> covered_;
   std::vector<SpanningForestSketch> sketches_;
@@ -59,6 +82,9 @@ struct VcQueryParams {
   double r_multiplier = 1.0;
   /// If nonzero, overrides R entirely.
   size_t explicit_r = 0;
+  /// Worker threads sharding the R sketches during Process/Finalize
+  /// (1 = serial; outputs are bit-identical for every value).
+  size_t threads = 1;
   ForestSketchParams forest;
 
   size_t ResolveR(size_t n) const;
@@ -72,6 +98,9 @@ class VcQuerySketch {
   VcQuerySketch(size_t n, const VcQueryParams& params, uint64_t seed);
 
   void Update(const Edge& e, int delta) { forests_.Update(e, delta); }
+  void Process(std::span<const StreamUpdate> updates) {
+    forests_.Process(updates);
+  }
   void Process(const DynamicStream& stream) { forests_.Process(stream); }
 
   /// Assemble H once; call after the stream ends, then query repeatedly.
@@ -79,7 +108,8 @@ class VcQuerySketch {
 
   /// Whether removing S disconnects the graph (Lemma 3 semantics: the
   /// surviving vertices fail to be mutually connected). Requires
-  /// Finalize(); |S| must be <= k.
+  /// Finalize(). S is deduplicated and range-checked: out-of-range vertex
+  /// ids are InvalidArgument, and |S| counts DISTINCT vertices against k.
   Result<bool> Disconnects(const std::vector<VertexId>& s) const;
 
   /// The assembled union graph H (valid after Finalize()).

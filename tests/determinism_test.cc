@@ -1,0 +1,235 @@
+// Determinism suite for the parallel ingestion / extraction engine: for
+// every sketch container that shards work across threads, the state after
+// batched parallel Process and the decoded output must be BIT-IDENTICAL to
+// the serial per-update path, for threads in {1, 2, 8}. This is the
+// enforceable contract of util/parallel.h (sharded ownership + linearity),
+// and under the `tsan` preset it doubles as the engine's data-race test.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "connectivity/k_skeleton.h"
+#include "connectivity/spanning_forest_sketch.h"
+#include "graph/generators.h"
+#include "sparsify/sparsifier_sketch.h"
+#include "stream/stream.h"
+#include "vertexconn/hyper_vc_query.h"
+#include "vertexconn/vc_query_sketch.h"
+
+namespace gms {
+namespace {
+
+constexpr size_t kThreadSweep[] = {1, 2, 8};
+
+// A churn graph stream (inserts + decoy insert/delete pairs) over a
+// moderately dense graph: deletions exercise the linear cancellation path.
+DynamicStream GraphStream(size_t n, uint64_t seed) {
+  Graph g = UnionOfHamiltonianCycles(n, 3, seed);
+  return DynamicStream::WithChurn(g, /*decoys=*/2 * n, seed + 1);
+}
+
+DynamicStream HypergraphStream(size_t n, size_t r, uint64_t seed) {
+  Hypergraph g = HyperCycle(n, r);
+  return DynamicStream::WithChurn(g, /*decoys=*/n, r, seed + 1);
+}
+
+TEST(DeterminismTest, SpanningForestProcessMatchesSerialUpdates) {
+  constexpr size_t kN = 96;
+  constexpr uint64_t kSeed = 77;
+  DynamicStream stream = GraphStream(kN, kSeed);
+
+  ForestSketchParams serial_params;
+  serial_params.config = SketchConfig::Light();
+  SpanningForestSketch serial(kN, /*max_rank=*/2, kSeed, serial_params);
+  for (const auto& u : stream.updates()) serial.Update(u.edge, u.delta);
+  auto serial_span = serial.ExtractSpanningGraph();
+  ASSERT_TRUE(serial_span.ok());
+
+  for (size_t threads : kThreadSweep) {
+    ForestSketchParams params = serial_params;
+    params.threads = threads;
+    SpanningForestSketch parallel(kN, 2, kSeed, params);
+    parallel.Process(stream);
+    EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
+
+    auto span = parallel.ExtractSpanningGraph();
+    ASSERT_TRUE(span.ok()) << "threads=" << threads;
+    EXPECT_TRUE(span.value() == serial_span.value()) << "threads=" << threads;
+    // Decoding the SERIAL sketch with a parallel worker sweep must also be
+    // byte-for-byte the same hypergraph (extraction-side determinism).
+    auto reread = serial.ExtractSpanningGraph(threads);
+    ASSERT_TRUE(reread.ok());
+    EXPECT_TRUE(reread.value() == serial_span.value()) << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, SpanningForestHypergraphStreams) {
+  constexpr size_t kN = 48;
+  constexpr uint64_t kSeed = 31;
+  DynamicStream stream = HypergraphStream(kN, /*r=*/3, kSeed);
+
+  ForestSketchParams serial_params;
+  serial_params.config = SketchConfig::Light();
+  SpanningForestSketch serial(kN, /*max_rank=*/3, kSeed, serial_params);
+  for (const auto& u : stream.updates()) serial.Update(u.edge, u.delta);
+  auto serial_span = serial.ExtractSpanningGraph();
+  ASSERT_TRUE(serial_span.ok());
+
+  for (size_t threads : kThreadSweep) {
+    ForestSketchParams params = serial_params;
+    params.threads = threads;
+    SpanningForestSketch parallel(kN, 3, kSeed, params);
+    parallel.Process(stream);
+    EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
+    auto span = parallel.ExtractSpanningGraph();
+    ASSERT_TRUE(span.ok());
+    EXPECT_TRUE(span.value() == serial_span.value()) << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, SubsampledForestUnionBitIdentical) {
+  constexpr size_t kN = 80;
+  constexpr uint64_t kSeed = 5;
+  DynamicStream stream = GraphStream(kN, kSeed);
+
+  ForestSketchParams forest;
+  forest.config = SketchConfig::Light();
+  SubsampledForestUnion serial(kN, /*k=*/2, /*r_subgraphs=*/12, kSeed, forest,
+                               /*threads=*/1);
+  for (const auto& u : stream.updates()) {
+    serial.Update(Edge(u.edge[0], u.edge[1]), u.delta);
+  }
+  auto serial_h = serial.BuildUnionGraph();
+  ASSERT_TRUE(serial_h.ok());
+
+  for (size_t threads : kThreadSweep) {
+    SubsampledForestUnion parallel(kN, 2, 12, kSeed, forest, threads);
+    parallel.Process(stream);
+    EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
+    auto h = parallel.BuildUnionGraph();
+    ASSERT_TRUE(h.ok()) << "threads=" << threads;
+    EXPECT_TRUE(h.value() == serial_h.value()) << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, KSkeletonHypergraphBitIdentical) {
+  constexpr size_t kN = 40;
+  constexpr uint64_t kSeed = 13;
+  DynamicStream stream = HypergraphStream(kN, /*r=*/3, kSeed);
+
+  SpanningForestSketch::Params serial_params;
+  serial_params.config = SketchConfig::Light();
+  KSkeletonSketch serial(kN, /*max_rank=*/3, /*k=*/3, kSeed, serial_params);
+  for (const auto& u : stream.updates()) serial.Update(u.edge, u.delta);
+  auto serial_skel = serial.Extract();
+  ASSERT_TRUE(serial_skel.ok());
+
+  for (size_t threads : kThreadSweep) {
+    SpanningForestSketch::Params params = serial_params;
+    params.threads = threads;
+    KSkeletonSketch parallel(kN, 3, 3, kSeed, params);
+    parallel.Process(stream);
+    EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
+    auto skel = parallel.Extract();
+    ASSERT_TRUE(skel.ok()) << "threads=" << threads;
+    EXPECT_TRUE(skel.value() == serial_skel.value()) << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, SparsifierBitIdentical) {
+  constexpr size_t kN = 32;
+  constexpr uint64_t kSeed = 21;
+  DynamicStream stream = HypergraphStream(kN, /*r=*/3, kSeed);
+
+  SparsifierParams serial_params;
+  serial_params.forest.config = SketchConfig::Light();
+  serial_params.levels = 6;
+  serial_params.k = 4;
+  HypergraphSparsifierSketch serial(kN, /*max_rank=*/3, serial_params, kSeed);
+  for (const auto& u : stream.updates()) serial.Update(u.edge, u.delta);
+  auto serial_out = serial.ExtractSparsifier();
+  ASSERT_TRUE(serial_out.ok());
+
+  for (size_t threads : kThreadSweep) {
+    SparsifierParams params = serial_params;
+    params.threads = threads;
+    HypergraphSparsifierSketch parallel(kN, 3, params, kSeed);
+    parallel.Process(stream);
+    EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
+    auto out = parallel.ExtractSparsifier();
+    ASSERT_TRUE(out.ok()) << "threads=" << threads;
+    EXPECT_EQ(out.value().level_sizes, serial_out.value().level_sizes);
+    EXPECT_EQ(out.value().sparsifier.edges, serial_out.value().sparsifier.edges);
+    EXPECT_EQ(out.value().sparsifier.weights,
+              serial_out.value().sparsifier.weights);
+  }
+}
+
+TEST(DeterminismTest, HyperVcQueryBitIdentical) {
+  constexpr size_t kN = 36;
+  constexpr uint64_t kSeed = 9;
+  DynamicStream stream = HypergraphStream(kN, /*r=*/3, kSeed);
+
+  VcQueryParams serial_params;
+  serial_params.k = 2;
+  serial_params.explicit_r = 10;
+  serial_params.forest.config = SketchConfig::Light();
+  HyperVcQuerySketch serial(kN, /*max_rank=*/3, serial_params, kSeed);
+  for (const auto& u : stream.updates()) serial.Update(u.edge, u.delta);
+  ASSERT_TRUE(serial.Finalize().ok());
+
+  for (size_t threads : kThreadSweep) {
+    VcQueryParams params = serial_params;
+    params.threads = threads;
+    HyperVcQuerySketch parallel(kN, 3, params, kSeed);
+    parallel.Process(stream);
+    EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
+    ASSERT_TRUE(parallel.Finalize().ok()) << "threads=" << threads;
+    EXPECT_TRUE(parallel.union_graph() == serial.union_graph())
+        << "threads=" << threads;
+    for (VertexId v = 0; v < 6; ++v) {
+      auto a = serial.Disconnects({v});
+      auto b = parallel.Disconnects({v});
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a.value(), b.value()) << "threads=" << threads << " v=" << v;
+    }
+  }
+}
+
+TEST(DeterminismTest, VcQuerySketchEndToEnd) {
+  constexpr size_t kN = 64;
+  constexpr uint64_t kSeed = 3;
+  Graph g = UnionOfHamiltonianCycles(kN, 3, kSeed);
+  DynamicStream stream = DynamicStream::WithChurn(g, /*decoys=*/kN, kSeed + 1);
+
+  VcQueryParams serial_params;
+  serial_params.k = 2;
+  serial_params.explicit_r = 12;
+  serial_params.forest.config = SketchConfig::Light();
+  VcQuerySketch serial(kN, serial_params, kSeed);
+  for (const auto& u : stream.updates()) {
+    serial.Update(Edge(u.edge[0], u.edge[1]), u.delta);
+  }
+  ASSERT_TRUE(serial.Finalize().ok());
+
+  for (size_t threads : kThreadSweep) {
+    VcQueryParams params = serial_params;
+    params.threads = threads;
+    VcQuerySketch parallel(kN, params, kSeed);
+    parallel.Process(stream);
+    ASSERT_TRUE(parallel.Finalize().ok()) << "threads=" << threads;
+    EXPECT_TRUE(parallel.union_graph() == serial.union_graph())
+        << "threads=" << threads;
+    for (VertexId v = 0; v < 8; ++v) {
+      auto a = serial.Disconnects({v});
+      auto b = parallel.Disconnects({v});
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a.value(), b.value()) << "threads=" << threads << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gms

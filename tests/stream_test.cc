@@ -43,6 +43,25 @@ TEST(StreamTest, ChurnHasInterleavedDeletes) {
   EXPECT_TRUE(saw_delete_before_end);
 }
 
+TEST(StreamTest, ChurnReportsAchievedDecoys) {
+  // Sparse input: every requested decoy exists, and the out-param says so.
+  Graph sparse = CycleGraph(12);
+  size_t achieved = 999;
+  DynamicStream s =
+      DynamicStream::WithChurn(sparse, /*decoys=*/20, /*seed=*/7, &achieved);
+  EXPECT_EQ(achieved, 20u);
+  EXPECT_EQ(s.size(), sparse.NumEdges() + 2 * achieved);
+
+  // Complete input: no absent edge exists, so the sampler must come up
+  // empty and REPORT it instead of silently under-delivering.
+  Graph dense = CompleteGraph(6);
+  DynamicStream d =
+      DynamicStream::WithChurn(dense, /*decoys=*/10, /*seed=*/8, &achieved);
+  EXPECT_EQ(achieved, 0u);
+  EXPECT_EQ(d.size(), dense.NumEdges());
+  EXPECT_TRUE(d.Validate());
+}
+
 TEST(StreamTest, HypergraphChurn) {
   Hypergraph h = HyperCycle(12, 3);
   DynamicStream s = DynamicStream::WithChurn(h, 40, 3, 9);

@@ -109,6 +109,39 @@ TEST(VcQueryTest, OversizedQueryRejected) {
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(VcQueryTest, DuplicateQueryVerticesCountOnce) {
+  // Regression: {0, 0, 1} names two distinct vertices, so it must be a
+  // legal k=2 query and must answer exactly as {0, 1} does.
+  Graph g = UnionOfHamiltonianCycles(24, 3, 40);
+  VcQuerySketch sketch(24, TestParams(2), 41);
+  sketch.Process(DynamicStream::InsertOnly(g, 42));
+  ASSERT_TRUE(sketch.Finalize().ok());
+  auto dup = sketch.Disconnects({0, 0, 1});
+  auto distinct = sketch.Disconnects({0, 1});
+  ASSERT_TRUE(dup.ok());
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(dup.value(), distinct.value());
+}
+
+TEST(VcQueryTest, OutOfRangeQueryVertexRejected) {
+  VcQuerySketch sketch(16, TestParams(2), 43);
+  ASSERT_TRUE(sketch.Finalize().ok());
+  auto r = sketch.Disconnects({16});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VcQueryTest, NormalizeQuerySetContract) {
+  // Dedup keeps first occurrences; range check runs before the size check
+  // so a bogus id is always InvalidArgument.
+  auto ok = NormalizeQuerySet({3, 1, 3, 1}, /*n=*/8, /*k=*/2);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), (std::vector<VertexId>{3, 1}));
+  EXPECT_FALSE(NormalizeQuerySet({0, 8}, 8, 4).ok());
+  EXPECT_FALSE(NormalizeQuerySet({0, 1, 2}, 8, 2).ok());
+  EXPECT_TRUE(NormalizeQuerySet({0, 1, 0, 1}, 8, 2).ok());
+}
+
 TEST(VcQueryTest, UnionGraphIsSubgraph) {
   Graph g = UnionOfHamiltonianCycles(30, 3, 17);
   VcQuerySketch sketch(30, TestParams(2), 18);
