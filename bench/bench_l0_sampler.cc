@@ -9,6 +9,7 @@
 #include <map>
 
 #include "bench_util.h"
+#include "kernel_compare.h"
 #include "sketch/l0_sampler.h"
 #include "util/random.h"
 #include "util/table.h"
@@ -76,6 +77,44 @@ void AccuracyTable() {
       "guarantee);\nchi2_norm ~1.0 indicates uniform sampling.\n");
 }
 
+/// Old-vs-new per-update kernel timing (see kernel_compare.h), printed as
+/// a table and mirrored machine-readably in BENCH_l0.json.
+bench::KernelTimings KernelSection() {
+  bench::Banner("E15b: update-kernel before/after",
+                "Per-update arithmetic: binary exponentiation + `%` "
+                "bucketing vs windowed power table + multiply-shift.");
+  bench::KernelTimings kt = bench::CompareUpdateKernels();
+  Table table({"kernel", "ns/update", "updates/s"});
+  table.AddRow({"old (FpPow + %)", Table::Fmt(kt.old_ns, 1),
+                bench::Rate(1e9 / kt.old_ns)});
+  table.AddRow({"new (table + Lemire)", Table::Fmt(kt.new_ns, 1),
+                bench::Rate(1e9 / kt.new_ns)});
+  table.Print("s-sparse update kernel (3 rows x 16 buckets, 80-bit keys)");
+  std::printf("\nkernel speedup: %.2fx over %zu updates\n", kt.speedup,
+              kt.updates);
+  return kt;
+}
+
+void WriteJson(const bench::KernelTimings& kt) {
+  FILE* f = std::fopen("BENCH_l0.json", "w");
+  if (f == nullptr) {
+    std::printf("could not open BENCH_l0.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"l0_sampler\",\n");
+  std::fprintf(f,
+               "  \"kernel\": {\"old_ns_per_update\": %.2f, "
+               "\"new_ns_per_update\": %.2f, "
+               "\"old_updates_per_sec\": %.0f, "
+               "\"new_updates_per_sec\": %.0f, "
+               "\"speedup\": %.3f, \"updates\": %zu}\n",
+               kt.old_ns, kt.new_ns, 1e9 / kt.old_ns, 1e9 / kt.new_ns,
+               kt.speedup, kt.updates);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_l0.json\n");
+}
+
 void BM_Update(benchmark::State& state) {
   u128 domain = u128{1} << state.range(0);
   L0Shape shape(domain, SketchConfig::Default(), 1);
@@ -106,6 +145,7 @@ BENCHMARK(BM_Sample);
 
 int main(int argc, char** argv) {
   gms::AccuracyTable();
+  gms::WriteJson(gms::KernelSection());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

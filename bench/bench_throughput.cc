@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "kernel_compare.h"
 #include "connectivity/k_skeleton.h"
 #include "connectivity/spanning_forest_sketch.h"
 #include "graph/generators.h"
@@ -89,9 +90,11 @@ void ParallelEngineSection(std::vector<EngineRow>* rows, size_t* out_n,
       "core count (a single-core host shows ~1.0 throughout).\n");
 }
 
-/// Machine-readable mirror of the engine table for trend tracking.
+/// Machine-readable mirror of the engine table for trend tracking, plus
+/// the update-kernel before/after row (old = FpPow + `%` bucketing, new =
+/// windowed power table + multiply-shift; see bench/kernel_compare.h).
 void WriteJson(const std::vector<EngineRow>& rows, size_t n, size_t updates,
-               size_t r) {
+               size_t r, const bench::KernelTimings& kt) {
   FILE* f = std::fopen("BENCH_throughput.json", "w");
   if (f == nullptr) {
     std::printf("could not open BENCH_throughput.json for writing\n");
@@ -108,7 +111,12 @@ void WriteJson(const std::vector<EngineRow>& rows, size_t n, size_t updates,
                  row.threads, row.ingest_secs, row.ingest_rate,
                  row.extract_secs, i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"kernel\": {\"old_ns_per_update\": %.2f, "
+               "\"new_ns_per_update\": %.2f, \"speedup\": %.3f}\n",
+               kt.old_ns, kt.new_ns, kt.speedup);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_throughput.json\n");
 }
@@ -271,7 +279,10 @@ int main(int argc, char** argv) {
   std::vector<gms::EngineRow> rows;
   size_t n = 0, updates = 0, r = 0;
   gms::ParallelEngineSection(&rows, &n, &updates, &r);
-  gms::WriteJson(rows, n, updates, r);
+  gms::bench::KernelTimings kt = gms::bench::CompareUpdateKernels();
+  std::printf("\nupdate kernel: old %.1f ns -> new %.1f ns (%.2fx)\n",
+              kt.old_ns, kt.new_ns, kt.speedup);
+  gms::WriteJson(rows, n, updates, r, kt);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,0 +1,77 @@
+// Old-vs-new timing of the per-update arithmetic kernel, shared by
+// bench_l0_sampler (the substrate view) and bench_throughput (the
+// before/after row in BENCH_throughput.json). Both loops perform the
+// identical segment read-modify-write via the raw segment kernels; they
+// differ only in the arithmetic the overhaul replaced:
+//   old: fingerprint power by binary exponentiation (FingerprintPowerRef)
+//        and row buckets by hardware `%` (BucketRef);
+//   new: windowed power table (PowerFromExp) and the Lemire multiply-shift
+//        reduction, as baked into SSparseSegmentUpdate.
+#ifndef GMS_BENCH_KERNEL_COMPARE_H_
+#define GMS_BENCH_KERNEL_COMPARE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sketch/sparse_recovery.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace gms::bench {
+
+struct KernelTimings {
+  double old_ns = 0;  // per update, FpPow + `%` bucketing
+  double new_ns = 0;  // per update, power table + multiply-shift
+  double speedup = 0;
+  size_t updates = 0;
+};
+
+inline KernelTimings CompareUpdateKernels(size_t updates = 200000) {
+  const u128 domain = u128{1} << 80;
+  SSparseShape shape(domain, /*capacity=*/8, /*rows=*/3, /*buckets=*/16,
+                     /*seed=*/77);
+  const int rows = shape.rows();
+  const int buckets = shape.buckets();
+  const size_t cells = static_cast<size_t>(shape.NumCells());
+  std::vector<u128> keys;
+  keys.reserve(updates);
+  Rng rng(5);
+  for (size_t i = 0; i < updates; ++i) {
+    keys.push_back(((static_cast<u128>(rng.Next()) << 64) | rng.Next()) &
+                   (domain - 1));
+  }
+  KernelTimings out;
+  out.updates = updates;
+  std::vector<uint64_t> seg(SSparseSegmentWords(shape), 0);
+  {
+    Timer t;
+    for (const u128 k : keys) {
+      const uint64_t power = shape.FingerprintPowerRef(k);
+      size_t idx[kMaxSketchRows];
+      for (int r = 0; r < rows; ++r) {
+        idx[r] = static_cast<size_t>(r) * buckets +
+                 static_cast<size_t>(shape.BucketRef(r, k));
+      }
+      // delta = 1, so the fingerprint delta is the power itself.
+      SSparseSegmentApply(seg.data(), idx, rows, cells, 1, k, power);
+    }
+    out.old_ns = t.Seconds() * 1e9 / static_cast<double>(updates);
+  }
+  std::fill(seg.begin(), seg.end(), 0);
+  {
+    Timer t;
+    for (const u128 k : keys) {
+      const PreparedCoord pc = PrepareCoord(k);
+      SSparseSegmentUpdate(shape, seg.data(), pc, 1,
+                           shape.FingerprintPowerFromExp(pc.exponent));
+    }
+    out.new_ns = t.Seconds() * 1e9 / static_cast<double>(updates);
+  }
+  out.speedup = out.old_ns / std::max(out.new_ns, 1e-9);
+  return out;
+}
+
+}  // namespace gms::bench
+
+#endif  // GMS_BENCH_KERNEL_COMPARE_H_

@@ -25,25 +25,30 @@ void KSkeletonSketch::Update(const Hyperedge& e, int delta) {
 
 void KSkeletonSketch::UpdateEncoded(const Hyperedge& e, u128 index,
                                     int delta) {
-  for (auto& layer : layers_) layer.UpdateEncoded(e, index, delta);
+  UpdatePrepared(e, PrepareCoord(index), delta);
+}
+
+void KSkeletonSketch::UpdatePrepared(const Hyperedge& e,
+                                     const PreparedCoord& pc, int delta) {
+  for (auto& layer : layers_) layer.UpdatePrepared(e, pc, delta);
 }
 
 void KSkeletonSketch::Process(std::span<const StreamUpdate> updates) {
   if (layers_.empty() || updates.empty()) return;
-  // One encode per update, shared by all k layers.
+  // One encode + coordinate preparation per update, shared by all k layers.
   const EdgeCodec& codec = layers_[0].codec();
-  std::vector<u128> indices(updates.size());
+  std::vector<PreparedCoord> prepared(updates.size());
   for (size_t j = 0; j < updates.size(); ++j) {
     GMS_CHECK_MSG(updates[j].edge.size() <= codec.max_rank(),
                   "hyperedge exceeds max_rank");
-    indices[j] = codec.Encode(updates[j].edge);
+    prepared[j] = PrepareCoord(codec.Encode(updates[j].edge));
   }
   // Layers are independent sketches; shard them across the pool.
   ParallelFor(threads_, layers_.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       for (size_t j = 0; j < updates.size(); ++j) {
-        layers_[i].UpdateEncoded(updates[j].edge, indices[j],
-                                 updates[j].delta);
+        layers_[i].UpdatePrepared(updates[j].edge, prepared[j],
+                                  updates[j].delta);
       }
     }
   });

@@ -34,6 +34,10 @@ class KSkeletonSketch {
   /// sparsifier's levels -- encode each update exactly once).
   void UpdateEncoded(const Hyperedge& e, u128 index, int delta);
 
+  /// As UpdateEncoded with the coordinate fully prepared (fold + exponent
+  /// are shape-independent, so one preparation serves every layer).
+  void UpdatePrepared(const Hyperedge& e, const PreparedCoord& pc, int delta);
+
   /// Batched ingestion: encodes each update once and shards the k
   /// independent layers across params.threads workers (bit-identical to
   /// the serial path; each layer is owned by one worker).

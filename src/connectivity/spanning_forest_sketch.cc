@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstdlib>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 #include "connectivity/incidence.h"
 #include "graph/union_find.h"
 #include "util/check.h"
@@ -13,6 +17,26 @@
 namespace gms {
 
 namespace {
+
+// Ask the kernel to back a large buffer with transparent huge pages before
+// it is first touched. Vertex updates hit the arena at random offsets, so
+// with 4 KiB pages nearly every update pays a TLB page walk; 2 MiB pages
+// keep the whole arena's translations resident. Advisory only (no-op off
+// Linux or when THP is disabled).
+void AdviseHugePages(void* data, size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  constexpr uintptr_t kHuge = 2u << 20;
+  uintptr_t begin = (reinterpret_cast<uintptr_t>(data) + kHuge - 1) & ~(kHuge - 1);
+  uintptr_t end =
+      (reinterpret_cast<uintptr_t>(data) + bytes) & ~(kHuge - 1);
+  if (end > begin) {
+    madvise(reinterpret_cast<void*>(begin), end - begin, MADV_HUGEPAGE);
+  }
+#else
+  (void)data;
+  (void)bytes;
+#endif
+}
 
 int DefaultRounds(size_t n, const SketchConfig& config) {
   int log_n = 1;
@@ -30,7 +54,7 @@ SpanningForestSketch::SpanningForestSketch(size_t n, size_t max_rank,
                                 : DefaultRounds(n, params.config)),
       threads_(params.threads),
       codec_(n, max_rank),
-      states_(n) {
+      state_index_(n, -1) {
   GMS_CHECK(active == nullptr || active->size() == n);
   Rng rng(seed);
   round_shapes_.reserve(static_cast<size_t>(rounds_));
@@ -38,25 +62,79 @@ SpanningForestSketch::SpanningForestSketch(size_t n, size_t max_rank,
     round_shapes_.push_back(std::make_shared<const L0Shape>(
         codec_.DomainSize(), params.config, rng.Fork()));
   }
+  size_t num_active = 0;
   for (VertexId v = 0; v < n; ++v) {
     if (active != nullptr && !(*active)[v]) continue;
-    states_[v].reserve(static_cast<size_t>(rounds_));
-    for (int t = 0; t < rounds_; ++t) {
-      states_[v].emplace_back(round_shapes_[static_cast<size_t>(t)].get());
+    state_index_[v] = static_cast<int64_t>(num_active++);
+  }
+  state_words_ = round_shapes_[0]->TotalWords();
+  const size_t total = num_active * static_cast<size_t>(rounds_) * state_words_;
+  // Reserve first so the huge-page advice lands before the zero-fill is the
+  // first touch of the pages.
+  arena_.reserve(total);
+  AdviseHugePages(arena_.data(), total * sizeof(uint64_t));
+  arena_.resize(total, 0);
+}
+
+void SpanningForestSketch::ApplyToRound(int t, const Hyperedge& e,
+                                        const PreparedCoord& pc, int delta) {
+  const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
+  const int level = shape.LevelOfFolded(pc.fold);
+  const SSparseShape& ls = shape.level_shape(level);
+  const size_t level_off = static_cast<size_t>(level) * shape.SegmentWords();
+  const size_t cells = static_cast<size_t>(ls.NumCells());
+  const int rows = ls.rows();
+  // Everything below the incidence sign depends only on the key, not the
+  // endpoint: resolve the target cells and the +delta-magnitude deltas once
+  // and apply them per endpoint with the coefficient from Section 4.1's
+  // encoding (|e|-1 at min e, -1 elsewhere; vertices_ is sorted, so the
+  // min is position 0 -- no per-vertex membership search).
+  GMS_DCHECK(rows <= kMaxSketchRows);
+  size_t idx[kMaxSketchRows];
+  for (int r = 0; r < rows; ++r) {
+    idx[r] = static_cast<size_t>(r) * ls.buckets() +
+             static_cast<size_t>(ls.BucketFolded(r, pc.fold));
+  }
+  const uint64_t power = shape.basis().PowerFromExp(pc.exponent);
+  const uint64_t fp_unit = FpMul(FpFromInt64(delta), power);
+  const u128 is_unit =
+      pc.index * static_cast<u128>(static_cast<i128>(delta));
+  const int64_t head = static_cast<int64_t>(e.size()) - 1;
+  for (size_t pos = 0; pos < e.size(); ++pos) {
+    const VertexId v = e[pos];
+    GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
+    uint64_t* seg = ArenaAt(v, t) + level_off;
+    if (pos == 0) {
+      const int64_t wdelta = head * delta;
+      const uint64_t fp =
+          head == 1 ? fp_unit : FpMul(FpReduce(static_cast<u128>(head)), fp_unit);
+      SSparseSegmentApply(seg, idx, rows, cells, wdelta,
+                          is_unit * static_cast<u128>(head), fp);
+    } else {
+      SSparseSegmentApply(seg, idx, rows, cells, -delta, -is_unit,
+                          FpNeg(fp_unit));
     }
   }
 }
 
-void SpanningForestSketch::ApplyToRound(int t, const Hyperedge& e, u128 index,
-                                        int delta) {
+void SpanningForestSketch::PrefetchRound(int t, const Hyperedge& e,
+                                         const PreparedCoord& pc) const {
   const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
-  int level = shape.LevelOf(index);
-  uint64_t power = shape.level_shape(level).FingerprintPower(index);
+  const int level = shape.LevelOfFolded(pc.fold);
+  const SSparseShape& ls = shape.level_shape(level);
+  const size_t cells = static_cast<size_t>(ls.NumCells());
+  const size_t level_off = static_cast<size_t>(level) * shape.SegmentWords();
   for (VertexId v : e) {
-    GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
-    int64_t coeff = IncidenceCoefficient(e, v) * delta;
-    states_[v][static_cast<size_t>(t)].UpdateWithPower(index, coeff, level,
-                                                       power);
+    if (!IsActive(v)) continue;
+    const uint64_t* seg = ArenaAt(v, t) + level_off;
+    for (int r = 0; r < ls.rows(); ++r) {
+      const size_t i = static_cast<size_t>(r) * ls.buckets() +
+                       static_cast<size_t>(ls.BucketFolded(r, pc.fold));
+      __builtin_prefetch(seg + i, 1, 1);
+      __builtin_prefetch(seg + cells + i, 1, 1);
+      __builtin_prefetch(seg + 2 * cells + i, 1, 1);
+      __builtin_prefetch(seg + 3 * cells + i, 1, 1);
+    }
   }
 }
 
@@ -67,40 +145,57 @@ void SpanningForestSketch::Update(const Hyperedge& e, int delta) {
 
 void SpanningForestSketch::UpdateEncoded(const Hyperedge& e, u128 index,
                                          int delta) {
-  for (int t = 0; t < rounds_; ++t) ApplyToRound(t, e, index, delta);
+  UpdatePrepared(e, PrepareCoord(index), delta);
+}
+
+void SpanningForestSketch::UpdatePrepared(const Hyperedge& e,
+                                          const PreparedCoord& pc, int delta) {
+  for (int t = 0; t < rounds_; ++t) ApplyToRound(t, e, pc, delta);
 }
 
 void SpanningForestSketch::UpdateLocal(VertexId v, const Hyperedge& e,
                                        int delta) {
   GMS_CHECK_MSG(e.Contains(v), "UpdateLocal: vertex not in hyperedge");
   GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
-  u128 index = codec_.Encode(e);
+  const PreparedCoord pc = PrepareCoord(codec_.Encode(e));
   int64_t coeff = IncidenceCoefficient(e, v) * delta;
   for (int t = 0; t < rounds_; ++t) {
     const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
-    int level = shape.LevelOf(index);
-    uint64_t power = shape.level_shape(level).FingerprintPower(index);
-    states_[v][static_cast<size_t>(t)].UpdateWithPower(index, coeff, level,
-                                                       power);
+    int level = shape.LevelOfFolded(pc.fold);
+    uint64_t power = shape.basis().PowerFromExp(pc.exponent);
+    SSparseSegmentUpdate(shape.level_shape(level),
+                         ArenaAt(v, t) +
+                             static_cast<size_t>(level) * shape.SegmentWords(),
+                         pc, coeff, power);
   }
 }
 
 void SpanningForestSketch::Process(std::span<const StreamUpdate> updates) {
-  // Encode once per update (the combinadic rank is the same for every
-  // round), then hand each worker a contiguous block of rounds: round
-  // columns are disjoint state, so no worker ever touches another's cells.
-  std::vector<u128> indices(updates.size());
+  // Encode and prepare once per update (the combinadic rank, key fold, and
+  // exponent reduction are the same for every round), then hand each worker
+  // a contiguous block of rounds: round columns are disjoint state, so no
+  // worker ever touches another's cells.
+  std::vector<PreparedCoord> prepared(updates.size());
   for (size_t j = 0; j < updates.size(); ++j) {
     GMS_CHECK_MSG(updates[j].edge.size() <= codec_.max_rank(),
                   "hyperedge exceeds max_rank");
-    indices[j] = codec_.Encode(updates[j].edge);
+    prepared[j] = PrepareCoord(codec_.Encode(updates[j].edge));
   }
+  // Lookahead distance for the cell prefetch: far enough to cover DRAM
+  // latency across the ~8 lines an update touches, near enough that the
+  // lines are still resident when reached.
+  constexpr size_t kPrefetchAhead = 12;
   ParallelFor(threads_, static_cast<size_t>(rounds_),
               [&](size_t begin, size_t end) {
                 for (size_t t = begin; t < end; ++t) {
                   for (size_t j = 0; j < updates.size(); ++j) {
+                    const size_t jp = j + kPrefetchAhead;
+                    if (jp < updates.size()) {
+                      PrefetchRound(static_cast<int>(t), updates[jp].edge,
+                                    prepared[jp]);
+                    }
                     ApplyToRound(static_cast<int>(t), updates[j].edge,
-                                 indices[j], updates[j].delta);
+                                 prepared[j], updates[j].delta);
                   }
                 }
               });
@@ -157,7 +252,7 @@ Result<Hypergraph> SpanningForestSketch::ExtractSpanningGraph(
         const auto& group = groups[g];
         L0State acc(round_shapes_[static_cast<size_t>(t)].get());
         for (VertexId v : group) {
-          acc.Add(states_[v][static_cast<size_t>(t)]);
+          acc.AddRaw(ArenaAt(v, t));
         }
         auto sample = acc.Sample();
         if (!sample.ok()) continue;  // isolated component or sampler failure
@@ -191,11 +286,7 @@ Result<Hypergraph> SpanningForestSketch::ExtractSpanningGraph(
 }
 
 size_t SpanningForestSketch::MemoryBytes() const {
-  size_t total = 0;
-  for (const auto& per_round : states_) {
-    for (const auto& state : per_round) total += state.MemoryBytes();
-  }
-  return total;
+  return arena_.size() * sizeof(uint64_t);
 }
 
 size_t SpanningForestSketch::CellsPerVertex() const {

@@ -51,7 +51,7 @@ class SpanningForestSketch {
 
   size_t n() const { return n_; }
   int rounds() const { return rounds_; }
-  bool IsActive(VertexId v) const { return !states_[v].empty(); }
+  bool IsActive(VertexId v) const { return state_index_[v] >= 0; }
 
   /// Linear update: insert (delta=+1) or delete (delta=-1) hyperedge e.
   /// CHECK-fails if any endpoint is inactive (callers filter first).
@@ -62,10 +62,24 @@ class SpanningForestSketch {
   /// stream update once and fan it out to every sketch with this.
   void UpdateEncoded(const Hyperedge& e, u128 index, int delta);
 
+  /// As UpdateEncoded with the coordinate fully prepared (folded + exponent
+  /// reduced). The preparation is shape-independent, so containers fanning
+  /// one update out to many sketches prepare once for all of them.
+  void UpdatePrepared(const Hyperedge& e, const PreparedCoord& pc, int delta);
+
   /// Batched ingestion: encodes each update once, then shards the Borůvka
   /// rounds (independent sketch columns) across params.threads workers.
   /// Bit-identical to updating serially in order.
   void Process(std::span<const StreamUpdate> updates);
+
+  /// Prefetch the cells UpdatePrepared(e, pc, .) will touch. Batch ingest
+  /// paths call this a few updates ahead: the arena is far larger than
+  /// cache and updates land at random vertices, so without lookahead each
+  /// update stalls on compulsory misses the out-of-order window cannot
+  /// reach. Purely a hint; no state changes.
+  void PrefetchPrepared(const Hyperedge& e, const PreparedCoord& pc) const {
+    for (int t = 0; t < rounds_; ++t) PrefetchRound(t, e, pc);
+  }
 
   /// Ingest a whole stream.
   void Process(const DynamicStream& stream);
@@ -92,7 +106,7 @@ class SpanningForestSketch {
   /// (same n, rounds, and measurement values; for the determinism suite).
   bool StateEquals(const SpanningForestSketch& other) const {
     return n_ == other.n_ && rounds_ == other.rounds_ &&
-           states_ == other.states_;
+           state_index_ == other.state_index_ && arena_ == other.arena_;
   }
 
   /// Total bytes of per-vertex sketch state (the paper's space measure).
@@ -104,8 +118,27 @@ class SpanningForestSketch {
   const EdgeCodec& codec() const { return codec_; }
 
  private:
-  /// Apply hyperedge e (precomputed index) to round t's column only.
-  void ApplyToRound(int t, const Hyperedge& e, u128 index, int delta);
+  /// Apply hyperedge e (prepared coordinate) to round t's column only.
+  void ApplyToRound(int t, const Hyperedge& e, const PreparedCoord& pc,
+                    int delta);
+
+  /// Prefetch round t's target cells for hyperedge e (see PrefetchPrepared).
+  void PrefetchRound(int t, const Hyperedge& e, const PreparedCoord& pc) const;
+
+  /// Start of vertex v's round-t sampler in the arena (v must be active).
+  /// The address is pure arithmetic on the dense index -- no pointer chase
+  /// through per-vertex objects -- so random-vertex updates expose every
+  /// cache miss to the out-of-order window instead of serializing a
+  /// state -> level-vector -> cell-array dependency chain.
+  uint64_t* ArenaAt(VertexId v, int t) {
+    return arena_.data() + (static_cast<size_t>(state_index_[v]) *
+                                static_cast<size_t>(rounds_) +
+                            static_cast<size_t>(t)) *
+                               state_words_;
+  }
+  const uint64_t* ArenaAt(VertexId v, int t) const {
+    return const_cast<SpanningForestSketch*>(this)->ArenaAt(v, t);
+  }
 
   size_t n_;
   int rounds_;
@@ -114,8 +147,14 @@ class SpanningForestSketch {
   // Shapes are immutable and shared between copies of the sketch (copies
   // carry the same measurement, which is exactly what linearity requires).
   std::vector<std::shared_ptr<const L0Shape>> round_shapes_;
-  // states_[v][t]: vertex v's sampler for round t; empty if inactive.
-  std::vector<std::vector<L0State>> states_;
+  // Dense ordinal of each active vertex, -1 if inactive.
+  std::vector<int64_t> state_index_;
+  // Every active vertex's sampler state for every round, in ONE flat
+  // allocation: [active ordinal][round][level segment] with rounds
+  // contiguous per vertex. state_words_ = words per (vertex, round) = the
+  // shared L0Shape::TotalWords() (all rounds have identical geometry).
+  size_t state_words_ = 0;
+  std::vector<uint64_t> arena_;
 };
 
 }  // namespace gms

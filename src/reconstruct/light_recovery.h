@@ -48,6 +48,10 @@ class LightRecoverySketch {
   void UpdateEncoded(const Hyperedge& e, u128 index, int delta) {
     skeleton_.UpdateEncoded(e, index, delta);
   }
+  /// As UpdateEncoded with the coordinate fully prepared by the caller.
+  void UpdatePrepared(const Hyperedge& e, const PreparedCoord& pc, int delta) {
+    skeleton_.UpdatePrepared(e, pc, delta);
+  }
   void Process(std::span<const StreamUpdate> updates) {
     skeleton_.Process(updates);
   }

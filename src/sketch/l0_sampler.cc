@@ -1,5 +1,7 @@
 #include "sketch/l0_sampler.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 #include "util/random.h"
 
@@ -12,11 +14,14 @@ L0Shape::L0Shape(u128 domain, const SketchConfig& config, uint64_t seed)
   int max_level = BitWidth128(domain);  // levels 0..max_level
   level_hash_ = LevelHash(rng.Fork(), max_level);
   selection_hash_ = PolyHash(/*independence=*/2, rng.Fork());
+  basis_ =
+      std::make_shared<FingerprintBasis>(rng.Below(kMersenne61 - 2) + 1);
   levels_.reserve(static_cast<size_t>(max_level) + 1);
   for (int j = 0; j <= max_level; ++j) {
     levels_.emplace_back(domain, config.sparse_capacity, config.rows,
-                         config.BucketsPerRow(), rng.Fork());
+                         config.BucketsPerRow(), rng.Fork(), basis_);
   }
+  segment_words_ = SSparseSegmentWords(levels_[0]);
 }
 
 size_t L0Shape::TotalCells() const {
@@ -27,39 +32,50 @@ size_t L0Shape::TotalCells() const {
   return total;
 }
 
-L0State::L0State(const L0Shape* shape) : shape_(shape) {
-  levels_.reserve(static_cast<size_t>(shape->num_levels()));
-  for (int j = 0; j < shape->num_levels(); ++j) {
-    levels_.emplace_back(&shape->level_shape(j));
-  }
-}
+L0State::L0State(const L0Shape* shape)
+    : shape_(shape), buf_(shape->TotalWords(), 0) {}
 
 void L0State::Update(u128 index, int64_t delta) {
   GMS_DCHECK(index < shape_->domain());
-  levels_[static_cast<size_t>(shape_->LevelOf(index))].Update(index, delta);
+  const PreparedCoord pc = PrepareCoord(index);
+  const int level = shape_->LevelOfFolded(pc.fold);
+  // The basis is shared across levels, so the power does not depend on
+  // which level the coordinate routes to.
+  UpdatePrepared(pc, delta, level, shape_->basis().PowerFromExp(pc.exponent));
 }
 
 void L0State::Add(const L0State& other) {
   GMS_CHECK_MSG(shape_ == other.shape_, "adding L0 states of different shapes");
-  for (size_t j = 0; j < levels_.size(); ++j) levels_[j].Add(other.levels_[j]);
+  AddRaw(other.buf_.data());
+}
+
+void L0State::AddRaw(const uint64_t* buf) {
+  const size_t words = shape_->SegmentWords();
+  for (int j = 0; j < shape_->num_levels(); ++j) {
+    SSparseSegmentAdd(shape_->level_shape(j),
+                      buf_.data() + static_cast<size_t>(j) * words,
+                      buf + static_cast<size_t>(j) * words);
+  }
 }
 
 bool L0State::IsZero() const {
-  for (const auto& level : levels_) {
-    if (!level.IsZero()) return false;
-  }
-  return true;
+  return std::all_of(buf_.begin(), buf_.end(),
+                     [](uint64_t v) { return v == 0; });
 }
 
 Result<SparseEntry> L0State::Sample() const {
+  static thread_local SSparseDecoder decoder;
+  const size_t words = shape_->SegmentWords();
   bool saw_nonzero = false;
   // Scan from the sparsest (highest) level down; the first level whose
   // recovery decodes a nonempty support yields the sample.
   for (int j = shape_->num_levels() - 1; j >= 0; --j) {
-    const SSparseState& level = levels_[static_cast<size_t>(j)];
-    if (level.IsZero()) continue;
+    const uint64_t* seg = buf_.data() + static_cast<size_t>(j) * words;
+    if (std::all_of(seg, seg + words, [](uint64_t v) { return v == 0; })) {
+      continue;
+    }
     saw_nonzero = true;
-    auto decoded = level.Decode();
+    auto decoded = decoder.Decode(shape_->level_shape(j), seg);
     if (!decoded.ok()) continue;  // too dense here; try a denser level anyway
     const auto& entries = *decoded;
     if (entries.empty()) continue;
@@ -84,13 +100,12 @@ Result<SparseEntry> L0State::Sample() const {
 
 Result<std::vector<SparseEntry>> L0State::TryRecoverLevel(int level) const {
   GMS_CHECK(level >= 0 && level < shape_->num_levels());
-  return levels_[static_cast<size_t>(level)].Decode();
+  static thread_local SSparseDecoder decoder;
+  return decoder.Decode(shape_->level_shape(level), LevelSegment(level));
 }
 
 size_t L0State::MemoryBytes() const {
-  size_t total = sizeof(*this);
-  for (const auto& level : levels_) total += level.MemoryBytes();
-  return total;
+  return sizeof(*this) + buf_.size() * sizeof(uint64_t);
 }
 
 }  // namespace gms

@@ -35,8 +35,27 @@ class L0Shape {
   int num_levels() const { return static_cast<int>(levels_.size()); }
   const SSparseShape& level_shape(int j) const { return levels_[j]; }
 
+  /// All levels share one geometry, so every level segment has this many
+  /// words; level j's segment starts at j * SegmentWords() in an L0State's
+  /// flat buffer.
+  size_t SegmentWords() const { return segment_words_; }
+  size_t TotalWords() const { return segment_words_ * levels_.size(); }
+
+  /// One fingerprint basis (z + 16 KiB power table) is shared by ALL
+  /// levels: fingerprints never mix across levels and the per-cell
+  /// collision bound is a union bound, so independent z per level buys
+  /// nothing -- while sharing keeps the hot table resident instead of
+  /// cycling ~log(domain) tables through cache.
+  const FingerprintBasis& basis() const { return *basis_; }
+
   /// Which level an index belongs to (partition semantics: exactly one).
   int LevelOf(u128 index) const { return level_hash_.Level(index); }
+
+  /// As LevelOf with the key folded once by the caller (the fold is
+  /// hash-independent, so it is shared with the row hashes below).
+  int LevelOfFolded(FoldedKey fold) const {
+    return level_hash_.LevelFolded(fold);
+  }
 
   /// Selection hash used to break ties uniformly among recovered entries.
   uint64_t SelectionHash(u128 index) const {
@@ -50,7 +69,9 @@ class L0Shape {
   u128 domain_;
   LevelHash level_hash_;
   PolyHash selection_hash_;
+  std::shared_ptr<const FingerprintBasis> basis_;
   std::vector<SSparseShape> levels_;
+  size_t segment_words_ = 0;
 };
 
 class L0State {
@@ -60,15 +81,27 @@ class L0State {
   /// Apply a linear update: vector[index] += delta.
   void Update(u128 index, int64_t delta);
 
-  /// As Update, with the level and fingerprint power precomputed by the
-  /// caller (they depend only on the shared shape, so callers updating many
-  /// states with the same coordinate compute them once).
-  void UpdateWithPower(u128 index, int64_t delta, int level, uint64_t power) {
-    levels_[static_cast<size_t>(level)].UpdateWithPower(index, delta, power);
+  /// As Update, with the coordinate prepared and the level and fingerprint
+  /// power precomputed by the caller (they depend only on the shared shape,
+  /// so callers updating many states with the same coordinate compute them
+  /// once). This is the whole ingest hot path: one computed offset into the
+  /// state's single flat buffer, then the segment kernel.
+  void UpdatePrepared(const PreparedCoord& pc, int64_t delta, int level,
+                      uint64_t power) {
+    SSparseSegmentUpdate(
+        shape_->level_shape(level),
+        buf_.data() + static_cast<size_t>(level) * shape_->SegmentWords(), pc,
+        delta, power);
   }
 
   /// Coordinate-wise addition of another state of the same shape.
   void Add(const L0State& other);
+
+  /// Coordinate-wise addition of a raw flat buffer with this state's exact
+  /// layout (shape->TotalWords() words, level segments in order). Lets
+  /// containers that pack many L0 measurements into one arena (the forest
+  /// sketch) accumulate without materializing L0State objects.
+  void AddRaw(const uint64_t* buf);
 
   bool IsZero() const;
 
@@ -86,14 +119,25 @@ class L0State {
   /// Cell-wise equality across all levels (bit-identity of the measurement
   /// value; shapes may be distinct objects with the same randomness).
   friend bool operator==(const L0State& a, const L0State& b) {
-    return a.levels_ == b.levels_;
+    return a.buf_ == b.buf_;
   }
 
   const L0Shape& shape() const { return *shape_; }
 
+  /// Level j's segment within the flat buffer (the four-array s-sparse
+  /// layout; see sparse_recovery.h).
+  const uint64_t* LevelSegment(int j) const {
+    return buf_.data() + static_cast<size_t>(j) * shape_->SegmentWords();
+  }
+
  private:
   const L0Shape* shape_;
-  std::vector<SSparseState> levels_;
+  // All ~log(domain) level measurements packed into ONE allocation (levels
+  // share a geometry, so segment offsets are a multiply). Random-vertex
+  // ingest then costs two dependent cache misses (state object, segment
+  // data) instead of chasing state -> level vector -> per-level heap cell
+  // arrays.
+  std::vector<uint64_t> buf_;
 };
 
 }  // namespace gms

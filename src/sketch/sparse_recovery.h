@@ -13,10 +13,32 @@
 // added coordinate-wise -- this is what makes per-vertex sketches summable
 // across a component in the AGM decode loop, and what lets k-skeleton /
 // light-edge recovery subtract previously-recovered subgraphs (Section 4).
+//
+// Update kernel (the hot path every stream update funnels through):
+//   * Fingerprint powers z^(e mod p-1) come from a windowed power table
+//     (FingerprintBasis: z^(256^w * d) for window w in [0,8), digit d in
+//     [0,256)): at most 8 table loads + 7 FpMul instead of a ~60-multiply
+//     FpPow. The binary-exponentiation path survives as FingerprintPowerRef
+//     for differential testing. A basis can be SHARED by many shapes (the
+//     L0 sampler shares one across its ~log(domain) levels) -- soundness
+//     only needs the per-cell fingerprint collision bound, which is a
+//     union bound and does not require independent z per level.
+//   * Bucket choice is division-free (Lemire multiply-shift, FieldToBucket)
+//     and each 128-bit key is folded to field halves ONCE per update
+//     (FoldedKey / PreparedCoord), shared across all row hashes and the
+//     sampler's level hash instead of re-folding per row.
+//   * Cells are stored structure-of-arrays in one contiguous "segment" of
+//     four equal uint64 arrays (weight | index_sum.lo | index_sum.hi |
+//     fingerprint). The segment kernels (SSparseSegment*) operate on raw
+//     buffers so containers (the L0 sampler) can pack MANY measurements
+//     into one allocation; SSparseState wraps a single owned segment.
+//     Decode peels on a per-thread reusable scratch buffer (SSparseDecoder)
+//     instead of allocating a cell-array copy per call.
 #ifndef GMS_SKETCH_SPARSE_RECOVERY_H_
 #define GMS_SKETCH_SPARSE_RECOVERY_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -35,8 +57,8 @@ struct SparseEntry {
   friend bool operator==(const SparseEntry&, const SparseEntry&) = default;
 };
 
-/// The 1-sparse recovery triple. 32 bytes (u128 leads so alignment padding
-/// is zero); trivially copyable; linear.
+/// The 1-sparse recovery triple as a value type (states store these
+/// structure-of-arrays; this view is used by the 1-sparse decode probe).
 struct OneSparseCell {
   u128 index_sum = 0;       // sum of index*value, wrapping mod 2^128
   int64_t weight = 0;       // sum of values
@@ -54,31 +76,118 @@ struct OneSparseCell {
   friend bool operator==(const OneSparseCell&, const OneSparseCell&) = default;
 };
 
+/// A coordinate index with its shape-independent per-update derivations:
+/// the folded field halves (shared by every row/level hash) and the
+/// exponent index mod p-1 (shared by every shape's fingerprint table).
+/// Containers ingesting one coordinate into many sketches prepare it once.
+struct PreparedCoord {
+  u128 index = 0;
+  FoldedKey fold;
+  uint64_t exponent = 0;  // index mod (p - 1)
+};
+
+inline PreparedCoord PrepareCoord(u128 index) {
+  return PreparedCoord{index, FoldKey128(index), FpReduceExp(index)};
+}
+
+/// Fingerprint randomness: a uniform nonzero field element z plus the
+/// windowed table of its powers, z^(256^w * d) for w in [0,8), d in
+/// [0,256). 8 windows of 8 bits cover any exponent < 2^64 >= p - 1, so a
+/// power is <= 8 table loads + 7 multiplies. 16 KiB; share one basis
+/// across shapes whose fingerprints never mix (e.g. L0 levels) to keep the
+/// hot tables small.
+class FingerprintBasis {
+ public:
+  explicit FingerprintBasis(uint64_t z);
+
+  uint64_t z() const { return z_; }
+
+  /// z^e for a reduced exponent e = index mod (p-1): the windowed product.
+  uint64_t PowerFromExp(uint64_t e) const {
+    const uint64_t* t = table_.data();
+    uint64_t r = t[e & 0xff];
+    for (int w = 1; w < kWindows; ++w) {
+      r = FpMul(r, t[static_cast<size_t>(w) * kDigits + ((e >> (8 * w)) & 0xff)]);
+    }
+    return r;
+  }
+
+  /// Reference power by full binary exponentiation (the old kernel, with
+  /// its hardware `%`). Differential tests assert PowerFromExp matches.
+  uint64_t PowerRef(u128 index) const {
+    return FpPow(z_, static_cast<uint64_t>(index % (kMersenne61 - 1)));
+  }
+
+ private:
+  static constexpr int kWindows = 8;
+  static constexpr int kDigits = 256;
+
+  uint64_t z_;
+  std::vector<uint64_t> table_;  // [window][digit] = z^(256^w * d)
+};
+
+/// Upper bound on rows per s-sparse structure (lets hot paths keep
+/// resolved cell indices in a stack array). Far above any sensible config;
+/// enforced at shape construction.
+inline constexpr int kMaxSketchRows = 16;
+
 /// Shared measurement definition for an s-sparse recovery structure.
 class SSparseShape {
  public:
   /// domain: exclusive upper bound on coordinate indices (< 2^126).
   /// capacity: max support size decodable. rows/buckets control the peeling
-  /// hash table (buckets should be >= 2 * capacity).
+  /// hash table (buckets should be >= 2 * capacity). Draws its own
+  /// fingerprint basis from the seed.
   SSparseShape(u128 domain, int capacity, int rows, int buckets,
                uint64_t seed);
+
+  /// As above but fingerprinting with a caller-provided (typically shared)
+  /// basis; the seed feeds only the row hashes.
+  SSparseShape(u128 domain, int capacity, int rows, int buckets, uint64_t seed,
+               std::shared_ptr<const FingerprintBasis> basis);
 
   u128 domain() const { return domain_; }
   int capacity() const { return capacity_; }
   int rows() const { return rows_; }
   int buckets() const { return buckets_; }
   int NumCells() const { return rows_ * buckets_; }
-  uint64_t z() const { return z_; }
+  uint64_t z() const { return basis_->z(); }
+  const FingerprintBasis& basis() const { return *basis_; }
 
   /// Bucket of `index` in row r.
   int Bucket(int row, u128 index) const {
+    return BucketFolded(row, FoldKey128(index));
+  }
+
+  /// As Bucket with the key folded once by the caller (division-free
+  /// Lemire reduction on the row hash's field output).
+  int BucketFolded(int row, FoldedKey fold) const {
     return static_cast<int>(
-        row_hash_[row].EvalBelow(index, static_cast<uint32_t>(buckets_)));
+        row_hash_[static_cast<size_t>(row)].EvalBelowFolded(
+            fold, static_cast<uint32_t>(buckets_)));
+  }
+
+  /// Reference bucket via the pre-table kernel's hardware `%` reduction.
+  /// NOT the bucket the sketch uses -- kept for the old-vs-new kernel bench
+  /// and distribution tests.
+  int BucketRef(int row, u128 index) const {
+    return static_cast<int>(row_hash_[static_cast<size_t>(row)].Eval(index) %
+                            static_cast<uint64_t>(buckets_));
   }
 
   /// z^(index mod p-1): the fingerprint basis value for a coordinate.
   uint64_t FingerprintPower(u128 index) const {
-    return FpPow(z_, static_cast<uint64_t>(index % (kMersenne61 - 1)));
+    return basis_->PowerFromExp(FpReduceExp(index));
+  }
+
+  /// As FingerprintPower with the exponent reduced once by the caller.
+  uint64_t FingerprintPowerFromExp(uint64_t e) const {
+    return basis_->PowerFromExp(e);
+  }
+
+  /// Reference fingerprint power by full binary exponentiation.
+  uint64_t FingerprintPowerRef(u128 index) const {
+    return basis_->PowerRef(index);
   }
 
  private:
@@ -86,47 +195,157 @@ class SSparseShape {
   int capacity_;
   int rows_;
   int buckets_;
-  uint64_t z_;
+  std::shared_ptr<const FingerprintBasis> basis_;
   std::vector<PolyHash> row_hash_;
 };
 
+// ---------------------------------------------------------------------------
+// Raw segment kernels. A "segment" is one s-sparse measurement's cells laid
+// out structure-of-arrays in 4 * NumCells consecutive uint64 words:
+//   [weight | index_sum.lo | index_sum.hi | fingerprint]
+// (row-major [row][bucket] within each component array). Weights live as
+// two's-complement uint64 -- linear updates are wrapping adds either way --
+// and index sums keep their mod-2^128 wrap via an explicit lo->hi carry.
+// Containers may pack many segments into one allocation (see L0State).
+// ---------------------------------------------------------------------------
+
+/// Words in one segment of `shape`.
+inline size_t SSparseSegmentWords(const SSparseShape& shape) {
+  return static_cast<size_t>(shape.NumCells()) * 4;
+}
+
+/// The hot-path update: apply (coordinate, delta) to a segment, with the
+/// coordinate prepared and the fingerprint power computed once by the
+/// caller so several measurements ingesting the same coordinate share all
+/// per-key arithmetic.
+inline void SSparseSegmentUpdate(const SSparseShape& shape, uint64_t* seg,
+                                 const PreparedCoord& pc, int64_t delta,
+                                 uint64_t power) {
+  GMS_DCHECK(pc.index < shape.domain());
+  if (delta == 0) return;
+  const uint64_t fp_delta = FpMul(FpFromInt64(delta), power);
+  const u128 is_delta = pc.index * static_cast<u128>(static_cast<i128>(delta));
+  const uint64_t is_lo = static_cast<uint64_t>(is_delta);
+  const uint64_t is_hi = static_cast<uint64_t>(is_delta >> 64);
+  const size_t cells = static_cast<size_t>(shape.NumCells());
+  const int buckets = shape.buckets();
+  uint64_t* w = seg;
+  uint64_t* il = w + cells;
+  uint64_t* ih = il + cells;
+  uint64_t* fp = ih + cells;
+  for (int r = 0; r < shape.rows(); ++r) {
+    const size_t i = static_cast<size_t>(r) * buckets +
+                     static_cast<size_t>(shape.BucketFolded(r, pc.fold));
+    w[i] += static_cast<uint64_t>(delta);
+    const uint64_t nl = il[i] + is_lo;
+    ih[i] += is_hi + (nl < il[i] ? 1 : 0);
+    il[i] = nl;
+    fp[i] = FpAdd(fp[i], fp_delta);
+  }
+}
+
+/// Apply precomputed per-cell deltas: for each of the `rows` cell indices
+/// in `idx`, weight += wdelta, index_sum += is (mod 2^128), fingerprint +=
+/// fp (over F_p). Callers that fan one key out to several endpoint
+/// measurements (the incidence encoding: same buckets, same magnitudes,
+/// only the sign differs) resolve the buckets and deltas once and invoke
+/// this per endpoint.
+inline void SSparseSegmentApply(uint64_t* seg, const size_t* idx, int rows,
+                                size_t cells, int64_t wdelta, u128 is,
+                                uint64_t fp) {
+  const uint64_t is_lo = static_cast<uint64_t>(is);
+  const uint64_t is_hi = static_cast<uint64_t>(is >> 64);
+  uint64_t* w = seg;
+  uint64_t* il = w + cells;
+  uint64_t* ih = il + cells;
+  uint64_t* fpp = ih + cells;
+  for (int r = 0; r < rows; ++r) {
+    const size_t i = idx[r];
+    w[i] += static_cast<uint64_t>(wdelta);
+    const uint64_t nl = il[i] + is_lo;
+    ih[i] += is_hi + (nl < il[i] ? 1 : 0);
+    il[i] = nl;
+    fpp[i] = FpAdd(fpp[i], fp);
+  }
+}
+
+/// seg += other, cell-wise (vector addition of the measured vectors).
+void SSparseSegmentAdd(const SSparseShape& shape, uint64_t* seg,
+                       const uint64_t* other);
+
+/// Reassemble cell i of a segment as a value triple.
+inline OneSparseCell SSparseSegmentCell(const SSparseShape& shape,
+                                        const uint64_t* seg, size_t i) {
+  const size_t cells = static_cast<size_t>(shape.NumCells());
+  OneSparseCell c;
+  c.weight = static_cast<int64_t>(seg[i]);
+  c.index_sum =
+      (static_cast<u128>(seg[2 * cells + i]) << 64) | seg[cells + i];
+  c.fingerprint = seg[3 * cells + i];
+  return c;
+}
+
 /// Cell array implementing the shape's measurement. Linear: supports
-/// Update (insert/delete = +/- delta) and Add (vector addition).
+/// Update (insert/delete = +/- delta) and Add (vector addition). Owns a
+/// single segment; see the segment kernels above for the layout.
 class SSparseState {
  public:
   explicit SSparseState(const SSparseShape* shape);
 
-  void Update(u128 index, int64_t delta);
+  void Update(u128 index, int64_t delta) {
+    const PreparedCoord pc = PrepareCoord(index);
+    UpdatePrepared(pc, delta, shape_->FingerprintPowerFromExp(pc.exponent));
+  }
 
-  /// As Update but with the fingerprint power precomputed by the caller
-  /// (saves repeated FpPow when several states ingest the same coordinate).
-  void UpdateWithPower(u128 index, int64_t delta, uint64_t power);
+  /// Hot-path update with caller-prepared coordinate and power.
+  void UpdatePrepared(const PreparedCoord& pc, int64_t delta, uint64_t power) {
+    SSparseSegmentUpdate(*shape_, buf_.data(), pc, delta, power);
+  }
 
   void Add(const SSparseState& other);
   bool IsZero() const;
 
   /// Exact recovery by peeling. Returns the full support (index, value)
   /// pairs if the vector's support is <= capacity (whp); DecodeFailure if
-  /// peeling gets stuck or a consistency check fails.
+  /// peeling gets stuck or a consistency check fails. Uses a per-thread
+  /// reusable SSparseDecoder, so repeated decodes do not allocate.
   Result<std::vector<SparseEntry>> Decode() const;
 
   size_t MemoryBytes() const {
-    return cells_.size() * sizeof(OneSparseCell) + sizeof(*this);
+    return buf_.size() * sizeof(uint64_t) + sizeof(*this);
   }
 
   /// Cell-wise equality (same measurement VALUE; the shapes may be distinct
   /// objects). Used by the determinism suite to assert that parallel
   /// ingestion leaves bit-identical state.
   friend bool operator==(const SSparseState& a, const SSparseState& b) {
-    return a.cells_ == b.cells_;
+    return a.buf_ == b.buf_;
   }
 
   const SSparseShape& shape() const { return *shape_; }
+  const uint64_t* segment() const { return buf_.data(); }
+  uint64_t* segment() { return buf_.data(); }
 
  private:
-  friend class SSparseDecoder;
   const SSparseShape* shape_;
-  std::vector<OneSparseCell> cells_;  // row-major [row][bucket]
+  std::vector<uint64_t> buf_;  // one segment
+};
+
+/// Reusable peeling workspace: decodes any segment by copying it into owned
+/// scratch (capacity persists across calls, so decoding in a loop -- the
+/// Boruvka / sampler read path -- never reallocates). Not thread-safe; use
+/// one per thread (SSparseState::Decode() keeps a thread_local instance).
+class SSparseDecoder {
+ public:
+  Result<std::vector<SparseEntry>> Decode(const SSparseShape& shape,
+                                          const uint64_t* seg);
+
+  Result<std::vector<SparseEntry>> Decode(const SSparseState& state) {
+    return Decode(state.shape(), state.segment());
+  }
+
+ private:
+  std::vector<uint64_t> scratch_;  // same four-array layout as a segment
 };
 
 /// Attempt to decode a single cell as exactly-1-sparse.

@@ -45,23 +45,24 @@ int HypergraphSparsifierSketch::SampleLevel(const Hyperedge& e) const {
 }
 
 void HypergraphSparsifierSketch::Update(const Hyperedge& e, int delta) {
-  u128 index = codec_.Encode(e);
-  int depth = sample_hash_.Level(index);
+  const PreparedCoord pc = PrepareCoord(codec_.Encode(e));
+  int depth = sample_hash_.LevelFolded(pc.fold);
   for (int i = 0; i <= depth && i < static_cast<int>(level_sketches_.size());
        ++i) {
-    level_sketches_[static_cast<size_t>(i)].UpdateEncoded(e, index, delta);
+    level_sketches_[static_cast<size_t>(i)].UpdatePrepared(e, pc, delta);
   }
 }
 
 void HypergraphSparsifierSketch::Process(std::span<const StreamUpdate> updates) {
   if (updates.empty()) return;
-  // Precompute each update's codec index (the sampling hash and every level
-  // row share the same (n, max_rank) domain) and its sampling depth.
-  std::vector<u128> indices(updates.size());
+  // Prepare each update's coordinate once (the sampling hash and every
+  // level row share the same (n, max_rank) domain and the fold is
+  // hash-independent) and derive its sampling depth from the shared fold.
+  std::vector<PreparedCoord> prepared(updates.size());
   std::vector<int> depths(updates.size());
   for (size_t j = 0; j < updates.size(); ++j) {
-    indices[j] = codec_.Encode(updates[j].edge);
-    depths[j] = sample_hash_.Level(indices[j]);
+    prepared[j] = PrepareCoord(codec_.Encode(updates[j].edge));
+    depths[j] = sample_hash_.LevelFolded(prepared[j].fold);
   }
   // Shard the level rows: each row is an independent linear sketch owned by
   // one worker, ingesting exactly the updates whose depth reaches it.
@@ -69,8 +70,8 @@ void HypergraphSparsifierSketch::Process(std::span<const StreamUpdate> updates) 
     for (size_t i = begin; i < end; ++i) {
       for (size_t j = 0; j < updates.size(); ++j) {
         if (depths[j] >= static_cast<int>(i)) {
-          level_sketches_[i].UpdateEncoded(updates[j].edge, indices[j],
-                                           updates[j].delta);
+          level_sketches_[i].UpdatePrepared(updates[j].edge, prepared[j],
+                                            updates[j].delta);
         }
       }
     }

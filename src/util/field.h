@@ -29,10 +29,26 @@ inline uint64_t FpReduce(u128 x) {
 
 /// Reduce an arbitrary u128 into [0, p).
 inline uint64_t FpReduceFull(u128 x) {
-  // Fold the top 67 bits down first so the operand fits FpReduce's 2^122
-  // precondition (it does already: 128 < 122 is false, so fold once).
+  // x may occupy all 128 bits, which exceeds FpReduce's 2^122 precondition,
+  // so fold once first: the high 67 bits fold onto the low 61, leaving an
+  // operand < 2^68.
   u128 folded = (x & kMersenne61) + (x >> 61);
   return FpReduce(folded);
+}
+
+/// Reduce an arbitrary u128 modulo p - 1 = 2^61 - 2, the order of the
+/// multiplicative group: z^x = z^FpReduceExp(x) for any nonzero z in F_p.
+/// Division-free: 2^61 == 2 (mod p-1), so each fold maps q*2^61 + r to
+/// 2q + r. Three folds bring any 128-bit operand below 2^61 + 2, after
+/// which one conditional subtraction lands in [0, p-1).
+inline uint64_t FpReduceExp(u128 x) {
+  constexpr uint64_t m = kMersenne61 - 1;  // 2^61 - 2
+  x = ((x >> 61) << 1) + (x & kMersenne61);  // < 2^69
+  x = ((x >> 61) << 1) + (x & kMersenne61);  // < 2^61 + 2^9
+  uint64_t r = (static_cast<uint64_t>(x >> 61) << 1) +
+               (static_cast<uint64_t>(x) & kMersenne61);  // <= 2^61 + 1
+  if (r >= m) r -= m;
+  return r;
 }
 
 inline uint64_t FpAdd(uint64_t a, uint64_t b) {
@@ -61,8 +77,10 @@ uint64_t FpInv(uint64_t a);
 /// Map a signed 64-bit integer into F_p (negative values wrap to p - |v|).
 inline uint64_t FpFromInt64(int64_t v) {
   if (v >= 0) return FpReduce(static_cast<u128>(static_cast<uint64_t>(v)));
-  uint64_t m = FpReduce(static_cast<u128>(static_cast<uint64_t>(-v)));
-  return FpNeg(m);
+  // Negate in unsigned space: -v overflows (UB) for v == INT64_MIN, but
+  // 0 - uint64_t(v) is the magnitude for every negative v.
+  uint64_t mag = 0u - static_cast<uint64_t>(v);
+  return FpNeg(FpReduce(static_cast<u128>(mag)));
 }
 
 /// Map a u128 into F_p.

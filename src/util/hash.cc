@@ -15,18 +15,4 @@ PolyHash::PolyHash(int independence, uint64_t seed) {
   mixer_ = rng.Below(kMersenne61 - 1) + 1;  // nonzero
 }
 
-uint64_t PolyHash::FoldKey(u128 key) const {
-  uint64_t lo = FpReduceFull(key & ((static_cast<u128>(1) << 64) - 1));
-  uint64_t hi = FpReduceFull(key >> 64);
-  return FpAdd(lo, FpMul(hi, mixer_));
-}
-
-uint64_t PolyHash::Eval(u128 key) const {
-  GMS_DCHECK(!coeffs_.empty());
-  uint64_t x = FoldKey(key);
-  uint64_t acc = 0;
-  for (uint64_t c : coeffs_) acc = FpAdd(FpMul(acc, x), c);
-  return acc;
-}
-
 }  // namespace gms

@@ -7,6 +7,12 @@
 // combining with an extra random multiplier, so distinct 128-bit keys map to
 // distinct field points except with probability <= 2/p per pair (absorbed
 // into the sketch failure probability).
+//
+// The halves themselves (a FoldedKey) carry no per-hash randomness, so a
+// caller touching several hashes with the same key folds ONCE and hands the
+// FoldedKey to every Eval*Folded / Level*Folded call; only the final
+// mixer multiply is per-hash. This is the fold-once contract the sketch
+// update kernel relies on.
 #ifndef GMS_UTIL_HASH_H_
 #define GMS_UTIL_HASH_H_
 
@@ -19,6 +25,31 @@
 
 namespace gms {
 
+/// A 128-bit key folded to two field elements (low and high 64-bit halves,
+/// each reduced mod p). Hash-independent: computable once per key and shared
+/// across every PolyHash / LevelHash evaluation of that key.
+struct FoldedKey {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+};
+
+/// Fold a 128-bit key into its two field halves (both operands are < 2^64,
+/// within FpReduce's 2^122 precondition).
+inline FoldedKey FoldKey128(u128 key) {
+  return FoldedKey{FpReduce(static_cast<u128>(static_cast<uint64_t>(key))),
+                   FpReduce(static_cast<u128>(static_cast<uint64_t>(key >> 64)))};
+}
+
+/// Map a field element h in [0, p) to [0, bound) by Lemire multiply-shift:
+/// (h * bound) >> 61. No division; since h < 2^61 the result is < bound,
+/// and for bound <= 2^32 the per-bucket bias is O(bound / p), far below the
+/// sketch failure probability. NOTE: this assigns different buckets than
+/// `h % bound` would — sketch guarantees depend only on the hash family's
+/// distribution, not on which reduction maps field values to buckets.
+inline uint32_t FieldToBucket(uint64_t h, uint32_t bound) {
+  return static_cast<uint32_t>((static_cast<u128>(h) * bound) >> 61);
+}
+
 /// t-wise independent hash from u128 keys to [0, p).
 class PolyHash {
  public:
@@ -29,21 +60,33 @@ class PolyHash {
   PolyHash() = default;
 
   /// Hash to a field element in [0, 2^61 - 1).
-  uint64_t Eval(u128 key) const;
+  uint64_t Eval(u128 key) const { return EvalFolded(FoldKey128(key)); }
 
-  /// Hash to [0, bound) via multiply-shift on the field output. bound must
-  /// be <= 2^32 to keep the modulo bias negligible relative to p.
+  /// As Eval, with the key already folded by the caller (the hot path:
+  /// fold once, evaluate many hashes).
+  uint64_t EvalFolded(FoldedKey k) const {
+    GMS_DCHECK(!coeffs_.empty());
+    uint64_t x = FpAdd(k.lo, FpMul(k.hi, mixer_));
+    uint64_t acc = 0;
+    for (uint64_t c : coeffs_) acc = FpAdd(FpMul(acc, x), c);
+    return acc;
+  }
+
+  /// Hash to [0, bound) by Lemire multiply-shift on the field output (no
+  /// division). bound must be <= 2^32 to keep the mapping bias negligible
+  /// relative to p.
   uint32_t EvalBelow(u128 key, uint32_t bound) const {
-    return static_cast<uint32_t>(Eval(key) % bound);
+    return FieldToBucket(Eval(key), bound);
+  }
+
+  /// As EvalBelow with a caller-folded key.
+  uint32_t EvalBelowFolded(FoldedKey k, uint32_t bound) const {
+    return FieldToBucket(EvalFolded(k), bound);
   }
 
   int independence() const { return static_cast<int>(coeffs_.size()); }
 
  private:
-  // Fold a 128-bit key into a single field element, pairwise-injectively
-  // up to probability 1/p (uses the random mixer_).
-  uint64_t FoldKey(u128 key) const;
-
   std::vector<uint64_t> coeffs_;  // degree t-1 .. 0
   uint64_t mixer_ = 1;            // random multiplier for the high half
 };
@@ -57,8 +100,11 @@ class LevelHash {
       : hash_(/*independence=*/2, seed), max_level_(max_level) {}
   LevelHash() = default;
 
-  int Level(u128 key) const {
-    uint64_t h = Mix64(hash_.Eval(key));
+  int Level(u128 key) const { return LevelFolded(FoldKey128(key)); }
+
+  /// As Level with a caller-folded key.
+  int LevelFolded(FoldedKey k) const {
+    uint64_t h = Mix64(hash_.EvalFolded(k));
     if (h == 0) return max_level_;
     int tz = __builtin_ctzll(h);
     return tz < max_level_ ? tz : max_level_;

@@ -36,13 +36,14 @@ void HyperVcQuerySketch::Update(const Hyperedge& e, int delta) {
 
 void HyperVcQuerySketch::Process(std::span<const StreamUpdate> updates) {
   if (sketches_.empty() || updates.empty()) return;
-  // One encode per update, shared across the R subsamples.
+  // One encode + coordinate preparation per update, shared across the R
+  // subsamples.
   const EdgeCodec& codec = sketches_[0].codec();
-  std::vector<u128> indices(updates.size());
+  std::vector<PreparedCoord> prepared(updates.size());
   for (size_t j = 0; j < updates.size(); ++j) {
     GMS_CHECK_MSG(updates[j].edge.size() <= codec.max_rank(),
                   "hyperedge exceeds max_rank");
-    indices[j] = codec.Encode(updates[j].edge);
+    prepared[j] = PrepareCoord(codec.Encode(updates[j].edge));
   }
   ParallelFor(params_.threads, sketches_.size(),
               [&](size_t begin, size_t end) {
@@ -53,8 +54,8 @@ void HyperVcQuerySketch::Process(std::span<const StreamUpdate> updates) {
                     bool all_kept = true;
                     for (VertexId v : e) all_kept &= kept[v];
                     if (all_kept) {
-                      sketches_[i].UpdateEncoded(e, indices[j],
-                                                 updates[j].delta);
+                      sketches_[i].UpdatePrepared(e, prepared[j],
+                                                  updates[j].delta);
                     }
                   }
                 }

@@ -63,27 +63,41 @@ void SubsampledForestUnion::Update(const Edge& e, int delta) {
 
 void SubsampledForestUnion::Process(std::span<const StreamUpdate> updates) {
   if (sketches_.empty() || updates.empty()) return;
-  // Encode once per update: every subsample shares the same (n, 2) codec,
-  // so the combinadic rank -- the expensive part of an update -- need not
-  // be re-derived R times.
+  // Encode and prepare once per update: every subsample shares the same
+  // (n, 2) codec, and the key fold / exponent reduction are shape-
+  // independent, so none of the per-key arithmetic is re-derived R times.
   const EdgeCodec& codec = sketches_[0].codec();
-  std::vector<u128> indices(updates.size());
+  std::vector<PreparedCoord> prepared(updates.size());
   for (size_t j = 0; j < updates.size(); ++j) {
     GMS_CHECK_MSG(updates[j].edge.IsGraphEdge(),
                   "vertex-connectivity sketches take graph streams");
-    indices[j] = codec.Encode(updates[j].edge);
+    prepared[j] = PrepareCoord(codec.Encode(updates[j].edge));
   }
   // Shard the R independent sketches: each is owned by exactly one worker
   // and sees its updates in stream order, so the result is bit-identical
   // to the serial path.
   ParallelFor(threads_, sketches_.size(), [&](size_t begin, size_t end) {
+    std::vector<uint32_t> hits;
     for (size_t i = begin; i < end; ++i) {
       const std::vector<bool>& kept = kept_[i];
+      // Collect this subsample's surviving updates first (~1/k^2 of the
+      // stream), then ingest with a prefetch lookahead measured in actual
+      // work items, so each sketch update's cold cells are in flight well
+      // before its turn.
+      hits.clear();
       for (size_t j = 0; j < updates.size(); ++j) {
         const Hyperedge& e = updates[j].edge;
-        if (kept[e[0]] && kept[e[1]]) {
-          sketches_[i].UpdateEncoded(e, indices[j], updates[j].delta);
+        if (kept[e[0]] && kept[e[1]]) hits.push_back(static_cast<uint32_t>(j));
+      }
+      constexpr size_t kPrefetchAhead = 8;
+      for (size_t h = 0; h < hits.size(); ++h) {
+        if (h + kPrefetchAhead < hits.size()) {
+          const size_t jp = hits[h + kPrefetchAhead];
+          sketches_[i].PrefetchPrepared(updates[jp].edge, prepared[jp]);
         }
+        const size_t j = hits[h];
+        sketches_[i].UpdatePrepared(updates[j].edge, prepared[j],
+                                    updates[j].delta);
       }
     }
   });

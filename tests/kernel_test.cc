@@ -1,0 +1,184 @@
+// Differential tests for the hot-path arithmetic kernel: the windowed
+// fingerprint power table vs. full binary exponentiation, the division-free
+// exponent and bucket reductions vs. the hardware `%` reference, and
+// bit-identity of the prepared-coordinate fast paths against the plain
+// update paths across thread counts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "connectivity/spanning_forest_sketch.h"
+#include "graph/generators.h"
+#include "sketch/l0_sampler.h"
+#include "sketch/sparse_recovery.h"
+#include "stream/stream.h"
+#include "util/field.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace gms {
+namespace {
+
+u128 RandomU128(Rng& rng) {
+  return (static_cast<u128>(rng.Next()) << 64) | rng.Next();
+}
+
+TEST(KernelTest, PowerTableMatchesBinaryExponentiation) {
+  // The windowed table path must agree with FpPow(z, index mod p-1) on the
+  // full 128-bit index domain, for every shape (each draws its own z).
+  for (uint64_t seed : {1u, 2u, 77u}) {
+    SSparseShape shape((u128{1} << 120), /*capacity=*/2, /*rows=*/2,
+                       /*buckets=*/4, seed);
+    Rng rng(seed * 31 + 7);
+    for (int i = 0; i < 10000; ++i) {
+      u128 index = RandomU128(rng) & ((u128{1} << 120) - 1);
+      ASSERT_EQ(shape.FingerprintPower(index), shape.FingerprintPowerRef(index))
+          << "seed " << seed << " iteration " << i;
+    }
+    // Boundary exponents.
+    for (u128 index : {u128{0}, u128{1}, u128{kMersenne61 - 2},
+                       u128{kMersenne61 - 1}, u128{kMersenne61},
+                       (u128{1} << 120) - 1}) {
+      EXPECT_EQ(shape.FingerprintPower(index),
+                shape.FingerprintPowerRef(index));
+    }
+  }
+}
+
+TEST(KernelTest, PowerFromExpConsistentWithPrepare) {
+  SSparseShape shape((u128{1} << 100), 2, 2, 4, 5);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    u128 index = RandomU128(rng) & ((u128{1} << 100) - 1);
+    const PreparedCoord pc = PrepareCoord(index);
+    EXPECT_EQ(shape.FingerprintPowerFromExp(pc.exponent),
+              shape.FingerprintPower(index));
+  }
+}
+
+TEST(KernelTest, SharedBasisAgreesAcrossLevelShapes) {
+  // All level shapes of one L0Shape share a fingerprint basis: same z,
+  // same table, and thus identical powers.
+  L0Shape shape(u128{1} << 60, SketchConfig::Default(), 42);
+  Rng rng(43);
+  for (int i = 0; i < 200; ++i) {
+    u128 index = rng.Next() & ((u128{1} << 60) - 1);
+    uint64_t expect = shape.basis().PowerRef(index);
+    for (int j = 0; j < shape.num_levels(); ++j) {
+      ASSERT_EQ(shape.level_shape(j).FingerprintPower(index), expect);
+    }
+  }
+}
+
+TEST(KernelTest, LemireBucketInRangeAndExhaustsRange) {
+  // The multiply-shift reduction must stay in [0, buckets) and hit every
+  // bucket over enough random keys.
+  for (int buckets : {1, 3, 4, 7, 16, 1000}) {
+    SSparseShape shape((u128{1} << 90), 2, 3, buckets, 17);
+    Rng rng(18);
+    std::vector<int> seen(static_cast<size_t>(buckets), 0);
+    for (int i = 0; i < 4000; ++i) {
+      u128 index = RandomU128(rng) & ((u128{1} << 90) - 1);
+      for (int r = 0; r < shape.rows(); ++r) {
+        int b = shape.Bucket(r, index);
+        ASSERT_GE(b, 0);
+        ASSERT_LT(b, buckets);
+        ++seen[static_cast<size_t>(b)];
+      }
+    }
+    if (buckets <= 16) {
+      for (int b = 0; b < buckets; ++b) {
+        EXPECT_GT(seen[static_cast<size_t>(b)], 0) << "bucket " << b;
+      }
+    }
+  }
+}
+
+TEST(KernelTest, LemireBucketDistributionIsUniform) {
+  // Lemire reassigns keys to different buckets than `%` did, but the
+  // distribution must stay (pairwise-hash) uniform: compare chi^2 of the
+  // new reduction against the old `%` reference on the same hash values.
+  const int kBuckets = 8;
+  const int kKeys = 16000;
+  SSparseShape shape((u128{1} << 80), 2, 1, kBuckets, 23);
+  Rng rng(24);
+  std::vector<int> lemire(kBuckets, 0), ref(kBuckets, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    u128 index = RandomU128(rng) & ((u128{1} << 80) - 1);
+    ++lemire[static_cast<size_t>(shape.Bucket(0, index))];
+    ++ref[static_cast<size_t>(shape.BucketRef(0, index))];
+  }
+  auto chi2 = [&](const std::vector<int>& counts) {
+    double expect = static_cast<double>(kKeys) / kBuckets;
+    double x = 0;
+    for (int c : counts) x += (c - expect) * (c - expect) / expect;
+    return x;
+  };
+  // 7 dof; 24.3 is the 0.001 quantile. Both reductions of the same
+  // pairwise-independent hash should pass comfortably.
+  EXPECT_LT(chi2(lemire), 30.0);
+  EXPECT_LT(chi2(ref), 30.0);
+}
+
+TEST(KernelTest, PreparedUpdateMatchesPlainUpdate) {
+  // The caller-prepared fast path (fold + exponent + power hoisted) must
+  // leave bit-identical state to the plain per-update path.
+  SSparseShape shape((u128{1} << 70), 4, 3, 8, 31);
+  SSparseState plain(&shape), prepared(&shape);
+  Rng rng(32);
+  for (int i = 0; i < 500; ++i) {
+    u128 index = RandomU128(rng) & ((u128{1} << 70) - 1);
+    int64_t delta = (i % 3 == 0) ? -1 : 1;
+    plain.Update(index, delta);
+    const PreparedCoord pc = PrepareCoord(index);
+    prepared.UpdatePrepared(pc, delta,
+                            shape.FingerprintPowerFromExp(pc.exponent));
+  }
+  EXPECT_TRUE(plain == prepared);
+}
+
+TEST(KernelTest, ForestPreparedPathsAreBitIdentical) {
+  // Update / UpdateEncoded / UpdatePrepared / batched Process must all
+  // produce the same sketch state.
+  const size_t n = 64;
+  ForestSketchParams params;
+  params.config = SketchConfig::Light();
+  params.rounds = 3;
+  auto stream =
+      DynamicStream::WithChurn(Gnm(n, 300, 9), /*decoys=*/150, /*seed=*/10);
+  SpanningForestSketch a(n, 2, 77, params), b(n, 2, 77, params),
+      c(n, 2, 77, params), d(n, 2, 77, params);
+  for (const auto& up : stream.updates()) {
+    a.Update(up.edge, up.delta);
+    b.UpdateEncoded(up.edge, b.codec().Encode(up.edge), up.delta);
+    c.UpdatePrepared(up.edge, PrepareCoord(c.codec().Encode(up.edge)),
+                     up.delta);
+  }
+  d.Process(stream);
+  EXPECT_TRUE(a.StateEquals(b));
+  EXPECT_TRUE(a.StateEquals(c));
+  EXPECT_TRUE(a.StateEquals(d));
+}
+
+TEST(KernelTest, BatchedIngestBitIdenticalAcrossThreadCounts) {
+  // Re-check of the determinism contract on the new kernel: the sharded
+  // parallel engine must be bit-identical for threads in {1, 2, 8}.
+  const size_t n = 128;
+  auto stream =
+      DynamicStream::WithChurn(Gnm(n, 600, 3), /*decoys=*/300, /*seed=*/4);
+  ForestSketchParams base;
+  base.config = SketchConfig::Light();
+  base.rounds = 4;
+  SpanningForestSketch reference(n, 2, 55, base);
+  reference.Process(stream);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ForestSketchParams params = base;
+    params.threads = threads;
+    SpanningForestSketch sketch(n, 2, 55, params);
+    sketch.Process(stream);
+    EXPECT_TRUE(reference.StateEquals(sketch)) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace gms

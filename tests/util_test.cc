@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -163,6 +164,47 @@ TEST(FieldTest, FromInt64HandlesNegatives) {
   EXPECT_EQ(FpFromInt64(5), 5u);
   EXPECT_EQ(FpFromInt64(-5), kMersenne61 - 5);
   EXPECT_EQ(FpAdd(FpFromInt64(-5), FpFromInt64(5)), 0u);
+}
+
+TEST(FieldTest, FromInt64ExtremeValues) {
+  // INT64_MIN has no positive counterpart in int64_t; the negation must
+  // happen in unsigned space. 2^63 mod (2^61 - 1) = 4, so -2^63 maps to
+  // p - 4.
+  EXPECT_EQ(FpFromInt64(std::numeric_limits<int64_t>::min()),
+            kMersenne61 - 4);
+  EXPECT_EQ(FpAdd(FpFromInt64(std::numeric_limits<int64_t>::min()), 4), 0u);
+  // INT64_MAX = 2^63 - 1 = 4 * (2^61 - 1) + 3.
+  EXPECT_EQ(FpFromInt64(std::numeric_limits<int64_t>::max()), 3u);
+  EXPECT_EQ(FpAdd(FpFromInt64(std::numeric_limits<int64_t>::min()),
+                  FpFromInt64(std::numeric_limits<int64_t>::max())),
+            FpFromInt64(-1));
+}
+
+TEST(FieldTest, ReduceExpMatchesHardwareModulus) {
+  constexpr uint64_t m = kMersenne61 - 1;  // the exponent group order
+  // Boundary values where the three-fold reduction could go wrong.
+  const u128 boundary[] = {0,
+                           1,
+                           m - 1,
+                           m,
+                           m + 1,
+                           kMersenne61,
+                           (u128{1} << 61) - 1,
+                           u128{1} << 61,
+                           (u128{1} << 64) - 1,
+                           u128{1} << 64,
+                           (u128{1} << 122) - 1,
+                           u128{1} << 122,
+                           ~u128{0} - 1,
+                           ~u128{0}};
+  for (u128 x : boundary) {
+    EXPECT_EQ(FpReduceExp(x), static_cast<uint64_t>(x % m));
+  }
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    u128 x = (static_cast<u128>(rng.Next()) << 64) | rng.Next();
+    ASSERT_EQ(FpReduceExp(x), static_cast<uint64_t>(x % m));
+  }
 }
 
 TEST(HashTest, DeterministicAndSeedSensitive) {
