@@ -12,25 +12,25 @@ namespace gms {
 namespace {
 
 void MessageScaling() {
-  Table table({"n", "per_player", "total", "per_player/log^3(n)", "correct"});
+  Table table({"n", "max_msg", "total", "max_msg/log^3(n)", "correct"});
   for (size_t n : {32, 64, 128, 256, 512}) {
     Hypergraph h = Hypergraph::FromGraph(
         ErdosRenyi(n, 3.0 * std::log(static_cast<double>(n)) / n, n));
     auto report = RunSimultaneousConnectivity(h, 42 + n);
     double log_n = std::log2(static_cast<double>(n));
     table.AddRow(
-        {Table::Fmt(uint64_t{n}), bench::Kb(report.per_player_bytes),
+        {Table::Fmt(uint64_t{n}), bench::Kb(report.max_message_bytes),
          bench::Kb(report.total_bytes),
-         Table::Fmt(static_cast<double>(report.per_player_bytes) /
+         Table::Fmt(static_cast<double>(report.max_message_bytes) /
                         (log_n * log_n * log_n),
                     1),
          report.correct ? "yes" : "NO"});
   }
   table.Print("One-round connectivity: message size vs n");
   std::printf(
-      "\nExpected shape: per-player messages grow polylogarithmically (the "
-      "normalized\ncolumn roughly flat), total = n x per-player; correct = "
-      "yes throughout.\n");
+      "\nExpected shape: per-player messages (measured serialized frames) "
+      "grow\npolylogarithmically (the normalized column roughly flat), "
+      "total = n x max;\ncorrect = yes throughout.\n");
 }
 
 void FamilyCorrectness() {

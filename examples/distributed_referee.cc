@@ -20,7 +20,7 @@ void RunScenario(const char* name, const Hypergraph& topology,
   std::printf(
       "%-22s players=%3zu  message=%6.1f KiB/node  total=%8.1f KiB\n"
       "%-22s referee: %-13s truth: %-13s %s\n\n",
-      name, report.num_players, report.per_player_bytes / 1024.0,
+      name, report.num_players, report.max_message_bytes / 1024.0,
       report.total_bytes / 1024.0, "",
       report.referee_answer_connected ? "CONNECTED" : "PARTITIONED",
       report.exact_connected ? "CONNECTED" : "PARTITIONED",
@@ -52,8 +52,10 @@ int main() {
 
   std::printf(
       "Each node computed its message from ITS OWN links only "
-      "(UpdateLocal);\nthe coordinator summed messages per component and "
-      "decoded -- the\nvertex-based sketch property of Definition 1 in "
-      "action.\n");
+      "(UpdateLocal),\nthen SERIALIZED it into a checksummed wire frame; "
+      "the coordinator\nDESERIALIZED the n frames, merged them "
+      "(MergeFrom), and decoded --\nthe vertex-based sketch property of "
+      "Definition 1 in action. Message\nsizes above are measured from the "
+      "bytes on the wire.\n");
   return 0;
 }

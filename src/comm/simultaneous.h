@@ -5,8 +5,12 @@
 // v's message is v's sketch state (a linear function of v's incident edges
 // only), and Q sums the messages per component to decode.
 //
-// This module simulates the protocol faithfully -- each player builds its
-// message from its local edge list alone -- and accounts message sizes.
+// This module simulates the protocol faithfully: each player builds a
+// single-vertex sketch from its local edge list alone and SERIALIZES it
+// into a real wire frame; the referee deserializes the n frames and merges
+// them (MergeFrom with subset-active semantics) into the full sketch it
+// decodes. Message sizes are measured from the bytes on the wire, not
+// estimated from in-memory state.
 #ifndef GMS_COMM_SIMULTANEOUS_H_
 #define GMS_COMM_SIMULTANEOUS_H_
 
@@ -19,7 +23,12 @@ namespace gms {
 
 struct CommReport {
   size_t num_players = 0;
-  size_t per_player_bytes = 0;  // max message size (all equal here)
+  /// Largest serialized player frame, in bytes (players hold identically-
+  /// shaped single-vertex states, so frames are equal-sized up to header
+  /// bitmap framing; the max is what a per-player communication bound is
+  /// stated against).
+  size_t max_message_bytes = 0;
+  /// Sum of all n serialized frames (the protocol's total communication).
   size_t total_bytes = 0;
   bool referee_answer_connected = false;
   bool exact_connected = false;

@@ -1,15 +1,16 @@
 #include "connectivity/k_skeleton.h"
 
+#include "stream/sharded_merge.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/random.h"
+#include "wire/wire.h"
 
 namespace gms {
 
 KSkeletonSketch::KSkeletonSketch(size_t n, size_t max_rank, size_t k,
-                                 uint64_t seed,
-                                 const SpanningForestSketch::Params& params)
-    : n_(n), k_(k), threads_(params.threads) {
+                                 uint64_t seed, const Params& params)
+    : n_(n), k_(k), seed_(seed), params_(params) {
   GMS_CHECK(k >= 1);
   Rng rng(seed);
   layers_.reserve(k);
@@ -35,6 +36,10 @@ void KSkeletonSketch::UpdatePrepared(const Hyperedge& e,
 
 void KSkeletonSketch::Process(std::span<const StreamUpdate> updates) {
   if (layers_.empty() || updates.empty()) return;
+  if (UseShardedMerge(params_.engine, updates.size())) {
+    ShardedMergeIngest(this, updates, params_.engine.threads);
+    return;
+  }
   // One encode + coordinate preparation per update, shared by all k layers.
   const EdgeCodec& codec = layers_[0].codec();
   std::vector<PreparedCoord> prepared(updates.size());
@@ -44,7 +49,8 @@ void KSkeletonSketch::Process(std::span<const StreamUpdate> updates) {
     prepared[j] = PrepareCoord(codec.Encode(updates[j].edge));
   }
   // Layers are independent sketches; shard them across the pool.
-  ParallelFor(threads_, layers_.size(), [&](size_t begin, size_t end) {
+  ParallelFor(params_.engine.threads, layers_.size(),
+              [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       for (size_t j = 0; j < updates.size(); ++j) {
         layers_[i].UpdatePrepared(updates[j].edge, prepared[j],
@@ -72,13 +78,100 @@ Result<Hypergraph> KSkeletonSketch::Extract() const {
     layer.RemoveHyperedges(accumulated);
     // Layers must decode sequentially (each subtracts its predecessors),
     // but each decode's per-round component summations use the pool.
-    auto forest = layer.ExtractSpanningGraph(threads_);
+    auto forest = layer.ExtractSpanningGraph(params_.engine.threads);
     if (!forest.ok()) return forest.status();
     for (const auto& e : forest->Edges()) {
       if (skeleton.AddEdge(e)) accumulated.push_back(e);
     }
   }
   return skeleton;
+}
+
+Status KSkeletonSketch::MergeFrom(const KSkeletonSketch& other) {
+  if (seed_ != other.seed_ || n_ != other.n_ || k_ != other.k_ ||
+      layers_.size() != other.layers_.size()) {
+    return Status::InvalidArgument(
+        "KSkeletonSketch::MergeFrom: seed/shape mismatch (different "
+        "measurement)");
+  }
+  // Validate every layer pair before mutating any, so a mismatch leaves the
+  // whole sketch untouched. Layer seeds derive from the same fork chain, so
+  // equal top-level seeds imply equal layer seeds; the check below catches
+  // differing max_rank/params.
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].seed() != other.layers_[i].seed() ||
+        layers_[i].max_rank() != other.layers_[i].max_rank() ||
+        layers_[i].rounds() != other.layers_[i].rounds()) {
+      return Status::InvalidArgument(
+          "KSkeletonSketch::MergeFrom: seed/shape mismatch (different "
+          "measurement)");
+    }
+  }
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    GMS_RETURN_IF_ERROR(layers_[i].MergeFrom(other.layers_[i]));
+  }
+  return Status::OK();
+}
+
+void KSkeletonSketch::Clear() {
+  for (auto& layer : layers_) layer.Clear();
+}
+
+void KSkeletonSketch::AppendCells(wire::Writer* w) const {
+  for (const auto& layer : layers_) layer.AppendCells(w);
+}
+
+Status KSkeletonSketch::ReadCells(wire::Reader* r) {
+  for (auto& layer : layers_) {
+    GMS_RETURN_IF_ERROR(layer.ReadCells(r));
+  }
+  return Status::OK();
+}
+
+void KSkeletonSketch::Serialize(std::vector<uint8_t>* out) const {
+  wire::FrameBuilder fb(wire::FrameType::kKSkeleton, out);
+  fb.writer().U64(n_);
+  fb.writer().U64(max_rank());
+  fb.writer().U64(k_);
+  fb.writer().U64(seed_);
+  Params resolved = params_;
+  resolved.rounds = layers_[0].rounds();
+  WriteForestParams(resolved, &fb.writer());
+  fb.EndHeader();
+  AppendCells(&fb.writer());
+  fb.Finish();
+}
+
+Result<KSkeletonSketch> KSkeletonSketch::Deserialize(
+    std::span<const uint8_t> bytes) {
+  auto frame = wire::ParseFrame(bytes, wire::FrameType::kKSkeleton);
+  if (!frame.ok()) return frame.status();
+  wire::Reader header(frame->header);
+  uint64_t n = 0, max_rank = 0, k = 0, seed = 0;
+  Params params;
+  GMS_RETURN_IF_ERROR(header.U64(&n));
+  GMS_RETURN_IF_ERROR(header.U64(&max_rank));
+  GMS_RETURN_IF_ERROR(header.U64(&k));
+  GMS_RETURN_IF_ERROR(header.U64(&seed));
+  GMS_RETURN_IF_ERROR(ReadForestParams(&header, &params));
+  GMS_RETURN_IF_ERROR(header.ExpectEnd());
+  if (n < 1 || n > (uint64_t{1} << 32) || max_rank < 2 || max_rank > n ||
+      k < 1 || k > (uint64_t{1} << 20) || params.rounds < 1) {
+    return Status::InvalidArgument("wire: k-skeleton shape out of range");
+  }
+  KSkeletonSketch sketch(static_cast<size_t>(n),
+                         static_cast<size_t>(max_rank),
+                         static_cast<size_t>(k), seed, params);
+  wire::Reader payload(frame->payload);
+  GMS_RETURN_IF_ERROR(sketch.ReadCells(&payload));
+  GMS_RETURN_IF_ERROR(payload.ExpectEnd());
+  return sketch;
+}
+
+size_t KSkeletonSketch::SpaceBytes() const {
+  std::vector<uint8_t> frame;
+  Serialize(&frame);
+  return frame.size();
 }
 
 size_t KSkeletonSketch::MemoryBytes() const {

@@ -18,14 +18,19 @@ namespace gms {
 
 class KSkeletonSketch {
  public:
+  using Params = SpanningForestSketch::Params;
+
   /// Sketch from which a k-skeleton of a hypergraph on n vertices (edges of
   /// cardinality <= max_rank) can be extracted.
   KSkeletonSketch(size_t n, size_t max_rank, size_t k, uint64_t seed,
-                  const SpanningForestSketch::Params& params =
-                      SpanningForestSketch::Params());
+                  const Params& params = Params());
 
   size_t n() const { return n_; }
   size_t k() const { return k_; }
+  size_t max_rank() const { return layers_[0].max_rank(); }
+  uint64_t seed() const { return seed_; }
+  /// Resolved Borůvka rounds of the per-layer forest sketches.
+  int rounds() const { return layers_[0].rounds(); }
 
   void Update(const Hyperedge& e, int delta);
 
@@ -39,7 +44,7 @@ class KSkeletonSketch {
   void UpdatePrepared(const Hyperedge& e, const PreparedCoord& pc, int delta);
 
   /// Batched ingestion: encodes each update once and shards the k
-  /// independent layers across params.threads workers (bit-identical to
+  /// independent layers across params.engine.threads workers (bit-identical to
   /// the serial path; each layer is owned by one worker).
   void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
@@ -58,10 +63,36 @@ class KSkeletonSketch {
   /// Bit-identity of all per-layer states (for the determinism suite).
   bool StateEquals(const KSkeletonSketch& other) const;
 
+  /// Cell-wise field addition of another sketch of the SAME measurement
+  /// (equal seed, n, max_rank, k, and params). Mismatches return
+  /// InvalidArgument and leave the state untouched.
+  Status MergeFrom(const KSkeletonSketch& other);
+
+  /// Zero every layer (the empty-stream measurement).
+  void Clear();
+
+  /// Append one wire frame (wire::FrameType::kKSkeleton) to *out: the
+  /// header reconstructs all k layer shapes from the seed; the payload
+  /// concatenates the layers' raw cells.
+  void Serialize(std::vector<uint8_t>* out) const;
+
+  /// Parse a frame produced by Serialize. Truncation, corruption, and shape
+  /// mismatches return Status; never aborts.
+  static Result<KSkeletonSketch> Deserialize(std::span<const uint8_t> bytes);
+
+  /// Measured serialized-frame size in bytes.
+  size_t SpaceBytes() const;
+
+  /// Raw layer cells for COMPOSITE frames (the sparsifier's levels pack
+  /// many skeleton sketches into one frame).
+  void AppendCells(wire::Writer* w) const;
+  Status ReadCells(wire::Reader* r);
+
  private:
   size_t n_;
   size_t k_;
-  size_t threads_;
+  uint64_t seed_;
+  Params params_;
   std::vector<SpanningForestSketch> layers_;
 };
 

@@ -10,9 +10,11 @@
 
 #include "connectivity/incidence.h"
 #include "graph/union_find.h"
+#include "stream/sharded_merge.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/random.h"
+#include "wire/wire.h"
 
 namespace gms {
 
@@ -46,13 +48,29 @@ int DefaultRounds(size_t n, const SketchConfig& config) {
 
 }  // namespace
 
+void WriteForestParams(const ForestSketchParams& params, wire::Writer* w) {
+  WriteSketchConfig(params.config, w);
+  w->I32(params.rounds);
+}
+
+Status ReadForestParams(wire::Reader* r, ForestSketchParams* params) {
+  GMS_RETURN_IF_ERROR(ReadSketchConfig(r, &params->config));
+  GMS_RETURN_IF_ERROR(r->I32(&params->rounds));
+  if (params->rounds < 0 || params->rounds > (1 << 20)) {
+    return Status::InvalidArgument("wire: forest rounds out of range");
+  }
+  params->engine = EngineParams();
+  return Status::OK();
+}
+
 SpanningForestSketch::SpanningForestSketch(size_t n, size_t max_rank,
                                            uint64_t seed, const Params& params,
                                            const std::vector<bool>* active)
     : n_(n),
       rounds_(params.rounds > 0 ? params.rounds
                                 : DefaultRounds(n, params.config)),
-      threads_(params.threads),
+      seed_(seed),
+      params_(params),
       codec_(n, max_rank),
       state_index_(n, -1) {
   GMS_CHECK(active == nullptr || active->size() == n);
@@ -171,6 +189,10 @@ void SpanningForestSketch::UpdateLocal(VertexId v, const Hyperedge& e,
 }
 
 void SpanningForestSketch::Process(std::span<const StreamUpdate> updates) {
+  if (UseShardedMerge(params_.engine, updates.size())) {
+    ShardedMergeIngest(this, updates, params_.engine.threads);
+    return;
+  }
   // Encode and prepare once per update (the combinadic rank, key fold, and
   // exponent reduction are the same for every round), then hand each worker
   // a contiguous block of rounds: round columns are disjoint state, so no
@@ -185,7 +207,7 @@ void SpanningForestSketch::Process(std::span<const StreamUpdate> updates) {
   // latency across the ~8 lines an update touches, near enough that the
   // lines are still resident when reached.
   constexpr size_t kPrefetchAhead = 12;
-  ParallelFor(threads_, static_cast<size_t>(rounds_),
+  ParallelFor(params_.engine.threads, static_cast<size_t>(rounds_),
               [&](size_t begin, size_t end) {
                 for (size_t t = begin; t < end; ++t) {
                   for (size_t j = 0; j < updates.size(); ++j) {
@@ -212,7 +234,7 @@ void SpanningForestSketch::RemoveHyperedges(
 
 Result<Hypergraph> SpanningForestSketch::ExtractSpanningGraph(
     size_t threads) const {
-  if (threads == 0) threads = threads_;
+  if (threads == 0) threads = params_.engine.threads;
   Hypergraph result(n_);
   UnionFind uf(n_);
   std::vector<VertexId> active_vertices;
@@ -283,6 +305,111 @@ Result<Hypergraph> SpanningForestSketch::ExtractSpanningGraph(
     }
   }
   return result;
+}
+
+Status SpanningForestSketch::MergeFrom(const SpanningForestSketch& other) {
+  if (seed_ != other.seed_ || n_ != other.n_ ||
+      codec_.max_rank() != other.codec_.max_rank() ||
+      rounds_ != other.rounds_ || state_words_ != other.state_words_) {
+    return Status::InvalidArgument(
+        "SpanningForestSketch::MergeFrom: seed/shape mismatch (different "
+        "measurement)");
+  }
+  // The other's active set must be a subset of ours: equal sets are the
+  // sharded-merge case; a strict subset is the referee folding a player's
+  // single-vertex state into the full sketch.
+  for (VertexId v = 0; v < n_; ++v) {
+    if (other.IsActive(v) && !IsActive(v)) {
+      return Status::InvalidArgument(
+          "SpanningForestSketch::MergeFrom: other sketch is active at a "
+          "vertex this sketch is not");
+    }
+  }
+  const size_t seg_words = round_shapes_[0]->SegmentWords();
+  const int num_levels = round_shapes_[0]->num_levels();
+  for (VertexId v = 0; v < n_; ++v) {
+    if (!other.IsActive(v)) continue;
+    for (int t = 0; t < rounds_; ++t) {
+      const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
+      uint64_t* dst = ArenaAt(v, t);
+      const uint64_t* src = other.ArenaAt(v, t);
+      for (int j = 0; j < num_levels; ++j) {
+        SSparseSegmentAdd(shape.level_shape(j),
+                          dst + static_cast<size_t>(j) * seg_words,
+                          src + static_cast<size_t>(j) * seg_words);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void SpanningForestSketch::Clear() {
+  std::fill(arena_.begin(), arena_.end(), 0);
+}
+
+void SpanningForestSketch::AppendCells(wire::Writer* w) const {
+  w->Words(arena_.data(), arena_.size());
+}
+
+Status SpanningForestSketch::ReadCells(wire::Reader* r) {
+  if (r->remaining() < arena_.size() * sizeof(uint64_t)) {
+    return Status::InvalidArgument("wire: forest payload size mismatch");
+  }
+  return r->Words(arena_.data(), arena_.size());
+}
+
+void SpanningForestSketch::Serialize(std::vector<uint8_t>* out) const {
+  wire::FrameBuilder fb(wire::FrameType::kSpanningForest, out);
+  fb.writer().U64(n_);
+  fb.writer().U64(codec_.max_rank());
+  fb.writer().U64(seed_);
+  // rounds_ is already resolved (never 0), so the reconstruction is exact
+  // even when this sketch was built with the rounds=0 default.
+  Params resolved = params_;
+  resolved.rounds = rounds_;
+  WriteForestParams(resolved, &fb.writer());
+  std::vector<bool> active(n_);
+  for (VertexId v = 0; v < n_; ++v) active[v] = IsActive(v);
+  fb.writer().BoolVec(active);
+  fb.EndHeader();
+  AppendCells(&fb.writer());
+  fb.Finish();
+}
+
+Result<SpanningForestSketch> SpanningForestSketch::Deserialize(
+    std::span<const uint8_t> bytes) {
+  auto frame = wire::ParseFrame(bytes, wire::FrameType::kSpanningForest);
+  if (!frame.ok()) return frame.status();
+  wire::Reader header(frame->header);
+  uint64_t n = 0, max_rank = 0, seed = 0;
+  Params params;
+  std::vector<bool> active;
+  GMS_RETURN_IF_ERROR(header.U64(&n));
+  GMS_RETURN_IF_ERROR(header.U64(&max_rank));
+  GMS_RETURN_IF_ERROR(header.U64(&seed));
+  GMS_RETURN_IF_ERROR(ReadForestParams(&header, &params));
+  GMS_RETURN_IF_ERROR(header.BoolVec(&active, /*max_size=*/size_t{1} << 32));
+  GMS_RETURN_IF_ERROR(header.ExpectEnd());
+  if (n < 1 || n > (uint64_t{1} << 32) || max_rank < 2 || max_rank > n ||
+      params.rounds < 1 || active.size() != n) {
+    return Status::InvalidArgument("wire: forest shape out of range");
+  }
+  SpanningForestSketch sketch(static_cast<size_t>(n),
+                              static_cast<size_t>(max_rank), seed, params,
+                              &active);
+  wire::Reader payload(frame->payload);
+  if (payload.remaining() != sketch.arena_.size() * sizeof(uint64_t)) {
+    return Status::InvalidArgument("wire: forest payload size mismatch");
+  }
+  GMS_RETURN_IF_ERROR(sketch.ReadCells(&payload));
+  GMS_RETURN_IF_ERROR(payload.ExpectEnd());
+  return sketch;
+}
+
+size_t SpanningForestSketch::SpaceBytes() const {
+  std::vector<uint8_t> frame;
+  Serialize(&frame);
+  return frame.size();
 }
 
 size_t SpanningForestSketch::MemoryBytes() const {

@@ -21,6 +21,7 @@
 #include "sketch/l0_sampler.h"
 #include "sketch/sketch_config.h"
 #include "stream/stream.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace gms {
@@ -29,11 +30,17 @@ struct ForestSketchParams {
   SketchConfig config = SketchConfig::Default();
   /// Borůvka rounds; 0 means ceil(log2 n) + config.extra_boruvka_rounds.
   int rounds = 0;
-  /// Worker threads for batched ingestion (sharded by round) and for the
-  /// per-round component summation in ExtractSpanningGraph. 1 = serial.
-  /// Results are bit-identical for every value (see util/parallel.h).
-  size_t threads = 1;
+  /// Worker threads + ingestion mode for batched Process and for the
+  /// per-round component summation in ExtractSpanningGraph (see
+  /// util/parallel.h; outputs are bit-identical for every setting).
+  EngineParams engine;
 };
+
+/// Wire helpers: forest params are part of every forest-based frame header.
+/// Engine knobs (threads/mode) are LOCAL execution policy, not measurement
+/// shape, so they do not travel; deserialized sketches come back serial.
+void WriteForestParams(const ForestSketchParams& params, wire::Writer* w);
+Status ReadForestParams(wire::Reader* r, ForestSketchParams* params);
 
 class SpanningForestSketch {
  public:
@@ -50,7 +57,9 @@ class SpanningForestSketch {
                        const std::vector<bool>* active = nullptr);
 
   size_t n() const { return n_; }
+  size_t max_rank() const { return codec_.max_rank(); }
   int rounds() const { return rounds_; }
+  uint64_t seed() const { return seed_; }
   bool IsActive(VertexId v) const { return state_index_[v] >= 0; }
 
   /// Linear update: insert (delta=+1) or delete (delta=-1) hyperedge e.
@@ -67,9 +76,11 @@ class SpanningForestSketch {
   /// one update out to many sketches prepare once for all of them.
   void UpdatePrepared(const Hyperedge& e, const PreparedCoord& pc, int delta);
 
-  /// Batched ingestion: encodes each update once, then shards the Borůvka
-  /// rounds (independent sketch columns) across params.threads workers.
-  /// Bit-identical to updating serially in order.
+  /// Batched ingestion. Column mode encodes each update once, then shards
+  /// the Borůvka rounds (independent sketch columns) across the workers;
+  /// sharded-merge mode slices the stream into private clones and
+  /// tree-merges (see util/parallel.h). Bit-identical to updating serially
+  /// in order either way.
   void Process(std::span<const StreamUpdate> updates);
 
   /// Prefetch the cells UpdatePrepared(e, pc, .) will touch. Batch ingest
@@ -98,7 +109,7 @@ class SpanningForestSketch {
   /// input whp; per-round sampling failures are tolerated (extra rounds
   /// absorb them) and surface only as a disconnected-looking result.
   /// Within each round the per-component sketch summations fan out across
-  /// `threads` workers (0 = the params.threads this sketch was built with);
+  /// `threads` workers (0 = the engine.threads this sketch was built with);
   /// components merge in a fixed order, so the decode is deterministic.
   Result<Hypergraph> ExtractSpanningGraph(size_t threads = 0) const;
 
@@ -108,6 +119,37 @@ class SpanningForestSketch {
     return n_ == other.n_ && rounds_ == other.rounds_ &&
            state_index_ == other.state_index_ && arena_ == other.arena_;
   }
+
+  /// Cell-wise field addition of another sketch of the SAME measurement:
+  /// equal seed, n, max_rank, rounds, and config. The other sketch's active
+  /// set must be a SUBSET of this one's (equal sets are the sharded-merge
+  /// case; a strict subset is the referee merging per-player single-vertex
+  /// states into a full sketch). After a successful merge this sketch
+  /// represents the multiset union of both streams. Mismatches return
+  /// InvalidArgument and leave the state untouched.
+  Status MergeFrom(const SpanningForestSketch& other);
+
+  /// Zero every cell (the empty-stream measurement); shapes/active set stay.
+  void Clear();
+
+  /// Append one wire frame (wire::FrameType::kSpanningForest) to *out. The
+  /// header carries seed, n, max_rank, rounds, config, and the active
+  /// bitmap; the payload is the raw SoA arena.
+  void Serialize(std::vector<uint8_t>* out) const;
+
+  /// Parse a frame produced by Serialize. Truncation, corruption, and shape
+  /// mismatches return Status; never aborts.
+  static Result<SpanningForestSketch> Deserialize(
+      std::span<const uint8_t> bytes);
+
+  /// Measured serialized-frame size in bytes (bytes on the wire).
+  size_t SpaceBytes() const;
+
+  /// Raw cell words for COMPOSITE frames (a container sketch writes one
+  /// frame whose payload concatenates its sub-sketches' cells; the
+  /// container header's seed reconstructs every sub-shape).
+  void AppendCells(wire::Writer* w) const;
+  Status ReadCells(wire::Reader* r);
 
   /// Total bytes of per-vertex sketch state (the paper's space measure).
   size_t MemoryBytes() const;
@@ -142,7 +184,8 @@ class SpanningForestSketch {
 
   size_t n_;
   int rounds_;
-  size_t threads_;
+  uint64_t seed_;
+  Params params_;
   EdgeCodec codec_;
   // Shapes are immutable and shared between copies of the sketch (copies
   // carry the same measurement, which is exactly what linearity requires).

@@ -34,13 +34,18 @@ struct LightRecoveryResult {
 
 class LightRecoverySketch {
  public:
+  using Params = ForestSketchParams;
+
   /// Recovers light_k of hypergraphs on n vertices with hyperedges of
   /// cardinality <= max_rank. Internally a (k+1)-layer skeleton sketch.
   LightRecoverySketch(size_t n, size_t max_rank, size_t k, uint64_t seed,
-                      const ForestSketchParams& params = ForestSketchParams());
+                      const Params& params = Params());
 
   size_t n() const { return n_; }
   size_t k() const { return k_; }
+  uint64_t seed() const { return skeleton_.seed(); }
+  /// Resolved Borůvka rounds of the underlying skeleton's forest sketches.
+  int rounds() const { return skeleton_.rounds(); }
 
   void Update(const Hyperedge& e, int delta) { skeleton_.Update(e, delta); }
   /// As Update with the codec index precomputed by the caller (the
@@ -72,6 +77,25 @@ class LightRecoverySketch {
   bool StateEquals(const LightRecoverySketch& other) const {
     return skeleton_.StateEquals(other.skeleton_);
   }
+
+  /// Cell-wise field addition (delegates to the underlying skeleton; valid
+  /// iff the other sketch carries the same measurement).
+  Status MergeFrom(const LightRecoverySketch& other) {
+    if (k_ != other.k_) {
+      return Status::InvalidArgument(
+          "LightRecoverySketch::MergeFrom: seed/shape mismatch (different "
+          "measurement)");
+    }
+    return skeleton_.MergeFrom(other.skeleton_);
+  }
+
+  /// Zero the underlying skeleton (the empty-stream measurement).
+  void Clear() { skeleton_.Clear(); }
+
+  /// Raw skeleton cells for COMPOSITE frames (the sparsifier packs all its
+  /// level rows into one frame).
+  void AppendCells(wire::Writer* w) const { skeleton_.AppendCells(w); }
+  Status ReadCells(wire::Reader* r) { return skeleton_.ReadCells(r); }
 
  private:
   size_t n_;

@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/random.h"
+#include "wire/wire.h"
 
 namespace gms {
 
@@ -106,6 +107,68 @@ Result<std::vector<SparseEntry>> L0State::TryRecoverLevel(int level) const {
 
 size_t L0State::MemoryBytes() const {
   return sizeof(*this) + buf_.size() * sizeof(uint64_t);
+}
+
+void L0State::Clear() { std::fill(buf_.begin(), buf_.end(), 0); }
+
+L0Sampler::L0Sampler(u128 domain, const Params& config, uint64_t seed)
+    : seed_(seed),
+      config_(config),
+      shape_(std::make_shared<const L0Shape>(domain, config, seed)),
+      state_(shape_.get()) {}
+
+void L0Sampler::Process(std::span<const L0Update> updates) {
+  for (const L0Update& u : updates) state_.Update(u.index, u.delta);
+}
+
+Status L0Sampler::MergeFrom(const L0Sampler& other) {
+  if (seed_ != other.seed_ || shape_->domain() != other.shape_->domain() ||
+      state_.NumWords() != other.state_.NumWords()) {
+    return Status::InvalidArgument(
+        "L0Sampler::MergeFrom: seed/shape mismatch (different measurement)");
+  }
+  state_.AddRaw(other.state_.data());
+  return Status::OK();
+}
+
+void L0Sampler::Serialize(std::vector<uint8_t>* out) const {
+  wire::FrameBuilder fb(wire::FrameType::kL0Sampler, out);
+  fb.writer().U128(shape_->domain());
+  fb.writer().U64(seed_);
+  WriteSketchConfig(config_, &fb.writer());
+  fb.EndHeader();
+  fb.writer().Words(state_.data(), state_.NumWords());
+  fb.Finish();
+}
+
+Result<L0Sampler> L0Sampler::Deserialize(std::span<const uint8_t> bytes) {
+  auto frame = wire::ParseFrame(bytes, wire::FrameType::kL0Sampler);
+  if (!frame.ok()) return frame.status();
+  wire::Reader header(frame->header);
+  u128 domain = 0;
+  uint64_t seed = 0;
+  SketchConfig config;
+  GMS_RETURN_IF_ERROR(header.U128(&domain));
+  GMS_RETURN_IF_ERROR(header.U64(&seed));
+  GMS_RETURN_IF_ERROR(ReadSketchConfig(&header, &config));
+  GMS_RETURN_IF_ERROR(header.ExpectEnd());
+  if (domain < 1 || (domain >> 126) != 0) {
+    return Status::InvalidArgument("wire: L0 domain out of range");
+  }
+  L0Sampler sampler(domain, config, seed);
+  wire::Reader payload(frame->payload);
+  if (payload.remaining() != sampler.state_.NumWords() * sizeof(uint64_t)) {
+    return Status::InvalidArgument("wire: L0 payload size mismatch");
+  }
+  GMS_RETURN_IF_ERROR(
+      payload.Words(sampler.state_.data(), sampler.state_.NumWords()));
+  return sampler;
+}
+
+size_t L0Sampler::SpaceBytes() const {
+  std::vector<uint8_t> frame;
+  Serialize(&frame);
+  return frame.size();
 }
 
 }  // namespace gms

@@ -17,6 +17,7 @@
 #define GMS_SKETCH_L0_SAMPLER_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "sketch/sketch_config.h"
@@ -116,6 +117,15 @@ class L0State {
 
   size_t MemoryBytes() const;
 
+  /// Zero every cell (the measurement of the empty stream).
+  void Clear();
+
+  /// The flat cell buffer (shape->TotalWords() words; see sparse_recovery.h
+  /// for the per-segment layout). Wire payloads are exactly these words.
+  size_t NumWords() const { return buf_.size(); }
+  const uint64_t* data() const { return buf_.data(); }
+  uint64_t* data() { return buf_.data(); }
+
   /// Cell-wise equality across all levels (bit-identity of the measurement
   /// value; shapes may be distinct objects with the same randomness).
   friend bool operator==(const L0State& a, const L0State& b) {
@@ -138,6 +148,68 @@ class L0State {
   // data) instead of chasing state -> level vector -> per-level heap cell
   // arrays.
   std::vector<uint64_t> buf_;
+};
+
+/// One linear coordinate update (the L0 sampler's "stream element").
+struct L0Update {
+  u128 index = 0;
+  int64_t delta = 0;
+};
+
+/// Self-contained L0 sampler: owns its shape (shared on copy) and one
+/// state, and implements the library-wide mergeable-sketch concept --
+/// Process / MergeFrom / Serialize / Deserialize / SpaceBytes / Clear /
+/// seed() -- so the substrate type can travel on the wire and participate
+/// in sharded-merge ingestion like the graph sketches built on it.
+class L0Sampler {
+ public:
+  using Params = SketchConfig;
+
+  L0Sampler(u128 domain, const Params& config, uint64_t seed);
+
+  u128 domain() const { return shape_->domain(); }
+  uint64_t seed() const { return seed_; }
+  const L0Shape& shape() const { return *shape_; }
+  const L0State& state() const { return state_; }
+
+  /// Linear update: vector[index] += delta.
+  void Update(u128 index, int64_t delta) { state_.Update(index, delta); }
+
+  /// Batched ingestion (updates applied in order; serial -- one state has
+  /// a single column, so parallel batching comes from sharded merge).
+  void Process(std::span<const L0Update> updates);
+
+  /// Sample one nonzero coordinate (see L0State::Sample).
+  Result<SparseEntry> Sample() const { return state_.Sample(); }
+
+  /// Cell-wise field addition. Valid iff the other sampler carries the
+  /// SAME measurement: equal seed, domain, and config. After a successful
+  /// merge this sampler sketches the sum (multiset union) of both streams.
+  Status MergeFrom(const L0Sampler& other);
+
+  /// Zero the state (the empty-stream measurement); shape is untouched.
+  void Clear() { state_.Clear(); }
+
+  /// Append one wire frame (wire::FrameType::kL0Sampler) to *out.
+  void Serialize(std::vector<uint8_t>* out) const;
+
+  /// Parse a frame produced by Serialize. Truncation, corruption, and
+  /// out-of-range shape fields return Status; never aborts.
+  static Result<L0Sampler> Deserialize(std::span<const uint8_t> bytes);
+
+  /// Measured size of the serialized frame in bytes (the protocol message
+  /// size; this is what comm/ reports as bytes on the wire).
+  size_t SpaceBytes() const;
+
+  bool StateEquals(const L0Sampler& other) const {
+    return state_ == other.state_;
+  }
+
+ private:
+  uint64_t seed_;
+  Params config_;
+  std::shared_ptr<const L0Shape> shape_;
+  L0State state_;
 };
 
 }  // namespace gms

@@ -1,4 +1,31 @@
 #include "sketch/sketch_config.h"
 
-// Presets are header-inline; TU kept for the library target.
-namespace gms {}
+#include "sketch/sparse_recovery.h"
+#include "wire/wire.h"
+
+namespace gms {
+
+void WriteSketchConfig(const SketchConfig& config, wire::Writer* w) {
+  w->I32(config.sparse_capacity);
+  w->I32(config.rows);
+  w->I32(config.buckets_per_capacity);
+  w->I32(config.extra_boruvka_rounds);
+}
+
+Status ReadSketchConfig(wire::Reader* r, SketchConfig* config) {
+  GMS_RETURN_IF_ERROR(r->I32(&config->sparse_capacity));
+  GMS_RETURN_IF_ERROR(r->I32(&config->rows));
+  GMS_RETURN_IF_ERROR(r->I32(&config->buckets_per_capacity));
+  GMS_RETURN_IF_ERROR(r->I32(&config->extra_boruvka_rounds));
+  if (config->sparse_capacity < 1 || config->rows < 1 ||
+      config->rows > kMaxSketchRows || config->buckets_per_capacity < 1 ||
+      config->extra_boruvka_rounds < 0 ||
+      config->sparse_capacity > (1 << 20) ||
+      config->buckets_per_capacity > (1 << 20) ||
+      config->extra_boruvka_rounds > (1 << 20)) {
+    return Status::InvalidArgument("wire: sketch config out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace gms

@@ -10,7 +10,14 @@
 
 #include <cstdint>
 
+#include "util/status.h"
+
 namespace gms {
+
+namespace wire {
+class Writer;
+class Reader;
+}  // namespace wire
 
 struct SketchConfig {
   /// s-sparse recovery capacity per subsampling level (the structure decodes
@@ -49,6 +56,11 @@ struct SketchConfig {
     return c;
   }
 };
+
+/// Wire helpers: a config is part of every sketch frame's shape header (the
+/// shape is rebuilt from seed + config on deserialize).
+void WriteSketchConfig(const SketchConfig& config, wire::Writer* w);
+Status ReadSketchConfig(wire::Reader* r, SketchConfig* config);
 
 }  // namespace gms
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stream/sharded_merge.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/random.h"
+#include "wire/wire.h"
 
 namespace gms {
 
@@ -27,9 +29,11 @@ size_t SparsifierParams::ResolveK(size_t n, size_t max_rank,
   return std::max<size_t>(1, static_cast<size_t>(std::ceil(value)));
 }
 
-HypergraphSparsifierSketch::HypergraphSparsifierSketch(
-    size_t n, size_t max_rank, const SparsifierParams& params, uint64_t seed)
-    : n_(n), threads_(params.threads), codec_(n, max_rank) {
+HypergraphSparsifierSketch::HypergraphSparsifierSketch(size_t n,
+                                                       size_t max_rank,
+                                                       const Params& params,
+                                                       uint64_t seed)
+    : n_(n), seed_(seed), params_(params), codec_(n, max_rank) {
   Rng rng(seed);
   size_t levels = params.ResolveLevels(n);
   k_ = params.ResolveK(n, max_rank, levels);
@@ -55,6 +59,10 @@ void HypergraphSparsifierSketch::Update(const Hyperedge& e, int delta) {
 
 void HypergraphSparsifierSketch::Process(std::span<const StreamUpdate> updates) {
   if (updates.empty()) return;
+  if (UseShardedMerge(params_.engine, updates.size())) {
+    ShardedMergeIngest(this, updates, params_.engine.threads);
+    return;
+  }
   // Prepare each update's coordinate once (the sampling hash and every
   // level row share the same (n, max_rank) domain and the fold is
   // hash-independent) and derive its sampling depth from the shared fold.
@@ -66,7 +74,8 @@ void HypergraphSparsifierSketch::Process(std::span<const StreamUpdate> updates) 
   }
   // Shard the level rows: each row is an independent linear sketch owned by
   // one worker, ingesting exactly the updates whose depth reaches it.
-  ParallelFor(threads_, level_sketches_.size(), [&](size_t begin, size_t end) {
+  ParallelFor(params_.engine.threads, level_sketches_.size(),
+              [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       for (size_t j = 0; j < updates.size(); ++j) {
         if (depths[j] >= static_cast<int>(i)) {
@@ -113,6 +122,91 @@ Result<SparsifierOutput> HypergraphSparsifierSketch::ExtractSparsifier()
     }
   }
   return out;
+}
+
+Status HypergraphSparsifierSketch::MergeFrom(
+    const HypergraphSparsifierSketch& other) {
+  if (seed_ != other.seed_ || n_ != other.n_ || k_ != other.k_ ||
+      codec_.max_rank() != other.codec_.max_rank() ||
+      level_sketches_.size() != other.level_sketches_.size()) {
+    return Status::InvalidArgument(
+        "HypergraphSparsifierSketch::MergeFrom: seed/shape mismatch "
+        "(different measurement)");
+  }
+  for (size_t i = 0; i < level_sketches_.size(); ++i) {
+    if (level_sketches_[i].seed() != other.level_sketches_[i].seed() ||
+        level_sketches_[i].MemoryBytes() !=
+            other.level_sketches_[i].MemoryBytes()) {
+      return Status::InvalidArgument(
+          "HypergraphSparsifierSketch::MergeFrom: seed/shape mismatch "
+          "(different measurement)");
+    }
+  }
+  for (size_t i = 0; i < level_sketches_.size(); ++i) {
+    GMS_RETURN_IF_ERROR(level_sketches_[i].MergeFrom(other.level_sketches_[i]));
+  }
+  return Status::OK();
+}
+
+void HypergraphSparsifierSketch::Clear() {
+  for (auto& level : level_sketches_) level.Clear();
+}
+
+void HypergraphSparsifierSketch::Serialize(std::vector<uint8_t>* out) const {
+  wire::FrameBuilder fb(wire::FrameType::kSparsifier, out);
+  fb.writer().U64(n_);
+  fb.writer().U64(codec_.max_rank());
+  // levels and k travel resolved, so epsilon/k_constant (doubles that only
+  // feed the resolution formulas) never have to round-trip.
+  fb.writer().U64(levels());
+  fb.writer().U64(k_);
+  fb.writer().U64(seed_);
+  ForestSketchParams resolved = params_.forest;
+  resolved.rounds = level_sketches_[0].rounds();
+  WriteForestParams(resolved, &fb.writer());
+  fb.EndHeader();
+  for (const auto& level : level_sketches_) level.AppendCells(&fb.writer());
+  fb.Finish();
+}
+
+Result<HypergraphSparsifierSketch> HypergraphSparsifierSketch::Deserialize(
+    std::span<const uint8_t> bytes) {
+  auto frame = wire::ParseFrame(bytes, wire::FrameType::kSparsifier);
+  if (!frame.ok()) return frame.status();
+  wire::Reader header(frame->header);
+  uint64_t n = 0, max_rank = 0, levels = 0, k = 0, seed = 0;
+  ForestSketchParams forest;
+  GMS_RETURN_IF_ERROR(header.U64(&n));
+  GMS_RETURN_IF_ERROR(header.U64(&max_rank));
+  GMS_RETURN_IF_ERROR(header.U64(&levels));
+  GMS_RETURN_IF_ERROR(header.U64(&k));
+  GMS_RETURN_IF_ERROR(header.U64(&seed));
+  GMS_RETURN_IF_ERROR(ReadForestParams(&header, &forest));
+  GMS_RETURN_IF_ERROR(header.ExpectEnd());
+  if (n < 1 || n > (uint64_t{1} << 32) || max_rank < 2 || max_rank > n ||
+      levels < 1 || levels > (uint64_t{1} << 16) || k < 1 ||
+      k > (uint64_t{1} << 24) || forest.rounds < 1) {
+    return Status::InvalidArgument("wire: sparsifier shape out of range");
+  }
+  SparsifierParams params;
+  params.levels = static_cast<size_t>(levels);
+  params.k = static_cast<size_t>(k);
+  params.forest = forest;
+  HypergraphSparsifierSketch sketch(static_cast<size_t>(n),
+                                    static_cast<size_t>(max_rank), params,
+                                    seed);
+  wire::Reader payload(frame->payload);
+  for (auto& level : sketch.level_sketches_) {
+    GMS_RETURN_IF_ERROR(level.ReadCells(&payload));
+  }
+  GMS_RETURN_IF_ERROR(payload.ExpectEnd());
+  return sketch;
+}
+
+size_t HypergraphSparsifierSketch::SpaceBytes() const {
+  std::vector<uint8_t> frame;
+  Serialize(&frame);
+  return frame.size();
 }
 
 size_t HypergraphSparsifierSketch::MemoryBytes() const {

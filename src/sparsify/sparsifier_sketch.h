@@ -34,9 +34,10 @@ struct SparsifierParams {
   /// Apply the Theorem 20 re-parameterization eps <- eps/(2*levels) when
   /// resolving k (costly; off by default so benches can sweep both).
   bool reparameterize = false;
-  /// Worker threads sharding the level rows during batched Process
-  /// (1 = serial; outputs are bit-identical for every value).
-  size_t threads = 1;
+  /// Worker threads + ingestion mode sharding the level rows during batched
+  /// Process (see util/parallel.h; outputs are bit-identical for every
+  /// setting).
+  EngineParams engine;
   ForestSketchParams forest;
 
   size_t ResolveLevels(size_t n) const;
@@ -55,18 +56,22 @@ struct SparsifierOutput {
 
 class HypergraphSparsifierSketch {
  public:
-  HypergraphSparsifierSketch(size_t n, size_t max_rank,
-                             const SparsifierParams& params, uint64_t seed);
+  using Params = SparsifierParams;
+
+  HypergraphSparsifierSketch(size_t n, size_t max_rank, const Params& params,
+                             uint64_t seed);
 
   size_t n() const { return n_; }
   size_t levels() const { return level_sketches_.size() - 1; }
   size_t k() const { return k_; }
+  size_t max_rank() const { return codec_.max_rank(); }
+  uint64_t seed() const { return seed_; }
 
   void Update(const Hyperedge& e, int delta);
 
   /// Batched ingestion: each update's codec index and sampling depth are
   /// computed once; the level rows (independent light-recovery sketches)
-  /// are sharded across params.threads workers. Bit-identical to serial.
+  /// are sharded across params.engine.threads workers. Bit-identical to serial.
   void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
 
@@ -78,13 +83,36 @@ class HypergraphSparsifierSketch {
   /// Bit-identity of all level-row states (for the determinism suite).
   bool StateEquals(const HypergraphSparsifierSketch& other) const;
 
+  /// Cell-wise field addition of another sketch of the SAME measurement
+  /// (equal seed, n, max_rank, levels, k, and forest params -- the sampling
+  /// hash then coincides by construction). Mismatches return
+  /// InvalidArgument and leave the state untouched.
+  Status MergeFrom(const HypergraphSparsifierSketch& other);
+
+  /// Zero every level row (the empty-stream measurement).
+  void Clear();
+
+  /// Append one wire frame (wire::FrameType::kSparsifier) to *out; the
+  /// header reconstructs the sampling hash and every level row's shapes
+  /// from the seed, and the payload concatenates the rows' raw cells.
+  void Serialize(std::vector<uint8_t>* out) const;
+
+  /// Parse a frame produced by Serialize. Truncation, corruption, and shape
+  /// mismatches return Status; never aborts.
+  static Result<HypergraphSparsifierSketch> Deserialize(
+      std::span<const uint8_t> bytes);
+
+  /// Measured serialized-frame size in bytes.
+  size_t SpaceBytes() const;
+
  private:
   /// Sampling depth of a hyperedge: e is in G_i iff SampleLevel(e) >= i.
   int SampleLevel(const Hyperedge& e) const;
 
   size_t n_;
   size_t k_;
-  size_t threads_;
+  uint64_t seed_;
+  Params params_;
   EdgeCodec codec_;
   LevelHash sample_hash_;
   std::vector<LightRecoverySketch> level_sketches_;  // index 0..levels

@@ -1,0 +1,83 @@
+// Sharded-merge ingestion: the second parallelism axis of the engine,
+// orthogonal to column sharding (DESIGN.md §6). Instead of giving each
+// worker a slice of the sketch's state columns, give each worker a slice of
+// the UPDATE STREAM: it sketches its slice into a private zeroed clone
+// (same seed, same shape), and a tree of MergeFrom calls combines the
+// clones. Because every sketch is a linear function of the stream and
+// MergeFrom is exact cell-wise field addition (wrapping int64 weights,
+// mod-2^128 index sums, mod-p fingerprints -- all associative and
+// commutative with no rounding), ANY merge order produces the bit-identical
+// state the serial path would, for every thread count.
+//
+// This is the protocol of the Section 2 referee made local: worker = player,
+// MergeFrom = the referee's summation. It is also the shape of distributed
+// ingestion (each node sketches its shard, frames travel, a coordinator
+// merges), which is why the same MergeFrom backs comm/simultaneous.
+#ifndef GMS_STREAM_SHARDED_MERGE_H_
+#define GMS_STREAM_SHARDED_MERGE_H_
+
+#include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/status.h"
+
+namespace gms {
+
+/// True when a Process(span) call should take the sharded-merge path:
+/// opted in, enough work to split, and not already inside a worker (a
+/// nested call ingests its slice serially instead of recursing).
+inline bool UseShardedMerge(const EngineParams& engine, size_t num_updates) {
+  return engine.mode == IngestMode::kShardedMerge && engine.threads > 1 &&
+         num_updates > 1 && !ThreadPool::InParallelRegion();
+}
+
+/// Ingest `updates` into *target via private per-worker clones + tree
+/// merge. Sketch must provide copy construction, Clear(), MergeFrom(), and
+/// Process(std::span<const U>); the clones' Process calls run inside the
+/// pool's parallel region, so their own engine dispatch degrades to the
+/// serial column path automatically. Linearity lets shard 0 ingest straight
+/// into *target even when it already carries state.
+template <typename Sketch, typename U>
+void ShardedMergeIngest(Sketch* target, std::span<const U> updates,
+                        size_t threads) {
+  const size_t shards = std::min(threads, updates.size());
+  GMS_CHECK(shards >= 2);
+  std::vector<Sketch> privates;
+  privates.reserve(shards - 1);
+  for (size_t s = 1; s < shards; ++s) {
+    privates.emplace_back(*target);  // same seed + shape...
+    privates.back().Clear();         // ...zero cells
+  }
+  ThreadPool::Shared().Run(shards, [&](size_t s) {
+    ShardRange r = ShardOf(updates.size(), s, shards);
+    if (r.begin >= r.end) return;
+    Sketch& sk = s == 0 ? *target : privates[s - 1];
+    sk.Process(updates.subspan(r.begin, r.end - r.begin));
+  });
+  // Tree merge: log2(shards) levels of pairwise MergeFrom, each level's
+  // merges independent and fanned across the pool.
+  std::vector<Sketch*> nodes;
+  nodes.reserve(shards);
+  nodes.push_back(target);
+  for (auto& p : privates) nodes.push_back(&p);
+  for (size_t stride = 1; stride < nodes.size(); stride *= 2) {
+    std::vector<std::pair<size_t, size_t>> pairs;
+    for (size_t i = 0; i + stride < nodes.size(); i += 2 * stride) {
+      pairs.emplace_back(i, i + stride);
+    }
+    ParallelFor(threads, pairs.size(), [&](size_t begin, size_t end) {
+      for (size_t j = begin; j < end; ++j) {
+        Status st = nodes[pairs[j].first]->MergeFrom(*nodes[pairs[j].second]);
+        GMS_CHECK_MSG(st.ok(), "sharded-merge: clone refused to merge");
+      }
+    });
+  }
+}
+
+}  // namespace gms
+
+#endif  // GMS_STREAM_SHARDED_MERGE_H_

@@ -70,6 +70,31 @@ inline ShardRange ShardOf(size_t n, size_t shard, size_t shards) {
   return ShardRange{shard * n / shards, (shard + 1) * n / shards};
 }
 
+/// How a batched Process(span) call turns the update stream into
+/// parallelism. Both modes are bit-identical to the serial path.
+enum class IngestMode : uint8_t {
+  /// Shard the sketch's independent state COLUMNS (Borůvka rounds, the R
+  /// subsamples, skeleton layers, sparsifier level rows) across workers;
+  /// every worker scans the whole update stream. No extra memory, but the
+  /// parallelism is capped by the number of columns.
+  kColumnSharded = 0,
+  /// Shard the update STREAM: each worker ingests a disjoint slice into a
+  /// private zeroed clone of the sketch, then a tree of MergeFrom calls
+  /// combines the clones (exact cell-wise field addition, so the result is
+  /// bit-identical to serial by linearity). Scales with stream length even
+  /// for single-column sketches, at threads x the sketch's memory.
+  kShardedMerge = 1,
+};
+
+/// The engine knobs shared by every sketch's params struct (embedded as
+/// `engine`; brace elision keeps positional aggregate init working).
+struct EngineParams {
+  /// Worker threads for batched ingestion and extraction (1 = serial).
+  /// Outputs are bit-identical for every value.
+  size_t threads = 1;
+  IngestMode mode = IngestMode::kColumnSharded;
+};
+
 /// Run body(begin, end) over at most `threads` contiguous static shards of
 /// [0, n). threads <= 1, n <= 1, or a call from inside another parallel
 /// region runs the whole range inline on the calling thread; the shard

@@ -1,16 +1,17 @@
 #include "vertexconn/hyper_vc_query.h"
 
 #include "graph/traversal.h"
+#include "stream/sharded_merge.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/random.h"
+#include "wire/wire.h"
 
 namespace gms {
 
 HyperVcQuerySketch::HyperVcQuerySketch(size_t n, size_t max_rank,
-                                       const VcQueryParams& params,
-                                       uint64_t seed)
-    : n_(n), params_(params), h_(n) {
+                                       const Params& params, uint64_t seed)
+    : n_(n), params_(params), seed_(seed), h_(n) {
   GMS_CHECK(params.k >= 1);
   Rng rng(seed);
   size_t r_subgraphs = params.ResolveR(n);
@@ -36,6 +37,10 @@ void HyperVcQuerySketch::Update(const Hyperedge& e, int delta) {
 
 void HyperVcQuerySketch::Process(std::span<const StreamUpdate> updates) {
   if (sketches_.empty() || updates.empty()) return;
+  if (UseShardedMerge(params_.engine, updates.size())) {
+    ShardedMergeIngest(this, updates, params_.engine.threads);
+    return;
+  }
   // One encode + coordinate preparation per update, shared across the R
   // subsamples.
   const EdgeCodec& codec = sketches_[0].codec();
@@ -45,7 +50,7 @@ void HyperVcQuerySketch::Process(std::span<const StreamUpdate> updates) {
                   "hyperedge exceeds max_rank");
     prepared[j] = PrepareCoord(codec.Encode(updates[j].edge));
   }
-  ParallelFor(params_.threads, sketches_.size(),
+  ParallelFor(params_.engine.threads, sketches_.size(),
               [&](size_t begin, size_t end) {
                 for (size_t i = begin; i < end; ++i) {
                   const std::vector<bool>& kept = kept_[i];
@@ -71,7 +76,7 @@ Status HyperVcQuerySketch::Finalize() {
   // in sketch order, so the union graph is deterministic.
   std::vector<std::vector<Hyperedge>> decoded(sketches_.size());
   std::vector<Status> status(sketches_.size());
-  ParallelFor(params_.threads, sketches_.size(),
+  ParallelFor(params_.engine.threads, sketches_.size(),
               [&](size_t begin, size_t end) {
                 for (size_t i = begin; i < end; ++i) {
                   auto span = sketches_[i].ExtractSpanningGraph(/*threads=*/1);
@@ -102,6 +107,90 @@ Result<bool> HyperVcQuerySketch::Disconnects(
   auto distinct = NormalizeQuerySet(s, n_, params_.k);
   if (!distinct.ok()) return distinct.status();
   return !IsConnectedExcluding(h_, *distinct);
+}
+
+Status HyperVcQuerySketch::MergeFrom(const HyperVcQuerySketch& other) {
+  if (seed_ != other.seed_ || n_ != other.n_ ||
+      params_.k != other.params_.k ||
+      sketches_.size() != other.sketches_.size()) {
+    return Status::InvalidArgument(
+        "HyperVcQuerySketch::MergeFrom: seed/shape mismatch (different "
+        "measurement)");
+  }
+  for (size_t i = 0; i < sketches_.size(); ++i) {
+    if (sketches_[i].seed() != other.sketches_[i].seed() ||
+        sketches_[i].max_rank() != other.sketches_[i].max_rank() ||
+        sketches_[i].rounds() != other.sketches_[i].rounds() ||
+        sketches_[i].MemoryBytes() != other.sketches_[i].MemoryBytes()) {
+      return Status::InvalidArgument(
+          "HyperVcQuerySketch::MergeFrom: seed/shape mismatch (different "
+          "measurement)");
+    }
+  }
+  for (size_t i = 0; i < sketches_.size(); ++i) {
+    GMS_RETURN_IF_ERROR(sketches_[i].MergeFrom(other.sketches_[i]));
+  }
+  finalized_ = false;
+  return Status::OK();
+}
+
+void HyperVcQuerySketch::Clear() {
+  for (auto& sketch : sketches_) sketch.Clear();
+  finalized_ = false;
+}
+
+void HyperVcQuerySketch::Serialize(std::vector<uint8_t>* out) const {
+  wire::FrameBuilder fb(wire::FrameType::kHyperVcQuery, out);
+  fb.writer().U64(n_);
+  fb.writer().U64(max_rank());
+  fb.writer().U64(params_.k);
+  fb.writer().U64(sketches_.size());
+  fb.writer().U64(seed_);
+  ForestSketchParams resolved = params_.forest;
+  resolved.rounds = sketches_[0].rounds();
+  WriteForestParams(resolved, &fb.writer());
+  fb.EndHeader();
+  for (const auto& sketch : sketches_) sketch.AppendCells(&fb.writer());
+  fb.Finish();
+}
+
+Result<HyperVcQuerySketch> HyperVcQuerySketch::Deserialize(
+    std::span<const uint8_t> bytes) {
+  auto frame = wire::ParseFrame(bytes, wire::FrameType::kHyperVcQuery);
+  if (!frame.ok()) return frame.status();
+  wire::Reader header(frame->header);
+  uint64_t n = 0, max_rank = 0, k = 0, r = 0, seed = 0;
+  ForestSketchParams forest;
+  GMS_RETURN_IF_ERROR(header.U64(&n));
+  GMS_RETURN_IF_ERROR(header.U64(&max_rank));
+  GMS_RETURN_IF_ERROR(header.U64(&k));
+  GMS_RETURN_IF_ERROR(header.U64(&r));
+  GMS_RETURN_IF_ERROR(header.U64(&seed));
+  GMS_RETURN_IF_ERROR(ReadForestParams(&header, &forest));
+  GMS_RETURN_IF_ERROR(header.ExpectEnd());
+  if (n < 1 || n > (uint64_t{1} << 32) || max_rank < 2 || max_rank > n ||
+      k < 1 || k > n || r < 1 || r > (uint64_t{1} << 24) ||
+      forest.rounds < 1) {
+    return Status::InvalidArgument("wire: hyper-vc shape out of range");
+  }
+  VcQueryParams params;
+  params.k = static_cast<size_t>(k);
+  params.explicit_r = static_cast<size_t>(r);
+  params.forest = forest;
+  HyperVcQuerySketch sketch(static_cast<size_t>(n),
+                            static_cast<size_t>(max_rank), params, seed);
+  wire::Reader payload(frame->payload);
+  for (auto& layer : sketch.sketches_) {
+    GMS_RETURN_IF_ERROR(layer.ReadCells(&payload));
+  }
+  GMS_RETURN_IF_ERROR(payload.ExpectEnd());
+  return sketch;
+}
+
+size_t HyperVcQuerySketch::SpaceBytes() const {
+  std::vector<uint8_t> frame;
+  Serialize(&frame);
+  return frame.size();
 }
 
 size_t HyperVcQuerySketch::MemoryBytes() const {

@@ -30,19 +30,23 @@ namespace gms {
 
 class HyperVcQuerySketch {
  public:
-  HyperVcQuerySketch(size_t n, size_t max_rank, const VcQueryParams& params,
+  using Params = VcQueryParams;
+
+  HyperVcQuerySketch(size_t n, size_t max_rank, const Params& params,
                      uint64_t seed);
 
   size_t n() const { return n_; }
   size_t k() const { return params_.k; }
   size_t R() const { return sketches_.size(); }
+  size_t max_rank() const { return sketches_[0].max_rank(); }
+  uint64_t seed() const { return seed_; }
 
   /// Linear update; the hyperedge is routed to every subsample that kept
   /// ALL of its vertices.
   void Update(const Hyperedge& e, int delta);
 
   /// Batched ingestion: one codec encode per update, R sketches sharded
-  /// across params.threads workers (bit-identical to the serial path).
+  /// across params.engine.threads workers (bit-identical to the serial path).
   void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
 
@@ -62,9 +66,30 @@ class HyperVcQuerySketch {
   /// Bit-identity of all per-sketch states (for the determinism suite).
   bool StateEquals(const HyperVcQuerySketch& other) const;
 
+  /// Cell-wise field addition of another sketch of the SAME measurement
+  /// (equal seed, n, max_rank, k, R, and forest params). Invalidates
+  /// Finalize(). Mismatches return InvalidArgument, state untouched.
+  Status MergeFrom(const HyperVcQuerySketch& other);
+
+  /// Zero every subsample sketch; invalidates Finalize().
+  void Clear();
+
+  /// Append one wire frame (wire::FrameType::kHyperVcQuery) to *out; the
+  /// header reconstructs all shapes and kept-bitmaps from the seed.
+  void Serialize(std::vector<uint8_t>* out) const;
+
+  /// Parse a frame produced by Serialize. Truncation, corruption, and shape
+  /// mismatches return Status; never aborts.
+  static Result<HyperVcQuerySketch> Deserialize(
+      std::span<const uint8_t> bytes);
+
+  /// Measured serialized-frame size in bytes.
+  size_t SpaceBytes() const;
+
  private:
   size_t n_;
   VcQueryParams params_;
+  uint64_t seed_;
   std::vector<std::vector<bool>> kept_;
   std::vector<SpanningForestSketch> sketches_;
   Hypergraph h_;

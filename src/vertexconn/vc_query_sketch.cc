@@ -4,9 +4,11 @@
 #include <cmath>
 
 #include "graph/traversal.h"
+#include "stream/sharded_merge.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/random.h"
+#include "wire/wire.h"
 
 namespace gms {
 
@@ -31,8 +33,8 @@ Result<std::vector<VertexId>> NormalizeQuerySet(const std::vector<VertexId>& s,
 SubsampledForestUnion::SubsampledForestUnion(size_t n, size_t k,
                                              size_t r_subgraphs, uint64_t seed,
                                              const ForestSketchParams& params,
-                                             size_t threads)
-    : n_(n), k_(k), threads_(threads), covered_(n, false) {
+                                             const EngineParams& engine)
+    : n_(n), k_(k), seed_(seed), engine_(engine), covered_(n, false) {
   GMS_CHECK(k >= 1);
   GMS_CHECK(r_subgraphs >= 1);
   Rng rng(seed);
@@ -63,6 +65,10 @@ void SubsampledForestUnion::Update(const Edge& e, int delta) {
 
 void SubsampledForestUnion::Process(std::span<const StreamUpdate> updates) {
   if (sketches_.empty() || updates.empty()) return;
+  if (UseShardedMerge(engine_, updates.size())) {
+    ShardedMergeIngest(this, updates, engine_.threads);
+    return;
+  }
   // Encode and prepare once per update: every subsample shares the same
   // (n, 2) codec, and the key fold / exponent reduction are shape-
   // independent, so none of the per-key arithmetic is re-derived R times.
@@ -76,7 +82,8 @@ void SubsampledForestUnion::Process(std::span<const StreamUpdate> updates) {
   // Shard the R independent sketches: each is owned by exactly one worker
   // and sees its updates in stream order, so the result is bit-identical
   // to the serial path.
-  ParallelFor(threads_, sketches_.size(), [&](size_t begin, size_t end) {
+  ParallelFor(engine_.threads, sketches_.size(),
+              [&](size_t begin, size_t end) {
     std::vector<uint32_t> hits;
     for (size_t i = begin; i < end; ++i) {
       const std::vector<bool>& kept = kept_[i];
@@ -113,7 +120,8 @@ Result<Graph> SubsampledForestUnion::BuildUnionGraph() const {
   // fixed merge order also keeps error propagation deterministic).
   std::vector<std::vector<Hyperedge>> forest_edges(sketches_.size());
   std::vector<Status> status(sketches_.size());
-  ParallelFor(threads_, sketches_.size(), [&](size_t begin, size_t end) {
+  ParallelFor(engine_.threads, sketches_.size(),
+              [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       auto forest = sketches_[i].ExtractSpanningGraph(/*threads=*/1);
       if (!forest.ok()) {
@@ -154,6 +162,46 @@ size_t SubsampledForestUnion::MemoryBytes() const {
   return total;
 }
 
+Status SubsampledForestUnion::MergeFrom(const SubsampledForestUnion& other) {
+  if (seed_ != other.seed_ || n_ != other.n_ || k_ != other.k_ ||
+      sketches_.size() != other.sketches_.size()) {
+    return Status::InvalidArgument(
+        "SubsampledForestUnion::MergeFrom: seed/shape mismatch (different "
+        "measurement)");
+  }
+  // Equal (seed, n, k, R) pins the kept_ bitmaps; validate the per-sketch
+  // geometry BEFORE mutating anything so a forest-params mismatch leaves
+  // the whole union untouched.
+  for (size_t i = 0; i < sketches_.size(); ++i) {
+    if (sketches_[i].seed() != other.sketches_[i].seed() ||
+        sketches_[i].rounds() != other.sketches_[i].rounds() ||
+        sketches_[i].MemoryBytes() != other.sketches_[i].MemoryBytes()) {
+      return Status::InvalidArgument(
+          "SubsampledForestUnion::MergeFrom: seed/shape mismatch (different "
+          "measurement)");
+    }
+  }
+  for (size_t i = 0; i < sketches_.size(); ++i) {
+    GMS_RETURN_IF_ERROR(sketches_[i].MergeFrom(other.sketches_[i]));
+  }
+  return Status::OK();
+}
+
+void SubsampledForestUnion::Clear() {
+  for (auto& sketch : sketches_) sketch.Clear();
+}
+
+void SubsampledForestUnion::AppendCells(wire::Writer* w) const {
+  for (const auto& sketch : sketches_) sketch.AppendCells(w);
+}
+
+Status SubsampledForestUnion::ReadCells(wire::Reader* r) {
+  for (auto& sketch : sketches_) {
+    GMS_RETURN_IF_ERROR(sketch.ReadCells(r));
+  }
+  return Status::OK();
+}
+
 size_t VcQueryParams::ResolveR(size_t n) const {
   if (explicit_r > 0) return explicit_r;
   double paper_r = 16.0 * static_cast<double>(k) * static_cast<double>(k) *
@@ -162,11 +210,11 @@ size_t VcQueryParams::ResolveR(size_t n) const {
   return std::max<size_t>(r, 1);
 }
 
-VcQuerySketch::VcQuerySketch(size_t n, const VcQueryParams& params,
-                             uint64_t seed)
+VcQuerySketch::VcQuerySketch(size_t n, const Params& params, uint64_t seed)
     : params_(params),
+      seed_(seed),
       forests_(n, params.k, params.ResolveR(n), seed, params.forest,
-               params.threads) {}
+               params.engine) {}
 
 Status VcQuerySketch::Finalize() {
   auto h = forests_.BuildUnionGraph();
@@ -174,6 +222,71 @@ Status VcQuerySketch::Finalize() {
   h_ = std::move(*h);
   finalized_ = true;
   return Status::OK();
+}
+
+Status VcQuerySketch::MergeFrom(const VcQuerySketch& other) {
+  if (params_.k != other.params_.k || R() != other.R()) {
+    return Status::InvalidArgument(
+        "VcQuerySketch::MergeFrom: seed/shape mismatch (different "
+        "measurement)");
+  }
+  GMS_RETURN_IF_ERROR(forests_.MergeFrom(other.forests_));
+  finalized_ = false;
+  return Status::OK();
+}
+
+void VcQuerySketch::Clear() {
+  forests_.Clear();
+  finalized_ = false;
+}
+
+void VcQuerySketch::Serialize(std::vector<uint8_t>* out) const {
+  wire::FrameBuilder fb(wire::FrameType::kVcQuery, out);
+  fb.writer().U64(forests_.n());
+  fb.writer().U64(params_.k);
+  // R travels resolved so r_multiplier never has to round-trip a double.
+  fb.writer().U64(forests_.R());
+  fb.writer().U64(seed_);
+  ForestSketchParams resolved = params_.forest;
+  resolved.rounds = forests_.rounds();
+  WriteForestParams(resolved, &fb.writer());
+  fb.EndHeader();
+  forests_.AppendCells(&fb.writer());
+  fb.Finish();
+}
+
+Result<VcQuerySketch> VcQuerySketch::Deserialize(
+    std::span<const uint8_t> bytes) {
+  auto frame = wire::ParseFrame(bytes, wire::FrameType::kVcQuery);
+  if (!frame.ok()) return frame.status();
+  wire::Reader header(frame->header);
+  uint64_t n = 0, k = 0, r = 0, seed = 0;
+  ForestSketchParams forest;
+  GMS_RETURN_IF_ERROR(header.U64(&n));
+  GMS_RETURN_IF_ERROR(header.U64(&k));
+  GMS_RETURN_IF_ERROR(header.U64(&r));
+  GMS_RETURN_IF_ERROR(header.U64(&seed));
+  GMS_RETURN_IF_ERROR(ReadForestParams(&header, &forest));
+  GMS_RETURN_IF_ERROR(header.ExpectEnd());
+  if (n < 1 || n > (uint64_t{1} << 32) || k < 1 || k > n || r < 1 ||
+      r > (uint64_t{1} << 24) || forest.rounds < 1) {
+    return Status::InvalidArgument("wire: vc-query shape out of range");
+  }
+  VcQueryParams params;
+  params.k = static_cast<size_t>(k);
+  params.explicit_r = static_cast<size_t>(r);
+  params.forest = forest;
+  VcQuerySketch sketch(static_cast<size_t>(n), params, seed);
+  wire::Reader payload(frame->payload);
+  GMS_RETURN_IF_ERROR(sketch.forests_.ReadCells(&payload));
+  GMS_RETURN_IF_ERROR(payload.ExpectEnd());
+  return sketch;
+}
+
+size_t VcQuerySketch::SpaceBytes() const {
+  std::vector<uint8_t> frame;
+  Serialize(&frame);
+  return frame.size();
 }
 
 Result<bool> VcQuerySketch::Disconnects(const std::vector<VertexId>& s) const {

@@ -30,17 +30,21 @@ Result<std::vector<VertexId>> NormalizeQuerySet(const std::vector<VertexId>& s,
 /// forest sketches plus assembly of the union graph H.
 class SubsampledForestUnion {
  public:
-  /// keep probability 1/k; R independent subsamples. `threads` workers
+  /// keep probability 1/k; R independent subsamples. `engine` workers
   /// shard the R sketches for batched ingestion and union-graph extraction
   /// (each sketch is owned by exactly one worker; results are bit-identical
-  /// to the serial path for every thread count).
+  /// to the serial path for every thread count and ingest mode).
   SubsampledForestUnion(size_t n, size_t k, size_t r_subgraphs, uint64_t seed,
-                        const ForestSketchParams& params, size_t threads = 1);
+                        const ForestSketchParams& params,
+                        const EngineParams& engine = EngineParams());
 
   size_t n() const { return n_; }
   size_t k() const { return k_; }
   size_t R() const { return sketches_.size(); }
-  size_t threads() const { return threads_; }
+  size_t threads() const { return engine_.threads; }
+  uint64_t seed() const { return seed_; }
+  /// Resolved Borůvka rounds of the per-subsample forest sketches.
+  int rounds() const { return sketches_[0].rounds(); }
 
   void Update(const Edge& e, int delta);
 
@@ -66,10 +70,26 @@ class SubsampledForestUnion {
 
   size_t MemoryBytes() const;
 
+  /// Cell-wise field addition of another union of the SAME measurement
+  /// (equal seed, n, k, R, and forest params -- the kept_ bitmaps then
+  /// coincide by construction). Mismatches return InvalidArgument and leave
+  /// the state untouched.
+  Status MergeFrom(const SubsampledForestUnion& other);
+
+  /// Zero every subsample sketch (the empty-stream measurement).
+  void Clear();
+
+  /// Raw cells of all R sketches, in order, for COMPOSITE frames; the
+  /// container header's (seed, n, k, R, params) reconstructs every shape
+  /// and kept_ bitmap.
+  void AppendCells(wire::Writer* w) const;
+  Status ReadCells(wire::Reader* r);
+
  private:
   size_t n_;
   size_t k_;
-  size_t threads_;
+  uint64_t seed_;
+  EngineParams engine_;
   std::vector<std::vector<bool>> kept_;  // kept_[i][v]
   std::vector<bool> covered_;
   std::vector<SpanningForestSketch> sketches_;
@@ -82,9 +102,10 @@ struct VcQueryParams {
   double r_multiplier = 1.0;
   /// If nonzero, overrides R entirely.
   size_t explicit_r = 0;
-  /// Worker threads sharding the R sketches during Process/Finalize
-  /// (1 = serial; outputs are bit-identical for every value).
-  size_t threads = 1;
+  /// Worker threads + ingestion mode sharding the R sketches during
+  /// Process/Finalize (see util/parallel.h; outputs are bit-identical for
+  /// every setting).
+  EngineParams engine;
   ForestSketchParams forest;
 
   size_t ResolveR(size_t n) const;
@@ -95,7 +116,9 @@ struct VcQueryParams {
 /// AFTER the stream.
 class VcQuerySketch {
  public:
-  VcQuerySketch(size_t n, const VcQueryParams& params, uint64_t seed);
+  using Params = VcQueryParams;
+
+  VcQuerySketch(size_t n, const Params& params, uint64_t seed);
 
   void Update(const Edge& e, int delta) { forests_.Update(e, delta); }
   void Process(std::span<const StreamUpdate> updates) {
@@ -115,12 +138,41 @@ class VcQuerySketch {
   /// The assembled union graph H (valid after Finalize()).
   const Graph& union_graph() const { return h_; }
 
+  size_t n() const { return forests_.n(); }
   size_t R() const { return forests_.R(); }
   size_t k() const { return params_.k; }
+  uint64_t seed() const { return seed_; }
   size_t MemoryBytes() const { return forests_.MemoryBytes(); }
+
+  /// Cell-wise field addition of another sketch of the SAME measurement
+  /// (equal seed, n, and params). Invalidates Finalize(); call it again
+  /// after the last merge. Mismatches return InvalidArgument and leave the
+  /// state untouched.
+  Status MergeFrom(const VcQuerySketch& other);
+
+  /// Zero every subsample sketch; invalidates Finalize().
+  void Clear();
+
+  /// Append one wire frame (wire::FrameType::kVcQuery) to *out. The header
+  /// reconstructs all R subsample shapes and kept-bitmaps from the seed;
+  /// the payload concatenates the sketches' raw cells. The assembled union
+  /// graph H does not travel (re-run Finalize() after Deserialize).
+  void Serialize(std::vector<uint8_t>* out) const;
+
+  /// Parse a frame produced by Serialize. Truncation, corruption, and shape
+  /// mismatches return Status; never aborts.
+  static Result<VcQuerySketch> Deserialize(std::span<const uint8_t> bytes);
+
+  /// Measured serialized-frame size in bytes.
+  size_t SpaceBytes() const;
+
+  bool StateEquals(const VcQuerySketch& other) const {
+    return forests_.StateEquals(other.forests_);
+  }
 
  private:
   VcQueryParams params_;
+  uint64_t seed_;
   SubsampledForestUnion forests_;
   Graph h_;
   bool finalized_ = false;

@@ -1,0 +1,171 @@
+#include "wire/wire.h"
+
+namespace gms {
+namespace wire {
+
+uint64_t Checksum(const uint8_t* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void Writer::BoolVec(const std::vector<bool>& v) {
+  U64(v.size());
+  uint8_t byte = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i]) byte |= static_cast<uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      U8(byte);
+      byte = 0;
+    }
+  }
+  if (v.size() % 8 != 0) U8(byte);
+}
+
+void Writer::Words(const uint64_t* w, size_t count) {
+  // Little-endian host assumption holds everywhere this library builds
+  // (x86-64 / aarch64); a byte-wise path would cost a copy per word.
+  Raw(w, count * sizeof(uint64_t));
+}
+
+Status Reader::Raw(void* p, size_t len) {
+  if (len > remaining()) {
+    return Status::InvalidArgument("wire: truncated field");
+  }
+  std::memcpy(p, data_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Reader::U128(u128* v) {
+  uint64_t lo = 0, hi = 0;
+  GMS_RETURN_IF_ERROR(U64(&lo));
+  GMS_RETURN_IF_ERROR(U64(&hi));
+  *v = (static_cast<u128>(hi) << 64) | lo;
+  return Status::OK();
+}
+
+Status Reader::F64(double* v) {
+  uint64_t bits = 0;
+  GMS_RETURN_IF_ERROR(U64(&bits));
+  std::memcpy(v, &bits, 8);
+  return Status::OK();
+}
+
+Status Reader::Bool(bool* v) {
+  uint8_t b = 0;
+  GMS_RETURN_IF_ERROR(U8(&b));
+  if (b > 1) return Status::InvalidArgument("wire: bool field out of range");
+  *v = b != 0;
+  return Status::OK();
+}
+
+Status Reader::BoolVec(std::vector<bool>* v, size_t max_size) {
+  uint64_t count = 0;
+  GMS_RETURN_IF_ERROR(U64(&count));
+  if (count > max_size) {
+    return Status::InvalidArgument("wire: bool vector count out of range");
+  }
+  const size_t bytes = (static_cast<size_t>(count) + 7) / 8;
+  if (bytes > remaining()) {
+    return Status::InvalidArgument("wire: truncated bool vector");
+  }
+  v->assign(static_cast<size_t>(count), false);
+  for (size_t i = 0; i < count; ++i) {
+    uint8_t byte = data_[pos_ + i / 8];
+    (*v)[i] = (byte >> (i % 8)) & 1u;
+  }
+  pos_ += bytes;
+  return Status::OK();
+}
+
+Status Reader::Words(uint64_t* dst, size_t count) {
+  return Raw(dst, count * sizeof(uint64_t));
+}
+
+Status Reader::ExpectEnd() const {
+  if (remaining() != 0) {
+    return Status::InvalidArgument("wire: trailing bytes after frame content");
+  }
+  return Status::OK();
+}
+
+FrameBuilder::FrameBuilder(FrameType type, std::vector<uint8_t>* out)
+    : out_(out), writer_(out), frame_start_(out->size()) {
+  writer_.U32(kMagic);
+  writer_.U16(kVersion);
+  writer_.U16(static_cast<uint16_t>(type));
+  writer_.U32(0);  // header length, patched by EndHeader
+  writer_.U64(0);  // payload length, patched by Finish
+  header_start_ = out->size();
+}
+
+void FrameBuilder::EndHeader() {
+  GMS_CHECK(!header_done_);
+  header_done_ = true;
+  payload_start_ = out_->size();
+  const uint32_t header_len =
+      static_cast<uint32_t>(payload_start_ - header_start_);
+  std::memcpy(out_->data() + frame_start_ + 8, &header_len, 4);
+}
+
+void FrameBuilder::Finish() {
+  GMS_CHECK_MSG(header_done_, "FrameBuilder::EndHeader not called");
+  GMS_CHECK(!finished_);
+  finished_ = true;
+  const uint64_t payload_len =
+      static_cast<uint64_t>(out_->size() - payload_start_);
+  std::memcpy(out_->data() + frame_start_ + 12, &payload_len, 8);
+  const uint64_t sum =
+      Checksum(out_->data() + frame_start_, out_->size() - frame_start_);
+  writer_.U64(sum);
+}
+
+Result<Frame> ParseFrame(std::span<const uint8_t> buf, FrameType expected) {
+  if (buf.size() < kPreambleBytes + kChecksumBytes) {
+    return Status::InvalidArgument("wire: buffer shorter than a frame");
+  }
+  uint32_t magic = 0;
+  uint16_t version = 0, type = 0;
+  uint32_t header_len = 0;
+  uint64_t payload_len = 0;
+  std::memcpy(&magic, buf.data(), 4);
+  std::memcpy(&version, buf.data() + 4, 2);
+  std::memcpy(&type, buf.data() + 6, 2);
+  std::memcpy(&header_len, buf.data() + 8, 4);
+  std::memcpy(&payload_len, buf.data() + 12, 8);
+  if (magic != kMagic) {
+    return Status::InvalidArgument("wire: bad magic (not a sketch frame)");
+  }
+  if (version == 0 || version > kVersion) {
+    return Status::InvalidArgument("wire: unsupported frame version");
+  }
+  // Guard the length arithmetic itself against overflow before trusting it.
+  const uint64_t content = static_cast<uint64_t>(header_len) + payload_len;
+  if (content > buf.size() ||
+      buf.size() - content != kPreambleBytes + kChecksumBytes) {
+    return Status::InvalidArgument(
+        "wire: frame lengths disagree with the buffer (truncated?)");
+  }
+  const size_t checksum_at = kPreambleBytes + static_cast<size_t>(content);
+  uint64_t declared = 0;
+  std::memcpy(&declared, buf.data() + checksum_at, 8);
+  if (Checksum(buf.data(), checksum_at) != declared) {
+    return Status::InvalidArgument("wire: checksum mismatch (corrupt frame)");
+  }
+  if (type != static_cast<uint16_t>(expected)) {
+    return Status::InvalidArgument("wire: frame type mismatch");
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(type);
+  f.header = buf.subspan(kPreambleBytes, header_len);
+  f.payload = buf.subspan(kPreambleBytes + header_len,
+                          static_cast<size_t>(payload_len));
+  return f;
+}
+
+}  // namespace wire
+}  // namespace gms

@@ -37,23 +37,44 @@ TEST(CommTest, HypergraphPlayers) {
 }
 
 TEST(CommTest, MessageSizePolylog) {
-  // Per-player message bytes must grow far slower than n: compare n=32 vs
-  // n=256 -- an 8x vertex growth should well under 8x the message (it is
-  // polylog: rounds x levels x cells).
+  // Per-player message bytes (measured from the serialized frames) must
+  // grow far slower than n: compare n=32 vs n=256 -- an 8x vertex growth
+  // should well under 8x the message (the cell payload is polylog: rounds
+  // x levels x cells; only the active bitmap in the header is linear in n,
+  // and at these sizes it is bits, not cells).
   Hypergraph small = Hypergraph::FromGraph(CycleGraph(32));
   Hypergraph large = Hypergraph::FromGraph(CycleGraph(256));
   auto rs = RunSimultaneousConnectivity(small, 45);
   auto rl = RunSimultaneousConnectivity(large, 46);
-  EXPECT_LT(static_cast<double>(rl.per_player_bytes),
-            3.0 * static_cast<double>(rs.per_player_bytes));
+  EXPECT_LT(static_cast<double>(rl.max_message_bytes),
+            3.0 * static_cast<double>(rs.max_message_bytes));
   EXPECT_TRUE(rl.correct);
 }
 
 TEST(CommTest, TotalBytesIsPlayersTimesMessage) {
+  // total_bytes is the SUM of the measured frames; players hold identically
+  // shaped single-vertex states, so it must land close to n x max (and can
+  // never exceed it).
   Hypergraph h = Hypergraph::FromGraph(CycleGraph(24));
   auto report = RunSimultaneousConnectivity(h, 47);
+  EXPECT_GT(report.max_message_bytes, 0u);
+  EXPECT_LE(report.total_bytes, report.max_message_bytes * 24);
   EXPECT_NEAR(static_cast<double>(report.total_bytes),
-              static_cast<double>(report.per_player_bytes * 24), 24.0 * 64);
+              static_cast<double>(report.max_message_bytes * 24), 24.0 * 64);
+}
+
+TEST(CommTest, MessageBytesAreMeasuredFrames) {
+  // The report's sizes must equal what a player's Serialize actually
+  // produces -- build player 0's frame by hand and compare.
+  Hypergraph h = Hypergraph::FromGraph(CycleGraph(16));
+  auto report = RunSimultaneousConnectivity(h, 48);
+  std::vector<bool> mine(16, false);
+  mine[0] = true;
+  SpanningForestSketch player(16, 2, 48, ForestSketchParams(), &mine);
+  for (uint32_t idx : h.IncidentIndices(0)) {
+    player.UpdateLocal(0, h.Edges()[idx], +1);
+  }
+  EXPECT_EQ(report.max_message_bytes, player.SpaceBytes());
 }
 
 }  // namespace

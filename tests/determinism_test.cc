@@ -47,7 +47,7 @@ TEST(DeterminismTest, SpanningForestProcessMatchesSerialUpdates) {
 
   for (size_t threads : kThreadSweep) {
     ForestSketchParams params = serial_params;
-    params.threads = threads;
+    params.engine.threads = threads;
     SpanningForestSketch parallel(kN, 2, kSeed, params);
     parallel.Process(stream);
     EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
@@ -77,7 +77,7 @@ TEST(DeterminismTest, SpanningForestHypergraphStreams) {
 
   for (size_t threads : kThreadSweep) {
     ForestSketchParams params = serial_params;
-    params.threads = threads;
+    params.engine.threads = threads;
     SpanningForestSketch parallel(kN, 3, kSeed, params);
     parallel.Process(stream);
     EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
@@ -94,8 +94,7 @@ TEST(DeterminismTest, SubsampledForestUnionBitIdentical) {
 
   ForestSketchParams forest;
   forest.config = SketchConfig::Light();
-  SubsampledForestUnion serial(kN, /*k=*/2, /*r_subgraphs=*/12, kSeed, forest,
-                               /*threads=*/1);
+  SubsampledForestUnion serial(kN, /*k=*/2, /*r_subgraphs=*/12, kSeed, forest);
   for (const auto& u : stream.updates()) {
     serial.Update(Edge(u.edge[0], u.edge[1]), u.delta);
   }
@@ -103,7 +102,8 @@ TEST(DeterminismTest, SubsampledForestUnionBitIdentical) {
   ASSERT_TRUE(serial_h.ok());
 
   for (size_t threads : kThreadSweep) {
-    SubsampledForestUnion parallel(kN, 2, 12, kSeed, forest, threads);
+    SubsampledForestUnion parallel(kN, 2, 12, kSeed, forest,
+                                   EngineParams{threads});
     parallel.Process(stream);
     EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
     auto h = parallel.BuildUnionGraph();
@@ -126,7 +126,7 @@ TEST(DeterminismTest, KSkeletonHypergraphBitIdentical) {
 
   for (size_t threads : kThreadSweep) {
     SpanningForestSketch::Params params = serial_params;
-    params.threads = threads;
+    params.engine.threads = threads;
     KSkeletonSketch parallel(kN, 3, 3, kSeed, params);
     parallel.Process(stream);
     EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
@@ -152,7 +152,7 @@ TEST(DeterminismTest, SparsifierBitIdentical) {
 
   for (size_t threads : kThreadSweep) {
     SparsifierParams params = serial_params;
-    params.threads = threads;
+    params.engine.threads = threads;
     HypergraphSparsifierSketch parallel(kN, 3, params, kSeed);
     parallel.Process(stream);
     EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
@@ -180,7 +180,7 @@ TEST(DeterminismTest, HyperVcQueryBitIdentical) {
 
   for (size_t threads : kThreadSweep) {
     VcQueryParams params = serial_params;
-    params.threads = threads;
+    params.engine.threads = threads;
     HyperVcQuerySketch parallel(kN, 3, params, kSeed);
     parallel.Process(stream);
     EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
@@ -215,7 +215,7 @@ TEST(DeterminismTest, VcQuerySketchEndToEnd) {
 
   for (size_t threads : kThreadSweep) {
     VcQueryParams params = serial_params;
-    params.threads = threads;
+    params.engine.threads = threads;
     VcQuerySketch parallel(kN, params, kSeed);
     parallel.Process(stream);
     ASSERT_TRUE(parallel.Finalize().ok()) << "threads=" << threads;

@@ -173,7 +173,7 @@ TEST(KernelTest, BatchedIngestBitIdenticalAcrossThreadCounts) {
   reference.Process(stream);
   for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
     ForestSketchParams params = base;
-    params.threads = threads;
+    params.engine.threads = threads;
     SpanningForestSketch sketch(n, 2, 55, params);
     sketch.Process(stream);
     EXPECT_TRUE(reference.StateEquals(sketch)) << "threads=" << threads;
