@@ -159,6 +159,19 @@ Result<KSkeletonSketch> KSkeletonSketch::Deserialize(
       k < 1 || k > (uint64_t{1} << 20) || params.rounds < 1) {
     return Status::InvalidArgument("wire: k-skeleton shape out of range");
   }
+  // k layers of all-active forests: the payload is exactly
+  // k * n * rounds * state-words cells. Checking BEFORE construction keeps
+  // hostile in-range header fields (whose PRODUCT is astronomical) from
+  // commanding allocations the payload never backs.
+  auto words = ForestStateWords(static_cast<size_t>(n),
+                                static_cast<size_t>(max_rank), params.config);
+  if (!words.ok()) return words.status();
+  if (!wire::PayloadMatchesShape(
+          frame->payload.size(),
+          {k, n, static_cast<uint64_t>(params.rounds), *words})) {
+    return Status::InvalidArgument(
+        "wire: k-skeleton payload size disagrees with the header shape");
+  }
   KSkeletonSketch sketch(static_cast<size_t>(n),
                          static_cast<size_t>(max_rank),
                          static_cast<size_t>(k), seed, params);

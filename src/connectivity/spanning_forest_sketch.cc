@@ -63,6 +63,13 @@ Status ReadForestParams(wire::Reader* r, ForestSketchParams* params) {
   return Status::OK();
 }
 
+Result<uint64_t> ForestStateWords(size_t n, size_t max_rank,
+                                  const SketchConfig& config) {
+  auto domain = EdgeCodec::DomainSizeFor(n, max_rank);
+  if (!domain.ok()) return domain.status();
+  return L0StateWords(*domain, config);
+}
+
 SpanningForestSketch::SpanningForestSketch(size_t n, size_t max_rank,
                                            uint64_t seed, const Params& params,
                                            const std::vector<bool>* active)
@@ -394,13 +401,24 @@ Result<SpanningForestSketch> SpanningForestSketch::Deserialize(
       params.rounds < 1 || active.size() != n) {
     return Status::InvalidArgument("wire: forest shape out of range");
   }
+  // Shape-implied payload size BEFORE construction: the arena allocation is
+  // then bounded by the bytes the caller actually supplied, so a short
+  // hostile frame with huge header fields is rejected up front.
+  auto words = ForestStateWords(static_cast<size_t>(n),
+                                static_cast<size_t>(max_rank), params.config);
+  if (!words.ok()) return words.status();
+  uint64_t num_active = 0;
+  for (bool a : active) num_active += a ? 1 : 0;
+  if (!wire::PayloadMatchesShape(
+          frame->payload.size(),
+          {num_active, static_cast<uint64_t>(params.rounds), *words})) {
+    return Status::InvalidArgument(
+        "wire: forest payload size disagrees with the header shape");
+  }
   SpanningForestSketch sketch(static_cast<size_t>(n),
                               static_cast<size_t>(max_rank), seed, params,
                               &active);
   wire::Reader payload(frame->payload);
-  if (payload.remaining() != sketch.arena_.size() * sizeof(uint64_t)) {
-    return Status::InvalidArgument("wire: forest payload size mismatch");
-  }
   GMS_RETURN_IF_ERROR(sketch.ReadCells(&payload));
   GMS_RETURN_IF_ERROR(payload.ExpectEnd());
   return sketch;

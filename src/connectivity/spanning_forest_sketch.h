@@ -42,6 +42,15 @@ struct ForestSketchParams {
 void WriteForestParams(const ForestSketchParams& params, wire::Writer* w);
 Status ReadForestParams(wire::Reader* r, ForestSketchParams* params);
 
+/// Exact cell words per (active vertex, round) of a forest-based sketch
+/// over (n, max_rank, config), computed without constructing anything:
+/// EdgeCodec::DomainSizeFor -> L0StateWords. Deserializers multiply this
+/// into a shape-implied payload size and reject mismatched frames BEFORE
+/// allocating, so a tiny hostile frame cannot command a huge allocation.
+/// InvalidArgument for (n, max_rank) whose domain exceeds 126 bits.
+Result<uint64_t> ForestStateWords(size_t n, size_t max_rank,
+                                  const SketchConfig& config);
+
 class SpanningForestSketch {
  public:
   using Params = ForestSketchParams;

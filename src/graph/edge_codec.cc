@@ -23,6 +23,25 @@ u128 Binomial(uint64_t m, unsigned j) {
   return result;
 }
 
+Result<u128> EdgeCodec::DomainSizeFor(size_t n, size_t max_rank) {
+  if (n < 2 || max_rank < 2 || max_rank > n) {
+    return Status::InvalidArgument("edge codec: bad (n, max_rank)");
+  }
+  u128 total = 0;
+  for (size_t s = 2; s <= max_rank; ++s) {
+    u128 block = Binomial(n, static_cast<unsigned>(s));
+    if (block == kU128Max || total > kU128Max - block ||
+        ((total + block) >> 126) != 0) {
+      // The early exit also bounds the loop: partial sums are monotone, so
+      // at most ~126 size classes are ever summed before overflow triggers.
+      return Status::InvalidArgument(
+          "edge codec: coordinate domain exceeds 126 bits");
+    }
+    total += block;
+  }
+  return total;
+}
+
 EdgeCodec::EdgeCodec(size_t n, size_t max_rank) : n_(n), max_rank_(max_rank) {
   GMS_CHECK_MSG(max_rank >= 2, "max_rank must be >= 2");
   GMS_CHECK_MSG(n >= 2, "need at least 2 vertices");

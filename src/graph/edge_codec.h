@@ -26,6 +26,13 @@ class EdgeCodec {
   /// CHECK-fails if the domain does not fit in 126 bits.
   EdgeCodec(size_t n, size_t max_rank);
 
+  /// The domain a codec for (n, max_rank) would have, as a Status instead
+  /// of the constructor's CHECK: wire-sourced shapes are validated with
+  /// this BEFORE any codec (or sketch) is constructed, so hostile
+  /// (n, max_rank) pairs surface as InvalidArgument rather than an abort.
+  /// O(min(max_rank, 126)) time, no allocation.
+  static Result<u128> DomainSizeFor(size_t n, size_t max_rank);
+
   size_t n() const { return n_; }
   size_t max_rank() const { return max_rank_; }
 

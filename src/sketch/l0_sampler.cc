@@ -111,6 +111,16 @@ size_t L0State::MemoryBytes() const {
 
 void L0State::Clear() { std::fill(buf_.begin(), buf_.end(), 0); }
 
+uint64_t L0StateWords(u128 domain, const SketchConfig& config) {
+  // Mirrors L0Shape: levels 0..BitWidth128(domain), each an s-sparse segment
+  // of rows * BucketsPerRow cells at 4 words per cell. ReadSketchConfig caps
+  // every factor (and the capacity * buckets product), so this fits u64.
+  const uint64_t levels = static_cast<uint64_t>(BitWidth128(domain)) + 1;
+  return levels * 4ull * static_cast<uint64_t>(config.rows) *
+         static_cast<uint64_t>(config.sparse_capacity) *
+         static_cast<uint64_t>(config.buckets_per_capacity);
+}
+
 L0Sampler::L0Sampler(u128 domain, const Params& config, uint64_t seed)
     : seed_(seed),
       config_(config),
@@ -122,7 +132,13 @@ void L0Sampler::Process(std::span<const L0Update> updates) {
 }
 
 Status L0Sampler::MergeFrom(const L0Sampler& other) {
+  // Config geometry is part of the measurement: distinct (capacity, rows,
+  // buckets) combinations can tie on total word count while laying cells
+  // out differently, so the word-count check alone is not enough.
   if (seed_ != other.seed_ || shape_->domain() != other.shape_->domain() ||
+      config_.sparse_capacity != other.config_.sparse_capacity ||
+      config_.rows != other.config_.rows ||
+      config_.buckets_per_capacity != other.config_.buckets_per_capacity ||
       state_.NumWords() != other.state_.NumWords()) {
     return Status::InvalidArgument(
         "L0Sampler::MergeFrom: seed/shape mismatch (different measurement)");
@@ -155,11 +171,14 @@ Result<L0Sampler> L0Sampler::Deserialize(std::span<const uint8_t> bytes) {
   if (domain < 1 || (domain >> 126) != 0) {
     return Status::InvalidArgument("wire: L0 domain out of range");
   }
-  L0Sampler sampler(domain, config, seed);
-  wire::Reader payload(frame->payload);
-  if (payload.remaining() != sampler.state_.NumWords() * sizeof(uint64_t)) {
+  // Size check BEFORE construction: the state allocation is then bounded by
+  // the bytes the caller actually supplied.
+  if (!wire::PayloadMatchesShape(frame->payload.size(),
+                                 {L0StateWords(domain, config)})) {
     return Status::InvalidArgument("wire: L0 payload size mismatch");
   }
+  L0Sampler sampler(domain, config, seed);
+  wire::Reader payload(frame->payload);
   GMS_RETURN_IF_ERROR(
       payload.Words(sampler.state_.data(), sampler.state_.NumWords()));
   return sampler;

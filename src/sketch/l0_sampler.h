@@ -156,6 +156,14 @@ struct L0Update {
   int64_t delta = 0;
 };
 
+/// Cell words of an L0State over this (domain, config) shape, computed by
+/// pure arithmetic without constructing the shape. Must agree with
+/// L0Shape::TotalWords() (asserted by the serde suite); deserializers use
+/// it to compare a frame's shape-implied payload size against the actual
+/// payload BEFORE allocating any state. The config must already be
+/// validated (wire-sourced configs come through ReadSketchConfig).
+uint64_t L0StateWords(u128 domain, const SketchConfig& config);
+
 /// Self-contained L0 sampler: owns its shape (shared on copy) and one
 /// state, and implements the library-wide mergeable-sketch concept --
 /// Process / MergeFrom / Serialize / Deserialize / SpaceBytes / Clear /

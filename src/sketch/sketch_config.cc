@@ -25,6 +25,14 @@ Status ReadSketchConfig(wire::Reader* r, SketchConfig* config) {
       config->extra_boruvka_rounds > (1 << 20)) {
     return Status::InvalidArgument("wire: sketch config out of range");
   }
+  // Cap the PRODUCT too: BucketsPerRow multiplies these in int, and the
+  // shape-size formulas multiply them into payload bounds, so two
+  // individually in-range fields must not combine into an overflow.
+  if (static_cast<int64_t>(config->sparse_capacity) *
+          config->buckets_per_capacity >
+      (int64_t{1} << 24)) {
+    return Status::InvalidArgument("wire: sketch config buckets out of range");
+  }
   return Status::OK();
 }
 

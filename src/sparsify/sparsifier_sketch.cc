@@ -188,6 +188,20 @@ Result<HypergraphSparsifierSketch> HypergraphSparsifierSketch::Deserialize(
       k > (uint64_t{1} << 24) || forest.rounds < 1) {
     return Status::InvalidArgument("wire: sparsifier shape out of range");
   }
+  // levels+1 recovery structures, each a (k+1)-layer skeleton of all-active
+  // forests: payload = (levels+1)(k+1) * n * rounds * state-words cells.
+  // Checked BEFORE construction so in-range fields with an astronomical
+  // product cannot command allocations the payload never backs.
+  auto words = ForestStateWords(static_cast<size_t>(n),
+                                static_cast<size_t>(max_rank), forest.config);
+  if (!words.ok()) return words.status();
+  if (!wire::PayloadMatchesShape(
+          frame->payload.size(),
+          {levels + 1, k + 1, n, static_cast<uint64_t>(forest.rounds),
+           *words})) {
+    return Status::InvalidArgument(
+        "wire: sparsifier payload size disagrees with the header shape");
+  }
   SparsifierParams params;
   params.levels = static_cast<size_t>(levels);
   params.k = static_cast<size_t>(k);

@@ -1,5 +1,7 @@
 #include "vertexconn/hyper_vc_query.h"
 
+#include <new>
+
 #include "graph/traversal.h"
 #include "stream/sharded_merge.h"
 #include "util/check.h"
@@ -18,11 +20,7 @@ HyperVcQuerySketch::HyperVcQuerySketch(size_t n, size_t max_rank,
   kept_.reserve(r_subgraphs);
   sketches_.reserve(r_subgraphs);
   for (size_t i = 0; i < r_subgraphs; ++i) {
-    std::vector<bool> kept(n, false);
-    for (VertexId v = 0; v < n; ++v) {
-      kept[v] = rng.Bernoulli(1.0 / static_cast<double>(params.k));
-    }
-    kept_.push_back(kept);
+    kept_.push_back(DrawKeptBitmap(rng, n, params.k));
     sketches_.emplace_back(n, max_rank, rng.Fork(), params.forest, &kept_[i]);
   }
 }
@@ -173,18 +171,42 @@ Result<HyperVcQuerySketch> HyperVcQuerySketch::Deserialize(
       forest.rounds < 1) {
     return Status::InvalidArgument("wire: hyper-vc shape out of range");
   }
+  // Same pre-construction guards as VcQuerySketch::Deserialize: bound the
+  // n * R replay/index cost, then verify the payload against the
+  // shape-implied size computed by replaying the seeded subsample draws.
+  auto words = ForestStateWords(static_cast<size_t>(n),
+                                static_cast<size_t>(max_rank), forest.config);
+  if (!words.ok()) return words.status();
+  if (static_cast<u128>(n) * r > kMaxDeserializeSubsampleDraws) {
+    return Status::InvalidArgument(
+        "wire: hyper-vc shape too large to reconstruct");
+  }
+  const uint64_t active_total =
+      CountKeptVertices(seed, static_cast<size_t>(n), static_cast<size_t>(k),
+                        static_cast<size_t>(r));
+  if (!wire::PayloadMatchesShape(
+          frame->payload.size(),
+          {active_total, static_cast<uint64_t>(forest.rounds), *words})) {
+    return Status::InvalidArgument(
+        "wire: hyper-vc payload size disagrees with the header shape");
+  }
   VcQueryParams params;
   params.k = static_cast<size_t>(k);
   params.explicit_r = static_cast<size_t>(r);
   params.forest = forest;
-  HyperVcQuerySketch sketch(static_cast<size_t>(n),
-                            static_cast<size_t>(max_rank), params, seed);
-  wire::Reader payload(frame->payload);
-  for (auto& layer : sketch.sketches_) {
-    GMS_RETURN_IF_ERROR(layer.ReadCells(&payload));
+  try {
+    HyperVcQuerySketch sketch(static_cast<size_t>(n),
+                              static_cast<size_t>(max_rank), params, seed);
+    wire::Reader payload(frame->payload);
+    for (auto& layer : sketch.sketches_) {
+      GMS_RETURN_IF_ERROR(layer.ReadCells(&payload));
+    }
+    GMS_RETURN_IF_ERROR(payload.ExpectEnd());
+    return sketch;
+  } catch (const std::bad_alloc&) {
+    // Belt and braces: an in-cap shape can still exceed THIS machine.
+    return Status::OutOfRange("wire: hyper-vc shape exhausts memory");
   }
-  GMS_RETURN_IF_ERROR(payload.ExpectEnd());
-  return sketch;
 }
 
 size_t HyperVcQuerySketch::SpaceBytes() const {

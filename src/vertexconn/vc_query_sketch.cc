@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 
 #include "graph/traversal.h"
 #include "stream/sharded_merge.h"
@@ -30,6 +31,26 @@ Result<std::vector<VertexId>> NormalizeQuerySet(const std::vector<VertexId>& s,
   return distinct;
 }
 
+std::vector<bool> DrawKeptBitmap(Rng& rng, size_t n, size_t k) {
+  std::vector<bool> kept(n, false);
+  for (VertexId v = 0; v < n; ++v) {
+    // Delete with probability 1 - 1/k, i.e. keep with probability 1/k.
+    kept[v] = rng.Bernoulli(1.0 / static_cast<double>(k));
+  }
+  return kept;
+}
+
+uint64_t CountKeptVertices(uint64_t seed, size_t n, size_t k, size_t r) {
+  Rng rng(seed);
+  uint64_t total = 0;
+  for (size_t i = 0; i < r; ++i) {
+    const std::vector<bool> kept = DrawKeptBitmap(rng, n, k);
+    for (bool b : kept) total += b ? 1 : 0;
+    rng.Fork();  // consumed by the sketch seed in the constructor replay
+  }
+  return total;
+}
+
 SubsampledForestUnion::SubsampledForestUnion(size_t n, size_t k,
                                              size_t r_subgraphs, uint64_t seed,
                                              const ForestSketchParams& params,
@@ -41,15 +62,10 @@ SubsampledForestUnion::SubsampledForestUnion(size_t n, size_t k,
   kept_.reserve(r_subgraphs);
   sketches_.reserve(r_subgraphs);
   for (size_t i = 0; i < r_subgraphs; ++i) {
-    std::vector<bool> kept(n, false);
+    kept_.push_back(DrawKeptBitmap(rng, n, k));
     for (VertexId v = 0; v < n; ++v) {
-      // Delete with probability 1 - 1/k, i.e. keep with probability 1/k.
-      if (rng.Bernoulli(1.0 / static_cast<double>(k))) {
-        kept[v] = true;
-        covered_[v] = true;
-      }
+      if (kept_[i][v]) covered_[v] = true;
     }
-    kept_.push_back(kept);
     sketches_.emplace_back(n, /*max_rank=*/2, rng.Fork(), params, &kept_[i]);
   }
 }
@@ -272,15 +288,40 @@ Result<VcQuerySketch> VcQuerySketch::Deserialize(
       r > (uint64_t{1} << 24) || forest.rounds < 1) {
     return Status::InvalidArgument("wire: vc-query shape out of range");
   }
+  // Reconstruction cost scales with n * R (index state + bitmap replay per
+  // subsample) no matter how small the payload is, so bound the product
+  // first, then verify the payload equals the shape-implied size by
+  // replaying the seeded subsample draws -- all before constructing.
+  auto words = ForestStateWords(static_cast<size_t>(n), /*max_rank=*/2,
+                                forest.config);
+  if (!words.ok()) return words.status();
+  if (static_cast<u128>(n) * r > kMaxDeserializeSubsampleDraws) {
+    return Status::InvalidArgument(
+        "wire: vc-query shape too large to reconstruct");
+  }
+  const uint64_t active_total =
+      CountKeptVertices(seed, static_cast<size_t>(n), static_cast<size_t>(k),
+                        static_cast<size_t>(r));
+  if (!wire::PayloadMatchesShape(
+          frame->payload.size(),
+          {active_total, static_cast<uint64_t>(forest.rounds), *words})) {
+    return Status::InvalidArgument(
+        "wire: vc-query payload size disagrees with the header shape");
+  }
   VcQueryParams params;
   params.k = static_cast<size_t>(k);
   params.explicit_r = static_cast<size_t>(r);
   params.forest = forest;
-  VcQuerySketch sketch(static_cast<size_t>(n), params, seed);
-  wire::Reader payload(frame->payload);
-  GMS_RETURN_IF_ERROR(sketch.forests_.ReadCells(&payload));
-  GMS_RETURN_IF_ERROR(payload.ExpectEnd());
-  return sketch;
+  try {
+    VcQuerySketch sketch(static_cast<size_t>(n), params, seed);
+    wire::Reader payload(frame->payload);
+    GMS_RETURN_IF_ERROR(sketch.forests_.ReadCells(&payload));
+    GMS_RETURN_IF_ERROR(payload.ExpectEnd());
+    return sketch;
+  } catch (const std::bad_alloc&) {
+    // Belt and braces: an in-cap shape can still exceed THIS machine.
+    return Status::OutOfRange("wire: vc-query shape exhausts memory");
+  }
 }
 
 size_t VcQuerySketch::SpaceBytes() const {

@@ -16,8 +16,29 @@
 #include "connectivity/spanning_forest_sketch.h"
 #include "graph/graph.h"
 #include "stream/stream.h"
+#include "util/random.h"
 
 namespace gms {
+
+/// One subsample's kept-bitmap: n Bernoulli(1/k) draws from `rng`, in vertex
+/// order. The draw order is wire contract -- a (seed, n, k, R) header
+/// reconstructs the exact bitmaps by replaying R rounds of this followed by
+/// one rng.Fork() each, so every caller (constructors AND deserializers)
+/// must route through this helper.
+std::vector<bool> DrawKeptBitmap(Rng& rng, size_t n, size_t k);
+
+/// Total kept (vertex, subsample) pairs over R subsamples drawn from
+/// `seed`, replaying the exact constructor draw order. O(n * r) time, O(n)
+/// space: lets deserializers compute the shape-implied payload size of a
+/// subsampled sketch WITHOUT constructing it.
+uint64_t CountKeptVertices(uint64_t seed, size_t n, size_t k, size_t r);
+
+/// Deserialization cap on n * R for subsampled sketches. Reconstruction
+/// replays one Bernoulli draw and allocates ~8 bytes of dense-index state
+/// per (subsample, vertex) pair regardless of how many vertices were kept,
+/// so this product -- not the payload size -- is what bounds a hostile
+/// frame's cost. 2^31 pairs keeps the worst case at seconds of replay.
+inline constexpr uint64_t kMaxDeserializeSubsampleDraws = uint64_t{1} << 31;
 
 /// Validate a removal-query set: every id must be < n (InvalidArgument
 /// otherwise), duplicates are dropped, and the DISTINCT count must be <= k.

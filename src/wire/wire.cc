@@ -143,10 +143,13 @@ Result<Frame> ParseFrame(std::span<const uint8_t> buf, FrameType expected) {
   if (version == 0 || version > kVersion) {
     return Status::InvalidArgument("wire: unsupported frame version");
   }
-  // Guard the length arithmetic itself against overflow before trusting it.
-  const uint64_t content = static_cast<uint64_t>(header_len) + payload_len;
-  if (content > buf.size() ||
-      buf.size() - content != kPreambleBytes + kChecksumBytes) {
+  // Derive the content size from the buffer and make each claimed length
+  // account for its exact share: summing header_len + payload_len first
+  // would wrap mod 2^64 for hostile payload_len values near 2^64, passing
+  // the size comparison with spans that run off the buffer.
+  const uint64_t content =
+      buf.size() - (kPreambleBytes + kChecksumBytes);
+  if (header_len > content || payload_len != content - header_len) {
     return Status::InvalidArgument(
         "wire: frame lengths disagree with the buffer (truncated?)");
   }

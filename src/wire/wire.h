@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
 #include <span>
 #include <vector>
 
@@ -163,6 +164,21 @@ struct Frame {
 /// Validate magic, version, lengths, and checksum; the whole buffer must be
 /// exactly one frame of type `expected`. Never aborts on bad input.
 Result<Frame> ParseFrame(std::span<const uint8_t> buf, FrameType expected);
+
+/// True iff payload_bytes == 8 * product(factors), with the product carried
+/// in u128 so hostile shape headers whose individual fields are in range but
+/// whose PRODUCT is astronomical compare as a plain mismatch instead of
+/// wrapping. Deserializers check this BEFORE constructing a sketch, so a
+/// tiny frame can never command a huge allocation.
+inline bool PayloadMatchesShape(size_t payload_bytes,
+                                std::initializer_list<uint64_t> factors) {
+  u128 total = 8;  // bytes per cell word
+  for (uint64_t f : factors) {
+    if (f != 0 && total > ~u128{0} / f) return false;
+    total *= f;
+  }
+  return total == payload_bytes;
+}
 
 }  // namespace wire
 }  // namespace gms

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "connectivity/k_skeleton.h"
@@ -413,6 +414,164 @@ TEST(SerdeAdversarialTest, PayloadSizeMismatchIsStatus) {
     fb.Finish();
   }
   EXPECT_FALSE(L0Sampler::Deserialize(frame).ok());
+}
+
+TEST(SerdeAdversarialTest, FrameLengthOverflowIsRejected) {
+  // header_len + payload_len must not be summed in u64: pick lengths whose
+  // sum WRAPS to the true content size (header_len = content + 1,
+  // payload_len = 2^64 - 1), recompute the checksum so the frame is
+  // otherwise pristine, and require a clean Status. The unfixed parser
+  // accepted this and built a header span running off the buffer.
+  std::vector<uint8_t> frame = SmallForestFrame();
+  ASSERT_GT(frame.size(), 28u);
+  const uint64_t content = frame.size() - 28;  // preamble 20 + checksum 8
+  const uint32_t bad_header_len = static_cast<uint32_t>(content + 1);
+  const uint64_t bad_payload_len = ~uint64_t{0};
+  std::memcpy(frame.data() + 8, &bad_header_len, 4);
+  std::memcpy(frame.data() + 12, &bad_payload_len, 8);
+  const uint64_t sum = wire::Checksum(frame.data(), frame.size() - 8);
+  std::memcpy(frame.data() + frame.size() - 8, &sum, 8);
+  EXPECT_FALSE(SpanningForestSketch::Deserialize(frame).ok());
+}
+
+TEST(SerdeAdversarialTest, ShapeProductBombsAreRejectedBeforeAllocation) {
+  // Every shape field individually in range, but the PRODUCT implies a
+  // multi-terabyte sketch. The frames are well-formed (FrameBuilder
+  // checksums them) with EMPTY payloads, so acceptance would mean the
+  // decoder committed to the allocation before comparing sizes. All four
+  // container decoders must refuse -- and quickly (no per-cell work).
+  ForestSketchParams fp;
+  fp.config = SketchConfig::Light();
+  fp.rounds = 4;
+
+  std::vector<uint8_t> frame;
+  {
+    wire::FrameBuilder fb(wire::FrameType::kKSkeleton, &frame);
+    fb.writer().U64(uint64_t{1} << 32);  // n
+    fb.writer().U64(2);                  // max_rank
+    fb.writer().U64(uint64_t{1} << 20);  // k
+    fb.writer().U64(7);                  // seed
+    WriteForestParams(fp, &fb.writer());
+    fb.EndHeader();
+    fb.Finish();
+  }
+  EXPECT_FALSE(KSkeletonSketch::Deserialize(frame).ok());
+
+  frame.clear();
+  {
+    wire::FrameBuilder fb(wire::FrameType::kSparsifier, &frame);
+    fb.writer().U64(uint64_t{1} << 32);  // n
+    fb.writer().U64(2);                  // max_rank
+    fb.writer().U64(uint64_t{1} << 16);  // levels
+    fb.writer().U64(uint64_t{1} << 24);  // k
+    fb.writer().U64(7);                  // seed
+    WriteForestParams(fp, &fb.writer());
+    fb.EndHeader();
+    fb.Finish();
+  }
+  EXPECT_FALSE(HypergraphSparsifierSketch::Deserialize(frame).ok());
+
+  frame.clear();
+  {
+    wire::FrameBuilder fb(wire::FrameType::kVcQuery, &frame);
+    fb.writer().U64(uint64_t{1} << 32);  // n
+    fb.writer().U64(uint64_t{1} << 20);  // k
+    fb.writer().U64(uint64_t{1} << 24);  // R
+    fb.writer().U64(7);                  // seed
+    WriteForestParams(fp, &fb.writer());
+    fb.EndHeader();
+    fb.Finish();
+  }
+  EXPECT_FALSE(VcQuerySketch::Deserialize(frame).ok());
+
+  frame.clear();
+  {
+    wire::FrameBuilder fb(wire::FrameType::kHyperVcQuery, &frame);
+    fb.writer().U64(uint64_t{1} << 32);  // n
+    fb.writer().U64(3);                  // max_rank
+    fb.writer().U64(uint64_t{1} << 20);  // k
+    fb.writer().U64(uint64_t{1} << 24);  // R
+    fb.writer().U64(7);                  // seed
+    WriteForestParams(fp, &fb.writer());
+    fb.EndHeader();
+    fb.Finish();
+  }
+  EXPECT_FALSE(HyperVcQuerySketch::Deserialize(frame).ok());
+}
+
+TEST(SerdeAdversarialTest, SubsampledPayloadSizeIsValidatedByReplay) {
+  // A subsampled sketch's payload size depends on the seeded kept-bitmaps,
+  // not the header fields alone; the decoder must replay the draws and
+  // reject a modest, fully in-range shape whose payload is missing.
+  ForestSketchParams fp;
+  fp.config = SketchConfig::Light();
+  fp.rounds = 3;
+  std::vector<uint8_t> frame;
+  {
+    wire::FrameBuilder fb(wire::FrameType::kVcQuery, &frame);
+    fb.writer().U64(64);  // n
+    fb.writer().U64(2);   // k
+    fb.writer().U64(4);   // R
+    fb.writer().U64(17);  // seed
+    WriteForestParams(fp, &fb.writer());
+    fb.EndHeader();
+    fb.Finish();  // empty payload; the replayed shape implies far more
+  }
+  ASSERT_GT(CountKeptVertices(/*seed=*/17, /*n=*/64, /*k=*/2, /*r=*/4), 0u);
+  EXPECT_FALSE(VcQuerySketch::Deserialize(frame).ok());
+}
+
+TEST(SerdeAdversarialTest, L0ConfigProductBombIsRejected) {
+  // sparse_capacity and buckets_per_capacity each pass their individual
+  // bounds, but their product (the per-row bucket count) is 2^40 -- enough
+  // to overflow int in BucketsPerRow. ReadSketchConfig must cap the
+  // product itself.
+  std::vector<uint8_t> frame;
+  {
+    wire::FrameBuilder fb(wire::FrameType::kL0Sampler, &frame);
+    fb.writer().U128(u128{1} << 20);
+    fb.writer().U64(7);
+    SketchConfig hostile{/*sparse_capacity=*/1 << 20, /*rows=*/1,
+                         /*buckets_per_capacity=*/1 << 20,
+                         /*extra_boruvka_rounds=*/0};
+    WriteSketchConfig(hostile, &fb.writer());
+    fb.EndHeader();
+    fb.Finish();
+  }
+  EXPECT_FALSE(L0Sampler::Deserialize(frame).ok());
+}
+
+TEST(SerdeAdversarialTest, L0MergeConfigMismatchIsStatus) {
+  // Two configs with DIFFERENT geometry but an identical total word count:
+  // (cap 2, rows 2, buckets/cap 2) and (cap 2, rows 4, buckets/cap 1) both
+  // come to 8 cells per level. Equal seed + domain + NumWords used to slip
+  // through MergeFrom; the configs are different measurements.
+  SketchConfig a{/*sparse_capacity=*/2, /*rows=*/2, /*buckets_per_capacity=*/2,
+                 /*extra_boruvka_rounds=*/0};
+  SketchConfig b{/*sparse_capacity=*/2, /*rows=*/4, /*buckets_per_capacity=*/1,
+                 /*extra_boruvka_rounds=*/0};
+  L0Sampler sa(u128{1} << 16, a, /*seed=*/5);
+  L0Sampler sb(u128{1} << 16, b, /*seed=*/5);
+  ASSERT_EQ(sa.state().NumWords(), sb.state().NumWords());
+  EXPECT_FALSE(sa.MergeFrom(sb).ok());
+}
+
+TEST(SerdeTest, ShapeImpliedSizesMatchConstructedSketches) {
+  // The arithmetic the deserializers trust must agree with what the
+  // constructors actually build, or valid frames would be rejected.
+  const SketchConfig config = SketchConfig::Light();
+  const u128 domain = u128{1} << 40;
+  L0Sampler sampler(domain, config, /*seed=*/3);
+  EXPECT_EQ(L0StateWords(domain, config), sampler.state().NumWords());
+
+  ForestSketchParams fp;
+  fp.config = config;
+  fp.rounds = 5;
+  constexpr size_t kN = 24;
+  SpanningForestSketch forest(kN, /*max_rank=*/3, /*seed=*/3, fp);
+  auto words = ForestStateWords(kN, /*max_rank=*/3, config);
+  ASSERT_TRUE(words.ok());
+  EXPECT_EQ(*words * 5 * kN * sizeof(uint64_t), forest.MemoryBytes());
 }
 
 }  // namespace
