@@ -1,0 +1,106 @@
+// Experiment E9: the differential-oracle matrix as a measurement. Runs
+// every testkit oracle over the default spec grid and reports, per oracle:
+// applicable trial count, observed success rate with its 95% Wilson
+// interval, honest decode-failure share vs silent disagreements, and
+// trials/second (how much statistical power a CI minute buys). The same
+// code path the `slow` test suite asserts on, reported as a table instead
+// of a pass/fail bit.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "testkit/oracle.h"
+#include "testkit/stream_spec.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace gms {
+namespace {
+
+using testkit::AllOracles;
+using testkit::DefaultSpecGrid;
+using testkit::OracleKind;
+using testkit::OracleName;
+using testkit::OracleOptions;
+using testkit::RunSweep;
+using testkit::StreamSpec;
+using testkit::SweepResult;
+using testkit::WilsonInterval;
+
+void OracleMatrix(size_t trials_per_spec) {
+  Table table({"oracle", "specs", "trials", "success", "wilson95",
+               "decode_fail", "disagree", "trials/s"});
+  for (OracleKind kind : AllOracles()) {
+    OracleOptions opt;
+    // The sparsifier stack dominates wall clock; a third of the trials
+    // still gives a usable interval for a bench table.
+    size_t trials = kind == OracleKind::kSparsifier
+                        ? (trials_per_spec + 2) / 3
+                        : trials_per_spec;
+    size_t specs = 0;
+    SweepResult total;
+    Timer timer;
+    for (const StreamSpec& spec : DefaultSpecGrid()) {
+      SweepResult sweep = RunSweep(kind, spec, trials, opt);
+      if (sweep.trials == 0) continue;  // oracle inapplicable to family
+      ++specs;
+      total.trials += sweep.trials;
+      total.successes += sweep.successes;
+      total.decode_failures += sweep.decode_failures;
+      total.disagreements += sweep.disagreements;
+    }
+    double secs = timer.Seconds();
+    WilsonInterval w = total.interval();
+    table.AddRow(
+        {OracleName(kind), Table::Fmt(uint64_t{specs}),
+         Table::Fmt(uint64_t{total.trials}),
+         Table::Fmt(static_cast<double>(total.successes) /
+                        static_cast<double>(total.trials ? total.trials : 1),
+                    3),
+         "[" + Table::Fmt(w.lo, 3) + "," + Table::Fmt(w.hi, 3) + "]",
+         Table::Fmt(uint64_t{total.decode_failures}),
+         Table::Fmt(uint64_t{total.disagreements}),
+         bench::Rate(static_cast<double>(total.trials) /
+                     (secs > 1e-9 ? secs : 1e-9))});
+  }
+  table.Print("Differential-oracle matrix over the default spec grid");
+  std::printf(
+      "\nExpected shape: success near 1.0 everywhere, disagreements == 0\n"
+      "(a silent disagreement is a bug, not a whp failure event), and any\n"
+      "misses showing up as honest decode failures.\n");
+}
+
+void StreamBuildThroughput() {
+  Table table({"family x churn", "updates", "build/s", "updates/s"});
+  for (const StreamSpec& spec : DefaultSpecGrid()) {
+    constexpr size_t kReps = 20;
+    size_t updates = 0;
+    Timer timer;
+    for (size_t r = 0; r < kReps; ++r) {
+      updates += spec.WithTrial(r).Build().stream.size();
+    }
+    double secs = timer.Seconds();
+    table.AddRow(
+        {std::string(testkit::FamilyName(spec.family)) + " x " +
+             testkit::ChurnName(spec.churn),
+         Table::Fmt(uint64_t{updates / kReps}),
+         bench::Rate(static_cast<double>(kReps) / (secs > 1e-9 ? secs : 1e-9)),
+         bench::Rate(static_cast<double>(updates) /
+                     (secs > 1e-9 ? secs : 1e-9))});
+  }
+  table.Print("StreamSpec::Build() generator throughput");
+}
+
+}  // namespace
+}  // namespace gms
+
+int main() {
+  gms::bench::Banner(
+      "E9: differential-oracle matrix",
+      "Observed sketch-vs-exact agreement rates over the testkit spec "
+      "grid, with Wilson intervals and generator throughput.");
+  gms::OracleMatrix(/*trials_per_spec=*/12);
+  gms::StreamBuildThroughput();
+  return 0;
+}

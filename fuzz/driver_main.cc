@@ -1,0 +1,144 @@
+// Standalone deterministic driver for the fuzz harnesses.
+//
+// Links against any fuzz_*.cc harness in place of libFuzzer: replays every
+// file in the given corpus paths, then runs a fixed budget of seeded
+// xorshift mutations of those inputs through the same entry point. This is
+// what the `fuzz_smoke` ctest label executes -- it needs no clang runtime,
+// so it works under plain gcc and every sanitizer preset. When GMS_FUZZ=ON
+// finds a compiler with -fsanitize=fuzzer, the harnesses are ALSO linked
+// into real coverage-guided fuzzers, and this file stays out of those.
+//
+// Usage: <harness> [corpus-file-or-dir ...] [--iters N] [--seed S]
+//
+// Exit code 0 on success; any harness invariant violation aborts (the
+// harnesses check with GMS_CHECK), so a nonzero exit IS the bug report.
+// Set GMS_FUZZ_DUMP_LAST=<path> to write each input there before it runs:
+// after an abort, that file holds the crashing input for replay.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+constexpr size_t kMaxInputBytes = 1 << 14;
+
+uint64_t g_rng = 0;
+
+uint64_t NextRand() {
+  // xorshift64*: deterministic, seedable, no <random> needed.
+  g_rng ^= g_rng >> 12;
+  g_rng ^= g_rng << 25;
+  g_rng ^= g_rng >> 27;
+  return g_rng * 0x2545F4914F6CDD1DULL;
+}
+
+const char* g_dump_path = nullptr;
+
+int RunOne(const std::vector<uint8_t>& input) {
+  if (g_dump_path != nullptr) {
+    std::ofstream out(g_dump_path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(input.data()),
+              static_cast<std::streamsize>(input.size()));
+  }
+  return LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void Mutate(std::vector<uint8_t>* buf) {
+  size_t edits = 1 + NextRand() % 8;
+  for (size_t i = 0; i < edits; ++i) {
+    switch (NextRand() % 5) {
+      case 0:  // flip bits in one byte
+        if (!buf->empty()) {
+          (*buf)[NextRand() % buf->size()] ^=
+              static_cast<uint8_t>(1 + NextRand() % 255);
+        }
+        break;
+      case 1:  // insert a byte
+        if (buf->size() < kMaxInputBytes) {
+          buf->insert(buf->begin() + NextRand() % (buf->size() + 1),
+                      static_cast<uint8_t>(NextRand()));
+        }
+        break;
+      case 2:  // erase a byte
+        if (!buf->empty()) buf->erase(buf->begin() + NextRand() % buf->size());
+        break;
+      case 3:  // truncate
+        if (!buf->empty()) buf->resize(NextRand() % buf->size());
+        break;
+      case 4:  // append a short random run
+        for (size_t j = 1 + NextRand() % 8;
+             j > 0 && buf->size() < kMaxInputBytes; --j) {
+          buf->push_back(static_cast<uint8_t>(NextRand()));
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t iters = 0;
+  uint64_t seed = 1;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      std::vector<std::string> files;
+      for (const auto& entry : std::filesystem::directory_iterator(p, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+      std::sort(files.begin(), files.end());  // deterministic replay order
+      for (const std::string& f : files) corpus.push_back(ReadFile(f));
+    } else {
+      corpus.push_back(ReadFile(p));
+    }
+  }
+
+  g_dump_path = std::getenv("GMS_FUZZ_DUMP_LAST");
+
+  for (const std::vector<uint8_t>& entry : corpus) {
+    RunOne(entry);
+  }
+
+  g_rng = seed * 0x9E3779B97F4A7C15ULL + 1;
+  for (uint64_t i = 0; i < iters; ++i) {
+    std::vector<uint8_t> input;
+    if (!corpus.empty() && NextRand() % 8 != 0) {
+      input = corpus[NextRand() % corpus.size()];
+    }
+    Mutate(&input);
+    RunOne(input);
+  }
+
+  std::printf("fuzz-smoke ok: %zu corpus entries + %" PRIu64
+              " mutated inputs (seed %" PRIu64 ")\n",
+              corpus.size(), iters, seed);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Harness for every sketch Deserialize: any byte string must produce
+// either a sketch or a Status -- no crashes, no aborts, no unbounded
+// allocation commanded by a hostile shape header. When a buffer does
+// deserialize, the reconstructed sketch must survive a
+// Serialize -> Deserialize round trip with equal state, so the seed corpus
+// of valid frames (fuzz/corpus/wire) keeps the accept paths covered while
+// mutations explore the reject paths.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "connectivity/k_skeleton.h"
+#include "connectivity/spanning_forest_sketch.h"
+#include "sketch/l0_sampler.h"
+#include "sparsify/sparsifier_sketch.h"
+#include "util/check.h"
+#include "vertexconn/hyper_vc_query.h"
+#include "vertexconn/vc_query_sketch.h"
+#include "wire/wire.h"
+
+namespace {
+
+// Deserialize, and on success re-serialize and deserialize again: the
+// round trip must succeed and land on equal state.
+template <typename SketchT>
+int TryOne(std::span<const uint8_t> buf) {
+  gms::Result<SketchT> sketch = SketchT::Deserialize(buf);
+  if (!sketch.ok()) return 0;
+  std::vector<uint8_t> again;
+  sketch->Serialize(&again);
+  gms::Result<SketchT> redo = SketchT::Deserialize(again);
+  GMS_CHECK_MSG(redo.ok(), "re-deserialize of a serialized sketch failed");
+  GMS_CHECK_MSG(sketch->StateEquals(*redo),
+                "serialize/deserialize round trip changed state");
+  return 1;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::span<const uint8_t> buf(data, size);
+  // Dispatch on the preamble's type field: only the matching Deserialize
+  // can accept, and each mismatched attempt would checksum the whole
+  // buffer (the type check sits behind it, deliberately -- corruption is
+  // diagnosed before routing). One wrong-type attempt keeps the mismatch
+  // path covered; a failed peek means every Deserialize must reject, and
+  // rejects before the checksum, so trying them all stays cheap.
+  gms::Result<gms::wire::FrameType> peek = gms::wire::PeekFrameType(buf);
+  const bool all = !peek.ok();
+  auto want = [&](gms::wire::FrameType t) {
+    return all || *peek == t ||
+           static_cast<uint16_t>(t) ==
+               1 + static_cast<uint16_t>(*peek) % 6;
+  };
+  int accepted = 0;
+  if (want(gms::wire::FrameType::kL0Sampler)) {
+    accepted += TryOne<gms::L0Sampler>(buf);
+  }
+  if (want(gms::wire::FrameType::kSpanningForest)) {
+    accepted += TryOne<gms::SpanningForestSketch>(buf);
+  }
+  if (want(gms::wire::FrameType::kKSkeleton)) {
+    accepted += TryOne<gms::KSkeletonSketch>(buf);
+  }
+  if (want(gms::wire::FrameType::kVcQuery)) {
+    accepted += TryOne<gms::VcQuerySketch>(buf);
+  }
+  if (want(gms::wire::FrameType::kHyperVcQuery)) {
+    accepted += TryOne<gms::HyperVcQuerySketch>(buf);
+  }
+  if (want(gms::wire::FrameType::kSparsifier)) {
+    accepted += TryOne<gms::HypergraphSparsifierSketch>(buf);
+  }
+  // The frame type field is part of the validated preamble, so at most one
+  // sketch class can claim a given buffer.
+  GMS_CHECK(accepted <= 1);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Harness for the wire frame parser: ANY byte string must either parse or
+// fail with a Status -- never crash, never read out of bounds, never
+// disagree with the cheap preamble peek. Runs under the `fuzz_smoke` ctest
+// label via the standalone driver (driver_main.cc), and as a libFuzzer
+// binary when GMS_FUZZ=ON with a clang toolchain.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/check.h"
+#include "wire/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::span<const uint8_t> buf(data, size);
+  gms::Result<gms::wire::FrameType> peek = gms::wire::PeekFrameType(buf);
+
+  // Parse as the peeked type (the accept path), as a deliberately wrong
+  // type (the mismatch path), and as a value outside the enum. ParseFrame
+  // checksums the whole buffer per attempt, so trying all representable
+  // types would make every iteration O(9 * size) for no extra coverage.
+  const auto peeked = peek.ok() ? *peek : gms::wire::FrameType::kL0Sampler;
+  const auto wrong = static_cast<gms::wire::FrameType>(
+      1 + static_cast<uint16_t>(peeked) % 6);
+  const gms::wire::FrameType attempts[] = {
+      peeked, wrong, static_cast<gms::wire::FrameType>(7)};
+  int accepted = 0;
+  for (gms::wire::FrameType type : attempts) {
+    gms::Result<gms::wire::Frame> frame = gms::wire::ParseFrame(buf, type);
+    if (!frame.ok()) continue;
+    ++accepted;
+    GMS_CHECK(frame->type == type);
+    // A fully validated frame implies the peek succeeded and agrees.
+    GMS_CHECK(peek.ok());
+    GMS_CHECK(*peek == frame->type);
+    // The spans tile the buffer exactly: preamble + header + payload +
+    // checksum, all views into the caller's bytes.
+    GMS_CHECK(frame->header.size() + frame->payload.size() +
+                  gms::wire::kPreambleBytes + gms::wire::kChecksumBytes ==
+              size);
+    GMS_CHECK(frame->header.data() == data + gms::wire::kPreambleBytes);
+  }
+  GMS_CHECK(accepted <= 1);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "graph/edge_codec.h"
 
+#include <algorithm>
 #include <limits>
 
 namespace gms {
@@ -42,9 +43,16 @@ Result<u128> EdgeCodec::DomainSizeFor(size_t n, size_t max_rank) {
   return total;
 }
 
-EdgeCodec::EdgeCodec(size_t n, size_t max_rank) : n_(n), max_rank_(max_rank) {
+EdgeCodec::EdgeCodec(size_t n, size_t max_rank)
+    // Ranks above n are unrealizable (a hyperedge holds at most n distinct
+    // vertices; C(n, s) = 0 for s > n), so clamping changes no coordinate.
+    // It keeps the shape inside the stricter wire-side validation, which
+    // rejects max_rank > n: without the clamp, a sketch constructed with
+    // such a shape would serialize a frame its own Deserialize refuses.
+    : n_(n), max_rank_(std::min(max_rank, n)) {
   GMS_CHECK_MSG(max_rank >= 2, "max_rank must be >= 2");
   GMS_CHECK_MSG(n >= 2, "need at least 2 vertices");
+  max_rank = max_rank_;
   offset_.assign(max_rank + 1, 0);
   u128 total = 0;
   for (size_t s = 2; s <= max_rank; ++s) {

@@ -23,7 +23,9 @@ u128 Binomial(uint64_t m, unsigned j);
 class EdgeCodec {
  public:
   /// Codec for hyperedges over n vertices with cardinality in [2, max_rank].
-  /// CHECK-fails if the domain does not fit in 126 bits.
+  /// max_rank is clamped to n (larger ranks are unrealizable and add no
+  /// coordinates), so max_rank() always satisfies the wire-format shape
+  /// validation. CHECK-fails if the domain does not fit in 126 bits.
   EdgeCodec(size_t n, size_t max_rank);
 
   /// The domain a codec for (n, max_rank) would have, as a Status instead

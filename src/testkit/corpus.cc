@@ -1,0 +1,185 @@
+#include "testkit/corpus.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "connectivity/k_skeleton.h"
+#include "connectivity/spanning_forest_sketch.h"
+#include "graph/generators.h"
+#include "sketch/l0_sampler.h"
+#include "sparsify/sparsifier_sketch.h"
+#include "testkit/stream_spec.h"
+#include "vertexconn/hyper_vc_query.h"
+#include "vertexconn/vc_query_sketch.h"
+
+namespace gms {
+namespace testkit {
+
+DecodedFuzzStream DecodeFuzzStream(std::span<const uint8_t> bytes) {
+  DecodedFuzzStream out;
+  if (bytes.size() < 2) return out;
+  out.n = 2 + bytes[0] % 30;
+  out.max_rank = 2 + bytes[1] % 3;
+  size_t pos = 2;
+  while (pos < bytes.size() && out.updates.size() < kMaxFuzzUpdates) {
+    uint8_t op = bytes[pos++];
+    int delta = (op & 1) ? +1 : -1;
+    size_t r = out.max_rank <= 2
+                   ? 2
+                   : 2 + (static_cast<size_t>(op >> 1) % (out.max_rank - 1));
+    if (pos + r > bytes.size()) break;
+    std::vector<VertexId> vs;
+    vs.reserve(r);
+    for (size_t i = 0; i < r; ++i) {
+      VertexId v = static_cast<VertexId>(bytes[pos++] % out.n);
+      bool dup = false;
+      for (VertexId w : vs) dup |= w == v;
+      if (!dup) vs.push_back(v);
+    }
+    if (vs.size() < 2) continue;  // collapsed below a valid hyperedge
+    out.updates.emplace_back(Hyperedge(std::move(vs)), delta);
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeFuzzStream(size_t n, size_t max_rank,
+                                      const DynamicStream& stream) {
+  std::vector<uint8_t> out;
+  out.reserve(2 + stream.size() * (max_rank + 1));
+  out.push_back(static_cast<uint8_t>((n - 2) % 30));
+  out.push_back(static_cast<uint8_t>((max_rank - 2) % 3));
+  for (const StreamUpdate& u : stream) {
+    uint8_t op = static_cast<uint8_t>((u.edge.size() - 2) << 1);
+    if (u.delta > 0) op |= 1;
+    out.push_back(op);
+    for (VertexId v : u.edge) out.push_back(static_cast<uint8_t>(v));
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> WireSeedCorpus() {
+  std::vector<CorpusEntry> entries;
+  auto add = [&entries](const char* name, std::vector<uint8_t> bytes) {
+    entries.push_back({name, std::move(bytes)});
+  };
+
+  Graph g = ErdosRenyi(10, 0.3, 41);
+  Hypergraph h = RandomUniformHypergraph(10, 14, 3, 42);
+
+  {
+    L0Sampler sampler(1000, SketchConfig::Light(), 3);
+    for (int i = 0; i < 20; ++i) sampler.Update(static_cast<u128>(i * 37), +1);
+    std::vector<uint8_t> bytes;
+    sampler.Serialize(&bytes);
+    add("l0_sampler.bin", bytes);
+    // Truncation and single-byte corruption variants keep the rejection
+    // paths in the unmutated smoke run.
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + bytes.size() / 2);
+    add("l0_sampler_truncated.bin", truncated);
+    std::vector<uint8_t> flipped = bytes;
+    flipped[flipped.size() / 2] ^= 0x40;
+    add("l0_sampler_corrupt.bin", flipped);
+  }
+  {
+    SpanningForestSketch sketch(10, 2, 5);
+    sketch.Process(DynamicStream::InsertOnly(g, 6));
+    std::vector<uint8_t> bytes;
+    sketch.Serialize(&bytes);
+    add("spanning_forest.bin", bytes);
+    std::vector<uint8_t> bad_magic = bytes;
+    bad_magic[0] ^= 0xff;
+    add("spanning_forest_bad_magic.bin", bad_magic);
+  }
+  {
+    KSkeletonSketch sketch(10, 3, 2, 7);
+    sketch.Process(DynamicStream::InsertOnly(h, 8));
+    std::vector<uint8_t> bytes;
+    sketch.Serialize(&bytes);
+    add("k_skeleton.bin", bytes);
+  }
+  {
+    VcQueryParams p;
+    p.k = 1;
+    p.explicit_r = 4;
+    p.forest.config = SketchConfig::Light();
+    VcQuerySketch sketch(10, p, 9);
+    sketch.Process(DynamicStream::InsertOnly(g, 10));
+    std::vector<uint8_t> bytes;
+    sketch.Serialize(&bytes);
+    add("vc_query.bin", bytes);
+  }
+  {
+    VcQueryParams p;
+    p.k = 1;
+    p.explicit_r = 4;
+    p.forest.config = SketchConfig::Light();
+    HyperVcQuerySketch sketch(10, 3, p, 11);
+    sketch.Process(DynamicStream::InsertOnly(h, 12));
+    std::vector<uint8_t> bytes;
+    sketch.Serialize(&bytes);
+    add("hyper_vc_query.bin", bytes);
+  }
+  {
+    SparsifierParams p;
+    p.levels = 4;
+    p.k = 4;
+    p.forest.config = SketchConfig::Light();
+    HypergraphSparsifierSketch sketch(10, 2, p, 13);
+    sketch.Process(DynamicStream::InsertOnly(g, 14));
+    std::vector<uint8_t> bytes;
+    sketch.Serialize(&bytes);
+    add("sparsifier.bin", bytes);
+  }
+  return entries;
+}
+
+std::vector<CorpusEntry> StreamSeedCorpus() {
+  std::vector<CorpusEntry> entries;
+  std::vector<StreamSpec> grid = DefaultSpecGrid();
+  // One representative per family from the insert-only block plus a few
+  // churn/delete-down schedules: enough structural diversity to seed the
+  // mutator without bloating the checked-in corpus.
+  for (size_t i = 0; i < grid.size(); i += (i < 12 ? 1 : 5)) {
+    const StreamSpec& spec = grid[i];
+    BuiltStream built = spec.Build();
+    if (spec.n > 31 || built.max_rank > 4) continue;
+    CorpusEntry entry;
+    entry.name = std::string(FamilyName(spec.family)) + "_" +
+                 ChurnName(spec.churn) + ".bin";
+    entry.bytes = EncodeFuzzStream(spec.n, built.max_rank, built.stream);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Result<size_t> WriteCorpusDir(const std::string& dir,
+                              const std::vector<CorpusEntry>& entries) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("create_directories(" + dir + "): " +
+                            ec.message());
+  }
+  size_t written = 0;
+  for (const CorpusEntry& entry : entries) {
+    std::string path = dir + "/" + entry.name;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::Internal("fopen(" + path + ") failed");
+    }
+    size_t wrote =
+        entry.bytes.empty()
+            ? 0
+            : std::fwrite(entry.bytes.data(), 1, entry.bytes.size(), f);
+    std::fclose(f);
+    if (wrote != entry.bytes.size()) {
+      return Status::Internal("short write to " + path);
+    }
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace testkit
+}  // namespace gms

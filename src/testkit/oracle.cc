@@ -1,0 +1,371 @@
+#include "testkit/oracle.h"
+
+#include <cmath>
+#include <cstdio>
+#include <algorithm>
+
+#include "connectivity/connectivity_query.h"
+#include "exact/hypergraph_mincut.h"
+#include "exact/strength.h"
+#include "graph/edge_codec.h"
+#include "graph/traversal.h"
+#include "reconstruct/light_recovery.h"
+#include "sketch/l0_sampler.h"
+#include "sparsify/sparsifier_sketch.h"
+#include "sparsify/verify.h"
+#include "util/random.h"
+#include "vertexconn/hyper_vc_query.h"
+#include "vertexconn/vc_query_sketch.h"
+
+namespace gms {
+namespace testkit {
+
+namespace {
+
+/// The stream as the sketch sees it: every update the fault hook drops is
+/// withheld. Exact algorithms always consume the TRUE final graph.
+std::vector<StreamUpdate> SketchSideUpdates(const DynamicStream& stream,
+                                            const FaultHook& fault) {
+  std::vector<StreamUpdate> out;
+  out.reserve(stream.size());
+  for (const StreamUpdate& u : stream) {
+    if (!fault.Drops(u)) out.push_back(u);
+  }
+  return out;
+}
+
+VcQueryParams VcParams(const OracleOptions& opt) {
+  VcQueryParams p;
+  p.k = opt.k;
+  if (opt.explicit_r > 0) {
+    p.explicit_r = opt.explicit_r;
+  } else {
+    // Half the paper's R = 16 k^2 ln n: the sized-down constant the unit
+    // suites established as empirically reliable at these scales.
+    p.r_multiplier = 0.5;
+  }
+  p.forest.config = SketchConfig::Light();
+  return p;
+}
+
+/// Removal-set queries for the VC oracles: the planted separator first (the
+/// one set the family GUARANTEES disconnects), then seeded random sets.
+std::vector<std::vector<VertexId>> VcQuerySets(
+    size_t n, const std::vector<VertexId>& planted, uint64_t seed,
+    const OracleOptions& opt) {
+  std::vector<std::vector<VertexId>> queries;
+  if (!planted.empty() && planted.size() <= opt.k) queries.push_back(planted);
+  Rng rng(Mix64(seed ^ 0x71c7a9d05c9f2e3bULL));
+  for (size_t q = 0; q < opt.num_queries; ++q) {
+    size_t want = 1 + rng.Below(std::max<size_t>(opt.k, 1));
+    want = std::min(want, n > 0 ? n - 1 : 0);
+    std::vector<VertexId> s;
+    size_t attempts = 0;
+    while (s.size() < want && ++attempts < 64 * (want + 1)) {
+      VertexId v = static_cast<VertexId>(rng.Below(n));
+      bool dup = false;
+      for (VertexId w : s) dup |= w == v;
+      if (!dup) s.push_back(v);
+    }
+    if (!s.empty()) queries.push_back(std::move(s));
+  }
+  return queries;
+}
+
+std::string DescribeSet(const std::vector<VertexId>& s) {
+  std::string out = "{";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(s[i]);
+  }
+  out += "}";
+  return out;
+}
+
+OracleOutcome Disagree(std::string detail) {
+  OracleOutcome out;
+  out.agreed = false;
+  out.detail = std::move(detail);
+  return out;
+}
+
+OracleOutcome DecodeFailed(const Status& st) {
+  OracleOutcome out;
+  out.decode_failure = true;
+  out.detail = st.ToString();
+  return out;
+}
+
+OracleOutcome NotApplicable() {
+  OracleOutcome out;
+  out.applicable = false;
+  return out;
+}
+
+}  // namespace
+
+const char* OracleName(OracleKind k) {
+  switch (k) {
+    case OracleKind::kComponents:
+      return "components";
+    case OracleKind::kSpanningNoGhost:
+      return "spanning_no_ghost";
+    case OracleKind::kEdgeConnectivity:
+      return "edge_connectivity";
+    case OracleKind::kLightRecovery:
+      return "light_recovery";
+    case OracleKind::kVcQuery:
+      return "vc_query";
+    case OracleKind::kHyperVcQuery:
+      return "hyper_vc_query";
+    case OracleKind::kSparsifier:
+      return "sparsifier";
+    case OracleKind::kL0Sampler:
+      return "l0_sampler";
+  }
+  return "unknown";
+}
+
+std::vector<OracleKind> AllOracles() {
+  return {OracleKind::kComponents,   OracleKind::kSpanningNoGhost,
+          OracleKind::kEdgeConnectivity, OracleKind::kLightRecovery,
+          OracleKind::kVcQuery,      OracleKind::kHyperVcQuery,
+          OracleKind::kSparsifier,   OracleKind::kL0Sampler};
+}
+
+OracleOutcome RunOracleOnStream(OracleKind kind, size_t n, size_t max_rank,
+                                const DynamicStream& stream,
+                                const Hypergraph& truth,
+                                const std::vector<VertexId>& planted_separator,
+                                uint64_t sketch_seed,
+                                const OracleOptions& opt) {
+  if (n < 2) return NotApplicable();
+  const std::vector<StreamUpdate> updates =
+      SketchSideUpdates(stream, opt.fault);
+  const std::span<const StreamUpdate> span(updates);
+
+  switch (kind) {
+    case OracleKind::kComponents: {
+      ConnectivityQuery q(n, max_rank, sketch_seed);
+      for (const StreamUpdate& u : span) q.Update(u.edge, u.delta);
+      auto got = q.NumComponents();
+      if (!got.ok()) return DecodeFailed(got.status());
+      size_t want = NumComponents(truth);
+      if (*got != want) {
+        return Disagree("components: sketch=" + std::to_string(*got) +
+                        " exact=" + std::to_string(want));
+      }
+      return OracleOutcome();
+    }
+
+    case OracleKind::kSpanningNoGhost: {
+      ConnectivityQuery q(n, max_rank, sketch_seed);
+      for (const StreamUpdate& u : span) q.Update(u.edge, u.delta);
+      auto span_graph = q.SpanningGraph();
+      if (!span_graph.ok()) return DecodeFailed(span_graph.status());
+      for (const Hyperedge& e : span_graph->Edges()) {
+        if (!truth.HasEdge(e)) {
+          return Disagree("spanning_no_ghost: ghost edge " + e.ToString());
+        }
+      }
+      return OracleOutcome();
+    }
+
+    case OracleKind::kEdgeConnectivity: {
+      EdgeConnectivityQuery q(n, max_rank, opt.k, sketch_seed);
+      for (const StreamUpdate& u : span) q.Update(u.edge, u.delta);
+      auto got = q.EdgeConnectivityCapped();
+      if (!got.ok()) return DecodeFailed(got.status());
+      size_t exact = 0;
+      if (truth.NumVertices() >= 2 && IsConnected(truth)) {
+        exact = static_cast<size_t>(HypergraphMinCut(truth).value + 0.5);
+      }
+      size_t want = std::min(exact, opt.k);
+      if (*got != want) {
+        return Disagree("edge_connectivity: sketch=" + std::to_string(*got) +
+                        " exact=" + std::to_string(want));
+      }
+      return OracleOutcome();
+    }
+
+    case OracleKind::kLightRecovery: {
+      LightRecoverySketch sketch(n, max_rank, opt.k, sketch_seed);
+      sketch.Process(span);
+      auto rec = sketch.Recover();
+      if (!rec.ok()) return DecodeFailed(rec.status());
+      LightDecomposition offline = OfflineLightEdges(truth, opt.k);
+      if (rec->light.NumEdges() != offline.light.NumEdges()) {
+        return Disagree(
+            "light_recovery: sketch recovered " +
+            std::to_string(rec->light.NumEdges()) + " edges, offline light_k has " +
+            std::to_string(offline.light.NumEdges()));
+      }
+      for (const Hyperedge& e : rec->light.Edges()) {
+        if (!offline.light.HasEdge(e)) {
+          return Disagree("light_recovery: non-light edge " + e.ToString());
+        }
+      }
+      return OracleOutcome();
+    }
+
+    case OracleKind::kVcQuery: {
+      if (truth.Rank() > 2) return NotApplicable();
+      Graph g(n);
+      for (const Hyperedge& e : truth.Edges()) g.AddEdge(e.AsEdge());
+      VcQuerySketch sketch(n, VcParams(opt), sketch_seed);
+      sketch.Process(span);
+      Status fin = sketch.Finalize();
+      if (!fin.ok()) return DecodeFailed(fin);
+      for (const auto& s :
+           VcQuerySets(n, planted_separator, sketch_seed, opt)) {
+        auto got = sketch.Disconnects(s);
+        if (!got.ok()) return DecodeFailed(got.status());
+        bool want = !IsConnectedExcluding(g, s);
+        if (*got != want) {
+          return Disagree("vc_query: S=" + DescribeSet(s) + " sketch=" +
+                          (*got ? "disconnects" : "stays connected") +
+                          " exact=" + (want ? "disconnects" : "stays connected"));
+        }
+      }
+      return OracleOutcome();
+    }
+
+    case OracleKind::kHyperVcQuery: {
+      HyperVcQuerySketch sketch(n, max_rank, VcParams(opt), sketch_seed);
+      sketch.Process(span);
+      Status fin = sketch.Finalize();
+      if (!fin.ok()) return DecodeFailed(fin);
+      for (const auto& s :
+           VcQuerySets(n, planted_separator, sketch_seed, opt)) {
+        auto got = sketch.Disconnects(s);
+        if (!got.ok()) return DecodeFailed(got.status());
+        bool want = !IsConnectedExcluding(truth, s);
+        if (*got != want) {
+          return Disagree("hyper_vc_query: S=" + DescribeSet(s) + " sketch=" +
+                          (*got ? "disconnects" : "stays connected") +
+                          " exact=" + (want ? "disconnects" : "stays connected"));
+        }
+      }
+      return OracleOutcome();
+    }
+
+    case OracleKind::kSparsifier: {
+      SparsifierParams params;
+      params.epsilon = opt.sparsifier_epsilon;
+      params.levels = opt.sparsifier_levels;
+      params.k = opt.sparsifier_k;
+      HypergraphSparsifierSketch sketch(n, max_rank, params, sketch_seed);
+      sketch.Process(span);
+      auto out = sketch.ExtractSparsifier();
+      if (!out.ok()) return DecodeFailed(out.status());
+      if (out->truncated) {
+        return DecodeFailed(Status::DecodeFailure(
+            "sparsifier: deepest level still held heavy edges"));
+      }
+      SparsifierReport report = VerifySparsifier(
+          truth, out->sparsifier, opt.verify_epsilon,
+          /*exhaustive_threshold=*/16, /*samples=*/400, /*seed=*/sketch_seed);
+      if (!report.within_epsilon) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "sparsifier: max relative cut error %.3f > %.3f "
+                      "(zero mismatches: %zu)",
+                      report.stats.max_rel_error, opt.verify_epsilon,
+                      report.stats.zero_mismatches);
+        return Disagree(buf);
+      }
+      return OracleOutcome();
+    }
+
+    case OracleKind::kL0Sampler: {
+      EdgeCodec codec(n, max_rank);
+      L0Sampler sampler(codec.DomainSize(), SketchConfig::Default(),
+                        sketch_seed);
+      for (const StreamUpdate& u : span) {
+        sampler.Update(codec.Encode(u.edge), u.delta);
+      }
+      auto sample = sampler.Sample();
+      if (truth.NumEdges() == 0) {
+        // The support is empty; an honest sampler must refuse to answer.
+        if (sample.ok()) {
+          return Disagree("l0_sampler: sampled value " +
+                          std::to_string(sample->value) +
+                          " from an empty support");
+        }
+        return OracleOutcome();
+      }
+      if (!sample.ok()) return DecodeFailed(sample.status());
+      auto edge = codec.Decode(sample->index);
+      if (!edge.ok()) {
+        return Disagree("l0_sampler: sampled index outside the codec domain");
+      }
+      if (!truth.HasEdge(*edge)) {
+        return Disagree("l0_sampler: sampled edge " + edge->ToString() +
+                        " not in the final graph");
+      }
+      if (sample->value != 1) {
+        return Disagree("l0_sampler: edge " + edge->ToString() +
+                        " has multiplicity " + std::to_string(sample->value) +
+                        " (want 1)");
+      }
+      return OracleOutcome();
+    }
+  }
+  return Disagree("unknown oracle kind");
+}
+
+OracleOutcome RunOracle(OracleKind kind, const StreamSpec& spec,
+                        uint64_t sketch_seed, const OracleOptions& opt) {
+  BuiltStream built = spec.Build();
+  OracleOutcome out =
+      RunOracleOnStream(kind, spec.n, built.max_rank, built.stream,
+                        built.final_graph, built.separator, sketch_seed, opt);
+  if (!out.Succeeded() && out.applicable) {
+    out.detail = std::string(OracleName(kind)) + ";sketch_seed=" +
+                 std::to_string(sketch_seed) + ";" + spec.ToString() + " :: " +
+                 out.detail;
+  }
+  return out;
+}
+
+WilsonInterval Wilson(size_t successes, size_t trials, double z) {
+  WilsonInterval w;
+  if (trials == 0) return w;  // vacuous [0, 1]
+  const double nt = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / nt;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nt;
+  const double center = phat + z2 / (2.0 * nt);
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / nt + z2 / (4.0 * nt * nt));
+  w.lo = std::max(0.0, (center - margin) / denom);
+  w.hi = std::min(1.0, (center + margin) / denom);
+  return w;
+}
+
+SweepResult RunSweep(OracleKind kind, const StreamSpec& base, size_t trials,
+                     const OracleOptions& opt) {
+  SweepResult result;
+  for (size_t t = 0; t < trials; ++t) {
+    StreamSpec spec = base.WithTrial(t);
+    uint64_t sketch_seed =
+        Mix64(base.gseed ^ (0xa5a5a5a5a5a5a5a5ULL + 2 * t + 1));
+    OracleOutcome out = RunOracle(kind, spec, sketch_seed, opt);
+    if (!out.applicable) continue;
+    ++result.trials;
+    if (out.Succeeded()) {
+      ++result.successes;
+    } else {
+      if (out.decode_failure) {
+        ++result.decode_failures;
+      } else {
+        ++result.disagreements;
+      }
+      result.failures.push_back(out.detail);
+    }
+  }
+  return result;
+}
+
+}  // namespace testkit
+}  // namespace gms

@@ -1,0 +1,173 @@
+#include "testkit/shrink.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gms {
+namespace testkit {
+
+namespace {
+
+/// The stream regrouped by hyperedge: group i is every update of edge i, in
+/// stream order. Candidate streams are assembled from a subset of groups by
+/// replaying the original update order restricted to kept edges, so
+/// relative update order (and hence validity) is preserved.
+struct Grouped {
+  std::vector<Hyperedge> edges;                     // group id -> edge
+  std::unordered_map<Hyperedge, size_t, HyperedgeHasher> group_of;
+  std::vector<StreamUpdate> updates;                // original order
+  std::vector<size_t> update_group;                 // per update
+};
+
+Grouped GroupByEdge(const DynamicStream& stream) {
+  Grouped g;
+  g.updates.assign(stream.begin(), stream.end());
+  g.update_group.reserve(g.updates.size());
+  for (const StreamUpdate& u : g.updates) {
+    auto [it, inserted] = g.group_of.try_emplace(u.edge, g.edges.size());
+    if (inserted) g.edges.push_back(u.edge);
+    g.update_group.push_back(it->second);
+  }
+  return g;
+}
+
+DynamicStream Assemble(const Grouped& g, const std::vector<bool>& keep_group,
+                       const std::vector<bool>& flatten_group) {
+  DynamicStream out;
+  // Flattened groups contribute their NET effect: one insert at the
+  // position of their first update if the deltas sum to +1, nothing if 0.
+  std::vector<bool> emitted(g.edges.size(), false);
+  std::vector<int> net(g.edges.size(), 0);
+  for (size_t i = 0; i < g.updates.size(); ++i) {
+    net[g.update_group[i]] += g.updates[i].delta;
+  }
+  for (size_t i = 0; i < g.updates.size(); ++i) {
+    size_t grp = g.update_group[i];
+    if (!keep_group[grp]) continue;
+    if (!flatten_group[grp]) {
+      out.Push(g.updates[i].edge, g.updates[i].delta);
+    } else if (!emitted[grp] && net[grp] > 0) {
+      emitted[grp] = true;
+      out.Push(g.updates[i].edge, +1);
+    }
+  }
+  return out;
+}
+
+size_t CountKept(const std::vector<bool>& keep) {
+  size_t c = 0;
+  for (bool b : keep) c += b;
+  return c;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkStream(size_t n, const DynamicStream& failing,
+                          const FailurePredicate& still_fails,
+                          size_t max_predicate_calls) {
+  ShrinkResult result;
+  result.n = n;
+
+  size_t calls = 0;
+  auto check = [&](size_t cand_n, const DynamicStream& cand) {
+    if (calls >= max_predicate_calls) return false;
+    ++calls;
+    return still_fails(cand_n, cand);
+  };
+
+  GMS_CHECK_MSG(still_fails(n, failing),
+                "ShrinkStream: the input does not reproduce the failure");
+  ++calls;
+
+  Grouped g = GroupByEdge(failing);
+  std::vector<bool> keep(g.edges.size(), true);
+  std::vector<bool> flatten(g.edges.size(), false);
+  size_t best_n = n;
+
+  // Pass 1: ddmin over groups. Chunks shrink from half the live set down to
+  // single groups; any successful removal restarts at the (new) half size.
+  bool removed_any = true;
+  while (removed_any && calls < max_predicate_calls) {
+    removed_any = false;
+    std::vector<size_t> live;
+    for (size_t i = 0; i < keep.size(); ++i) {
+      if (keep[i]) live.push_back(i);
+    }
+    for (size_t chunk = std::max<size_t>(live.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+      for (size_t start = 0;
+           start < live.size() && calls < max_predicate_calls;
+           start += chunk) {
+        size_t end = std::min(start + chunk, live.size());
+        bool any_kept = false;
+        for (size_t i = start; i < end; ++i) any_kept |= keep[live[i]];
+        if (!any_kept) continue;
+        std::vector<bool> cand = keep;
+        for (size_t i = start; i < end; ++i) cand[live[i]] = false;
+        if (check(best_n, Assemble(g, cand, flatten))) {
+          keep = std::move(cand);
+          removed_any = true;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+
+  // Pass 2: churn flattening. Collapse each surviving group to its net
+  // effect (kills decoy insert+delete pairs and redundant re-insertions).
+  for (size_t i = 0; i < keep.size() && calls < max_predicate_calls; ++i) {
+    if (!keep[i] || flatten[i]) continue;
+    std::vector<bool> cand = flatten;
+    cand[i] = true;
+    if (check(best_n, Assemble(g, keep, cand))) flatten = std::move(cand);
+  }
+
+  // Pass 3: vertex-range reduction. Halve the id range while the failure
+  // survives with every group above the cut removed, then tighten n to the
+  // maximum id actually used.
+  while (best_n > 2 && calls < max_predicate_calls) {
+    size_t half = (best_n + 1) / 2;
+    std::vector<bool> cand = keep;
+    for (size_t i = 0; i < g.edges.size(); ++i) {
+      if (!cand[i]) continue;
+      for (VertexId v : g.edges[i]) {
+        if (v >= half) cand[i] = false;
+      }
+    }
+    if (CountKept(cand) == 0) break;
+    if (!check(half, Assemble(g, cand, flatten))) break;
+    keep = std::move(cand);
+    best_n = half;
+  }
+  VertexId max_used = 0;
+  bool any = false;
+  for (size_t i = 0; i < g.edges.size(); ++i) {
+    if (!keep[i]) continue;
+    any = true;
+    for (VertexId v : g.edges[i]) max_used = std::max(max_used, v);
+  }
+  if (any) {
+    size_t tight = static_cast<size_t>(max_used) + 1;
+    if (tight < best_n && check(tight, Assemble(g, keep, flatten))) {
+      best_n = tight;
+    }
+  }
+
+  result.stream = Assemble(g, keep, flatten);
+  result.n = best_n;
+  result.distinct_edges = CountKept(keep);
+  // Flattened-to-nothing groups are kept in `keep` but emit no updates;
+  // count edges that actually appear.
+  std::unordered_map<Hyperedge, size_t, HyperedgeHasher> seen;
+  for (const StreamUpdate& u : result.stream) seen.try_emplace(u.edge, 0);
+  result.distinct_edges = seen.size();
+  result.predicate_calls = calls;
+  result.budget_exhausted = calls >= max_predicate_calls;
+  return result;
+}
+
+}  // namespace testkit
+}  // namespace gms

@@ -1,0 +1,52 @@
+// Greedy delta-debugging stream shrinker: given a dynamic stream on which a
+// caller-supplied predicate reproduces a failure, find a (locally) minimal
+// sub-stream that still reproduces it. Failure reports then ship a
+// five-edge repro instead of a five-thousand-update churn schedule.
+//
+// The unit of removal is a hyperedge GROUP -- every update touching one
+// hyperedge -- because removing a whole group preserves the stream
+// invariant (per-edge multiplicity in {0,1} at every prefix) by
+// construction, so every candidate the shrinker proposes is a valid stream.
+//
+// Passes, each greedy and re-run to a fixed point within the step budget:
+//   1. ddmin over groups: remove chunks of 1/2, 1/4, ... of the groups.
+//   2. churn flattening: replace a surviving group's updates with its net
+//      effect (insert once or nothing), removing decoy insert+delete pairs.
+//   3. vertex-range reduction: drop groups touching the top half of the
+//      vertex range and shrink n, repeatedly, then tighten n to the maximum
+//      vertex actually used.
+#ifndef GMS_TESTKIT_SHRINK_H_
+#define GMS_TESTKIT_SHRINK_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "stream/stream.h"
+
+namespace gms {
+namespace testkit {
+
+/// Returns true iff the failure still reproduces on (n, stream).
+using FailurePredicate =
+    std::function<bool(size_t n, const DynamicStream& stream)>;
+
+struct ShrinkResult {
+  DynamicStream stream;   // minimized failing stream
+  size_t n = 0;           // minimized vertex count
+  size_t distinct_edges = 0;  // hyperedges appearing in `stream`
+  size_t predicate_calls = 0;
+  bool budget_exhausted = false;
+};
+
+/// Minimize (n, failing) under `still_fails`. The input MUST fail the
+/// predicate (CHECK-enforced: a shrinker fed a passing input would
+/// "minimize" it to the empty stream). `max_predicate_calls` bounds total
+/// work; the result is the best stream found when the budget runs out.
+ShrinkResult ShrinkStream(size_t n, const DynamicStream& failing,
+                          const FailurePredicate& still_fails,
+                          size_t max_predicate_calls = 2000);
+
+}  // namespace testkit
+}  // namespace gms
+
+#endif  // GMS_TESTKIT_SHRINK_H_

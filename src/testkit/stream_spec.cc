@@ -1,0 +1,331 @@
+#include "testkit/stream_spec.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace gms {
+namespace testkit {
+
+namespace {
+
+struct FamilyEntry {
+  Family family;
+  const char* name;
+};
+
+constexpr FamilyEntry kFamilies[] = {
+    {Family::kPath, "path"},
+    {Family::kCycle, "cycle"},
+    {Family::kRandomTree, "random_tree"},
+    {Family::kErdosRenyi, "erdos_renyi"},
+    {Family::kGnm, "gnm"},
+    {Family::kExpander, "expander"},
+    {Family::kPlantedSeparator, "planted_separator"},
+    {Family::kHyperCycle, "hyper_cycle"},
+    {Family::kRandomUniform, "random_uniform"},
+    {Family::kRandomHypergraph, "random_hypergraph"},
+    {Family::kPlantedHyperSeparator, "planted_hyper_separator"},
+    {Family::kPlantedHyperCut, "planted_hyper_cut"},
+};
+
+struct ChurnEntry {
+  Churn churn;
+  const char* name;
+};
+
+constexpr ChurnEntry kChurns[] = {
+    {Churn::kInsertOnly, "insert_only"},
+    {Churn::kWithChurn, "with_churn"},
+    {Churn::kDeleteDown, "delete_down"},
+};
+
+constexpr char kSpecVersion[] = "gms-spec-v1";
+
+/// Superset of `final_graph` with `extra` additional random hyperedges of
+/// cardinality in [2, max_rank] (rejection-sampled; stops short on dense
+/// inputs, mirroring DynamicStream::WithChurn's contract).
+Hypergraph SupersetOf(const Hypergraph& final_graph, size_t n, size_t max_rank,
+                      size_t extra, uint64_t seed) {
+  Hypergraph superset = final_graph;
+  Rng rng(seed);
+  size_t attempts = 0;
+  const size_t max_attempts = 50 * n * (extra + 1);
+  while (extra > 0 && ++attempts < max_attempts) {
+    size_t r = max_rank <= 2 ? 2 : 2 + rng.Below(max_rank - 1);
+    std::vector<VertexId> vs;
+    while (vs.size() < r) {
+      VertexId v = static_cast<VertexId>(rng.Below(n));
+      bool dup = false;
+      for (VertexId w : vs) dup |= w == v;
+      if (!dup) vs.push_back(v);
+    }
+    if (superset.AddEdge(Hyperedge(std::move(vs)))) --extra;
+  }
+  return superset;
+}
+
+}  // namespace
+
+const char* FamilyName(Family f) {
+  for (const auto& e : kFamilies) {
+    if (e.family == f) return e.name;
+  }
+  return "unknown";
+}
+
+const char* ChurnName(Churn c) {
+  for (const auto& e : kChurns) {
+    if (e.churn == c) return e.name;
+  }
+  return "unknown";
+}
+
+BuiltStream StreamSpec::Build() const {
+  BuiltStream out;
+  out.max_rank = 2;
+  switch (family) {
+    case Family::kPath:
+      out.final_graph = Hypergraph::FromGraph(PathGraph(n));
+      break;
+    case Family::kCycle:
+      out.final_graph = Hypergraph::FromGraph(CycleGraph(n));
+      break;
+    case Family::kRandomTree:
+      out.final_graph = Hypergraph::FromGraph(RandomTree(n, gseed));
+      break;
+    case Family::kErdosRenyi:
+      out.final_graph = Hypergraph::FromGraph(ErdosRenyi(n, p, gseed));
+      break;
+    case Family::kGnm:
+      out.final_graph = Hypergraph::FromGraph(Gnm(n, m, gseed));
+      break;
+    case Family::kExpander:
+      out.final_graph =
+          Hypergraph::FromGraph(UnionOfHamiltonianCycles(n, k, gseed));
+      break;
+    case Family::kPlantedSeparator: {
+      PlantedSeparatorGraph planted = PlantedSeparator(n, k, gseed);
+      out.final_graph = Hypergraph::FromGraph(planted.graph);
+      out.separator = std::move(planted.separator);
+      break;
+    }
+    case Family::kHyperCycle:
+      out.final_graph = HyperCycle(n, rank);
+      out.max_rank = rank;
+      break;
+    case Family::kRandomUniform:
+      out.final_graph = RandomUniformHypergraph(n, m, rank, gseed);
+      out.max_rank = rank;
+      break;
+    case Family::kRandomHypergraph:
+      out.final_graph = RandomHypergraph(n, m, rank_min, rank, gseed);
+      out.max_rank = rank;
+      break;
+    case Family::kPlantedHyperSeparator: {
+      PlantedHyperSeparator planted =
+          PlantedHypergraphSeparator(n, k, rank, gseed);
+      out.final_graph = std::move(planted.hypergraph);
+      out.separator = std::move(planted.separator);
+      out.max_rank = rank;
+      break;
+    }
+    case Family::kPlantedHyperCut: {
+      PlantedCutHypergraph planted =
+          PlantedHypergraphCut(n, rank, k, m, gseed);
+      out.final_graph = std::move(planted.hypergraph);
+      out.planted_cut = planted.planted_cut_size;
+      out.max_rank = rank;
+      break;
+    }
+  }
+  // A family can legally emit edges above its nominal rank field (e.g.
+  // rank defaults to 2 for graph families); take the observed max too.
+  out.max_rank = std::max(out.max_rank, out.final_graph.Rank());
+  out.max_rank = std::max<size_t>(out.max_rank, 2);
+
+  switch (churn) {
+    case Churn::kInsertOnly:
+      out.stream = DynamicStream::InsertOnly(out.final_graph, sseed);
+      break;
+    case Churn::kWithChurn:
+      out.stream = DynamicStream::WithChurn(out.final_graph, decoys,
+                                            out.max_rank, sseed);
+      break;
+    case Churn::kDeleteDown: {
+      Hypergraph superset =
+          SupersetOf(out.final_graph, n, out.max_rank, decoys, sseed ^ gseed);
+      out.stream =
+          DynamicStream::InsertThenDeleteDown(superset, out.final_graph, sseed);
+      break;
+    }
+  }
+  return out;
+}
+
+std::string StreamSpec::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s;family=%s;n=%" PRIu32 ";m=%" PRIu32 ";k=%" PRIu32
+                ";rank=%" PRIu32 ";rank_min=%" PRIu32 ";p=%.17g;gseed=%" PRIu64
+                ";churn=%s;decoys=%" PRIu32 ";sseed=%" PRIu64,
+                kSpecVersion, FamilyName(family), n, m, k, rank, rank_min, p,
+                gseed, ChurnName(churn), decoys, sseed);
+  return buf;
+}
+
+Result<StreamSpec> StreamSpec::Parse(std::string_view line) {
+  StreamSpec spec;
+  size_t pos = 0;
+  bool saw_version = false;
+  while (pos <= line.size()) {
+    size_t end = line.find(';', pos);
+    if (end == std::string_view::npos) end = line.size();
+    std::string_view token = line.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) {
+      if (pos > line.size()) break;
+      continue;
+    }
+    if (!saw_version) {
+      if (token != kSpecVersion) {
+        return Status::InvalidArgument("stream spec: expected version tag '" +
+                                       std::string(kSpecVersion) + "', got '" +
+                                       std::string(token) + "'");
+      }
+      saw_version = true;
+      continue;
+    }
+    size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("stream spec: token without '=': '" +
+                                     std::string(token) + "'");
+    }
+    std::string_view key = token.substr(0, eq);
+    std::string_view val = token.substr(eq + 1);
+    auto parse_u32 = [&](uint32_t* out) {
+      auto [ptr, ec] = std::from_chars(val.data(), val.data() + val.size(),
+                                       *out);
+      return ec == std::errc() && ptr == val.data() + val.size();
+    };
+    auto parse_u64 = [&](uint64_t* out) {
+      auto [ptr, ec] = std::from_chars(val.data(), val.data() + val.size(),
+                                       *out);
+      return ec == std::errc() && ptr == val.data() + val.size();
+    };
+    bool ok = true;
+    if (key == "family") {
+      ok = false;
+      for (const auto& e : kFamilies) {
+        if (val == e.name) {
+          spec.family = e.family;
+          ok = true;
+        }
+      }
+    } else if (key == "churn") {
+      ok = false;
+      for (const auto& e : kChurns) {
+        if (val == e.name) {
+          spec.churn = e.churn;
+          ok = true;
+        }
+      }
+    } else if (key == "n") {
+      ok = parse_u32(&spec.n);
+    } else if (key == "m") {
+      ok = parse_u32(&spec.m);
+    } else if (key == "k") {
+      ok = parse_u32(&spec.k);
+    } else if (key == "rank") {
+      ok = parse_u32(&spec.rank);
+    } else if (key == "rank_min") {
+      ok = parse_u32(&spec.rank_min);
+    } else if (key == "decoys") {
+      ok = parse_u32(&spec.decoys);
+    } else if (key == "gseed") {
+      ok = parse_u64(&spec.gseed);
+    } else if (key == "sseed") {
+      ok = parse_u64(&spec.sseed);
+    } else if (key == "p") {
+      // std::from_chars for doubles is missing in some libstdc++ configs;
+      // strtod on a bounded copy round-trips the %.17g rendering exactly.
+      char tmp[64];
+      if (val.size() >= sizeof(tmp)) {
+        ok = false;
+      } else {
+        std::memcpy(tmp, val.data(), val.size());
+        tmp[val.size()] = '\0';
+        char* endp = nullptr;
+        spec.p = std::strtod(tmp, &endp);
+        ok = endp == tmp + val.size();
+      }
+    } else {
+      return Status::InvalidArgument("stream spec: unknown key '" +
+                                     std::string(key) + "'");
+    }
+    if (!ok) {
+      return Status::InvalidArgument("stream spec: bad value for '" +
+                                     std::string(key) + "': '" +
+                                     std::string(val) + "'");
+    }
+    if (pos > line.size()) break;
+  }
+  if (!saw_version) {
+    return Status::InvalidArgument("stream spec: empty line");
+  }
+  return spec;
+}
+
+StreamSpec StreamSpec::WithTrial(uint64_t trial) const {
+  StreamSpec out = *this;
+  uint64_t base = gseed;
+  base = Mix64(base ^ (0x9e3779b97f4a7c15ULL * (trial + 1)));
+  out.gseed = Mix64(base ^ 1);
+  out.sseed = Mix64(base ^ 2);
+  return out;
+}
+
+std::vector<StreamSpec> DefaultSpecGrid() {
+  std::vector<StreamSpec> grid;
+  auto add = [&grid](StreamSpec s) { grid.push_back(s); };
+  for (Churn churn :
+       {Churn::kInsertOnly, Churn::kWithChurn, Churn::kDeleteDown}) {
+    auto with_churn = [churn](StreamSpec s) {
+      s.churn = churn;
+      s.decoys = churn == Churn::kInsertOnly ? 0 : 12;
+      return s;
+    };
+    add(with_churn({.family = Family::kPath, .n = 16}));
+    add(with_churn({.family = Family::kCycle, .n = 16}));
+    add(with_churn({.family = Family::kRandomTree, .n = 18}));
+    add(with_churn({.family = Family::kErdosRenyi, .n = 20, .p = 0.2}));
+    add(with_churn({.family = Family::kGnm, .n = 18, .m = 30}));
+    add(with_churn({.family = Family::kExpander, .n = 16, .k = 2}));
+    add(with_churn({.family = Family::kPlantedSeparator, .n = 20, .k = 2}));
+    add(with_churn({.family = Family::kHyperCycle, .n = 16, .rank = 3}));
+    add(with_churn(
+        {.family = Family::kRandomUniform, .n = 16, .m = 24, .rank = 3}));
+    add(with_churn({.family = Family::kRandomHypergraph,
+                    .n = 16,
+                    .m = 20,
+                    .rank = 4,
+                    .rank_min = 2}));
+    add(with_churn({.family = Family::kPlantedHyperSeparator,
+                    .n = 18,
+                    .k = 2,
+                    .rank = 3}));
+    add(with_churn({.family = Family::kPlantedHyperCut,
+                    .n = 16,
+                    .m = 14,
+                    .k = 3,
+                    .rank = 3}));
+  }
+  return grid;
+}
+
+}  // namespace testkit
+}  // namespace gms

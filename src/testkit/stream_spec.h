@@ -1,0 +1,105 @@
+// Structure-aware stream generation for tests, fuzzers, and benches.
+//
+// A StreamSpec names one dynamic-stream instance completely: a seeded graph
+// or hypergraph family, its parameters, and a churn schedule. Build() is a
+// pure function of the spec, so any failing trial anywhere in the suite is
+// reproduced by the ONE LINE that ToString() prints (Parse() inverts it).
+// Every random family routes through src/graph/generators.h; this header
+// adds no new randomness of its own.
+#ifndef GMS_TESTKIT_STREAM_SPEC_H_
+#define GMS_TESTKIT_STREAM_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/hypergraph.h"
+#include "stream/stream.h"
+#include "util/status.h"
+
+namespace gms {
+namespace testkit {
+
+/// Final-graph families. Wire-stable names (see FamilyName): append only.
+enum class Family : uint8_t {
+  kPath = 0,            // PathGraph(n)
+  kCycle,               // CycleGraph(n)
+  kRandomTree,          // RandomTree(n, gseed)
+  kErdosRenyi,          // ErdosRenyi(n, p, gseed)
+  kGnm,                 // Gnm(n, m, gseed)
+  kExpander,            // UnionOfHamiltonianCycles(n, k, gseed)
+  kPlantedSeparator,    // PlantedSeparator(n, k, gseed); kappa = k exactly
+  kHyperCycle,          // HyperCycle(n, rank)
+  kRandomUniform,       // RandomUniformHypergraph(n, m, rank, gseed)
+  kRandomHypergraph,    // RandomHypergraph(n, m, rank_min, rank, gseed)
+  kPlantedHyperSeparator,  // PlantedHypergraphSeparator(n, k, rank, gseed)
+  kPlantedHyperCut,        // PlantedHypergraphCut(n, rank, k, m, gseed)
+};
+
+/// Churn schedules layered over the family's final graph.
+enum class Churn : uint8_t {
+  kInsertOnly = 0,  // DynamicStream::InsertOnly(final, sseed)
+  kWithChurn,       // `decoys` extra insert+delete pairs interleaved
+  kDeleteDown,      // insert a superset (final + `decoys` extras), delete down
+};
+
+const char* FamilyName(Family f);
+const char* ChurnName(Churn c);
+
+/// Everything Build() produces: the stream, its final graph, and whatever
+/// planted ground truth the family carries (so oracles need not re-derive
+/// it with exponential algorithms).
+struct BuiltStream {
+  Hypergraph final_graph;
+  DynamicStream stream;
+  size_t max_rank = 2;
+  /// Family ground truth (empty/zero when the family plants nothing).
+  std::vector<VertexId> separator;  // planted vertex separator
+  size_t planted_cut = 0;           // planted min-cut size (0 = none)
+};
+
+/// One fully-specified dynamic-stream instance.
+struct StreamSpec {
+  Family family = Family::kErdosRenyi;
+  uint32_t n = 16;
+  uint32_t m = 0;         // edge count (kGnm, kRandomUniform, kRandomHypergraph,
+                          // edges-per-side for kPlantedHyperCut)
+  uint32_t k = 2;         // separator size / planted cut / Hamiltonian cycles
+  uint32_t rank = 2;      // hyperedge cardinality (max for kRandomHypergraph)
+  uint32_t rank_min = 2;  // kRandomHypergraph only
+  double p = 0.2;         // kErdosRenyi only
+  uint64_t gseed = 1;     // family randomness
+  Churn churn = Churn::kInsertOnly;
+  uint32_t decoys = 0;    // kWithChurn pairs / kDeleteDown extras
+  uint64_t sseed = 1;     // stream-order randomness
+
+  /// Materialize the spec. Deterministic: equal specs build bit-equal
+  /// streams. The result's stream always passes DynamicStream::Validate().
+  BuiltStream Build() const;
+
+  /// One-line self-describing serialization, e.g.
+  ///   gms-spec-v1;family=planted_separator;n=24;k=3;gseed=7;churn=insert_only;sseed=9
+  /// Fields at their defaults are still printed so the line is complete.
+  std::string ToString() const;
+
+  /// Inverse of ToString. Unknown keys, bad values, and version mismatches
+  /// return InvalidArgument.
+  static Result<StreamSpec> Parse(std::string_view line);
+
+  /// The spec with all three seeds re-derived from (this, trial): trial i of
+  /// a sweep. Deterministic and collision-free across trials.
+  StreamSpec WithTrial(uint64_t trial) const;
+
+  friend bool operator==(const StreamSpec&, const StreamSpec&) = default;
+};
+
+/// The default spec sweep grid: one representative spec per family x churn
+/// combination at small n, used by the differential-oracle matrix test and
+/// the corpus generator. Deterministic order.
+std::vector<StreamSpec> DefaultSpecGrid();
+
+}  // namespace testkit
+}  // namespace gms
+
+#endif  // GMS_TESTKIT_STREAM_SPEC_H_

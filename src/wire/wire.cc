@@ -124,6 +124,40 @@ void FrameBuilder::Finish() {
   writer_.U64(sum);
 }
 
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kL0Sampler: return "l0_sampler";
+    case FrameType::kSpanningForest: return "spanning_forest";
+    case FrameType::kKSkeleton: return "k_skeleton";
+    case FrameType::kVcQuery: return "vc_query";
+    case FrameType::kHyperVcQuery: return "hyper_vc_query";
+    case FrameType::kSparsifier: return "sparsifier";
+  }
+  return "unknown";
+}
+
+Result<FrameType> PeekFrameType(std::span<const uint8_t> buf) {
+  if (buf.size() < kPreambleBytes) {
+    return Status::InvalidArgument("wire: buffer shorter than a preamble");
+  }
+  uint32_t magic = 0;
+  uint16_t version = 0, type = 0;
+  std::memcpy(&magic, buf.data(), 4);
+  std::memcpy(&version, buf.data() + 4, 2);
+  std::memcpy(&type, buf.data() + 6, 2);
+  if (magic != kMagic) {
+    return Status::InvalidArgument("wire: bad magic (not a sketch frame)");
+  }
+  if (version == 0 || version > kVersion) {
+    return Status::InvalidArgument("wire: unsupported frame version");
+  }
+  if (type < static_cast<uint16_t>(FrameType::kL0Sampler) ||
+      type > static_cast<uint16_t>(FrameType::kSparsifier)) {
+    return Status::InvalidArgument("wire: unknown frame type");
+  }
+  return static_cast<FrameType>(type);
+}
+
 Result<Frame> ParseFrame(std::span<const uint8_t> buf, FrameType expected) {
   if (buf.size() < kPreambleBytes + kChecksumBytes) {
     return Status::InvalidArgument("wire: buffer shorter than a frame");

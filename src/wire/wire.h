@@ -53,6 +53,16 @@ enum class FrameType : uint16_t {
   kSparsifier = 6,
 };
 
+/// Stable lower-case name for a frame type ("l0_sampler", ...); "unknown"
+/// for values outside the enum. For diagnostics and fuzz-corpus naming.
+const char* FrameTypeName(FrameType type);
+
+/// Read the frame-type field of a buffer WITHOUT validating the frame:
+/// requires only the 20-byte preamble with correct magic and a supported
+/// version. Lets a dispatcher route a frame to the right Deserialize (which
+/// then fully validates via ParseFrame) without trying all types.
+Result<FrameType> PeekFrameType(std::span<const uint8_t> buf);
+
 /// FNV-1a 64 over a byte range.
 uint64_t Checksum(const uint8_t* data, size_t len);
 

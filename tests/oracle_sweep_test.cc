@@ -1,0 +1,180 @@
+// The differential-oracle matrix: every generator family crossed with
+// every applicable (sketch, exact) oracle pair, >= 32 independently seeded
+// trials per cell, success rates asserted to be statistically consistent
+// with the configured bound at the 95% Wilson interval. This is the
+// statistical heart of the testkit -- it does not assert "seed 7 works",
+// it asserts the observed failure rate does not refute the whp guarantee.
+//
+// This binary carries the `slow` ctest label: run nightly (or locally)
+// with `ctest --label-regex slow`; exclude it from quick edit loops with
+// `ctest --label-exclude slow`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testkit/oracle.h"
+#include "testkit/stream_spec.h"
+
+namespace gms {
+namespace testkit {
+namespace {
+
+bool IsHyperFamily(Family f) {
+  switch (f) {
+    case Family::kHyperCycle:
+    case Family::kRandomUniform:
+    case Family::kRandomHypergraph:
+    case Family::kPlantedHyperSeparator:
+    case Family::kPlantedHyperCut:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<StreamSpec> GridSpecs(bool insert_only,
+                                  int family_filter /* -1 all, 0 graph,
+                                                       1 hyper */) {
+  std::vector<StreamSpec> out;
+  for (const StreamSpec& spec : DefaultSpecGrid()) {
+    if (insert_only && spec.churn != Churn::kInsertOnly) continue;
+    if (family_filter == 0 && IsHyperFamily(spec.family)) continue;
+    if (family_filter == 1 && !IsHyperFamily(spec.family)) continue;
+    out.push_back(spec);
+  }
+  return out;
+}
+
+struct SweepCase {
+  OracleKind kind;
+  std::vector<StreamSpec> specs;
+  OracleOptions opt;
+  /// The sweep must not refute success probability >= this at 95%.
+  double min_success;
+};
+
+constexpr size_t kTrials = 32;
+
+void RunCase(const SweepCase& c) {
+  ASSERT_FALSE(c.specs.empty());
+  for (const StreamSpec& spec : c.specs) {
+    SCOPED_TRACE(std::string(OracleName(c.kind)) + " over " +
+                 spec.ToString());
+    SweepResult sweep = RunSweep(c.kind, spec, kTrials, c.opt);
+    EXPECT_GE(sweep.trials, 1u) << "oracle never applicable";
+    // Silent disagreements are bugs, not whp failure events: a sketch may
+    // honestly refuse (DecodeFailure), but when it answers it answers
+    // right at these sizes. Report the one-line repro on violation.
+    std::string repros;
+    for (const std::string& f : sweep.failures) repros += "\n  " + f;
+    EXPECT_TRUE(sweep.ConsistentWith(c.min_success))
+        << sweep.successes << "/" << sweep.trials << " successes ("
+        << sweep.decode_failures << " decode failures, "
+        << sweep.disagreements << " disagreements); interval ["
+        << sweep.interval().lo << ", " << sweep.interval().hi << "]"
+        << repros;
+  }
+}
+
+TEST(OracleSweep, ComponentsAcrossAllFamiliesAndChurns) {
+  SweepCase c;
+  c.kind = OracleKind::kComponents;
+  c.specs = GridSpecs(/*insert_only=*/false, /*family_filter=*/-1);
+  c.min_success = 0.95;
+  RunCase(c);
+}
+
+TEST(OracleSweep, SpanningGraphHasNoGhostEdges) {
+  SweepCase c;
+  c.kind = OracleKind::kSpanningNoGhost;
+  c.specs = GridSpecs(/*insert_only=*/false, /*family_filter=*/-1);
+  c.min_success = 0.95;
+  RunCase(c);
+}
+
+TEST(OracleSweep, L0SamplesLiveInTheFinalGraph) {
+  SweepCase c;
+  c.kind = OracleKind::kL0Sampler;
+  c.specs = GridSpecs(/*insert_only=*/false, /*family_filter=*/-1);
+  c.min_success = 0.95;
+  RunCase(c);
+}
+
+TEST(OracleSweep, EdgeConnectivityMatchesHypergraphMinCut) {
+  SweepCase c;
+  c.kind = OracleKind::kEdgeConnectivity;
+  c.specs = GridSpecs(/*insert_only=*/true, /*family_filter=*/-1);
+  c.opt.k = 3;
+  c.min_success = 0.9;
+  RunCase(c);
+}
+
+TEST(OracleSweep, LightRecoveryMatchesOfflinePeeling) {
+  SweepCase c;
+  c.kind = OracleKind::kLightRecovery;
+  c.specs = GridSpecs(/*insert_only=*/true, /*family_filter=*/-1);
+  c.opt.k = 2;
+  c.min_success = 0.9;
+  RunCase(c);
+}
+
+TEST(OracleSweep, VcQueriesMatchEvenTarjanSemantics) {
+  SweepCase c;
+  c.kind = OracleKind::kVcQuery;
+  c.specs = GridSpecs(/*insert_only=*/true, /*family_filter=*/0);
+  c.opt.k = 2;
+  c.opt.num_queries = 3;
+  c.min_success = 0.85;
+  RunCase(c);
+}
+
+TEST(OracleSweep, HyperVcQueriesMatchExactExclusion) {
+  SweepCase c;
+  c.kind = OracleKind::kHyperVcQuery;
+  c.specs = GridSpecs(/*insert_only=*/true, /*family_filter=*/1);
+  c.opt.k = 2;
+  c.opt.num_queries = 3;
+  c.min_success = 0.85;
+  RunCase(c);
+}
+
+TEST(OracleSweep, SparsifierPreservesCutsWithinEpsilon) {
+  SweepCase c;
+  c.kind = OracleKind::kSparsifier;
+  // The most expensive oracle (levels x k forests per trial, plus sampled
+  // cut verification): representative graph + hypergraph + planted-cut
+  // families rather than the whole grid.
+  for (Family f : {Family::kErdosRenyi, Family::kRandomUniform,
+                   Family::kPlantedHyperCut}) {
+    for (const StreamSpec& spec : DefaultSpecGrid()) {
+      if (spec.family == f && spec.churn == Churn::kInsertOnly) {
+        c.specs.push_back(spec);
+      }
+    }
+  }
+  c.min_success = 0.8;
+  RunCase(c);
+}
+
+// Churn schedules must not change ANY oracle's behavior (the sketches are
+// linear; decoys cancel exactly). One representative expensive-oracle case
+// to complement the cheap all-churn sweeps above.
+TEST(OracleSweep, ChurnDoesNotDegradeVcQueries) {
+  SweepCase c;
+  c.kind = OracleKind::kHyperVcQuery;
+  for (const StreamSpec& spec : DefaultSpecGrid()) {
+    if (spec.family == Family::kPlantedHyperSeparator &&
+        spec.churn != Churn::kInsertOnly) {
+      c.specs.push_back(spec);
+    }
+  }
+  c.opt.k = 2;
+  c.opt.num_queries = 3;
+  c.min_success = 0.85;
+  RunCase(c);
+}
+
+}  // namespace
+}  // namespace testkit
+}  // namespace gms

@@ -3,30 +3,47 @@
 // input union), determinism in the seed, and measurement-sharing across
 // copies. These are the algebraic facts every theorem in the paper builds
 // on, checked over parameterized seed sweeps.
+//
+// Streams come from testkit::StreamSpec, so every instance here is named
+// by the same one-line spec format the oracle sweeps and the shrinker
+// print: a failure in this file is reproducible from its spec string alone.
 #include <gtest/gtest.h>
 
 #include <tuple>
 
 #include "connectivity/k_skeleton.h"
 #include "connectivity/spanning_forest_sketch.h"
-#include "graph/generators.h"
 #include "graph/traversal.h"
 #include "sketch/l0_sampler.h"
 #include "stream/stream.h"
+#include "testkit/stream_spec.h"
 #include "util/random.h"
 
 namespace gms {
 namespace {
 
+using testkit::BuiltStream;
+using testkit::Churn;
+using testkit::Family;
+using testkit::StreamSpec;
+
 class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SeedSweep, ForestSketchIsOrderInvariant) {
   uint64_t seed = GetParam();
-  Graph g = ErdosRenyi(20, 0.25, seed);
+  StreamSpec spec;
+  spec.family = Family::kErdosRenyi;
+  spec.n = 20;
+  spec.p = 0.25;
+  spec.gseed = seed;
+  spec.sseed = seed + 1;
+  StreamSpec reordered = spec;
+  reordered.sseed = seed + 2;  // same final graph, different order
+  SCOPED_TRACE(spec.ToString());
   SpanningForestSketch a(20, 2, 4242);
   SpanningForestSketch b(20, 2, 4242);
-  a.Process(DynamicStream::InsertOnly(g, seed + 1));
-  b.Process(DynamicStream::InsertOnly(g, seed + 2));  // different order
+  a.Process(spec.Build().stream);
+  b.Process(reordered.Build().stream);
   auto ra = a.ExtractSpanningGraph();
   auto rb = b.ExtractSpanningGraph();
   ASSERT_TRUE(ra.ok());
@@ -36,13 +53,22 @@ TEST_P(SeedSweep, ForestSketchIsOrderInvariant) {
 
 TEST_P(SeedSweep, ForestSketchChurnEqualsDirect) {
   uint64_t seed = GetParam();
-  Graph g = UnionOfHamiltonianCycles(18, 2, seed);
+  StreamSpec spec;
+  spec.family = Family::kExpander;  // UnionOfHamiltonianCycles(n, k, gseed)
+  spec.n = 18;
+  spec.k = 2;
+  spec.gseed = seed;
+  spec.sseed = seed;
+  StreamSpec churned = spec;
+  churned.churn = Churn::kWithChurn;
+  churned.decoys = 60;
+  SCOPED_TRACE(churned.ToString());
   SpanningForestSketch direct(18, 2, 999);
-  SpanningForestSketch churned(18, 2, 999);
-  direct.Process(DynamicStream::InsertOnly(g, seed));
-  churned.Process(DynamicStream::WithChurn(g, 60, seed));
+  SpanningForestSketch with_churn(18, 2, 999);
+  direct.Process(spec.Build().stream);
+  with_churn.Process(churned.Build().stream);
   auto rd = direct.ExtractSpanningGraph();
-  auto rc = churned.ExtractSpanningGraph();
+  auto rc = with_churn.ExtractSpanningGraph();
   ASSERT_TRUE(rd.ok());
   ASSERT_TRUE(rc.ok());
   EXPECT_TRUE(*rd == *rc);  // cancelled decoys leave no trace
@@ -72,18 +98,24 @@ TEST_P(SeedSweep, L0StateAdditionEqualsUnionStream) {
 
 TEST_P(SeedSweep, SkeletonSubtractionEqualsNeverInserted) {
   uint64_t seed = GetParam();
-  Graph g = ErdosRenyi(16, 0.3, seed);
+  StreamSpec spec;
+  spec.family = Family::kErdosRenyi;
+  spec.n = 16;
+  spec.p = 0.3;
+  spec.gseed = seed;
+  SCOPED_TRACE(spec.ToString());
+  const Hypergraph g = spec.Build().final_graph;
   auto edges = g.Edges();
   if (edges.size() < 4) return;
   // Remove a few edges linearly vs never inserting them.
-  std::vector<Hyperedge> removed = {Hyperedge(edges[0]), Hyperedge(edges[2])};
+  std::vector<Hyperedge> removed = {edges[0], edges[2]};
   KSkeletonSketch full(16, 2, 2, 31337);
   KSkeletonSketch partial(16, 2, 2, 31337);
-  for (const Edge& e : edges) {
-    full.Update(Hyperedge(e), +1);
+  for (const Hyperedge& e : edges) {
+    full.Update(e, +1);
     bool skip = false;
-    for (const auto& r : removed) skip |= (Hyperedge(e) == r);
-    if (!skip) partial.Update(Hyperedge(e), +1);
+    for (const auto& r : removed) skip |= (e == r);
+    if (!skip) partial.Update(e, +1);
   }
   full.RemoveHyperedges(removed);
   auto rf = full.Extract();
@@ -95,9 +127,12 @@ TEST_P(SeedSweep, SkeletonSubtractionEqualsNeverInserted) {
 
 TEST_P(SeedSweep, SketchCopiesShareTheMeasurement) {
   uint64_t seed = GetParam();
+  StreamSpec spec;
+  spec.family = Family::kCycle;
+  spec.n = 14;
+  spec.sseed = seed;
   SpanningForestSketch original(14, 2, seed * 3 + 1);
-  Graph g = CycleGraph(14);
-  original.Process(DynamicStream::InsertOnly(g, seed));
+  original.Process(spec.Build().stream);
   SpanningForestSketch copy = original;  // shares shapes
   copy.RemoveHyperedges({Hyperedge{0, 1}});
   copy.Update(Hyperedge{0, 1}, +1);  // undo on the copy
@@ -115,11 +150,14 @@ TEST_P(SeedSweep, DifferentSeedsDifferentMeasurements) {
   // measurement must differ, which we observe via memory-identical inputs
   // giving different forests at least sometimes. Here we only assert both
   // decode valid spanning graphs.
-  Graph g = CycleGraph(12);
+  StreamSpec spec;
+  spec.family = Family::kCycle;
+  spec.n = 12;
+  const DynamicStream stream = spec.Build().stream;
   SpanningForestSketch a(12, 2, seed * 2 + 1);
   SpanningForestSketch b(12, 2, seed * 2 + 2);
-  a.Process(DynamicStream::InsertOnly(g, 1));
-  b.Process(DynamicStream::InsertOnly(g, 1));
+  a.Process(stream);
+  b.Process(stream);
   auto ra = a.ExtractSpanningGraph();
   auto rb = b.ExtractSpanningGraph();
   ASSERT_TRUE(ra.ok());
