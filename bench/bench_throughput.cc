@@ -35,6 +35,7 @@ struct EngineRow {
   double ingest_secs = 0;
   double ingest_rate = 0;   // updates/s
   double extract_secs = 0;  // Finalize (BuildUnionGraph)
+  ExtractStats stats;       // extraction-engine counters for that finalize
 };
 
 /// Serialized-frame size of the benchmarked sketch (bytes on the wire).
@@ -100,12 +101,22 @@ void ParallelEngineSection(std::vector<EngineRow>* rows, size_t* out_n,
     p.engine.threads = cell.threads;
     VcQuerySketch sketch(kN, p, /*seed=*/4);
     *out_r = sketch.R();
-    Timer ingest;
-    sketch.Process(stream);
+    // Best-of-3 ingest: the state is linear, so Clear + re-Process replays
+    // the identical measurement; min over repeats is the standard
+    // noise-robust wall-clock estimator (the mode gap here is a few
+    // percent, well inside single-shot scheduler jitter).
+    double best_ingest = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      if (rep > 0) sketch.Clear();
+      Timer ingest;
+      sketch.Process(stream);
+      const double secs = ingest.Seconds();
+      if (rep == 0 || secs < best_ingest) best_ingest = secs;
+    }
     EngineRow row;
     row.mode = cell.name;
     row.threads = cell.threads;
-    row.ingest_secs = ingest.Seconds();
+    row.ingest_secs = best_ingest;
     row.ingest_rate =
         static_cast<double>(stream.size()) / std::max(row.ingest_secs, 1e-9);
     if (frame_row->frame_bytes == 0) {
@@ -114,7 +125,7 @@ void ParallelEngineSection(std::vector<EngineRow>* rows, size_t* out_n,
           static_cast<double>(frame_row->frame_bytes) / kN;
     }
     Timer finalize;
-    bool ok = sketch.Finalize().ok();
+    bool ok = sketch.Finalize(&row.stats).ok();
     row.extract_secs = finalize.Seconds();
     if (!ok) std::printf("  (finalize failed at threads=%zu)\n", cell.threads);
     if (serial_rate == 0) serial_rate = row.ingest_rate;
@@ -133,10 +144,11 @@ void ParallelEngineSection(std::vector<EngineRow>* rows, size_t* out_n,
       "\nExpected shape: identical outputs at every (mode, threads) cell\n"
       "(the determinism and merge suites assert bit-identity); column\n"
       "speedup tracks the machine's core count. sharded_merge@1 falls back\n"
-      "to the serial column path by design; at >1 threads it pays an\n"
-      "O(threads x state) clone+merge, which at THIS workload (state far\n"
-      "larger than the stream) dominates -- that is the honest trade-off;\n"
-      "see the compact-state table below for the regime where it wins.\n");
+      "to the serial column path by design; at >1 threads the epilogue is\n"
+      "a dirty-column level-masked merge, so its cost scales with the\n"
+      "updates each clone actually absorbed -- not with the arena -- and\n"
+      "the mode stays at parity with serial even when the state dwarfs\n"
+      "the stream (it used to collapse ~100x here).\n");
 }
 
 /// The sharded-merge sweet spot: a COMPACT sketch (small n, megabytes of
@@ -176,12 +188,18 @@ void CompactStateSection(std::vector<EngineRow>* rows, size_t* out_n,
     p.engine.mode = cell.mode;
     p.engine.threads = cell.threads;
     SpanningForestSketch sketch(kN, 2, /*seed=*/7, p);
-    Timer ingest;
-    sketch.Process(stream);
+    double best_ingest = 0;  // best-of-3, as in the big-state section
+    for (int rep = 0; rep < 3; ++rep) {
+      if (rep > 0) sketch.Clear();
+      Timer ingest;
+      sketch.Process(stream);
+      const double secs = ingest.Seconds();
+      if (rep == 0 || secs < best_ingest) best_ingest = secs;
+    }
     EngineRow row;
     row.mode = cell.name;
     row.threads = cell.threads;
-    row.ingest_secs = ingest.Seconds();
+    row.ingest_secs = best_ingest;
     row.ingest_rate =
         static_cast<double>(stream.size()) / std::max(row.ingest_secs, 1e-9);
     if (serial_rate == 0) serial_rate = row.ingest_rate;
@@ -201,13 +219,92 @@ void CompactStateSection(std::vector<EngineRow>* rows, size_t* out_n,
       *out_updates, kN);
 }
 
+/// Old-vs-new finalize engine, measured where the two paths share an API:
+/// one SpanningForestSketch at a full round budget (default log2 n + extra,
+/// where the window refills actually amortize). Times the incremental
+/// extraction against the retained reference re-sum decoder, serial and
+/// parallel, and checks all four Hypergraphs are bit-identical.
+struct ExtractCompareRow {
+  size_t n = 0;
+  int rounds = 0;
+  double inc_serial_secs = 0;
+  double inc_parallel_secs = 0;
+  double ref_serial_secs = 0;
+  double ref_parallel_secs = 0;
+  bool identical = false;
+  ExtractStats inc_stats;  // incremental @8 (deterministic across threads)
+  ExtractStats ref_stats;  // reference @8
+};
+
+void ExtractionEngineSection(ExtractCompareRow* out) {
+  constexpr size_t kN = 1 << 13;
+  ForestSketchParams params;
+  params.config = SketchConfig::Light();  // rounds = 0: full default budget
+  SpanningForestSketch sketch(kN, 2, /*seed=*/21, params);
+  out->n = kN;
+  out->rounds = sketch.rounds();
+  Graph g = UnionOfHamiltonianCycles(kN, 3, /*seed=*/22);
+  sketch.Process(DynamicStream::WithChurn(g, /*decoys=*/kN / 2, 23));
+  (void)sketch.ExtractSpanningGraph(1);  // untimed warm-up
+
+  Timer t_inc_s;
+  auto inc_serial = sketch.ExtractSpanningGraph(1);
+  out->inc_serial_secs = t_inc_s.Seconds();
+  Timer t_inc_p;
+  auto inc_parallel = sketch.ExtractSpanningGraph(8, &out->inc_stats);
+  out->inc_parallel_secs = t_inc_p.Seconds();
+  Timer t_ref_s;
+  auto ref_serial = sketch.ExtractSpanningGraphReference(1);
+  out->ref_serial_secs = t_ref_s.Seconds();
+  Timer t_ref_p;
+  auto ref_parallel = sketch.ExtractSpanningGraphReference(8, &out->ref_stats);
+  out->ref_parallel_secs = t_ref_p.Seconds();
+  out->identical = inc_serial.ok() && inc_parallel.ok() && ref_serial.ok() &&
+                   ref_parallel.ok() && *inc_serial == *inc_parallel &&
+                   *inc_serial == *ref_serial && *inc_serial == *ref_parallel;
+
+  Table table({"path", "threads", "extract_s", "speedup_vs_ref",
+               "summed_words"});
+  double ref = out->ref_serial_secs;
+  table.AddRow({"reference", "1", Table::Fmt(out->ref_serial_secs, 4),
+                Table::Fmt(ref / std::max(out->ref_serial_secs, 1e-9), 2),
+                Table::Fmt(out->ref_stats.summed_words)});
+  table.AddRow({"reference", "8", Table::Fmt(out->ref_parallel_secs, 4),
+                Table::Fmt(ref / std::max(out->ref_parallel_secs, 1e-9), 2),
+                Table::Fmt(out->ref_stats.summed_words)});
+  table.AddRow({"incremental", "1", Table::Fmt(out->inc_serial_secs, 4),
+                Table::Fmt(ref / std::max(out->inc_serial_secs, 1e-9), 2),
+                Table::Fmt(out->inc_stats.summed_words)});
+  table.AddRow({"incremental", "8", Table::Fmt(out->inc_parallel_secs, 4),
+                Table::Fmt(ref / std::max(out->inc_parallel_secs, 1e-9), 2),
+                Table::Fmt(out->inc_stats.summed_words)});
+  table.Print("Extraction engine: incremental window blocks vs reference "
+              "re-sum (one forest, full round budget)");
+  std::printf(
+      "\nall four extractions bit-identical: %s\n"
+      "(rounds budget %d, rounds run %d, early_exit %d; summed_words is the\n"
+      "state volume each path touched -- the incremental win in a number)\n",
+      out->identical ? "yes" : "NO (BUG)", out->rounds,
+      out->inc_stats.rounds_run, out->inc_stats.early_exit ? 1 : 0);
+}
+
 /// Machine-readable mirror of the engine table for trend tracking, plus
 /// the update-kernel before/after row (old = FpPow + `%` bucketing, new =
 /// windowed power table + multiply-shift; see bench/kernel_compare.h).
+void AppendGroupsPerRound(FILE* f, const ExtractStats& stats) {
+  std::fprintf(f, "[");
+  for (size_t i = 0; i < stats.groups_per_round.size(); ++i) {
+    std::fprintf(f, "%s%llu", i ? ", " : "",
+                 static_cast<unsigned long long>(stats.groups_per_round[i]));
+  }
+  std::fprintf(f, "]");
+}
+
 void WriteJson(const std::vector<EngineRow>& rows, size_t n, size_t updates,
                size_t r, const std::vector<EngineRow>& compact_rows,
                size_t compact_n, size_t compact_updates,
-               const FrameSizeRow& frame, const bench::KernelTimings& kt) {
+               const FrameSizeRow& frame, const ExtractCompareRow& extract,
+               const bench::KernelTimings& kt) {
   FILE* f = std::fopen("BENCH_throughput.json", "w");
   if (f == nullptr) {
     std::printf("could not open BENCH_throughput.json for writing\n");
@@ -221,11 +318,37 @@ void WriteJson(const std::vector<EngineRow>& rows, size_t n, size_t updates,
     std::fprintf(f,
                  "    {\"mode\": \"%s\", \"threads\": %zu, "
                  "\"ingest_seconds\": %.6f, \"updates_per_sec\": %.1f, "
-                 "\"finalize_seconds\": %.6f}%s\n",
+                 "\"finalize_seconds\": %.6f,\n"
+                 "     \"finalize_breakdown\": {\"rounds_run\": %d, "
+                 "\"early_exit\": %s, \"summed_words\": %llu, "
+                 "\"sample_attempts\": %llu, \"decode_attempts\": %llu, "
+                 "\"edges_found\": %llu, \"groups_per_round\": ",
                  row.mode, row.threads, row.ingest_secs, row.ingest_rate,
-                 row.extract_secs, i + 1 < rows.size() ? "," : "");
+                 row.extract_secs, row.stats.rounds_run,
+                 row.stats.early_exit ? "true" : "false",
+                 static_cast<unsigned long long>(row.stats.summed_words),
+                 static_cast<unsigned long long>(row.stats.sample_attempts),
+                 static_cast<unsigned long long>(row.stats.decode_attempts),
+                 static_cast<unsigned long long>(row.stats.edges_found));
+    AppendGroupsPerRound(f, row.stats);
+    std::fprintf(f, "}}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"extraction_engine\": {\"n\": %zu, \"rounds\": %d, "
+               "\"identical\": %s,\n"
+               "    \"reference_serial_seconds\": %.6f, "
+               "\"reference_parallel_seconds\": %.6f,\n"
+               "    \"incremental_serial_seconds\": %.6f, "
+               "\"incremental_parallel_seconds\": %.6f,\n"
+               "    \"reference_summed_words\": %llu, "
+               "\"incremental_summed_words\": %llu},\n",
+               extract.n, extract.rounds, extract.identical ? "true" : "false",
+               extract.ref_serial_secs, extract.ref_parallel_secs,
+               extract.inc_serial_secs, extract.inc_parallel_secs,
+               static_cast<unsigned long long>(extract.ref_stats.summed_words),
+               static_cast<unsigned long long>(
+                   extract.inc_stats.summed_words));
   std::fprintf(f,
                "  \"engine_compact_state\": {\"n\": %zu, "
                "\"stream_updates\": %zu, \"rows\": [\n",
@@ -249,6 +372,54 @@ void WriteJson(const std::vector<EngineRow>& rows, size_t n, size_t updates,
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_throughput.json\n");
+}
+
+/// `--perf_smoke`: a CI-sized guard on the finalize path (the `perf_smoke`
+/// ctest label, run in the tsan preset too). Ingests a reduced VcQuery
+/// workload and HARD-FAILS if finalize costs more than 2x ingest (plus a
+/// small absolute slack for timer jitter at this scale). Before the
+/// incremental extraction engine, finalize ran ~6x ingest at bench scale,
+/// so a regression back to per-round re-summing trips this immediately.
+int PerfSmoke() {
+  constexpr size_t kN = 1 << 12;
+  VcQueryParams params;
+  params.k = 4;
+  params.explicit_r = 8;
+  params.forest.config = SketchConfig::Light();
+  params.forest.rounds = 3;
+  Graph g = UnionOfHamiltonianCycles(kN, 3, /*seed=*/2);
+  DynamicStream stream = DynamicStream::WithChurn(g, /*decoys=*/kN / 2, 3);
+  {
+    VcQuerySketch warm(kN, params, /*seed=*/4);  // untimed page-fault warm-up
+    warm.Process(stream);
+  }
+  VcQuerySketch sketch(kN, params, /*seed=*/4);
+  Timer ingest_timer;
+  sketch.Process(stream);
+  double ingest = ingest_timer.Seconds();
+  ExtractStats stats;
+  Timer finalize_timer;
+  bool ok = sketch.Finalize(&stats).ok();
+  double finalize = finalize_timer.Seconds();
+  std::printf(
+      "perf_smoke: n=%zu updates=%zu ingest=%.4fs finalize=%.4fs "
+      "(ratio %.2fx, rounds_run=%d, summed_words=%llu)\n",
+      kN, stream.size(), ingest, finalize, finalize / std::max(ingest, 1e-9),
+      stats.rounds_run, static_cast<unsigned long long>(stats.summed_words));
+  if (!ok) {
+    std::printf("perf_smoke: FAIL (finalize returned an error)\n");
+    return 1;
+  }
+  const double limit = 2.0 * ingest + 0.05;
+  if (finalize > limit) {
+    std::printf(
+        "perf_smoke: FAIL (finalize %.4fs exceeds 2x ingest + 50ms = %.4fs; "
+        "the extraction engine regressed)\n",
+        finalize, limit);
+    return 1;
+  }
+  std::printf("perf_smoke: PASS (limit was %.4fs)\n", limit);
+  return 0;
 }
 
 // ---------- Section 2: per-sketch microbenchmarks ----------
@@ -402,6 +573,9 @@ BENCHMARK(BM_LightRecoveryDecode);
 }  // namespace gms
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--perf_smoke") return gms::PerfSmoke();
+  }
   gms::bench::Banner(
       "E-throughput: update/decode constants + parallel engine",
       "Sharded-ownership parallel ingestion is bit-identical to serial; "
@@ -413,11 +587,13 @@ int main(int argc, char** argv) {
   std::vector<gms::EngineRow> compact_rows;
   size_t compact_n = 0, compact_updates = 0;
   gms::CompactStateSection(&compact_rows, &compact_n, &compact_updates);
+  gms::ExtractCompareRow extract;
+  gms::ExtractionEngineSection(&extract);
   gms::bench::KernelTimings kt = gms::bench::CompareUpdateKernels();
   std::printf("\nupdate kernel: old %.1f ns -> new %.1f ns (%.2fx)\n",
               kt.old_ns, kt.new_ns, kt.speedup);
   gms::WriteJson(rows, n, updates, r, compact_rows, compact_n,
-                 compact_updates, frame, kt);
+                 compact_updates, frame, extract, kt);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

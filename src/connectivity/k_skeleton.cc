@@ -19,6 +19,14 @@ KSkeletonSketch::KSkeletonSketch(size_t n, size_t max_rank, size_t k,
   }
 }
 
+KSkeletonSketch::KSkeletonSketch(const KSkeletonSketch& other, CloneEmptyTag)
+    : n_(other.n_), k_(other.k_), seed_(other.seed_), params_(other.params_) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) {
+    layers_.push_back(layer.CloneEmpty());
+  }
+}
+
 void KSkeletonSketch::Update(const Hyperedge& e, int delta) {
   if (layers_.empty()) return;
   UpdateEncoded(e, layers_[0].codec().Encode(e), delta);
@@ -37,7 +45,9 @@ void KSkeletonSketch::UpdatePrepared(const Hyperedge& e,
 void KSkeletonSketch::Process(std::span<const StreamUpdate> updates) {
   if (layers_.empty() || updates.empty()) return;
   if (UseShardedMerge(params_.engine, updates.size())) {
-    ShardedMergeIngest(this, updates, params_.engine.threads);
+    ShardedMergeIngest(
+        this, updates,
+        ShardedMergeShards(params_.engine.threads, updates.size()));
     return;
   }
   // One encode + coordinate preparation per update, shared by all k layers.

@@ -68,6 +68,13 @@ class KSkeletonSketch {
   /// InvalidArgument and leave the state untouched.
   Status MergeFrom(const KSkeletonSketch& other);
 
+  /// A sketch of the SAME measurement with zero state: the sharded-merge
+  /// private clone. Layers allocate zeroed arenas directly -- the parent's
+  /// cells are never copied.
+  KSkeletonSketch CloneEmpty() const {
+    return KSkeletonSketch(*this, CloneEmptyTag{});
+  }
+
   /// Zero every layer (the empty-stream measurement).
   void Clear();
 
@@ -89,6 +96,8 @@ class KSkeletonSketch {
   Status ReadCells(wire::Reader* r);
 
  private:
+  KSkeletonSketch(const KSkeletonSketch& other, CloneEmptyTag);
+
   size_t n_;
   size_t k_;
   uint64_t seed_;

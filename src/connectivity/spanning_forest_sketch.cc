@@ -1,12 +1,11 @@
 #include "connectivity/spanning_forest_sketch.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
-
-#if defined(__linux__)
-#include <sys/mman.h>
-#endif
+#include <cstring>
 
 #include "connectivity/incidence.h"
 #include "graph/union_find.h"
@@ -20,33 +19,62 @@ namespace gms {
 
 namespace {
 
-// Ask the kernel to back a large buffer with transparent huge pages before
-// it is first touched. Vertex updates hit the arena at random offsets, so
-// with 4 KiB pages nearly every update pays a TLB page walk; 2 MiB pages
-// keep the whole arena's translations resident. Advisory only (no-op off
-// Linux or when THP is disabled).
-void AdviseHugePages(void* data, size_t bytes) {
-#if defined(__linux__) && defined(MADV_HUGEPAGE)
-  constexpr uintptr_t kHuge = 2u << 20;
-  uintptr_t begin = (reinterpret_cast<uintptr_t>(data) + kHuge - 1) & ~(kHuge - 1);
-  uintptr_t end =
-      (reinterpret_cast<uintptr_t>(data) + bytes) & ~(kHuge - 1);
-  if (end > begin) {
-    madvise(reinterpret_cast<void*>(begin), end - begin, MADV_HUGEPAGE);
-  }
-#else
-  (void)data;
-  (void)bytes;
-#endif
-}
-
 int DefaultRounds(size_t n, const SketchConfig& config) {
   int log_n = 1;
   while ((size_t{1} << log_n) < n) ++log_n;
   return log_n + config.extra_boruvka_rounds;
 }
 
+// Incremental extraction: component accumulators cover fixed WINDOWS of
+// this many rounds. Round t >= 1 lives in window [w0, w0 + K) with
+// w0 = 1 + K * ((t-1) / K), and every component's block covers the full
+// window, so uniting two components is one whole-block field addition and
+// an unchanged component costs NOTHING until the window ends. Small K
+// bounds the wasted accumulation when the decode finishes early (it
+// usually does -- a few rounds connect everything); large K amortizes the
+// one full member re-sum per window boundary. Round 0 needs no window at
+// all: its components are singletons and sample straight from the arena.
+constexpr int kAccWindowRounds = 4;
+
+int WindowStart(int t) {
+  return 1 + kAccWindowRounds * ((t - 1) / kAccWindowRounds);
+}
+
+// Reusable per-thread extraction scratch. Pool workers are long-lived, so
+// during a Finalize that fans R forest extractions across the pool each
+// worker allocates its block arena once and reuses it for every forest it
+// owns; repeated Finalize calls reuse it again.
+struct ExtractScratch {
+  std::vector<uint64_t> blocks;      // equally-sized accumulator blocks
+  std::vector<uint64_t> block_masks; // per block, kAccWindowRounds level
+                                     // masks (OR of the members' column
+                                     // masks; clear bit => segment zero)
+  std::vector<int64_t> block_of;     // pre-union root vertex -> block id
+  std::vector<int64_t> free_blocks;  // retired ids (windows shrink, so
+                                     // capacity always suffices for reuse)
+};
+
+ExtractScratch& TlsExtractScratch() {
+  static thread_local ExtractScratch scratch;
+  return scratch;
+}
+
 }  // namespace
+
+void AccumulateExtractStats(const ExtractStats& in, ExtractStats* out) {
+  out->rounds_run = std::max(out->rounds_run, in.rounds_run);
+  out->early_exit = out->early_exit || in.early_exit;
+  out->summed_words += in.summed_words;
+  out->sample_attempts += in.sample_attempts;
+  out->decode_attempts += in.decode_attempts;
+  out->edges_found += in.edges_found;
+  if (out->groups_per_round.size() < in.groups_per_round.size()) {
+    out->groups_per_round.resize(in.groups_per_round.size(), 0);
+  }
+  for (size_t i = 0; i < in.groups_per_round.size(); ++i) {
+    out->groups_per_round[i] += in.groups_per_round[i];
+  }
+}
 
 void WriteForestParams(const ForestSketchParams& params, wire::Writer* w) {
   WriteSketchConfig(params.config, w);
@@ -92,14 +120,32 @@ SpanningForestSketch::SpanningForestSketch(size_t n, size_t max_rank,
     if (active != nullptr && !(*active)[v]) continue;
     state_index_[v] = static_cast<int64_t>(num_active++);
   }
+  num_active_ = num_active;
   state_words_ = round_shapes_[0]->TotalWords();
-  const size_t total = num_active * static_cast<size_t>(rounds_) * state_words_;
-  // Reserve first so the huge-page advice lands before the zero-fill is the
-  // first touch of the pages.
-  arena_.reserve(total);
-  AdviseHugePages(arena_.data(), total * sizeof(uint64_t));
-  arena_.resize(total, 0);
+  // Lazily-zeroed mapping (huge-page advised): untouched pages cost
+  // nothing, which is what makes CloneEmpty() and Clear() cheap.
+  arena_ =
+      ZeroedBuffer(num_active * static_cast<size_t>(rounds_) * state_words_);
+  dirty_words_per_round_ = (num_active + 63) / 64;
+  dirty_.assign(static_cast<size_t>(rounds_) * dirty_words_per_round_, 0);
+  level_mask_.assign(num_active * static_cast<size_t>(rounds_), 0);
 }
+
+SpanningForestSketch::SpanningForestSketch(const SpanningForestSketch& other,
+                                           CloneEmptyTag)
+    : n_(other.n_),
+      rounds_(other.rounds_),
+      seed_(other.seed_),
+      params_(other.params_),
+      codec_(other.codec_),
+      round_shapes_(other.round_shapes_),
+      state_index_(other.state_index_),
+      num_active_(other.num_active_),
+      state_words_(other.state_words_),
+      arena_(other.arena_.size()),
+      dirty_words_per_round_(other.dirty_words_per_round_),
+      dirty_(other.dirty_.size(), 0),
+      level_mask_(other.level_mask_.size(), 0) {}
 
 void SpanningForestSketch::ApplyToRound(int t, const Hyperedge& e,
                                         const PreparedCoord& pc, int delta) {
@@ -128,6 +174,8 @@ void SpanningForestSketch::ApplyToRound(int t, const Hyperedge& e,
   for (size_t pos = 0; pos < e.size(); ++pos) {
     const VertexId v = e[pos];
     GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
+    MarkDirty(t, v);
+    MarkLevel(t, v, level);
     uint64_t* seg = ArenaAt(v, t) + level_off;
     if (pos == 0) {
       const int64_t wdelta = head * delta;
@@ -188,6 +236,8 @@ void SpanningForestSketch::UpdateLocal(VertexId v, const Hyperedge& e,
     const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
     int level = shape.LevelOfFolded(pc.fold);
     uint64_t power = shape.basis().PowerFromExp(pc.exponent);
+    MarkDirty(t, v);
+    MarkLevel(t, v, level);
     SSparseSegmentUpdate(shape.level_shape(level),
                          ArenaAt(v, t) +
                              static_cast<size_t>(level) * shape.SegmentWords(),
@@ -197,13 +247,21 @@ void SpanningForestSketch::UpdateLocal(VertexId v, const Hyperedge& e,
 
 void SpanningForestSketch::Process(std::span<const StreamUpdate> updates) {
   if (UseShardedMerge(params_.engine, updates.size())) {
-    ShardedMergeIngest(this, updates, params_.engine.threads);
+    ShardedMergeIngest(
+        this, updates,
+        ShardedMergeShards(params_.engine.threads, updates.size()));
     return;
   }
+  ProcessColumns(updates);
+}
+
+void SpanningForestSketch::ProcessColumns(
+    std::span<const StreamUpdate> updates) {
   // Encode and prepare once per update (the combinadic rank, key fold, and
   // exponent reduction are the same for every round), then hand each worker
-  // a contiguous block of rounds: round columns are disjoint state, so no
-  // worker ever touches another's cells.
+  // a contiguous block of rounds: round columns are disjoint state -- and
+  // so are their round-major dirty-bitmap words -- so no worker ever
+  // touches another's cells.
   std::vector<PreparedCoord> prepared(updates.size());
   for (size_t j = 0; j < updates.size(); ++j) {
     GMS_CHECK_MSG(updates[j].edge.size() <= codec_.max_rank(),
@@ -236,80 +294,356 @@ void SpanningForestSketch::Process(const DynamicStream& stream) {
 
 void SpanningForestSketch::RemoveHyperedges(
     const std::vector<Hyperedge>& edges) {
-  for (const auto& e : edges) Update(e, -1);
+  if (edges.empty()) return;
+  // Batch the subtraction through the column path: one encode per edge and
+  // the round fan-out / prefetch of Process, which the k-skeleton peeling
+  // (repeated whole-layer subtractions) leans on heavily.
+  std::vector<StreamUpdate> updates;
+  updates.reserve(edges.size());
+  for (const auto& e : edges) updates.emplace_back(e, -1);
+  ProcessColumns(updates);
+}
+
+bool SpanningForestSketch::SampleGroupEdge(int t, const uint64_t* src,
+                                           uint64_t src_mask,
+                                           const std::vector<int64_t>& comp,
+                                           size_t g, Hyperedge* out,
+                                           L0SampleProbe* probe) const {
+  auto sample = L0SampleRawMasked(*round_shapes_[static_cast<size_t>(t)], src,
+                                  src_mask, probe);
+  if (!sample.ok()) return false;  // isolated component or sampler failure
+  auto decoded = codec_.Decode(sample->index);
+  if (!decoded.ok()) return false;  // corrupted sample; skip defensively
+  const Hyperedge& e = *decoded;
+  // Sanity: a genuine sample crosses the component boundary and touches
+  // only active vertices.
+  bool valid =
+      std::llabs(sample->value) < static_cast<int64_t>(codec_.max_rank()) &&
+      sample->value != 0;
+  bool any_in = false, any_out = false;
+  for (VertexId v : e) {
+    if (!IsActive(v)) valid = false;
+    (comp[v] == static_cast<int64_t>(g) ? any_in : any_out) = true;
+  }
+  if (!valid || !any_in || !any_out) return false;
+  *out = e;
+  return true;
 }
 
 Result<Hypergraph> SpanningForestSketch::ExtractSpanningGraph(
-    size_t threads) const {
+    size_t threads, ExtractStats* stats) const {
+  return ExtractImpl(threads, stats, /*incremental=*/true);
+}
+
+Result<Hypergraph> SpanningForestSketch::ExtractSpanningGraphReference(
+    size_t threads, ExtractStats* stats) const {
+  return ExtractImpl(threads, stats, /*incremental=*/false);
+}
+
+Result<Hypergraph> SpanningForestSketch::ExtractImpl(size_t threads,
+                                                     ExtractStats* stats,
+                                                     bool incremental) const {
   if (threads == 0) threads = params_.engine.threads;
   Hypergraph result(n_);
   UnionFind uf(n_);
   std::vector<VertexId> active_vertices;
+  active_vertices.reserve(num_active_);
   for (VertexId v = 0; v < n_; ++v) {
     if (IsActive(v)) active_vertices.push_back(v);
   }
+  if (stats != nullptr) *stats = ExtractStats();
   if (active_vertices.size() <= 1) return result;
+
+  // Blocks live in the calling thread's scratch; inner parallel phases
+  // write disjoint blocks, and every phase boundary is a pool join, so the
+  // sharing is race-free.
+  ExtractScratch& es = TlsExtractScratch();
+  if (incremental) {
+    es.block_of.assign(n_, -1);
+    es.free_blocks.clear();
+  }
+  int block_w0 = -1;   // materialized window [block_w0, block_w1)
+  int block_w1 = -1;
+  size_t block_words = 0;
+  size_t blocks_used = 0;
+
+  std::atomic<uint64_t> summed_words{0};
+  std::atomic<uint64_t> sample_attempts{0};
+  std::atomic<uint64_t> decode_attempts{0};
+  std::atomic<bool> round_saw_nonzero{false};
+
+  std::vector<std::vector<VertexId>> groups;
+  std::vector<VertexId> group_root;  // pre-union root of each group
+  std::vector<int64_t> comp(n_, -1);
+  std::vector<int64_t> dense(n_, -1);
 
   for (int t = 0; t < rounds_; ++t) {
     // Group active vertices by current component; comp[v] snapshots the
-    // component index so the parallel summation below never touches the
+    // component index so the parallel phases below never touch the
     // (path-compressing, hence mutating) union-find.
-    std::vector<std::vector<VertexId>> groups;
-    std::vector<int64_t> comp(n_, -1);
-    {
-      std::vector<int64_t> dense(n_, -1);
-      for (VertexId v : active_vertices) {
-        VertexId r = uf.Find(v);
-        if (dense[r] < 0) {
-          dense[r] = static_cast<int64_t>(groups.size());
-          groups.emplace_back();
-        }
-        comp[v] = dense[r];
-        groups[static_cast<size_t>(dense[r])].push_back(v);
+    groups.clear();
+    group_root.clear();
+    std::fill(comp.begin(), comp.end(), -1);
+    std::fill(dense.begin(), dense.end(), -1);
+    for (VertexId v : active_vertices) {
+      VertexId r = uf.Find(v);
+      if (dense[r] < 0) {
+        dense[r] = static_cast<int64_t>(groups.size());
+        groups.emplace_back();
+        group_root.push_back(r);
       }
+      comp[v] = dense[r];
+      groups[static_cast<size_t>(dense[r])].push_back(v);
+    }
+    if (stats != nullptr) {
+      stats->rounds_run = t + 1;
+      stats->groups_per_round.push_back(groups.size());
     }
     if (groups.size() <= 1) break;
 
-    // Sample one crossing hyperedge per component from the summed sketch.
-    // Components are independent read-only reductions over this round's
-    // states, so they fan out across the pool; merging stays serial and in
-    // group order, which keeps the decode deterministic.
+    // Window refill: the first round of each window rebuilds every
+    // multi-vertex component's block from its members' arena rows (rounds
+    // are contiguous per vertex, so the first member is one memcpy of the
+    // whole window). This is the ONLY full re-sum; within the window,
+    // blocks evolve purely through whole-block union merges.
+    if (incremental && t >= 1 && WindowStart(t) != block_w0) {
+      block_w0 = WindowStart(t);
+      block_w1 = std::min(block_w0 + kAccWindowRounds, rounds_);
+      block_words = static_cast<size_t>(block_w1 - block_w0) * state_words_;
+      es.free_blocks.clear();
+      std::fill(es.block_of.begin(), es.block_of.end(), -1);
+      blocks_used = 0;
+      std::vector<size_t> block_id(groups.size(), SIZE_MAX);
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (groups[g].size() > 1) block_id[g] = blocks_used++;
+      }
+      if (es.blocks.size() < blocks_used * block_words) {
+        es.blocks.resize(blocks_used * block_words);
+      }
+      if (es.block_masks.size() < blocks_used * kAccWindowRounds) {
+        es.block_masks.resize(blocks_used * kAccWindowRounds);
+      }
+      ParallelFor(threads, groups.size(), [&](size_t begin, size_t end) {
+        uint64_t local_words = 0;
+        for (size_t g = begin; g < end; ++g) {
+          if (block_id[g] == SIZE_MAX) continue;
+          const auto& group = groups[g];
+          uint64_t* dst = es.blocks.data() + block_id[g] * block_words;
+          uint64_t* masks =
+              es.block_masks.data() + block_id[g] * kAccWindowRounds;
+          std::memset(dst, 0, block_words * sizeof(uint64_t));
+          std::memset(masks, 0, kAccWindowRounds * sizeof(uint64_t));
+          for (size_t i = 0; i < group.size(); ++i) {
+            const uint64_t* src = ArenaAt(group[i], block_w0);
+            const size_t ord = static_cast<size_t>(state_index_[group[i]]);
+            for (int r = block_w0; r < block_w1; ++r) {
+              const size_t off =
+                  static_cast<size_t>(r - block_w0) * state_words_;
+              const uint64_t m = ColumnLevelMask(ord, r);
+              masks[r - block_w0] |= m;
+              local_words +=
+                  L0AddRawMasked(*round_shapes_[static_cast<size_t>(r)],
+                                 dst + off, src + off, m);
+            }
+          }
+        }
+        summed_words.fetch_add(local_words, std::memory_order_relaxed);
+      });
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (block_id[g] != SIZE_MAX) {
+          es.block_of[group_root[g]] = static_cast<int64_t>(block_id[g]);
+        }
+      }
+    }
+
+    // Sample one crossing hyperedge per component. Components are
+    // independent read-only probes (singletons straight from the arena,
+    // multi-vertex components from their window block; the reference path
+    // re-sums instead), so they fan out across the pool. Shard boundaries
+    // are cache-line aligned on the byte-per-group output arrays.
     std::vector<Hyperedge> found(groups.size());
     std::vector<char> has_found(groups.size(), 0);
-    ParallelFor(threads, groups.size(), [&](size_t begin, size_t end) {
-      for (size_t g = begin; g < end; ++g) {
-        const auto& group = groups[g];
-        L0State acc(round_shapes_[static_cast<size_t>(t)].get());
-        for (VertexId v : group) {
-          acc.AddRaw(ArenaAt(v, t));
-        }
-        auto sample = acc.Sample();
-        if (!sample.ok()) continue;  // isolated component or sampler failure
-        auto decoded = codec_.Decode(sample->index);
-        if (!decoded.ok()) continue;  // corrupted sample; skip defensively
-        const Hyperedge& e = *decoded;
-        // Sanity: a genuine sample crosses the component boundary and
-        // touches only active vertices.
-        bool valid = std::llabs(sample->value) <
-                         static_cast<int64_t>(codec_.max_rank()) &&
-                     sample->value != 0;
-        bool any_in = false, any_out = false;
-        for (VertexId v : e) {
-          if (!IsActive(v)) valid = false;
-          (comp[v] == static_cast<int64_t>(g) ? any_in : any_out) = true;
-        }
-        if (!valid || !any_in || !any_out) continue;
-        found[g] = e;
-        has_found[g] = 1;
-      }
-    });
+    round_saw_nonzero.store(false, std::memory_order_relaxed);
+    ParallelForAligned(
+        threads, groups.size(), /*grain=*/64, [&](size_t begin, size_t end) {
+          std::vector<uint64_t> acc;  // reference-path accumulator
+          uint64_t local_samples = 0, local_decodes = 0, local_words = 0;
+          bool local_nonzero = false;
+          for (size_t g = begin; g < end; ++g) {
+            const auto& group = groups[g];
+            const uint64_t* src;
+            // The reference path stays fully dense (mask = ~0): it is the
+            // differential oracle that masked extraction must match.
+            uint64_t src_mask = ~uint64_t{0};
+            if (group.size() == 1) {
+              src = ArenaAt(group[0], t);
+              if (incremental) {
+                src_mask = ColumnLevelMask(
+                    static_cast<size_t>(state_index_[group[0]]), t);
+              }
+            } else if (incremental) {
+              const int64_t b = es.block_of[group_root[g]];
+              GMS_DCHECK(b >= 0);
+              src = es.blocks.data() +
+                    static_cast<size_t>(b) * block_words +
+                    static_cast<size_t>(t - block_w0) * state_words_;
+              src_mask =
+                  es.block_masks[static_cast<size_t>(b) * kAccWindowRounds +
+                                 static_cast<size_t>(t - block_w0)];
+            } else {
+              if (acc.empty()) acc.resize(state_words_);
+              std::memcpy(acc.data(), ArenaAt(group[0], t),
+                          state_words_ * sizeof(uint64_t));
+              for (size_t i = 1; i < group.size(); ++i) {
+                L0AddRaw(*round_shapes_[static_cast<size_t>(t)], acc.data(),
+                         ArenaAt(group[i], t));
+              }
+              local_words += group.size() * state_words_;
+              src = acc.data();
+            }
+            L0SampleProbe probe;
+            Hyperedge e;
+            ++local_samples;
+            if (SampleGroupEdge(t, src, src_mask, comp, g, &e, &probe)) {
+              found[g] = std::move(e);
+              has_found[g] = 1;
+            }
+            local_decodes += static_cast<uint64_t>(probe.decode_attempts);
+            local_nonzero |= probe.saw_nonzero;
+          }
+          sample_attempts.fetch_add(local_samples, std::memory_order_relaxed);
+          decode_attempts.fetch_add(local_decodes, std::memory_order_relaxed);
+          summed_words.fetch_add(local_words, std::memory_order_relaxed);
+          if (local_nonzero) {
+            round_saw_nonzero.store(true, std::memory_order_relaxed);
+          }
+        });
+
+    // Contract: serial union in group order keeps the decode deterministic.
+    size_t merges = 0;
     for (size_t g = 0; g < groups.size(); ++g) {
       if (!has_found[g]) continue;
       const Hyperedge& e = found[g];
       bool merged = false;
       for (size_t i = 1; i < e.size(); ++i) merged |= uf.Union(e[0], e[i]);
-      if (merged) result.AddEdge(e);
+      if (merged) {
+        result.AddEdge(e);
+        ++merges;
+      }
     }
+    if (stats != nullptr) stats->edges_found += merges;
+    if (merges == 0) {
+      if (!round_saw_nonzero.load(std::memory_order_relaxed)) {
+        // Every remaining component's sketch is identically zero: the zero
+        // measurement is zero in EVERY round's column, so later rounds
+        // cannot merge anything either. (Both decode paths share this
+        // rule, so their outputs stay bit-identical.)
+        if (stats != nullptr) stats->early_exit = true;
+        break;
+      }
+      continue;  // decode failures only; retry under fresh randomness
+    }
+
+    // Incremental maintenance: components that united this round get a
+    // merged block for the remainder of the window -- one whole-block
+    // field addition per part. Unchanged components keep their block and
+    // cost nothing next round.
+    const int tn = t + 1;
+    if (!incremental || tn >= rounds_) continue;
+    if (WindowStart(tn) != block_w0) continue;  // next round refills anyway
+    // Bucket this round's groups by post-union root (dense[] is free for
+    // reuse until the next round rebuilds it).
+    std::fill(dense.begin(), dense.end(), -1);
+    std::vector<std::vector<size_t>> sets;
+    std::vector<VertexId> set_root;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const VertexId r = uf.Find(groups[g][0]);
+      if (dense[r] < 0) {
+        dense[r] = static_cast<int64_t>(sets.size());
+        sets.emplace_back();
+        set_root.push_back(r);
+      }
+      sets[static_cast<size_t>(dense[r])].push_back(g);
+    }
+    // Serial block-id assignment in set order (free list first): the id
+    // sequence, like everything else here, never depends on the schedule.
+    std::vector<size_t> merged_sets;
+    std::vector<size_t> set_block;
+    for (size_t s = 0; s < sets.size(); ++s) {
+      if (sets[s].size() < 2) continue;
+      size_t bid;
+      if (!es.free_blocks.empty()) {
+        bid = static_cast<size_t>(es.free_blocks.back());
+        es.free_blocks.pop_back();
+      } else {
+        bid = blocks_used++;
+      }
+      merged_sets.push_back(s);
+      set_block.push_back(bid);
+    }
+    if (merged_sets.empty()) continue;
+    if (es.blocks.size() < blocks_used * block_words) {
+      es.blocks.resize(blocks_used * block_words);
+    }
+    if (es.block_masks.size() < blocks_used * kAccWindowRounds) {
+      es.block_masks.resize(blocks_used * kAccWindowRounds);
+    }
+    ParallelFor(
+        threads, merged_sets.size(), [&](size_t begin, size_t end) {
+          uint64_t local_words = 0;
+          for (size_t j = begin; j < end; ++j) {
+            const auto& parts = sets[merged_sets[j]];
+            uint64_t* dst = es.blocks.data() + set_block[j] * block_words;
+            uint64_t* dmask =
+                es.block_masks.data() + set_block[j] * kAccWindowRounds;
+            std::memset(dst, 0, block_words * sizeof(uint64_t));
+            std::memset(dmask, 0, kAccWindowRounds * sizeof(uint64_t));
+            for (size_t part : parts) {
+              const auto& group = groups[part];
+              const uint64_t* src;
+              const uint64_t* smask = nullptr;  // null => singleton part
+              size_t ord = 0;
+              if (group.size() == 1) {
+                src = ArenaAt(group[0], block_w0);
+                ord = static_cast<size_t>(state_index_[group[0]]);
+              } else {
+                const size_t b =
+                    static_cast<size_t>(es.block_of[group_root[part]]);
+                src = es.blocks.data() + b * block_words;
+                smask = es.block_masks.data() + b * kAccWindowRounds;
+              }
+              for (int r = block_w0; r < block_w1; ++r) {
+                const size_t off =
+                    static_cast<size_t>(r - block_w0) * state_words_;
+                const uint64_t m = smask != nullptr
+                                       ? smask[r - block_w0]
+                                       : ColumnLevelMask(ord, r);
+                dmask[r - block_w0] |= m;
+                local_words +=
+                    L0AddRawMasked(*round_shapes_[static_cast<size_t>(r)],
+                                   dst + off, src + off, m);
+              }
+            }
+          }
+          summed_words.fetch_add(local_words, std::memory_order_relaxed);
+        });
+    // Retire the parts' blocks (their values are folded into the merged
+    // block) and point the united roots at it; serial, in set order.
+    for (size_t j = 0; j < merged_sets.size(); ++j) {
+      for (size_t part : sets[merged_sets[j]]) {
+        if (groups[part].size() > 1) {
+          es.free_blocks.push_back(es.block_of[group_root[part]]);
+        }
+        es.block_of[group_root[part]] = -1;
+      }
+      es.block_of[set_root[merged_sets[j]]] =
+          static_cast<int64_t>(set_block[j]);
+    }
+  }
+  if (stats != nullptr) {
+    stats->summed_words = summed_words.load(std::memory_order_relaxed);
+    stats->sample_attempts = sample_attempts.load(std::memory_order_relaxed);
+    stats->decode_attempts = decode_attempts.load(std::memory_order_relaxed);
   }
   return result;
 }
@@ -332,18 +666,53 @@ Status SpanningForestSketch::MergeFrom(const SpanningForestSketch& other) {
           "vertex this sketch is not");
     }
   }
-  const size_t seg_words = round_shapes_[0]->SegmentWords();
-  const int num_levels = round_shapes_[0]->num_levels();
-  for (VertexId v = 0; v < n_; ++v) {
-    if (!other.IsActive(v)) continue;
+  // Sparse merge: only the columns the other sketch's dirty bitmap marks
+  // can be nonzero, and adding an all-zero column is the field identity --
+  // so the result is bit-identical to the old dense sweep while a clone
+  // that ingested a short stream slice merges in time proportional to what
+  // it actually touched.
+  if (state_index_ == other.state_index_) {
+    // Same active set: ordinals coincide, so walk raw bitmap words.
     for (int t = 0; t < rounds_; ++t) {
       const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
-      uint64_t* dst = ArenaAt(v, t);
-      const uint64_t* src = other.ArenaAt(v, t);
-      for (int j = 0; j < num_levels; ++j) {
-        SSparseSegmentAdd(shape.level_shape(j),
-                          dst + static_cast<size_t>(j) * seg_words,
-                          src + static_cast<size_t>(j) * seg_words);
+      const size_t base =
+          static_cast<size_t>(t) * dirty_words_per_round_;
+      for (size_t w = 0; w < dirty_words_per_round_; ++w) {
+        uint64_t bits = other.dirty_[base + w];
+        if (bits == 0) continue;
+        dirty_[base + w] |= bits;
+        while (bits != 0) {
+          const size_t ord =
+              (w << 6) + static_cast<size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          const size_t col =
+              ord * static_cast<size_t>(rounds_) + static_cast<size_t>(t);
+          const uint64_t src_mask = other.level_mask_[col];
+          level_mask_[col] |= src_mask;
+          L0AddRawMasked(shape, arena_.data() + col * state_words_,
+                         other.arena_.data() + col * state_words_, src_mask);
+        }
+      }
+    }
+  } else {
+    // Strict-subset active set (the referee case): map ordinals through
+    // vertex ids; both sketches store the dense ordinal in state_index_.
+    for (VertexId v = 0; v < n_; ++v) {
+      if (!other.IsActive(v)) continue;
+      const size_t oo = static_cast<size_t>(other.state_index_[v]);
+      const size_t mo = static_cast<size_t>(state_index_[v]);
+      for (int t = 0; t < rounds_; ++t) {
+        if (!other.IsDirty(t, oo)) continue;
+        MarkDirty(t, v);
+        const size_t ocol =
+            oo * static_cast<size_t>(rounds_) + static_cast<size_t>(t);
+        const size_t mcol =
+            mo * static_cast<size_t>(rounds_) + static_cast<size_t>(t);
+        const uint64_t src_mask = other.level_mask_[ocol];
+        level_mask_[mcol] |= src_mask;
+        L0AddRawMasked(*round_shapes_[static_cast<size_t>(t)],
+                       arena_.data() + mcol * state_words_,
+                       other.arena_.data() + ocol * state_words_, src_mask);
       }
     }
   }
@@ -351,7 +720,24 @@ Status SpanningForestSketch::MergeFrom(const SpanningForestSketch& other) {
 }
 
 void SpanningForestSketch::Clear() {
-  std::fill(arena_.begin(), arena_.end(), 0);
+  arena_.Fill0();
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  std::fill(level_mask_.begin(), level_mask_.end(), 0);
+}
+
+void SpanningForestSketch::MarkAllDirty() {
+  std::fill(level_mask_.begin(), level_mask_.end(), ~uint64_t{0});
+  if (dirty_.empty()) return;
+  std::fill(dirty_.begin(), dirty_.end(), ~uint64_t{0});
+  // Mask each round's pad bits so bitmap scans never yield an ordinal
+  // beyond the active count.
+  const size_t tail = num_active_ & 63;
+  if (tail != 0) {
+    const uint64_t mask = (uint64_t{1} << tail) - 1;
+    for (int t = 0; t < rounds_; ++t) {
+      dirty_[static_cast<size_t>(t + 1) * dirty_words_per_round_ - 1] = mask;
+    }
+  }
 }
 
 void SpanningForestSketch::AppendCells(wire::Writer* w) const {
@@ -362,7 +748,11 @@ Status SpanningForestSketch::ReadCells(wire::Reader* r) {
   if (r->remaining() < arena_.size() * sizeof(uint64_t)) {
     return Status::InvalidArgument("wire: forest payload size mismatch");
   }
-  return r->Words(arena_.data(), arena_.size());
+  GMS_RETURN_IF_ERROR(r->Words(arena_.data(), arena_.size()));
+  // Frames carry no bitmap (the wire format is unchanged); correctness
+  // only needs dirty ⊇ nonzero, so mark everything.
+  MarkAllDirty();
+  return Status::OK();
 }
 
 void SpanningForestSketch::Serialize(std::vector<uint8_t>* out) const {

@@ -23,8 +23,37 @@
 #include "stream/stream.h"
 #include "util/parallel.h"
 #include "util/status.h"
+#include "util/zeroed_buffer.h"
 
 namespace gms {
+
+/// Instrumentation from one spanning-graph extraction (or, accumulated, a
+/// whole Finalize over R forests). Every counter is a deterministic
+/// function of the sketch state -- independent of thread count -- except
+/// summed_words, which measures the work the chosen extraction PATH did
+/// (the incremental path's whole point is that it is much smaller).
+struct ExtractStats {
+  /// Borůvka rounds actually executed (<= the sketch's round budget).
+  int rounds_run = 0;
+  /// True if the loop stopped because no component merged AND every
+  /// remaining component's sketch was identically zero (no later round
+  /// can help: the zero measurement is zero in every round's column).
+  bool early_exit = false;
+  /// Words field-added or copied into component accumulators.
+  uint64_t summed_words = 0;
+  /// Component sample calls (one per multi-candidate group per round).
+  uint64_t sample_attempts = 0;
+  /// s-sparse decode attempts inside those sample calls.
+  uint64_t decode_attempts = 0;
+  /// Crossing hyperedges accepted into the spanning graph.
+  uint64_t edges_found = 0;
+  /// Component-group count per executed round.
+  std::vector<uint64_t> groups_per_round;
+};
+
+/// Element-wise accumulation (containers extracting R forests sum their
+/// per-forest stats in sketch order; integer sums, so deterministic).
+void AccumulateExtractStats(const ExtractStats& in, ExtractStats* out);
 
 struct ForestSketchParams {
   SketchConfig config = SketchConfig::Default();
@@ -117,10 +146,31 @@ class SpanningForestSketch {
   /// active vertices. The result has the same connected components as the
   /// input whp; per-round sampling failures are tolerated (extra rounds
   /// absorb them) and surface only as a disconnected-looking result.
-  /// Within each round the per-component sketch summations fan out across
-  /// `threads` workers (0 = the engine.threads this sketch was built with);
-  /// components merge in a fixed order, so the decode is deterministic.
-  Result<Hypergraph> ExtractSpanningGraph(size_t threads = 0) const;
+  ///
+  /// Incremental decode: by linearity a component's sketch is the SUM of
+  /// its members' sketches, and that sum evolves only when UnionFind unites
+  /// components -- so instead of re-summing every member from scratch each
+  /// round, per-component accumulators persist across rounds and are
+  /// field-MERGED when components unite. Round 0 components are singletons
+  /// and sample directly from the arena (no accumulator at all);
+  /// accumulators cover fixed windows of kAccWindowRounds future rounds so
+  /// merges are whole-block additions. Per-component work fans out across
+  /// `threads` workers (0 = the engine.threads this sketch was built
+  /// with); all arithmetic is exact field addition and every serial
+  /// decision (block ids, union order) runs in group order, so the decode
+  /// is bit-identical for every thread count. The loop exits early once no
+  /// component merged and every remaining component's sketch is zero.
+  Result<Hypergraph> ExtractSpanningGraph(size_t threads = 0,
+                                          ExtractStats* stats = nullptr) const;
+
+  /// The retained reference decoder: re-sums every component from its
+  /// members' arena rows each round (the pre-incremental algorithm), with
+  /// the same sampling, validation, union order, and early-exit rule.
+  /// Produces a bit-identical Hypergraph to ExtractSpanningGraph (the
+  /// extraction differential suite asserts this); kept as the oracle for
+  /// the incremental path and for the bench's old-vs-new row.
+  Result<Hypergraph> ExtractSpanningGraphReference(
+      size_t threads = 0, ExtractStats* stats = nullptr) const;
 
   /// True iff the other sketch carries bit-identical per-vertex state
   /// (same n, rounds, and measurement values; for the determinism suite).
@@ -136,7 +186,22 @@ class SpanningForestSketch {
   /// states into a full sketch). After a successful merge this sketch
   /// represents the multiset union of both streams. Mismatches return
   /// InvalidArgument and leave the state untouched.
+  ///
+  /// Sparse-aware: only the (vertex, round) columns the other sketch's
+  /// dirty bitmap marks as touched are added. An untouched column is still
+  /// the zero measurement (adding it would be the field identity), so the
+  /// result is bit-identical to a dense merge -- but a sharded-merge clone
+  /// that ingested a short stream slice merges in time proportional to the
+  /// cells its slice actually hit, not the arena size.
   Status MergeFrom(const SpanningForestSketch& other);
+
+  /// A sketch of the SAME measurement (same seed, shapes shared, same
+  /// active set) with zero cells and a clean dirty bitmap -- the
+  /// sharded-merge private clone. Allocates the empty arena directly
+  /// (lazily-zeroed pages); never copies this sketch's cells.
+  SpanningForestSketch CloneEmpty() const {
+    return SpanningForestSketch(*this, CloneEmptyTag{});
+  }
 
   /// Zero every cell (the empty-stream measurement); shapes/active set stay.
   void Clear();
@@ -169,12 +234,70 @@ class SpanningForestSketch {
   const EdgeCodec& codec() const { return codec_; }
 
  private:
+  /// Shares every shape/index member with `other` but allocates a fresh
+  /// zero arena and clean dirty bitmap (see CloneEmpty).
+  SpanningForestSketch(const SpanningForestSketch& other, CloneEmptyTag);
+
   /// Apply hyperedge e (prepared coordinate) to round t's column only.
   void ApplyToRound(int t, const Hyperedge& e, const PreparedCoord& pc,
                     int delta);
 
   /// Prefetch round t's target cells for hyperedge e (see PrefetchPrepared).
   void PrefetchRound(int t, const Hyperedge& e, const PreparedCoord& pc) const;
+
+  /// The column-sharded batched ingest (encode once, shard the Borůvka
+  /// rounds across workers). Process() dispatches here unless sharded
+  /// merge applies; RemoveHyperedges batches its subtraction through it so
+  /// the k-skeleton peeling gets the same prefetch + round fan-out.
+  void ProcessColumns(std::span<const StreamUpdate> updates);
+
+  /// Shared Borůvka driver: incremental or reference accumulation.
+  Result<Hypergraph> ExtractImpl(size_t threads, ExtractStats* stats,
+                                 bool incremental) const;
+
+  /// Sample round t's accumulated state `src` (whose nonzero levels are
+  /// covered by `src_mask`; pass all-ones for a dense scan) for component
+  /// group g and validate it into a crossing hyperedge (value magnitude,
+  /// active endpoints, crosses the boundary). Returns true and fills *out
+  /// on success; *probe always reflects the attempt.
+  bool SampleGroupEdge(int t, const uint64_t* src, uint64_t src_mask,
+                       const std::vector<int64_t>& comp, size_t g,
+                       Hyperedge* out, L0SampleProbe* probe) const;
+
+  /// Mark vertex v's round-t column as touched since the last Clear().
+  /// Layout is ROUND-major ((t, active ordinal), each round padded to a
+  /// word boundary): the column-sharded ingest gives each worker a block
+  /// of rounds, so workers never read-modify-write a shared bitmap word.
+  void MarkDirty(int t, VertexId v) {
+    const size_t ord = static_cast<size_t>(state_index_[v]);
+    dirty_[static_cast<size_t>(t) * dirty_words_per_round_ + (ord >> 6)] |=
+        uint64_t{1} << (ord & 63);
+  }
+  bool IsDirty(int t, size_t ord) const {
+    return (dirty_[static_cast<size_t>(t) * dirty_words_per_round_ +
+                   (ord >> 6)] >>
+            (ord & 63)) &
+           1;
+  }
+  /// Conservatively mark every column touched and every level mask full
+  /// (deserialized payloads carry neither; correctness only needs the
+  /// summaries to be supersets of the nonzero cells).
+  void MarkAllDirty();
+
+  /// Record that an update routed to `level` of vertex v's round-t column
+  /// (LevelMaskBit semantics; see sketch/l0_sampler.h). Extraction and
+  /// MergeFrom then add/sample only the marked level segments -- for a
+  /// low-degree vertex that is ~log(degree) of the ~log(domain) levels,
+  /// which is where the finalize path's bandwidth goes.
+  void MarkLevel(int t, VertexId v, int level) {
+    level_mask_[static_cast<size_t>(state_index_[v]) *
+                    static_cast<size_t>(rounds_) +
+                static_cast<size_t>(t)] |= LevelMaskBit(level);
+  }
+  uint64_t ColumnLevelMask(size_t ord, int t) const {
+    return level_mask_[ord * static_cast<size_t>(rounds_) +
+                       static_cast<size_t>(t)];
+  }
 
   /// Start of vertex v's round-t sampler in the arena (v must be active).
   /// The address is pure arithmetic on the dense index -- no pointer chase
@@ -201,12 +324,26 @@ class SpanningForestSketch {
   std::vector<std::shared_ptr<const L0Shape>> round_shapes_;
   // Dense ordinal of each active vertex, -1 if inactive.
   std::vector<int64_t> state_index_;
+  size_t num_active_ = 0;
   // Every active vertex's sampler state for every round, in ONE flat
   // allocation: [active ordinal][round][level segment] with rounds
   // contiguous per vertex. state_words_ = words per (vertex, round) = the
   // shared L0Shape::TotalWords() (all rounds have identical geometry).
   size_t state_words_ = 0;
-  std::vector<uint64_t> arena_;
+  ZeroedBuffer arena_;
+  // Transient touched-column bitmap (round-major; see MarkDirty): which
+  // (vertex, round) columns have been updated since construction/Clear().
+  // A superset of the nonzero columns, never part of the measurement: it
+  // does not travel on the wire (frames are unchanged from the PR 3
+  // format; deserialization marks everything dirty) and does not affect
+  // StateEquals.
+  size_t dirty_words_per_round_ = 0;
+  std::vector<uint64_t> dirty_;
+  // Transient per-(vertex, round) nonzero-LEVEL summary (vertex-major,
+  // [ord * rounds + t]; LevelMaskBit semantics). Like dirty_: a superset
+  // of the truly-nonzero segments, never on the wire, ignored by
+  // StateEquals; deserialization conservatively fills it with all-ones.
+  std::vector<uint64_t> level_mask_;
 };
 
 }  // namespace gms

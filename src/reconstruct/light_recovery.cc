@@ -11,9 +11,15 @@ LightRecoverySketch::LightRecoverySketch(size_t n, size_t max_rank, size_t k,
     : n_(n), k_(k), skeleton_(n, max_rank, k + 1, seed, params) {}
 
 Result<LightRecoveryResult> LightRecoverySketch::Recover() const {
+  return Recover({});
+}
+
+Result<LightRecoveryResult> LightRecoverySketch::Recover(
+    const std::vector<Hyperedge>& pre_subtract) const {
   LightRecoveryResult out;
   out.light = Hypergraph(n_);
   KSkeletonSketch work = skeleton_;
+  work.RemoveHyperedges(pre_subtract);
   // At most n nonempty layers (each removal splits components; Section
   // 4.2.1), so cap the loop there.
   for (size_t iter = 0; iter < n_ + 1; ++iter) {

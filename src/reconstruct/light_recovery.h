@@ -71,6 +71,13 @@ class LightRecoverySketch {
   /// Run the peeling. Works on a copy; the sketch is reusable.
   Result<LightRecoveryResult> Recover() const;
 
+  /// As Recover(), but first linearly subtracts `pre_subtract` from the
+  /// working copy. One skeleton copy total -- the caller-side RemoveKnown +
+  /// Recover sequence pays the copy twice, which is what the sparsifier's
+  /// per-level extraction used to do.
+  Result<LightRecoveryResult> Recover(
+      const std::vector<Hyperedge>& pre_subtract) const;
+
   size_t MemoryBytes() const { return skeleton_.MemoryBytes(); }
 
   /// Bit-identity of the underlying skeleton state (determinism suite).
@@ -92,12 +99,21 @@ class LightRecoverySketch {
   /// Zero the underlying skeleton (the empty-stream measurement).
   void Clear() { skeleton_.Clear(); }
 
+  /// A sketch of the SAME measurement with zero state (the sharded-merge
+  /// private clone); the parent's cells are never copied.
+  LightRecoverySketch CloneEmpty() const {
+    return LightRecoverySketch(*this, CloneEmptyTag{});
+  }
+
   /// Raw skeleton cells for COMPOSITE frames (the sparsifier packs all its
   /// level rows into one frame).
   void AppendCells(wire::Writer* w) const { skeleton_.AppendCells(w); }
   Status ReadCells(wire::Reader* r) { return skeleton_.ReadCells(r); }
 
  private:
+  LightRecoverySketch(const LightRecoverySketch& other, CloneEmptyTag)
+      : n_(other.n_), k_(other.k_), skeleton_(other.skeleton_.CloneEmpty()) {}
+
   size_t n_;
   size_t k_;
   KSkeletonSketch skeleton_;

@@ -1,6 +1,7 @@
 #include "sketch/l0_sampler.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/check.h"
 #include "util/random.h"
@@ -51,12 +52,43 @@ void L0State::Add(const L0State& other) {
 }
 
 void L0State::AddRaw(const uint64_t* buf) {
-  const size_t words = shape_->SegmentWords();
-  for (int j = 0; j < shape_->num_levels(); ++j) {
-    SSparseSegmentAdd(shape_->level_shape(j),
-                      buf_.data() + static_cast<size_t>(j) * words,
-                      buf + static_cast<size_t>(j) * words);
+  L0AddRaw(*shape_, buf_.data(), buf);
+}
+
+void L0AddRaw(const L0Shape& shape, uint64_t* dst, const uint64_t* src) {
+  const size_t words = shape.SegmentWords();
+  for (int j = 0; j < shape.num_levels(); ++j) {
+    SSparseSegmentAdd(shape.level_shape(j),
+                      dst + static_cast<size_t>(j) * words,
+                      src + static_cast<size_t>(j) * words);
   }
+}
+
+size_t L0AddRawMasked(const L0Shape& shape, uint64_t* dst,
+                      const uint64_t* src, uint64_t mask) {
+  const size_t words = shape.SegmentWords();
+  const int num_levels = shape.num_levels();
+  const int capped = num_levels < 63 ? num_levels : 63;
+  size_t touched = 0;
+  uint64_t low = mask & ~(uint64_t{1} << 63);
+  while (low != 0) {
+    const int j = std::countr_zero(low);
+    low &= low - 1;
+    if (j >= capped) break;  // set bits past the level count are vacuous
+    SSparseSegmentAdd(shape.level_shape(j),
+                      dst + static_cast<size_t>(j) * words,
+                      src + static_cast<size_t>(j) * words);
+    touched += words;
+  }
+  if ((mask >> 63) != 0) {
+    for (int j = 63; j < num_levels; ++j) {  // bit 63 covers all of these
+      SSparseSegmentAdd(shape.level_shape(j),
+                        dst + static_cast<size_t>(j) * words,
+                        src + static_cast<size_t>(j) * words);
+      touched += words;
+    }
+  }
+  return touched;
 }
 
 bool L0State::IsZero() const {
@@ -65,33 +97,56 @@ bool L0State::IsZero() const {
 }
 
 Result<SparseEntry> L0State::Sample() const {
+  return L0SampleRaw(*shape_, buf_.data());
+}
+
+Result<SparseEntry> L0SampleRaw(const L0Shape& shape, const uint64_t* buf,
+                                L0SampleProbe* probe) {
+  return L0SampleRawMasked(shape, buf, ~uint64_t{0}, probe);
+}
+
+Result<SparseEntry> L0SampleRawMasked(const L0Shape& shape,
+                                      const uint64_t* buf, uint64_t mask,
+                                      L0SampleProbe* probe) {
   static thread_local SSparseDecoder decoder;
-  const size_t words = shape_->SegmentWords();
+  const size_t words = shape.SegmentWords();
   bool saw_nonzero = false;
+  int decode_attempts = 0;
   // Scan from the sparsest (highest) level down; the first level whose
-  // recovery decodes a nonempty support yields the sample.
-  for (int j = shape_->num_levels() - 1; j >= 0; --j) {
-    const uint64_t* seg = buf_.data() + static_cast<size_t>(j) * words;
+  // recovery decodes a nonempty support yields the sample. Levels the mask
+  // clears are guaranteed zero and skip straight past the zero check.
+  for (int j = shape.num_levels() - 1; j >= 0; --j) {
+    if ((mask & LevelMaskBit(j)) == 0) continue;
+    const uint64_t* seg = buf + static_cast<size_t>(j) * words;
     if (std::all_of(seg, seg + words, [](uint64_t v) { return v == 0; })) {
       continue;
     }
     saw_nonzero = true;
-    auto decoded = decoder.Decode(shape_->level_shape(j), seg);
+    ++decode_attempts;
+    auto decoded = decoder.Decode(shape.level_shape(j), seg);
     if (!decoded.ok()) continue;  // too dense here; try a denser level anyway
     const auto& entries = *decoded;
     if (entries.empty()) continue;
+    if (probe != nullptr) {
+      probe->decode_attempts = decode_attempts;
+      probe->saw_nonzero = saw_nonzero;
+    }
     // Pick the entry with the smallest selection hash: a symmetric choice,
     // so the returned coordinate is (approximately) uniform on the support.
     const SparseEntry* best = &entries[0];
-    uint64_t best_h = shape_->SelectionHash(entries[0].index);
+    uint64_t best_h = shape.SelectionHash(entries[0].index);
     for (size_t t = 1; t < entries.size(); ++t) {
-      uint64_t h = shape_->SelectionHash(entries[t].index);
+      uint64_t h = shape.SelectionHash(entries[t].index);
       if (h < best_h) {
         best_h = h;
         best = &entries[t];
       }
     }
     return *best;
+  }
+  if (probe != nullptr) {
+    probe->decode_attempts = decode_attempts;
+    probe->saw_nonzero = saw_nonzero;
   }
   if (!saw_nonzero) {
     return Status::DecodeFailure("vector is zero (nothing to sample)");

@@ -156,6 +156,60 @@ struct L0Update {
   int64_t delta = 0;
 };
 
+/// Instrumentation from one L0SampleRaw call (for the extraction-engine
+/// bench breakdown and the early-exit rule of the Borůvka decoder).
+struct L0SampleProbe {
+  /// s-sparse decode attempts (nonzero levels scanned).
+  int decode_attempts = 0;
+  /// Any level segment held a nonzero word. False means the sketched
+  /// vector is (almost surely) identically zero -- retrying the same
+  /// vector under fresh randomness cannot help.
+  bool saw_nonzero = false;
+};
+
+/// Sample one nonzero coordinate straight from a raw flat buffer with the
+/// shape's exact layout (shape.TotalWords() words, level segments in
+/// order). This is L0State::Sample() without the L0State: containers that
+/// pack many measurements into one arena (the forest sketch) sample
+/// singleton components directly from their arena rows, skipping the
+/// alloc + zero + add of a materialized accumulator.
+Result<SparseEntry> L0SampleRaw(const L0Shape& shape, const uint64_t* buf,
+                                L0SampleProbe* probe = nullptr);
+
+/// Field-add `src` into `dst`, both raw flat buffers of this shape's
+/// layout. Exact cell-wise addition (wrapping weights, mod-2^128 index
+/// sums, mod-p fingerprints): associative and commutative, so ANY
+/// accumulation order yields bit-identical stored values.
+void L0AddRaw(const L0Shape& shape, uint64_t* dst, const uint64_t* src);
+
+/// Level-mask summaries: bit min(j, 63) of a 64-bit mask covers level j,
+/// so one word conservatively describes which level segments of a state
+/// can be nonzero even for >64-level shapes (all levels >= 63 share bit
+/// 63). A CLEAR bit guarantees the segment is identically zero; a set bit
+/// promises nothing. Ingest paths maintain these per column (each update
+/// routes to exactly one level), and the extraction/merge paths below then
+/// skip the guaranteed-zero segments -- which for a low-degree vertex is
+/// most of the state, since incident edges hash to ~log(degree) of the
+/// ~log(domain) levels.
+constexpr uint64_t LevelMaskBit(int level) {
+  return uint64_t{1} << (level < 63 ? level : 63);
+}
+
+/// As L0AddRaw restricted to the levels `mask` marks. Clear bits are
+/// guaranteed-zero segments of `src`, and adding zero is the field
+/// identity, so the stored result is bit-identical to the dense add.
+/// Returns the words actually touched (for extraction work accounting).
+size_t L0AddRawMasked(const L0Shape& shape, uint64_t* dst,
+                      const uint64_t* src, uint64_t mask);
+
+/// As L0SampleRaw, skipping levels `mask` marks clear. The dense scan
+/// would skip exactly those levels through its all-zero segment check, so
+/// the sample AND the probe are bit-identical to L0SampleRaw -- the mask
+/// only removes the wasted zero-segment reads.
+Result<SparseEntry> L0SampleRawMasked(const L0Shape& shape,
+                                      const uint64_t* buf, uint64_t mask,
+                                      L0SampleProbe* probe = nullptr);
+
 /// Cell words of an L0State over this (domain, config) shape, computed by
 /// pure arithmetic without constructing the shape. Must agree with
 /// L0Shape::TotalWords() (asserted by the serde suite); deserializers use
@@ -197,6 +251,15 @@ class L0Sampler {
 
   /// Zero the state (the empty-stream measurement); shape is untouched.
   void Clear() { state_.Clear(); }
+
+  /// A sampler of the SAME measurement (shared shape, same seed) with zero
+  /// state: the sharded-merge private clone. The state here is one small
+  /// flat buffer, so copy + Clear is already allocation-optimal.
+  L0Sampler CloneEmpty() const {
+    L0Sampler clone(*this);
+    clone.Clear();
+    return clone;
+  }
 
   /// Append one wire frame (wire::FrameType::kL0Sampler) to *out.
   void Serialize(std::vector<uint8_t>* out) const;

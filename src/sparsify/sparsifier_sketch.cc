@@ -44,6 +44,20 @@ HypergraphSparsifierSketch::HypergraphSparsifierSketch(size_t n,
   }
 }
 
+HypergraphSparsifierSketch::HypergraphSparsifierSketch(
+    const HypergraphSparsifierSketch& other, CloneEmptyTag)
+    : n_(other.n_),
+      k_(other.k_),
+      seed_(other.seed_),
+      params_(other.params_),
+      codec_(other.codec_),
+      sample_hash_(other.sample_hash_) {
+  level_sketches_.reserve(other.level_sketches_.size());
+  for (const auto& level : other.level_sketches_) {
+    level_sketches_.push_back(level.CloneEmpty());
+  }
+}
+
 int HypergraphSparsifierSketch::SampleLevel(const Hyperedge& e) const {
   return sample_hash_.Level(codec_.Encode(e));
 }
@@ -60,7 +74,9 @@ void HypergraphSparsifierSketch::Update(const Hyperedge& e, int delta) {
 void HypergraphSparsifierSketch::Process(std::span<const StreamUpdate> updates) {
   if (updates.empty()) return;
   if (UseShardedMerge(params_.engine, updates.size())) {
-    ShardedMergeIngest(this, updates, params_.engine.threads);
+    ShardedMergeIngest(
+        this, updates,
+        ShardedMergeShards(params_.engine.threads, updates.size()));
     return;
   }
   // Prepare each update's coordinate once (the sampling hash and every
@@ -99,13 +115,13 @@ Result<SparsifierOutput> HypergraphSparsifierSketch::ExtractSparsifier()
   std::vector<std::pair<Hyperedge, int>> claimed;
   double weight = 1.0;
   for (size_t i = 0; i < level_sketches_.size(); ++i, weight *= 2.0) {
-    LightRecoverySketch level = level_sketches_[i];
     std::vector<Hyperedge> to_subtract;
     for (const auto& [e, depth] : claimed) {
       if (depth >= static_cast<int>(i)) to_subtract.push_back(e);
     }
-    level.RemoveKnown(to_subtract);
-    auto recovered = level.Recover();
+    // Recover(pre_subtract) folds the subtraction into the peeling's own
+    // working copy, saving one full level-row copy per level.
+    auto recovered = level_sketches_[i].Recover(to_subtract);
     if (!recovered.ok()) return recovered.status();
     const auto& f_i = recovered->light.Edges();
     out.level_sizes.push_back(f_i.size());

@@ -92,6 +92,12 @@ class HypergraphSparsifierSketch {
   /// Zero every level row (the empty-stream measurement).
   void Clear();
 
+  /// A sketch of the SAME measurement with zero state (the sharded-merge
+  /// private clone); the parent's cells are never copied.
+  HypergraphSparsifierSketch CloneEmpty() const {
+    return HypergraphSparsifierSketch(*this, CloneEmptyTag{});
+  }
+
   /// Append one wire frame (wire::FrameType::kSparsifier) to *out; the
   /// header reconstructs the sampling hash and every level row's shapes
   /// from the seed, and the payload concatenates the rows' raw cells.
@@ -106,6 +112,9 @@ class HypergraphSparsifierSketch {
   size_t SpaceBytes() const;
 
  private:
+  HypergraphSparsifierSketch(const HypergraphSparsifierSketch& other,
+                             CloneEmptyTag);
+
   /// Sampling depth of a hyperedge: e is in G_i iff SampleLevel(e) >= i.
   int SampleLevel(const Hyperedge& e) const;
 

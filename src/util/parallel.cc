@@ -1,10 +1,30 @@
 #include "util/parallel.h"
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace gms {
 
 namespace {
 thread_local bool t_in_parallel_region = false;
 }  // namespace
+
+size_t HardwareThreads() {
+  static const size_t count = [] {
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+      const int c = CPU_COUNT(&set);
+      if (c > 0) return static_cast<size_t>(c);
+    }
+#endif
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<size_t>(hc) : size_t{1};
+  }();
+  return count;
+}
 
 bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
 
@@ -52,7 +72,15 @@ void ThreadPool::HelperLoop(size_t helper) {
 
 void ThreadPool::Run(size_t shards, const std::function<void(size_t)>& fn) {
   if (shards <= 1) {
-    if (shards == 1) fn(0);
+    if (shards == 1) {
+      // Still a "shard of some Run": mark the region so nested engine
+      // dispatch (UseShardedMerge, ParallelFor) degrades to inline/serial
+      // paths instead of recursing back into the pool.
+      const bool prev = t_in_parallel_region;
+      t_in_parallel_region = true;
+      fn(0);
+      t_in_parallel_region = prev;
+    }
     return;
   }
   std::lock_guard<std::mutex> run_lock(run_mu_);

@@ -12,6 +12,7 @@
 #ifndef GMS_UTIL_PARALLEL_H_
 #define GMS_UTIL_PARALLEL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -37,6 +38,11 @@ class ThreadPool {
   /// calling thread, shard s > 0 on helper thread s-1. Blocks until all
   /// shards return. Top-level only -- a shard that itself reaches a
   /// ParallelFor runs it inline (see below), so nesting cannot deadlock.
+  /// Run(1, fn) invokes fn(0) on the calling thread but still marks it as
+  /// inside a parallel region, so nested engine dispatch degrades to the
+  /// serial column path (sharded_merge.h relies on this for its
+  /// degenerate-split fallback). Deliberately NOT clamped to
+  /// HardwareThreads(): tests exercise oversubscribed shard counts here.
   void Run(size_t shards, const std::function<void(size_t)>& fn);
 
   /// True while the calling thread is executing a shard of some Run.
@@ -58,6 +64,15 @@ class ThreadPool {
   uint64_t generation_ = 0;
   bool stop_ = false;
 };
+
+/// CPUs actually available to this process: the scheduling-affinity mask
+/// when the OS exposes one (containers and taskset often grant fewer CPUs
+/// than the machine has), hardware_concurrency otherwise, never 0. Cached
+/// after the first call. ParallelFor clamps its shard fan-out here --
+/// oversubscribing a CPU-bound loop past the available cores only buys
+/// context switches and cache thrash (the "mid-thread regression": 2
+/// workers on 1 core ran SLOWER than serial).
+size_t HardwareThreads();
 
 /// The contiguous static shard [begin, end) of [0, n) with index `shard`
 /// out of `shards`. Depends only on (n, shard, shards), never on the
@@ -95,14 +110,18 @@ struct EngineParams {
   IngestMode mode = IngestMode::kColumnSharded;
 };
 
-/// Run body(begin, end) over at most `threads` contiguous static shards of
-/// [0, n). threads <= 1, n <= 1, or a call from inside another parallel
-/// region runs the whole range inline on the calling thread; the shard
-/// boundaries (and hence state ownership) are identical either way.
+/// Run body(begin, end) over contiguous static shards of [0, n). The shard
+/// count is min(threads, n, HardwareThreads()): requesting more workers
+/// than available CPUs never helps a CPU-bound loop, so the engine degrades
+/// gracefully instead of oversubscribing. threads <= 1, n <= 1, or a call
+/// from inside another parallel region runs the whole range inline on the
+/// calling thread. Results never depend on the shard count -- every engine
+/// loop either owns disjoint state per index or reduces with exact field
+/// arithmetic -- so the clamp is invisible except in wall time.
 inline void ParallelFor(size_t threads, size_t n,
                         const std::function<void(size_t, size_t)>& body) {
   if (n == 0) return;
-  size_t shards = threads < n ? threads : n;
+  size_t shards = std::min({threads, n, HardwareThreads()});
   if (shards <= 1 || ThreadPool::InParallelRegion()) {
     body(0, n);
     return;
@@ -112,6 +131,33 @@ inline void ParallelFor(size_t threads, size_t n,
     if (r.begin < r.end) body(r.begin, r.end);
   });
 }
+
+/// ParallelFor with shard boundaries rounded to multiples of `grain`.
+/// Loops whose per-index outputs are ADJACENT bytes (a std::vector<char>
+/// flag per index, say) invite false sharing at shard seams: two workers
+/// read-modify-write the same cache line for the whole loop. Sharding whole
+/// grain-sized blocks (64 indices of a byte array = one cache line) gives
+/// every worker line-exclusive output. The final partial block goes to the
+/// last shard; boundaries still depend only on (n, grain, shard count).
+inline void ParallelForAligned(size_t threads, size_t n, size_t grain,
+                               const std::function<void(size_t, size_t)>& body) {
+  if (grain <= 1) {
+    ParallelFor(threads, n, body);
+    return;
+  }
+  const size_t blocks = (n + grain - 1) / grain;
+  ParallelFor(threads, blocks, [&](size_t bbegin, size_t bend) {
+    const size_t begin = bbegin * grain;
+    const size_t end = std::min(n, bend * grain);
+    if (begin < end) body(begin, end);
+  });
+}
+
+/// Tag for the empty-clone constructors behind the mergeable-sketch
+/// CloneEmpty() concept (sharded_merge.h): same seed, shapes, and active
+/// sets as the source sketch, but zero cells -- WITHOUT copying the source
+/// arena first.
+struct CloneEmptyTag {};
 
 }  // namespace gms
 

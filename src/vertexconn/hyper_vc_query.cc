@@ -25,6 +25,19 @@ HyperVcQuerySketch::HyperVcQuerySketch(size_t n, size_t max_rank,
   }
 }
 
+HyperVcQuerySketch::HyperVcQuerySketch(const HyperVcQuerySketch& other,
+                                       CloneEmptyTag)
+    : n_(other.n_),
+      params_(other.params_),
+      seed_(other.seed_),
+      kept_(other.kept_),
+      h_(other.n_) {
+  sketches_.reserve(other.sketches_.size());
+  for (const auto& sketch : other.sketches_) {
+    sketches_.push_back(sketch.CloneEmpty());
+  }
+}
+
 void HyperVcQuerySketch::Update(const Hyperedge& e, int delta) {
   for (size_t i = 0; i < sketches_.size(); ++i) {
     bool all_kept = true;
@@ -36,7 +49,9 @@ void HyperVcQuerySketch::Update(const Hyperedge& e, int delta) {
 void HyperVcQuerySketch::Process(std::span<const StreamUpdate> updates) {
   if (sketches_.empty() || updates.empty()) return;
   if (UseShardedMerge(params_.engine, updates.size())) {
-    ShardedMergeIngest(this, updates, params_.engine.threads);
+    ShardedMergeIngest(
+        this, updates,
+        ShardedMergeShards(params_.engine.threads, updates.size()));
     return;
   }
   // One encode + coordinate preparation per update, shared across the R
@@ -69,15 +84,20 @@ void HyperVcQuerySketch::Process(const DynamicStream& stream) {
   Process(std::span<const StreamUpdate>(stream.updates()));
 }
 
-Status HyperVcQuerySketch::Finalize() {
-  // R independent decodes fan out across the pool; H is assembled serially
-  // in sketch order, so the union graph is deterministic.
+Status HyperVcQuerySketch::Finalize(ExtractStats* stats) {
+  // R independent decodes fan out across the pool (each worker reuses its
+  // thread-local extraction scratch); H is assembled serially in sketch
+  // order, so the union graph is deterministic.
   std::vector<std::vector<Hyperedge>> decoded(sketches_.size());
   std::vector<Status> status(sketches_.size());
+  std::vector<ExtractStats> per_sketch(stats != nullptr ? sketches_.size()
+                                                        : 0);
   ParallelFor(params_.engine.threads, sketches_.size(),
               [&](size_t begin, size_t end) {
                 for (size_t i = begin; i < end; ++i) {
-                  auto span = sketches_[i].ExtractSpanningGraph(/*threads=*/1);
+                  auto span = sketches_[i].ExtractSpanningGraph(
+                      /*threads=*/1,
+                      stats != nullptr ? &per_sketch[i] : nullptr);
                   if (!span.ok()) {
                     status[i] = span.status();
                     continue;
@@ -87,6 +107,10 @@ Status HyperVcQuerySketch::Finalize() {
               });
   for (const Status& st : status) {
     if (!st.ok()) return st;
+  }
+  if (stats != nullptr) {
+    *stats = ExtractStats();
+    for (const auto& s : per_sketch) AccumulateExtractStats(s, stats);
   }
   Hypergraph h(n_);
   for (const auto& edges : decoded) {

@@ -51,8 +51,9 @@ class HyperVcQuerySketch {
   void Process(const DynamicStream& stream);
 
   /// Assemble H = union of decoded spanning graphs; call once after the
-  /// stream, then query repeatedly.
-  Status Finalize();
+  /// stream, then query repeatedly. `stats`, when non-null, receives the
+  /// extraction-engine counters summed over the R decodes.
+  Status Finalize(ExtractStats* stats = nullptr);
 
   /// Does removing S (|S| <= k) disconnect the hypergraph? Uses induced
   /// semantics: hyperedges touching S are gone. S is deduplicated and
@@ -74,6 +75,12 @@ class HyperVcQuerySketch {
   /// Zero every subsample sketch; invalidates Finalize().
   void Clear();
 
+  /// A sketch of the SAME measurement with zero state (the sharded-merge
+  /// private clone); the parent's cells are never copied.
+  HyperVcQuerySketch CloneEmpty() const {
+    return HyperVcQuerySketch(*this, CloneEmptyTag{});
+  }
+
   /// Append one wire frame (wire::FrameType::kHyperVcQuery) to *out; the
   /// header reconstructs all shapes and kept-bitmaps from the seed.
   void Serialize(std::vector<uint8_t>* out) const;
@@ -87,6 +94,8 @@ class HyperVcQuerySketch {
   size_t SpaceBytes() const;
 
  private:
+  HyperVcQuerySketch(const HyperVcQuerySketch& other, CloneEmptyTag);
+
   size_t n_;
   VcQueryParams params_;
   uint64_t seed_;

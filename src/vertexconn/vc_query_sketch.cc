@@ -70,6 +70,20 @@ SubsampledForestUnion::SubsampledForestUnion(size_t n, size_t k,
   }
 }
 
+SubsampledForestUnion::SubsampledForestUnion(const SubsampledForestUnion& other,
+                                             CloneEmptyTag)
+    : n_(other.n_),
+      k_(other.k_),
+      seed_(other.seed_),
+      engine_(other.engine_),
+      kept_(other.kept_),
+      covered_(other.covered_) {
+  sketches_.reserve(other.sketches_.size());
+  for (const auto& sketch : other.sketches_) {
+    sketches_.push_back(sketch.CloneEmpty());
+  }
+}
+
 void SubsampledForestUnion::Update(const Edge& e, int delta) {
   Hyperedge he(e);
   for (size_t i = 0; i < sketches_.size(); ++i) {
@@ -82,7 +96,8 @@ void SubsampledForestUnion::Update(const Edge& e, int delta) {
 void SubsampledForestUnion::Process(std::span<const StreamUpdate> updates) {
   if (sketches_.empty() || updates.empty()) return;
   if (UseShardedMerge(engine_, updates.size())) {
-    ShardedMergeIngest(this, updates, engine_.threads);
+    ShardedMergeIngest(this, updates,
+                       ShardedMergeShards(engine_.threads, updates.size()));
     return;
   }
   // Encode and prepare once per update: every subsample shares the same
@@ -130,16 +145,22 @@ void SubsampledForestUnion::Process(const DynamicStream& stream) {
   Process(std::span<const StreamUpdate>(stream.updates()));
 }
 
-Result<Graph> SubsampledForestUnion::BuildUnionGraph() const {
+Result<Graph> SubsampledForestUnion::BuildUnionGraph(
+    ExtractStats* stats) const {
   // Fan the R independent extractions out across the pool; assemble H
   // serially in sketch order (Graph equality is order-insensitive, but a
-  // fixed merge order also keeps error propagation deterministic).
+  // fixed merge order also keeps error propagation deterministic). Each
+  // worker runs its sketches' decodes serially, so it reuses one
+  // thread-local extraction scratch for all of them.
   std::vector<std::vector<Hyperedge>> forest_edges(sketches_.size());
   std::vector<Status> status(sketches_.size());
+  std::vector<ExtractStats> per_sketch(stats != nullptr ? sketches_.size()
+                                                        : 0);
   ParallelFor(engine_.threads, sketches_.size(),
               [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      auto forest = sketches_[i].ExtractSpanningGraph(/*threads=*/1);
+      auto forest = sketches_[i].ExtractSpanningGraph(
+          /*threads=*/1, stats != nullptr ? &per_sketch[i] : nullptr);
       if (!forest.ok()) {
         status[i] = forest.status();
         continue;
@@ -149,6 +170,10 @@ Result<Graph> SubsampledForestUnion::BuildUnionGraph() const {
   });
   for (const Status& st : status) {
     if (!st.ok()) return st;
+  }
+  if (stats != nullptr) {
+    *stats = ExtractStats();
+    for (const auto& s : per_sketch) AccumulateExtractStats(s, stats);
   }
   Graph h(n_);
   for (const auto& edges : forest_edges) {
@@ -232,8 +257,8 @@ VcQuerySketch::VcQuerySketch(size_t n, const Params& params, uint64_t seed)
       forests_(n, params.k, params.ResolveR(n), seed, params.forest,
                params.engine) {}
 
-Status VcQuerySketch::Finalize() {
-  auto h = forests_.BuildUnionGraph();
+Status VcQuerySketch::Finalize(ExtractStats* stats) {
+  auto h = forests_.BuildUnionGraph(stats);
   if (!h.ok()) return h.status();
   h_ = std::move(*h);
   finalized_ = true;

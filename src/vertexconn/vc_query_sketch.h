@@ -76,9 +76,12 @@ class SubsampledForestUnion {
   void Process(const DynamicStream& stream);
 
   /// H = union of one extracted spanning forest per subsample; the R
-  /// per-sketch extractions fan out across the pool, and H is assembled
-  /// serially in sketch order (deterministic).
-  Result<Graph> BuildUnionGraph() const;
+  /// per-sketch extractions fan out across the pool (each worker reuses its
+  /// thread-local extraction scratch across the sketches it owns), and H is
+  /// assembled serially in sketch order (deterministic). When `stats` is
+  /// non-null it receives the extraction-engine counters summed over all R
+  /// extractions, in sketch order.
+  Result<Graph> BuildUnionGraph(ExtractStats* stats = nullptr) const;
 
   /// Bit-identity of all per-sketch states (for the determinism suite).
   bool StateEquals(const SubsampledForestUnion& other) const;
@@ -100,6 +103,12 @@ class SubsampledForestUnion {
   /// Zero every subsample sketch (the empty-stream measurement).
   void Clear();
 
+  /// A union of the SAME measurement with zero state (the sharded-merge
+  /// private clone); the parent's cells are never copied.
+  SubsampledForestUnion CloneEmpty() const {
+    return SubsampledForestUnion(*this, CloneEmptyTag{});
+  }
+
   /// Raw cells of all R sketches, in order, for COMPOSITE frames; the
   /// container header's (seed, n, k, R, params) reconstructs every shape
   /// and kept_ bitmap.
@@ -107,6 +116,8 @@ class SubsampledForestUnion {
   Status ReadCells(wire::Reader* r);
 
  private:
+  SubsampledForestUnion(const SubsampledForestUnion& other, CloneEmptyTag);
+
   size_t n_;
   size_t k_;
   uint64_t seed_;
@@ -148,7 +159,9 @@ class VcQuerySketch {
   void Process(const DynamicStream& stream) { forests_.Process(stream); }
 
   /// Assemble H once; call after the stream ends, then query repeatedly.
-  Status Finalize();
+  /// `stats`, when non-null, receives the extraction-engine counters summed
+  /// over the R per-subsample decodes (the bench breakdown).
+  Status Finalize(ExtractStats* stats = nullptr);
 
   /// Whether removing S disconnects the graph (Lemma 3 semantics: the
   /// surviving vertices fail to be mutually connected). Requires

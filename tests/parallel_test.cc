@@ -82,18 +82,18 @@ TEST(ParallelForTest, SingleThreadRunsInline) {
 TEST(ParallelForTest, NestedCallsRunInline) {
   // An inner ParallelFor issued from a worker must not re-enter the pool
   // (that would deadlock on the run lock); it runs the whole inner range
-  // inline on the owning worker.
+  // inline on the owning worker. The outer fan goes straight to
+  // ThreadPool::Run, which is deliberately unclamped, so workers exist even
+  // where ParallelFor's core clamp would collapse the outer loop to inline.
   constexpr size_t kOuter = 4, kInner = 64;
   std::vector<std::atomic<int>> visits(kOuter * kInner);
-  ParallelFor(kOuter, kOuter, [&](size_t obegin, size_t oend) {
-    for (size_t o = obegin; o < oend; ++o) {
-      EXPECT_TRUE(ThreadPool::InParallelRegion());
-      std::thread::id owner = std::this_thread::get_id();
-      ParallelFor(8, kInner, [&](size_t begin, size_t end) {
-        EXPECT_EQ(std::this_thread::get_id(), owner);
-        for (size_t i = begin; i < end; ++i) visits[o * kInner + i].fetch_add(1);
-      });
-    }
+  ThreadPool::Shared().Run(kOuter, [&](size_t o) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    std::thread::id owner = std::this_thread::get_id();
+    ParallelFor(8, kInner, [&](size_t begin, size_t end) {
+      EXPECT_EQ(std::this_thread::get_id(), owner);
+      for (size_t i = begin; i < end; ++i) visits[o * kInner + i].fetch_add(1);
+    });
   });
   for (size_t i = 0; i < kOuter * kInner; ++i) {
     EXPECT_EQ(visits[i].load(), 1) << i;
@@ -126,13 +126,17 @@ TEST(ParallelPoolTest, RepeatedDispatchStress) {
   // Many short jobs back to back: exercises the generation counter and
   // wake/sleep transitions (the likeliest place for a lost-wakeup or race;
   // run under the tsan preset this is the pool's data-race certificate).
+  // ThreadPool::Run directly (not ParallelFor) so the dispatch stays
+  // genuinely concurrent on any core count.
   constexpr int kJobs = 200;
+  constexpr size_t kShards = 8;
   constexpr size_t kN = 64;
   std::atomic<uint64_t> total{0};
   for (int j = 0; j < kJobs; ++j) {
-    ParallelFor(8, kN, [&](size_t begin, size_t end) {
+    ThreadPool::Shared().Run(kShards, [&](size_t s) {
+      ShardRange r = ShardOf(kN, s, kShards);
       uint64_t local = 0;
-      for (size_t i = begin; i < end; ++i) local += i + 1;
+      for (size_t i = r.begin; i < r.end; ++i) local += i + 1;
       total.fetch_add(local);
     });
   }
@@ -141,12 +145,12 @@ TEST(ParallelPoolTest, RepeatedDispatchStress) {
 
 TEST(ParallelPoolTest, GrowsWhenAskedForMoreShards) {
   // Increasing shard counts across calls must extend the helper set
-  // transparently.
+  // transparently. ThreadPool::Run is unclamped, so the growth really
+  // happens regardless of how many cores the machine exposes.
   for (size_t threads : {2u, 5u, 9u, 13u}) {
     std::vector<std::atomic<int>> visits(threads);
-    ParallelFor(threads, threads, [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
-    });
+    ThreadPool::Shared().Run(threads,
+                             [&](size_t s) { visits[s].fetch_add(1); });
     for (size_t i = 0; i < threads; ++i) EXPECT_EQ(visits[i].load(), 1);
   }
 }
