@@ -1,6 +1,7 @@
 #include "connectivity/k_skeleton.h"
 
 #include "stream/sharded_merge.h"
+#include "stream/stream_driver.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -44,6 +45,10 @@ void KSkeletonSketch::UpdatePrepared(const Hyperedge& e,
 
 void KSkeletonSketch::Process(std::span<const StreamUpdate> updates) {
   if (layers_.empty() || updates.empty()) return;
+  if (UseGutterDriver(params_.engine, updates.size())) {
+    DriveStream(this, updates, DriverParamsFromEngine(params_.engine));
+    return;
+  }
   if (UseShardedMerge(params_.engine, updates.size())) {
     ShardedMergeIngest(
         this, updates,

@@ -49,6 +49,16 @@ class KSkeletonSketch {
   void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
 
+  /// Gutter-driver hooks (stream/stream_driver.h): the shared codec, the
+  /// trivial routing mask (every layer receives every update), and the
+  /// batch fan-out to all k layers.
+  const EdgeCodec& codec() const { return layers_[0].codec(); }
+  uint64_t DriverRouteMask(const Hyperedge&) const { return 1; }
+  void ApplyUpdateBatch(size_t thr_id, VertexId v,
+                        std::span<const VertexUpdate> batch) {
+    for (auto& layer : layers_) layer.ApplyUpdateBatch(thr_id, v, batch);
+  }
+
   /// Linear subtraction of a known edge set from ALL layers (used by the
   /// light-edge recovery of Theorem 15, where the subtracted sets are
   /// deterministic functions of the input graph).

@@ -10,6 +10,7 @@
 #include "connectivity/incidence.h"
 #include "graph/union_find.h"
 #include "stream/sharded_merge.h"
+#include "stream/stream_driver.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -245,7 +246,37 @@ void SpanningForestSketch::UpdateLocal(VertexId v, const Hyperedge& e,
   }
 }
 
+void SpanningForestSketch::ApplyUpdateBatch(size_t thr_id, VertexId v,
+                                            std::span<const VertexUpdate> batch) {
+  (void)thr_id;
+  if (batch.empty()) return;
+  GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
+  const size_t ord = static_cast<size_t>(state_index_[v]);
+  for (int t = 0; t < rounds_; ++t) {
+    const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
+    uint64_t* col = ArenaAt(v, t);
+    uint64_t levels = 0;
+    for (const VertexUpdate& u : batch) {
+      const int level = shape.LevelOfFolded(u.pc.fold);
+      levels |= LevelMaskBit(level);
+      SSparseSegmentUpdate(
+          shape.level_shape(level),
+          col + static_cast<size_t>(level) * shape.SegmentWords(), u.pc,
+          u.coeff, shape.basis().PowerFromExp(u.pc.exponent));
+    }
+    MarkDirtyConcurrent(t, v);
+    // The level-mask word is vertex-major, hence exclusively this
+    // applier's; one plain OR covers the whole batch.
+    level_mask_[ord * static_cast<size_t>(rounds_) + static_cast<size_t>(t)] |=
+        levels;
+  }
+}
+
 void SpanningForestSketch::Process(std::span<const StreamUpdate> updates) {
+  if (UseGutterDriver(params_.engine, updates.size())) {
+    DriveStream(this, updates, DriverParamsFromEngine(params_.engine));
+    return;
+  }
   if (UseShardedMerge(params_.engine, updates.size())) {
     ShardedMergeIngest(
         this, updates,

@@ -20,6 +20,7 @@
 #include "graph/hypergraph.h"
 #include "sketch/l0_sampler.h"
 #include "sketch/sketch_config.h"
+#include "stream/gutters.h"
 #include "stream/stream.h"
 #include "util/parallel.h"
 #include "util/status.h"
@@ -138,6 +139,26 @@ class SpanningForestSketch {
   /// model: player v's message depends on v's incident edges alone.
   /// Applying UpdateLocal for every endpoint of e equals Update(e, delta).
   void UpdateLocal(VertexId v, const Hyperedge& e, int delta);
+
+  /// Gutter-driver batch apply (stream/stream_driver.h): replay a gutter
+  /// of prepared per-endpoint updates, all targeting vertex v, over v's
+  /// contiguous [rounds x level segments] block. Equals calling
+  /// UpdateLocal once per entry (the entries carry the prepared coordinate
+  /// and the incidence coefficient x delta), and hence -- summed over all
+  /// endpoints' batches -- equals the serial Update path bit for bit.
+  /// Safe to call concurrently for vertices owned by DIFFERENT appliers:
+  /// the arena columns and level-mask words of distinct vertices are
+  /// disjoint, and the shared round-major dirty words are marked with a
+  /// relaxed atomic OR. `thr_id` is the applier's worker index (unused
+  /// here; part of the driver's sketch concept).
+  void ApplyUpdateBatch(size_t thr_id, VertexId v,
+                        std::span<const VertexUpdate> batch);
+
+  /// Gutter-driver routing (stream/stream_driver.h): a plain forest sketch
+  /// has a single sub-sketch family, so every update routes (mask 1).
+  /// Endpoint-activity enforcement stays in ApplyUpdateBatch, matching the
+  /// serial path's CHECK.
+  uint64_t DriverRouteMask(const Hyperedge&) const { return 1; }
 
   /// Subtract a known subgraph (linearity; used by k-skeleton layering).
   void RemoveHyperedges(const std::vector<Hyperedge>& edges);
@@ -272,6 +293,18 @@ class SpanningForestSketch {
     const size_t ord = static_cast<size_t>(state_index_[v]);
     dirty_[static_cast<size_t>(t) * dirty_words_per_round_ + (ord >> 6)] |=
         uint64_t{1} << (ord & 63);
+  }
+  /// MarkDirty for the gutter driver's concurrent appliers: a round-major
+  /// dirty word packs 64 vertex ordinals, and the appliers' vertex shards
+  /// are not 64-aligned in ordinal space (a container's subsampled active
+  /// sets make that impossible in general), so two appliers may mark the
+  /// same word. A relaxed atomic OR keeps the final bitmap -- a monotone
+  /// union read only after the drive's join -- exact and race-free.
+  void MarkDirtyConcurrent(int t, VertexId v) {
+    const size_t ord = static_cast<size_t>(state_index_[v]);
+    __atomic_fetch_or(
+        &dirty_[static_cast<size_t>(t) * dirty_words_per_round_ + (ord >> 6)],
+        uint64_t{1} << (ord & 63), __ATOMIC_RELAXED);
   }
   bool IsDirty(int t, size_t ord) const {
     return (dirty_[static_cast<size_t>(t) * dirty_words_per_round_ +

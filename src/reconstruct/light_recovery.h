@@ -62,6 +62,13 @@ class LightRecoverySketch {
   }
   void Process(const DynamicStream& stream) { skeleton_.Process(stream); }
 
+  /// Gutter-driver batch apply (stream/stream_driver.h): delegates to the
+  /// underlying skeleton's fan-out over its k+1 layers.
+  void ApplyUpdateBatch(size_t thr_id, VertexId v,
+                        std::span<const VertexUpdate> batch) {
+    skeleton_.ApplyUpdateBatch(thr_id, v, batch);
+  }
+
   /// Linearly subtract a known edge set (e.g. layers recovered at other
   /// sampling levels in the Section 5 sparsifier).
   void RemoveKnown(const std::vector<Hyperedge>& edges) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "stream/sharded_merge.h"
+#include "stream/stream_driver.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -71,8 +72,32 @@ void HypergraphSparsifierSketch::Update(const Hyperedge& e, int delta) {
   }
 }
 
+void HypergraphSparsifierSketch::ApplyUpdateBatch(
+    size_t thr_id, VertexId v, std::span<const VertexUpdate> batch) {
+  std::vector<VertexUpdate> routed;
+  routed.reserve(batch.size());
+  for (size_t i = 0; i < level_sketches_.size(); ++i) {
+    routed.clear();
+    for (const VertexUpdate& u : batch) {
+      if (sample_hash_.LevelFolded(u.pc.fold) >= static_cast<int>(i)) {
+        routed.push_back(u);
+      }
+    }
+    if (routed.empty()) {
+      // Depths are nested: a batch empty at level i is empty at every
+      // deeper level too.
+      break;
+    }
+    level_sketches_[i].ApplyUpdateBatch(thr_id, v, routed);
+  }
+}
+
 void HypergraphSparsifierSketch::Process(std::span<const StreamUpdate> updates) {
   if (updates.empty()) return;
+  if (UseGutterDriver(params_.engine, updates.size())) {
+    DriveStream(this, updates, DriverParamsFromEngine(params_.engine));
+    return;
+  }
   if (UseShardedMerge(params_.engine, updates.size())) {
     ShardedMergeIngest(
         this, updates,

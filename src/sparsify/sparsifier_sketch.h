@@ -75,6 +75,17 @@ class HypergraphSparsifierSketch {
   void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
 
+  /// Gutter-driver hooks (stream/stream_driver.h). Every update routes
+  /// (mask 1): the nested half-sampling depth is a pure function of the
+  /// prepared coordinate's fold, so the per-level filter is re-derived at
+  /// apply time instead of consuming routing bits.
+  const EdgeCodec& codec() const { return codec_; }
+  uint64_t DriverRouteMask(const Hyperedge&) const { return 1; }
+  /// Level row i replays the sub-batch whose entries have sampling depth
+  /// >= i -- the exact serial routing predicate.
+  void ApplyUpdateBatch(size_t thr_id, VertexId v,
+                        std::span<const VertexUpdate> batch);
+
   /// Run the per-level light-edge recoveries and assemble sum_i 2^i F_i.
   Result<SparsifierOutput> ExtractSparsifier() const;
 

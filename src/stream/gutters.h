@@ -1,0 +1,122 @@
+// Per-vertex update gutters: the buffering layer of the gutter driver
+// (DESIGN.md §11).
+//
+// The hot-path problem the driver solves: batched ingest applies each
+// stream update to every endpoint's (vertex, round) columns immediately,
+// which for an arena far larger than cache means ~8 compulsory misses per
+// update at a RANDOM vertex -- ingest throughput goes flat in the thread
+// count because every worker is latency-bound on the same DRAM. Because
+// every sketch here is LINEAR, updates destined for the same vertex can be
+// coalesced and applied in any order: a reader prepares each update once
+// (codec rank, key fold, exponent reduction) and appends one compact
+// VertexUpdate per endpoint into that endpoint's gutter; a full gutter
+// travels to the applier that owns the vertex, which replays the whole
+// batch over the vertex's contiguous sketch block while it is cache
+// resident.
+//
+// This header owns the passive pieces -- the per-endpoint entry type, the
+// per-vertex buffers, and the bounded reader->applier queue. The driver
+// loop that wires them to a sketch is stream/stream_driver.h.
+#ifndef GMS_STREAM_GUTTERS_H_
+#define GMS_STREAM_GUTTERS_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "graph/edge.h"
+#include "sketch/sparse_recovery.h"
+
+namespace gms {
+
+/// One buffered incidence update for one endpoint vertex: everything the
+/// per-vertex apply needs, with the shape-independent preparation (codec
+/// index, folded key halves, reduced exponent) done ONCE by the reader and
+/// shared by every sketch the entry fans out to. The hyperedge itself does
+/// not travel: the incidence coefficient (|e|-1 at the minimum endpoint,
+/// -1 elsewhere, times the stream delta) is the only endpoint-dependent
+/// part of the update, and routing decisions that need the other endpoints
+/// (the vertex-subsampled containers) are folded into `route` at reader
+/// time.
+struct VertexUpdate {
+  PreparedCoord pc;
+  /// Container-defined routing bits, computed by DriverRouteMask(e) before
+  /// fan-out: bit i set means sub-sketch family i receives this update
+  /// (kept-bitmap membership for the subsampled containers; plain sketches
+  /// use the constant mask 1 and ignore it on apply).
+  uint64_t route = 0;
+  /// IncidenceCoefficient(e, v) * delta: the signed weight this endpoint's
+  /// cells receive (Section 4.1 encoding).
+  int64_t coeff = 0;
+};
+
+/// A flushed gutter: every buffered entry targets the same vertex.
+struct GutterBatch {
+  VertexId vertex = 0;
+  std::vector<VertexUpdate> entries;
+};
+
+/// Bounded MPSC queue of full gutters feeding one applier. Push blocks
+/// while the queue is at capacity (backpressure keeps reader memory
+/// bounded); Pop blocks until a batch arrives or every producer is done.
+/// Plain mutex + condvars: the driver amortizes the synchronization over
+/// whole batches, so this is never the hot path.
+class BatchQueue {
+ public:
+  explicit BatchQueue(size_t capacity);
+
+  /// Enqueue, blocking while full. Must not be called after Close().
+  void Push(GutterBatch&& batch);
+
+  /// Dequeue into *out; blocks while empty. Returns false once the queue
+  /// is closed AND drained (the applier's exit condition).
+  bool Pop(GutterBatch* out);
+
+  /// Producers are done: wake every waiter; Pop drains the remainder.
+  void Close();
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<GutterBatch> queue_;
+  bool closed_ = false;
+};
+
+/// One reader thread's per-vertex buffers. Buffers are allocated lazily,
+/// so only vertices the reader's stream slice actually touches cost
+/// memory. The touched-vertex list makes the epoch flush proportional to
+/// the vertices touched, not to n -- and sorting it gives the
+/// deterministic flush-in-vertex-order barrier of DESIGN.md §11.
+class Gutters {
+ public:
+  using FlushFn = std::function<void(VertexId, std::vector<VertexUpdate>&&)>;
+
+  /// `capacity`: entries per gutter before it auto-flushes to `flush`.
+  Gutters(size_t n, size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+
+  /// Append one entry to v's gutter; hands the gutter to `flush` when it
+  /// reaches capacity.
+  void Append(VertexId v, const VertexUpdate& entry, const FlushFn& flush);
+
+  /// Epoch barrier: flush every non-empty gutter in INCREASING VERTEX
+  /// ORDER and reset the touched list. The driver calls this at the end of
+  /// each reader epoch (and once at end of slice), so batch hand-off order
+  /// within an epoch is a deterministic function of the stream slice.
+  void FlushEpoch(const FlushFn& flush);
+
+ private:
+  size_t capacity_;
+  std::vector<std::vector<VertexUpdate>> buffers_;  // [v]; lazily reserved
+  std::vector<VertexId> touched_;                   // non-empty gutters
+};
+
+}  // namespace gms
+
+#endif  // GMS_STREAM_GUTTERS_H_

@@ -48,12 +48,17 @@ inline size_t ShardedMergeShards(size_t threads, size_t num_updates) {
 }
 
 /// True when a Process(span) call should take the sharded-merge path:
-/// opted in, a split that actually yields >= 2 shards under the policy
-/// above (this is what keeps the guard in agreement with the ingest's own
-/// degenerate-split handling for 1-update spans), and not already inside a
-/// worker (a nested call ingests its slice serially instead of recursing).
+/// opted in, a span at least as long as the requested thread complement
+/// (a shorter span would split into degenerate shards of ~1 update, each
+/// still paying a full private clone arena plus a merge -- strictly worse
+/// than the serial column path it displaces), a split that actually
+/// yields >= 2 shards under the policy above (this is what keeps the
+/// guard in agreement with the ingest's own degenerate-split handling),
+/// and not already inside a worker (a nested call ingests its slice
+/// serially instead of recursing).
 inline bool UseShardedMerge(const EngineParams& engine, size_t num_updates) {
   return engine.mode == IngestMode::kShardedMerge &&
+         num_updates >= engine.threads &&
          ShardedMergeShards(engine.threads, num_updates) >= 2 &&
          !ThreadPool::InParallelRegion();
 }

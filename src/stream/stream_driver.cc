@@ -1,0 +1,16 @@
+#include "stream/stream_driver.h"
+
+namespace gms {
+
+std::vector<uint32_t> BuildApplierOwnerMap(size_t n, size_t appliers) {
+  std::vector<uint32_t> owner_of(n, 0);
+  for (size_t a = 0; a < appliers; ++a) {
+    const ShardRange r = ShardOf(n, a, appliers);
+    std::fill(owner_of.begin() + static_cast<ptrdiff_t>(r.begin),
+              owner_of.begin() + static_cast<ptrdiff_t>(r.end),
+              static_cast<uint32_t>(a));
+  }
+  return owner_of;
+}
+
+}  // namespace gms

@@ -1,0 +1,247 @@
+// The gutter driver: reader/applier-decoupled batched ingestion
+// (DESIGN.md §11; third parallelism axis, IngestMode::kGutterDriver).
+//
+// Readers and appliers split the work of one Process(span) call:
+//
+//   reader r owns stream slice ShardOf(|updates|, r, readers). It encodes
+//     and prepares each update ONCE (the codec rank, key fold, and
+//     exponent reduction are shape-independent), asks the sketch for the
+//     update's routing mask, and appends one compact VertexUpdate per
+//     endpoint into that endpoint's gutter (stream/gutters.h). A full
+//     gutter is pushed to the queue of the applier that owns the vertex;
+//     at the end of each fixed-length epoch the reader flushes every
+//     partial gutter in increasing vertex order (the deterministic
+//     flush barrier), which also bounds reader memory by the epoch
+//     length.
+//
+//   applier a owns vertex range ShardOf(n, a, appliers). It drains its
+//     bounded queue and replays each batch over the vertex's contiguous
+//     sketch block via ApplyUpdateBatch -- the block (all rounds of one
+//     vertex) is kilobytes, so a batch of updates against it runs out of
+//     cache instead of paying a DRAM round-trip per update like the
+//     random-vertex column path does.
+//
+// Determinism: the final state is BIT-IDENTICAL to the serial per-update
+// path for every (readers, appliers) setting. Every cell is a sum over
+// exact field ops (wrapping int64 weights, mod-2^128 index sums,
+// canonical mod-(2^61-1) fingerprints), all commutative and associative
+// with no rounding, and the dirty/level summaries are monotone bitwise
+// ORs -- so no interleaving of batches can change a single output bit.
+// The vertex-order epoch flush additionally pins the hand-off order
+// itself, so even schedule-sensitive observables (queue traffic, stats
+// meters per epoch) are reproducible functions of the stream.
+//
+// Sketch concept (the unified mergeable-sketch API grows these members):
+//   size_t n() const;
+//   const EdgeCodec& codec() const;
+//   uint64_t DriverRouteMask(const Hyperedge& e) const;   // 0 = skip update
+//   void ApplyUpdateBatch(size_t thr_id, VertexId v,
+//                         std::span<const VertexUpdate> batch);
+//
+// Vertex ownership makes the parallel apply safe without locks: all of a
+// vertex's arena columns and (vertex-major) level-mask words are touched
+// by exactly one applier. The one shared structure is the ROUND-major
+// dirty bitmap, whose words pack 64 vertex ordinals; ApplyUpdateBatch
+// marks those with a relaxed atomic OR (order-independent, hence still
+// deterministic).
+#ifndef GMS_STREAM_STREAM_DRIVER_H_
+#define GMS_STREAM_STREAM_DRIVER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "graph/edge_codec.h"
+#include "stream/gutters.h"
+#include "stream/stream.h"
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace gms {
+
+/// Default entries per gutter before it auto-flushes. 64 entries make a
+/// ~3.5 KiB batch: large enough to amortize one queue hand-off and to
+/// reuse the hot level-0 cells of the target column several times, small
+/// enough that per-reader buffer memory (n * capacity worst case) stays a
+/// few percent of the arena it feeds.
+inline constexpr size_t kDefaultGutterCapacity = 64;
+
+/// Default reader epoch length, in stream updates. Larger epochs coalesce
+/// more updates per vertex (fewer column walks per update); the cap keeps
+/// a reader's resident buffered entries bounded by
+/// epoch * max_rank * sizeof(VertexUpdate) regardless of stream length.
+inline constexpr size_t kDefaultEpochUpdates = 1 << 18;
+
+/// Default bound on queued batches per applier: enough to keep an applier
+/// busy across reader stalls, small enough for backpressure to bound
+/// in-flight memory.
+inline constexpr size_t kDefaultQueueCapacity = 256;
+
+struct GutterDriverParams {
+  /// Applier threads; applier a exclusively owns ShardOf(n, a, appliers).
+  size_t appliers = 1;
+  /// Reader threads; reader r owns stream slice ShardOf(m, r, readers).
+  size_t readers = 1;
+  size_t gutter_capacity = kDefaultGutterCapacity;
+  size_t epoch_updates = kDefaultEpochUpdates;
+  size_t queue_capacity = kDefaultQueueCapacity;
+  /// Test-only fault injection (testkit FaultHook): a flushed batch for
+  /// vertex v with `size` entries is dropped WHOLE when this returns true,
+  /// and DriverStats counts all `size` entries as lost -- simulating a
+  /// batch-granular decode failure on the apply path.
+  std::function<bool(VertexId, size_t)> drop_batch;
+};
+
+/// Meters for one DriveStream call (summed over readers and appliers).
+struct DriverStats {
+  uint64_t updates = 0;          // stream updates consumed by readers
+  uint64_t entries = 0;          // per-endpoint VertexUpdates buffered
+  uint64_t batches = 0;          // gutters handed to appliers
+  uint64_t dropped_batches = 0;  // batches withheld by drop_batch
+  uint64_t dropped_updates = 0;  // entries lost to dropped batches (N per
+                                 // batch, never 1)
+
+  void Accumulate(const DriverStats& o) {
+    updates += o.updates;
+    entries += o.entries;
+    batches += o.batches;
+    dropped_batches += o.dropped_batches;
+    dropped_updates += o.dropped_updates;
+  }
+};
+
+/// owner_of[v] = the applier whose ShardOf(n, a, appliers) range contains
+/// v (the ranges are floor-divided, so the closed-form inverse is
+/// off-by-one-prone; one O(n) fill per drive is noise).
+std::vector<uint32_t> BuildApplierOwnerMap(size_t n, size_t appliers);
+
+/// True when a Process(span) call should take the gutter-driver path:
+/// opted in and not already inside a parallel region (a nested call --
+/// e.g. a sharded-merge clone's Process -- ingests serially instead of
+/// recursing into a second pool occupation).
+inline bool UseGutterDriver(const EngineParams& engine, size_t num_updates) {
+  return engine.mode == IngestMode::kGutterDriver && num_updates > 0 &&
+         !ThreadPool::InParallelRegion();
+}
+
+/// Resolve the engine knobs into driver params: `threads` is the applier
+/// count (the scaling axis the bench sweeps); readers default to a
+/// quarter of that (preparation is cheap next to cell application) and
+/// are overridable via EngineParams::driver_readers.
+inline GutterDriverParams DriverParamsFromEngine(const EngineParams& engine) {
+  GutterDriverParams p;
+  p.appliers = std::max<size_t>(1, engine.threads);
+  p.readers = engine.driver_readers != 0
+                  ? engine.driver_readers
+                  : std::max<size_t>(1, p.appliers / 4);
+  if (engine.driver_gutter_capacity != 0) {
+    p.gutter_capacity = engine.driver_gutter_capacity;
+  }
+  return p;
+}
+
+/// Run the full reader/applier pipeline over `updates` into *sketch.
+/// Blocks until every batch is applied; the sketch is then in the exact
+/// state the serial per-update path would produce. Occupies the shared
+/// pool with readers + appliers workers for the duration (nested sketch
+/// dispatch inside degrades serial, like every other engine path).
+template <typename Sketch>
+DriverStats DriveStream(Sketch* sketch, std::span<const StreamUpdate> updates,
+                        const GutterDriverParams& params) {
+  DriverStats total;
+  if (updates.empty()) return total;
+  const size_t n = sketch->n();
+  const size_t appliers = std::max<size_t>(1, params.appliers);
+  const size_t readers = std::max<size_t>(1, params.readers);
+  const size_t gutter_cap =
+      params.gutter_capacity != 0 ? params.gutter_capacity : size_t{1};
+  const size_t epoch = params.epoch_updates != 0
+                           ? params.epoch_updates
+                           : kDefaultEpochUpdates;
+  const size_t queue_cap =
+      params.queue_capacity != 0 ? params.queue_capacity : size_t{1};
+  const EdgeCodec& codec = sketch->codec();
+
+  const std::vector<uint32_t> owner_of = BuildApplierOwnerMap(n, appliers);
+
+  std::vector<std::unique_ptr<BatchQueue>> queues;
+  queues.reserve(appliers);
+  for (size_t a = 0; a < appliers; ++a) {
+    queues.push_back(std::make_unique<BatchQueue>(queue_cap));
+  }
+
+  std::atomic<size_t> readers_left{readers};
+  std::mutex stats_mu;
+
+  auto reader_loop = [&](size_t r) {
+    DriverStats local;
+    const ShardRange slice = ShardOf(updates.size(), r, readers);
+    Gutters gutters(n, gutter_cap);
+    const Gutters::FlushFn flush = [&](VertexId v,
+                                       std::vector<VertexUpdate>&& buf) {
+      ++local.batches;
+      queues[owner_of[v]]->Push(GutterBatch{v, std::move(buf)});
+    };
+    for (size_t begin = slice.begin; begin < slice.end; begin += epoch) {
+      const size_t end = std::min(slice.end, begin + epoch);
+      for (size_t j = begin; j < end; ++j) {
+        const StreamUpdate& u = updates[j];
+        GMS_CHECK_MSG(u.edge.size() <= codec.max_rank(),
+                      "hyperedge exceeds max_rank");
+        ++local.updates;
+        const uint64_t route = sketch->DriverRouteMask(u.edge);
+        if (route == 0) continue;  // e.g. kept by no subsample
+        const PreparedCoord pc = PrepareCoord(codec.Encode(u.edge));
+        const int64_t head = static_cast<int64_t>(u.edge.size()) - 1;
+        for (size_t pos = 0; pos < u.edge.size(); ++pos) {
+          // Section 4.1 incidence coefficients; the edge is sorted, so the
+          // minimum endpoint is position 0.
+          const int64_t coeff = (pos == 0 ? head : -1) * u.delta;
+          ++local.entries;
+          gutters.Append(u.edge[pos], VertexUpdate{pc, route, coeff}, flush);
+        }
+      }
+      gutters.FlushEpoch(flush);
+    }
+    if (readers_left.fetch_sub(1) == 1) {
+      for (auto& q : queues) q->Close();
+    }
+    std::lock_guard<std::mutex> lock(stats_mu);
+    total.Accumulate(local);
+  };
+
+  auto applier_loop = [&](size_t a) {
+    DriverStats local;
+    GutterBatch batch;
+    while (queues[a]->Pop(&batch)) {
+      if (params.drop_batch &&
+          params.drop_batch(batch.vertex, batch.entries.size())) {
+        ++local.dropped_batches;
+        local.dropped_updates += batch.entries.size();
+        continue;
+      }
+      sketch->ApplyUpdateBatch(a, batch.vertex,
+                               std::span<const VertexUpdate>(batch.entries));
+    }
+    std::lock_guard<std::mutex> lock(stats_mu);
+    total.Accumulate(local);
+  };
+
+  ThreadPool::Shared().Run(readers + appliers, [&](size_t s) {
+    if (s < readers) {
+      reader_loop(s);
+    } else {
+      applier_loop(s - readers);
+    }
+  });
+  return total;
+}
+
+}  // namespace gms
+
+#endif  // GMS_STREAM_STREAM_DRIVER_H_

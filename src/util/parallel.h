@@ -99,15 +99,28 @@ enum class IngestMode : uint8_t {
   /// bit-identical to serial by linearity). Scales with stream length even
   /// for single-column sketches, at threads x the sketch's memory.
   kShardedMerge = 1,
+  /// The gutter driver (stream/stream_driver.h): readers prepare updates
+  /// and coalesce them into per-vertex gutters; appliers own static vertex
+  /// shards and replay full gutters over each vertex's contiguous sketch
+  /// block. Converts the column path's random-vertex DRAM walk into
+  /// cache-resident batch replays; bit-identical to serial by linearity.
+  kGutterDriver = 2,
 };
 
 /// The engine knobs shared by every sketch's params struct (embedded as
 /// `engine`; brace elision keeps positional aggregate init working).
 struct EngineParams {
   /// Worker threads for batched ingestion and extraction (1 = serial).
-  /// Outputs are bit-identical for every value.
+  /// Under kGutterDriver this is the APPLIER count. Outputs are
+  /// bit-identical for every value.
   size_t threads = 1;
   IngestMode mode = IngestMode::kColumnSharded;
+  /// kGutterDriver only: reader threads (0 = threads / 4, min 1) and
+  /// entries per gutter before auto-flush (0 = stream/stream_driver.h
+  /// default). Like threads/mode, pure execution policy: never on the
+  /// wire, never affects output bits.
+  size_t driver_readers = 0;
+  size_t driver_gutter_capacity = 0;
 };
 
 /// Run body(begin, end) over contiguous static shards of [0, n). The shard

@@ -4,6 +4,7 @@
 
 #include "graph/traversal.h"
 #include "stream/sharded_merge.h"
+#include "stream/stream_driver.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -46,8 +47,39 @@ void HyperVcQuerySketch::Update(const Hyperedge& e, int delta) {
   }
 }
 
+uint64_t HyperVcQuerySketch::DriverRouteMask(const Hyperedge& e) const {
+  const size_t r = std::min<size_t>(sketches_.size(), 64);
+  uint64_t mask = 0;
+  for (size_t i = 0; i < r; ++i) {
+    bool all_kept = true;
+    for (VertexId v : e) all_kept &= kept_[i][v];
+    if (all_kept) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+void HyperVcQuerySketch::ApplyUpdateBatch(size_t thr_id, VertexId v,
+                                          std::span<const VertexUpdate> batch) {
+  std::vector<VertexUpdate> routed;
+  routed.reserve(batch.size());
+  for (size_t i = 0; i < sketches_.size(); ++i) {
+    const uint64_t bit = uint64_t{1} << i;
+    routed.clear();
+    for (const VertexUpdate& u : batch) {
+      if (u.route & bit) routed.push_back(u);
+    }
+    if (!routed.empty()) {
+      sketches_[i].ApplyUpdateBatch(thr_id, v, routed);
+    }
+  }
+}
+
 void HyperVcQuerySketch::Process(std::span<const StreamUpdate> updates) {
   if (sketches_.empty() || updates.empty()) return;
+  if (DriverSupported() && UseGutterDriver(params_.engine, updates.size())) {
+    DriveStream(this, updates, DriverParamsFromEngine(params_.engine));
+    return;
+  }
   if (UseShardedMerge(params_.engine, updates.size())) {
     ShardedMergeIngest(
         this, updates,

@@ -50,6 +50,16 @@ class HyperVcQuerySketch {
   void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
 
+  /// Gutter-driver hooks (stream/stream_driver.h). Bit i = subsample i
+  /// kept ALL endpoints (induced semantics, the exact serial predicate,
+  /// evaluated once at reader time). R > 64 exceeds the entry's routing
+  /// bits and falls back to the column path.
+  const EdgeCodec& codec() const { return sketches_[0].codec(); }
+  uint64_t DriverRouteMask(const Hyperedge& e) const;
+  void ApplyUpdateBatch(size_t thr_id, VertexId v,
+                        std::span<const VertexUpdate> batch);
+  bool DriverSupported() const { return sketches_.size() <= 64; }
+
   /// Assemble H = union of decoded spanning graphs; call once after the
   /// stream, then query repeatedly. `stats`, when non-null, receives the
   /// extraction-engine counters summed over the R decodes.

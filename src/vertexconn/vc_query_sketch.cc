@@ -6,6 +6,7 @@
 
 #include "graph/traversal.h"
 #include "stream/sharded_merge.h"
+#include "stream/stream_driver.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -93,8 +94,37 @@ void SubsampledForestUnion::Update(const Edge& e, int delta) {
   }
 }
 
+uint64_t SubsampledForestUnion::DriverRouteMask(const Hyperedge& e) const {
+  const size_t r = std::min<size_t>(sketches_.size(), 64);
+  uint64_t mask = 0;
+  for (size_t i = 0; i < r; ++i) {
+    if (kept_[i][e[0]] && kept_[i][e[1]]) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+void SubsampledForestUnion::ApplyUpdateBatch(
+    size_t thr_id, VertexId v, std::span<const VertexUpdate> batch) {
+  std::vector<VertexUpdate> routed;
+  routed.reserve(batch.size());
+  for (size_t i = 0; i < sketches_.size(); ++i) {
+    const uint64_t bit = uint64_t{1} << i;
+    routed.clear();
+    for (const VertexUpdate& u : batch) {
+      if (u.route & bit) routed.push_back(u);
+    }
+    if (!routed.empty()) {
+      sketches_[i].ApplyUpdateBatch(thr_id, v, routed);
+    }
+  }
+}
+
 void SubsampledForestUnion::Process(std::span<const StreamUpdate> updates) {
   if (sketches_.empty() || updates.empty()) return;
+  if (DriverSupported() && UseGutterDriver(engine_, updates.size())) {
+    DriveStream(this, updates, DriverParamsFromEngine(engine_));
+    return;
+  }
   if (UseShardedMerge(engine_, updates.size())) {
     ShardedMergeIngest(this, updates,
                        ShardedMergeShards(engine_.threads, updates.size()));

@@ -75,6 +75,21 @@ class SubsampledForestUnion {
   void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
 
+  /// Gutter-driver hooks (stream/stream_driver.h). The shared (n, 2) codec
+  /// lets readers prepare each update once for all R sketches.
+  const EdgeCodec& codec() const { return sketches_[0].codec(); }
+  /// Bit i = subsample i kept BOTH endpoints (the exact serial routing
+  /// predicate, evaluated once at reader time and carried in the entry).
+  uint64_t DriverRouteMask(const Hyperedge& e) const;
+  /// Fan a vertex batch out to every subsample whose routing bit is set.
+  /// An entry's bit i implies v was kept in subsample i, so the inner
+  /// sketches' active-vertex CHECK holds by construction.
+  void ApplyUpdateBatch(size_t thr_id, VertexId v,
+                        std::span<const VertexUpdate> batch);
+  /// Driver mode carries one routing bit per subsample; R > 64 falls back
+  /// to the column path.
+  bool DriverSupported() const { return sketches_.size() <= 64; }
+
   /// H = union of one extracted spanning forest per subsample; the R
   /// per-sketch extractions fan out across the pool (each worker reuses its
   /// thread-local extraction scratch across the sketches it owns), and H is

@@ -13,6 +13,7 @@
 #include "graph/generators.h"
 #include "sparsify/sparsifier_sketch.h"
 #include "stream/stream.h"
+#include "testkit/stream_spec.h"
 #include "vertexconn/hyper_vc_query.h"
 #include "vertexconn/vc_query_sketch.h"
 
@@ -228,6 +229,156 @@ TEST(DeterminismTest, VcQuerySketchEndToEnd) {
       ASSERT_TRUE(b.ok());
       EXPECT_EQ(a.value(), b.value()) << "threads=" << threads << " v=" << v;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gutter-driver matrix: serial per-update ingest vs the stream driver at
+// every readers x appliers split from {1, 2, 8}, across the three churn
+// families. Equality is checked at the strongest level available -- the
+// serialized wire frame, byte for byte -- so any divergence in cells, level
+// masks, or header metadata fails loudly. Under the `tsan` preset this is
+// also the driver's data-race test (reader queues, concurrent appliers,
+// and the shared round-major dirty words all get exercised).
+// ---------------------------------------------------------------------------
+
+constexpr size_t kDriverSplit[] = {1, 2, 8};
+constexpr testkit::Churn kDriverChurn[] = {testkit::Churn::kInsertOnly,
+                                           testkit::Churn::kWithChurn,
+                                           testkit::Churn::kDeleteDown};
+
+// Engine running the gutter driver with an explicit reader/applier split
+// and a tiny gutter capacity so auto-flush (not just the final epoch
+// flush) fires even on test-sized streams.
+EngineParams DriverEngine(size_t readers, size_t appliers) {
+  EngineParams engine;
+  engine.threads = appliers;
+  engine.mode = IngestMode::kGutterDriver;
+  engine.driver_readers = readers;
+  engine.driver_gutter_capacity = 4;
+  return engine;
+}
+
+std::vector<uint8_t> Frame(const SpanningForestSketch& s) {
+  std::vector<uint8_t> out;
+  s.Serialize(&out);
+  return out;
+}
+
+TEST(DeterminismTest, GutterDriverMatrixBitIdentical) {
+  constexpr uint64_t kSeed = 101;
+  for (testkit::Churn churn : kDriverChurn) {
+    testkit::StreamSpec spec;
+    spec.family = testkit::Family::kExpander;
+    spec.n = 72;
+    spec.k = 3;
+    spec.gseed = 11;
+    spec.churn = churn;
+    spec.decoys = 96;
+    spec.sseed = 19;
+    testkit::BuiltStream built = spec.Build();
+
+    ForestSketchParams serial_params;
+    serial_params.config = SketchConfig::Light();
+    SpanningForestSketch serial(spec.n, /*max_rank=*/2, kSeed, serial_params);
+    for (const auto& u : built.stream.updates()) serial.Update(u.edge, u.delta);
+    const std::vector<uint8_t> serial_frame = Frame(serial);
+    auto serial_span = serial.ExtractSpanningGraph();
+    ASSERT_TRUE(serial_span.ok());
+
+    for (size_t readers : kDriverSplit) {
+      for (size_t appliers : kDriverSplit) {
+        ForestSketchParams params = serial_params;
+        params.engine = DriverEngine(readers, appliers);
+        SpanningForestSketch driver(spec.n, 2, kSeed, params);
+        driver.Process(built.stream);
+        const std::string where = testkit::ChurnName(churn) +
+                                  std::string(" readers=") +
+                                  std::to_string(readers) +
+                                  " appliers=" + std::to_string(appliers);
+        EXPECT_TRUE(driver.StateEquals(serial)) << where;
+        EXPECT_EQ(Frame(driver), serial_frame) << where;
+        auto span = driver.ExtractSpanningGraph();
+        ASSERT_TRUE(span.ok()) << where;
+        EXPECT_TRUE(span.value() == serial_span.value()) << where;
+      }
+    }
+  }
+}
+
+// Every container the driver routes through, at one representative split
+// (2 readers x 2 appliers), against its serial per-update state -- again
+// at serialized-frame strength. The hypergraph stream exercises rank-3
+// incidence coefficients (head coefficient |e|-1 = 2, tails -1).
+TEST(DeterminismTest, GutterDriverRoutedContainersBitIdentical) {
+  constexpr size_t kN = 40;
+  constexpr uint64_t kSeed = 57;
+  DynamicStream graph_stream = GraphStream(kN, kSeed);
+  DynamicStream hyper_stream = HypergraphStream(kN, /*r=*/3, kSeed);
+  const EngineParams engine = DriverEngine(/*readers=*/2, /*appliers=*/2);
+
+  {  // K-skeleton (hypergraph).
+    SpanningForestSketch::Params params;
+    params.config = SketchConfig::Light();
+    KSkeletonSketch serial(kN, /*max_rank=*/3, /*k=*/3, kSeed, params);
+    for (const auto& u : hyper_stream.updates()) serial.Update(u.edge, u.delta);
+    params.engine = engine;
+    KSkeletonSketch driver(kN, 3, 3, kSeed, params);
+    driver.Process(hyper_stream);
+    EXPECT_TRUE(driver.StateEquals(serial));
+    std::vector<uint8_t> a, b;
+    serial.Serialize(&a);
+    driver.Serialize(&b);
+    EXPECT_EQ(a, b) << "k-skeleton driver frame diverges";
+  }
+  {  // Vertex-connectivity query union (graph, subsample routing bits).
+    VcQueryParams params;
+    params.k = 2;
+    params.explicit_r = 12;
+    params.forest.config = SketchConfig::Light();
+    VcQuerySketch serial(kN, params, kSeed);
+    for (const auto& u : graph_stream.updates()) {
+      serial.Update(Edge(u.edge[0], u.edge[1]), u.delta);
+    }
+    params.engine = engine;
+    VcQuerySketch driver(kN, params, kSeed);
+    driver.Process(graph_stream);
+    std::vector<uint8_t> a, b;
+    serial.Serialize(&a);
+    driver.Serialize(&b);
+    EXPECT_EQ(a, b) << "vc-query driver frame diverges";
+  }
+  {  // Hypergraph vertex-connectivity (all-endpoints-kept routing bits).
+    VcQueryParams params;
+    params.k = 2;
+    params.explicit_r = 10;
+    params.forest.config = SketchConfig::Light();
+    HyperVcQuerySketch serial(kN, /*max_rank=*/3, params, kSeed);
+    for (const auto& u : hyper_stream.updates()) serial.Update(u.edge, u.delta);
+    params.engine = engine;
+    HyperVcQuerySketch driver(kN, 3, params, kSeed);
+    driver.Process(hyper_stream);
+    EXPECT_TRUE(driver.StateEquals(serial));
+    std::vector<uint8_t> a, b;
+    serial.Serialize(&a);
+    driver.Serialize(&b);
+    EXPECT_EQ(a, b) << "hyper-vc driver frame diverges";
+  }
+  {  // Sparsifier (depth re-derived per level at apply time).
+    SparsifierParams params;
+    params.forest.config = SketchConfig::Light();
+    params.levels = 6;
+    params.k = 4;
+    HypergraphSparsifierSketch serial(kN, /*max_rank=*/3, params, kSeed);
+    for (const auto& u : hyper_stream.updates()) serial.Update(u.edge, u.delta);
+    params.engine = engine;
+    HypergraphSparsifierSketch driver(kN, 3, params, kSeed);
+    driver.Process(hyper_stream);
+    EXPECT_TRUE(driver.StateEquals(serial));
+    std::vector<uint8_t> a, b;
+    serial.Serialize(&a);
+    driver.Serialize(&b);
+    EXPECT_EQ(a, b) << "sparsifier driver frame diverges";
   }
 }
 

@@ -227,5 +227,54 @@ TEST(ExtractionShardedMergeTest, GuardAndIngestAgreeOnTinySpans) {
   EXPECT_TRUE(sharded.StateEquals(serial));
 }
 
+TEST(ExtractionShardedMergeTest, TinySpansFallBackSerialAndStayBitIdentical) {
+  // Regression: spans SHORTER than the requested thread complement must
+  // refuse the sharded path (they would split into ~1-update shards, each
+  // paying a clone arena + merge), while spans >= threads may take it.
+  // Either way Process must stay bit-identical to serial, pinned at the
+  // boundary sizes {0, 1, threads-1, threads, threads+1}.
+  StreamSpec spec;
+  spec.family = testkit::Family::kExpander;
+  spec.n = 24;
+  spec.k = 3;
+  BuiltStream built = spec.Build();
+  const auto& updates = built.stream.updates();
+
+  constexpr size_t kThreads = 4;
+  ASSERT_GE(updates.size(), kThreads + 1);
+
+  EngineParams engine;
+  engine.mode = IngestMode::kShardedMerge;
+  engine.threads = kThreads;
+  EXPECT_FALSE(UseShardedMerge(engine, 0));
+  EXPECT_FALSE(UseShardedMerge(engine, 1));
+  EXPECT_FALSE(UseShardedMerge(engine, kThreads - 1));
+  // At >= threads the guard defers to the CPU clamp: sharded when this
+  // machine can actually run 2+ workers, serial otherwise -- never a
+  // degenerate sub-thread split.
+  EXPECT_EQ(UseShardedMerge(engine, kThreads), HardwareThreads() >= 2);
+  EXPECT_EQ(UseShardedMerge(engine, kThreads + 1), HardwareThreads() >= 2);
+
+  for (size_t len : {size_t{0}, size_t{1}, kThreads - 1, kThreads,
+                     kThreads + 1}) {
+    std::span<const StreamUpdate> prefix(updates.data(), len);
+
+    ForestSketchParams params = LightParams();
+    params.engine = engine;
+    SpanningForestSketch sharded(spec.n, built.max_rank, /*seed=*/31, params);
+    sharded.Process(prefix);
+
+    SpanningForestSketch serial(spec.n, built.max_rank, /*seed=*/31,
+                                LightParams());
+    for (const auto& u : prefix) serial.Update(u.edge, u.delta);
+
+    EXPECT_TRUE(sharded.StateEquals(serial)) << "span len=" << len;
+    std::vector<uint8_t> a, b;
+    serial.Serialize(&a);
+    sharded.Serialize(&b);
+    EXPECT_EQ(a, b) << "span len=" << len;
+  }
+}
+
 }  // namespace
 }  // namespace gms
