@@ -314,6 +314,113 @@ void DriverEngineSection(std::vector<EngineRow>* rows, size_t* out_n,
       identical ? "yes" : "NO (BUG)");
 }
 
+/// Space-vs-stream-density sweep for the hybrid sparse/dense vertex
+/// representation (DESIGN.md S12). One spanning forest at n = 2^14; each
+/// row streams an Erdős–Rényi graph whose expected degree is a fraction of
+/// the sparse threshold, measured twice: the hybrid config (Light,
+/// threshold 32) against a threshold-0 all-dense twin of the SAME stream.
+/// Low fractions keep (nearly) every column in its exact sparse buffer, so
+/// the serialized frame shrinks from the full arena to the buffered edges
+/// and ingest skips the L0 kernel; the final row pushes every column past
+/// the threshold, charting the escalated path's parity with dense.
+struct SparseDensityRow {
+  double fraction = 0;           // of the sparse threshold (expected degree)
+  size_t updates = 0;
+  double updates_per_vertex = 0;
+  double sparse_vertex_frac = 0;  // still-sparse columns after the stream
+  double hybrid_bytes_per_vertex = 0;
+  double dense_bytes_per_vertex = 0;
+  double hybrid_ns_per_update = 0;
+  double dense_ns_per_update = 0;
+};
+
+void SparseDensitySection(std::vector<SparseDensityRow>* rows, size_t* out_n,
+                          uint32_t* out_threshold) {
+  constexpr size_t kN = 1 << 14;
+  ForestSketchParams hybrid_params;
+  hybrid_params.config = SketchConfig::Light();
+  hybrid_params.rounds = 3;
+  ForestSketchParams dense_params = hybrid_params;
+  dense_params.config.sparse_threshold = 0;
+  const uint32_t threshold = hybrid_params.config.sparse_threshold;
+  *out_n = kN;
+  *out_threshold = threshold;
+
+  {
+    SpanningForestSketch warm(kN, 2, /*seed=*/30, dense_params);  // untimed
+    Graph wg = UnionOfHamiltonianCycles(kN, 2, 31);
+    warm.Process(DynamicStream::InsertOnly(wg, 32));
+  }
+
+  // Expected degree = fraction x threshold; > 1 pushes every column dense.
+  const double fractions[] = {0.01, 0.1, 0.5, 1.0, 2.5};
+  Table table({"frac_of_T", "upd/vtx", "sparse%", "hyb_B/vtx", "dns_B/vtx",
+               "space_x", "hyb_ns/upd", "dns_ns/upd", "ingest_x"});
+  uint64_t seed = 33;
+  for (double fraction : fractions) {
+    const double p =
+        std::min(1.0, fraction * threshold / static_cast<double>(kN - 1));
+    Graph g = fraction * threshold > static_cast<double>(threshold)
+                  ? UnionOfHamiltonianCycles(
+                        kN, static_cast<size_t>(fraction * threshold / 2),
+                        seed)
+                  : ErdosRenyi(kN, p, seed);
+    DynamicStream stream = DynamicStream::InsertOnly(g, seed + 1);
+    seed += 2;
+    if (stream.size() == 0) continue;
+
+    SparseDensityRow row;
+    row.fraction = fraction;
+    row.updates = stream.size();
+    row.updates_per_vertex =
+        2.0 * static_cast<double>(stream.size()) / static_cast<double>(kN);
+
+    SpanningForestSketch hybrid(kN, 2, /*seed=*/30, hybrid_params);
+    IngestTiming ht = BestOfThreeIngest(&hybrid, stream);
+    size_t sparse_vertices = 0;
+    for (VertexId v = 0; v < kN; ++v) {
+      sparse_vertices += hybrid.VertexEscalated(v) ? 0 : 1;
+    }
+    row.sparse_vertex_frac =
+        static_cast<double>(sparse_vertices) / static_cast<double>(kN);
+    row.hybrid_bytes_per_vertex =
+        static_cast<double>(hybrid.SpaceBytes()) / static_cast<double>(kN);
+    row.hybrid_ns_per_update =
+        ht.best_secs * 1e9 / static_cast<double>(stream.size());
+
+    SpanningForestSketch dense(kN, 2, /*seed=*/30, dense_params);
+    IngestTiming dt = BestOfThreeIngest(&dense, stream);
+    row.dense_bytes_per_vertex =
+        static_cast<double>(dense.SpaceBytes()) / static_cast<double>(kN);
+    row.dense_ns_per_update =
+        dt.best_secs * 1e9 / static_cast<double>(stream.size());
+
+    rows->push_back(row);
+    table.AddRow(
+        {Table::Fmt(row.fraction, 2), Table::Fmt(row.updates_per_vertex, 1),
+         Table::Fmt(100.0 * row.sparse_vertex_frac, 1),
+         Table::Fmt(row.hybrid_bytes_per_vertex, 1),
+         Table::Fmt(row.dense_bytes_per_vertex, 1),
+         Table::Fmt(row.dense_bytes_per_vertex /
+                        std::max(row.hybrid_bytes_per_vertex, 1e-9),
+                    1),
+         Table::Fmt(row.hybrid_ns_per_update, 1),
+         Table::Fmt(row.dense_ns_per_update, 1),
+         Table::Fmt(row.dense_ns_per_update /
+                        std::max(row.hybrid_ns_per_update, 1e-9),
+                    2)});
+  }
+  table.Print("Hybrid sparse/dense: space + ingest vs stream density "
+              "(one forest, n=2^14, threshold 32)");
+  std::printf(
+      "\nExpected shape: below fraction 1.0 (nearly) every column stays in\n"
+      "its exact sparse buffer -- bytes/vertex collapses from the dense\n"
+      "arena to ~24B per buffered edge and ingest skips the L0 kernel\n"
+      "entirely. The last row crosses the threshold everywhere, so both\n"
+      "columns pay the dense kernel and the ratios return to ~1x (the\n"
+      "escalated fast path is the pre-hybrid dense path).\n");
+}
+
 /// Old-vs-new finalize engine, measured where the two paths share an API:
 /// one SpanningForestSketch at a full round budget (default log2 n + extra,
 /// where the window refills actually amortize). Times the incremental
@@ -401,6 +508,8 @@ void WriteJson(const std::vector<EngineRow>& rows, size_t n, size_t updates,
                const std::vector<EngineRow>& driver_rows, size_t driver_n,
                size_t driver_updates, const FrameSizeRow& frame,
                const ExtractCompareRow& extract,
+               const std::vector<SparseDensityRow>& density_rows,
+               size_t density_n, uint32_t density_threshold,
                const bench::KernelTimings& kt) {
   FILE* f = std::fopen("BENCH_throughput.json", "w");
   if (f == nullptr) {
@@ -477,12 +586,38 @@ void WriteJson(const std::vector<EngineRow>& rows, size_t n, size_t updates,
                "  \"frame\": {\"bytes\": %zu, \"bytes_per_vertex\": %.2f},\n",
                frame.frame_bytes, frame.bytes_per_vertex);
   std::fprintf(f,
+               "  \"sparse_density\": {\"n\": %zu, \"sparse_threshold\": %u, "
+               "\"rows\": [\n",
+               density_n, density_threshold);
+  for (size_t i = 0; i < density_rows.size(); ++i) {
+    const SparseDensityRow& row = density_rows[i];
+    std::fprintf(
+        f,
+        "    {\"fraction_of_threshold\": %.2f, \"stream_updates\": %zu, "
+        "\"updates_per_vertex\": %.2f, \"sparse_vertex_fraction\": %.4f,\n"
+        "     \"hybrid_bytes_per_vertex\": %.2f, "
+        "\"dense_bytes_per_vertex\": %.2f, "
+        "\"hybrid_ingest_ns_per_update\": %.2f, "
+        "\"dense_ingest_ns_per_update\": %.2f,\n"
+        "     \"space_reduction\": %.2f, \"ingest_speedup\": %.3f}%s\n",
+        row.fraction, row.updates, row.updates_per_vertex,
+        row.sparse_vertex_frac, row.hybrid_bytes_per_vertex,
+        row.dense_bytes_per_vertex, row.hybrid_ns_per_update,
+        row.dense_ns_per_update,
+        row.dense_bytes_per_vertex /
+            std::max(row.hybrid_bytes_per_vertex, 1e-9),
+        row.dense_ns_per_update / std::max(row.hybrid_ns_per_update, 1e-9),
+        i + 1 < density_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]},\n");
+  std::fprintf(f,
                "  \"kernel\": {\"old_ns_per_update\": %.2f, "
                "\"new_ns_per_update\": %.2f, \"speedup\": %.3f}\n",
                kt.old_ns, kt.new_ns, kt.speedup);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_throughput.json\n");
+  bench::MirrorToRepoRoot("BENCH_throughput.json");
 }
 
 /// `--perf_smoke`: a CI-sized guard on the finalize path (the `perf_smoke`
@@ -552,6 +687,45 @@ int PerfSmoke() {
           "perf_smoke: FAIL (best-of-3 row disagrees with its reps: "
           "secs=%.9f min_rep=%.9f rate=%.3f expected=%.3f)\n",
           row.ingest_secs, min_rep, row.ingest_rate, rate);
+      return 1;
+    }
+  }
+  // All-dense ingest guard for the hybrid representation: on a stream
+  // whose every column escalates within its first few updates, the hybrid
+  // config must hold the threshold-0 path's throughput -- the escalated
+  // fast path IS the pre-hybrid dense path (one saturated-counter branch),
+  // so a regression here means the phase check leaked into the kernel
+  // loop. 25% relative + 20ms absolute slack absorbs CI (and tsan) jitter;
+  // expected value is parity.
+  {
+    constexpr size_t kDenseN = 1 << 12;
+    Graph dg = UnionOfHamiltonianCycles(kDenseN, 20, /*seed=*/30);  // deg 40
+    DynamicStream dense_stream = DynamicStream::InsertOnly(dg, 31);
+    ForestSketchParams dense_p;
+    dense_p.config = SketchConfig::Light();
+    dense_p.config.sparse_threshold = 0;
+    dense_p.rounds = 3;
+    ForestSketchParams hybrid_p = dense_p;
+    hybrid_p.config.sparse_threshold = 32;
+    {
+      SpanningForestSketch warm(kDenseN, 2, /*seed=*/32, dense_p);
+      warm.Process(dense_stream);
+    }
+    SpanningForestSketch dense(kDenseN, 2, /*seed=*/32, dense_p);
+    IngestTiming dense_t = BestOfThreeIngest(&dense, dense_stream);
+    SpanningForestSketch hybrid(kDenseN, 2, /*seed=*/32, hybrid_p);
+    IngestTiming hybrid_t = BestOfThreeIngest(&hybrid, dense_stream);
+    std::printf(
+        "perf_smoke: all-dense ingest threshold0=%.4fs hybrid=%.4fs "
+        "(%.2fx)\n",
+        dense_t.best_secs, hybrid_t.best_secs,
+        dense_t.best_secs / std::max(hybrid_t.best_secs, 1e-9));
+    if (hybrid_t.best_secs > 1.25 * dense_t.best_secs + 0.02) {
+      std::printf(
+          "perf_smoke: FAIL (hybrid all-dense ingest %.4fs exceeds 1.25x "
+          "threshold-0 + 20ms = %.4fs; the sparse-phase check slowed the "
+          "dense path)\n",
+          hybrid_t.best_secs, 1.25 * dense_t.best_secs + 0.02);
       return 1;
     }
   }
@@ -789,12 +963,17 @@ int main(int argc, char** argv) {
   gms::DriverEngineSection(&driver_rows, &driver_n, &driver_updates);
   gms::ExtractCompareRow extract;
   gms::ExtractionEngineSection(&extract);
+  std::vector<gms::SparseDensityRow> density_rows;
+  size_t density_n = 0;
+  uint32_t density_threshold = 0;
+  gms::SparseDensitySection(&density_rows, &density_n, &density_threshold);
   gms::bench::KernelTimings kt = gms::bench::CompareUpdateKernels();
   std::printf("\nupdate kernel: old %.1f ns -> new %.1f ns (%.2fx)\n",
               kt.old_ns, kt.new_ns, kt.speedup);
   gms::WriteJson(rows, n, updates, r, compact_rows, compact_n,
                  compact_updates, driver_rows, driver_n, driver_updates,
-                 frame, extract, kt);
+                 frame, extract, density_rows, density_n, density_threshold,
+                 kt);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,5 +1,7 @@
 #include "connectivity/k_skeleton.h"
 
+#include <new>
+
 #include "stream/sharded_merge.h"
 #include "stream/stream_driver.h"
 #include "util/check.h"
@@ -174,26 +176,39 @@ Result<KSkeletonSketch> KSkeletonSketch::Deserialize(
       k < 1 || k > (uint64_t{1} << 20) || params.rounds < 1) {
     return Status::InvalidArgument("wire: k-skeleton shape out of range");
   }
-  // k layers of all-active forests: the payload is exactly
-  // k * n * rounds * state-words cells. Checking BEFORE construction keeps
-  // hostile in-range header fields (whose PRODUCT is astronomical) from
-  // commanding allocations the payload never backs.
+  // k layers of all-active forests: skim each layer's self-sizing cell
+  // section in turn and require the sum to account for the payload exactly
+  // BEFORE construction. This keeps hostile in-range header fields (whose
+  // PRODUCT is astronomical) from commanding allocations the payload never
+  // backs, and applies the hybrid-section caps per layer.
   auto words = ForestStateWords(static_cast<size_t>(n),
                                 static_cast<size_t>(max_rank), params.config);
   if (!words.ok()) return words.status();
-  if (!wire::PayloadMatchesShape(
-          frame->payload.size(),
-          {k, n, static_cast<uint64_t>(params.rounds), *words})) {
+  size_t offset = 0;
+  for (uint64_t i = 0; i < k; ++i) {
+    auto section = SkimForestCellSection(
+        frame->payload.subspan(offset), n,
+        static_cast<uint64_t>(params.rounds), *words,
+        params.config.sparse_threshold);
+    if (!section.ok()) return section.status();
+    offset += *section;
+  }
+  if (offset != frame->payload.size()) {
     return Status::InvalidArgument(
         "wire: k-skeleton payload size disagrees with the header shape");
   }
-  KSkeletonSketch sketch(static_cast<size_t>(n),
-                         static_cast<size_t>(max_rank),
-                         static_cast<size_t>(k), seed, params);
-  wire::Reader payload(frame->payload);
-  GMS_RETURN_IF_ERROR(sketch.ReadCells(&payload));
-  GMS_RETURN_IF_ERROR(payload.ExpectEnd());
-  return sketch;
+  try {
+    KSkeletonSketch sketch(static_cast<size_t>(n),
+                           static_cast<size_t>(max_rank),
+                           static_cast<size_t>(k), seed, params);
+    wire::Reader payload(frame->payload);
+    GMS_RETURN_IF_ERROR(sketch.ReadCells(&payload));
+    GMS_RETURN_IF_ERROR(payload.ExpectEnd());
+    return sketch;
+  } catch (const std::bad_alloc&) {
+    return Status::InvalidArgument(
+        "wire: k-skeleton shape too large for available memory");
+  }
 }
 
 size_t KSkeletonSketch::SpaceBytes() const {

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 
 #include "connectivity/incidence.h"
 #include "graph/union_find.h"
@@ -130,6 +131,11 @@ SpanningForestSketch::SpanningForestSketch(size_t n, size_t max_rank,
   dirty_words_per_round_ = (num_active + 63) / 64;
   dirty_.assign(static_cast<size_t>(rounds_) * dirty_words_per_round_, 0);
   level_mask_.assign(num_active * static_cast<size_t>(rounds_), 0);
+  if (params.config.sparse_threshold > 0 && num_active > 0) {
+    counters_.assign(num_active, 0);
+    buffers_.resize(num_active);
+    sparse_remaining_ = num_active;
+  }
 }
 
 SpanningForestSketch::SpanningForestSketch(const SpanningForestSketch& other,
@@ -146,10 +152,14 @@ SpanningForestSketch::SpanningForestSketch(const SpanningForestSketch& other,
       arena_(other.arena_.size()),
       dirty_words_per_round_(other.dirty_words_per_round_),
       dirty_(other.dirty_.size(), 0),
-      level_mask_(other.level_mask_.size(), 0) {}
+      level_mask_(other.level_mask_.size(), 0),
+      counters_(other.counters_.size(), 0),
+      buffers_(other.buffers_.size()),
+      sparse_remaining_(other.counters_.empty() ? 0 : other.num_active_) {}
 
 void SpanningForestSketch::ApplyToRound(int t, const Hyperedge& e,
-                                        const PreparedCoord& pc, int delta) {
+                                        const PreparedCoord& pc, int delta,
+                                        const char* endpoint_dense) {
   const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
   const int level = shape.LevelOfFolded(pc.fold);
   const SSparseShape& ls = shape.level_shape(level);
@@ -173,6 +183,10 @@ void SpanningForestSketch::ApplyToRound(int t, const Hyperedge& e,
       pc.index * static_cast<u128>(static_cast<i128>(delta));
   const int64_t head = static_cast<int64_t>(e.size()) - 1;
   for (size_t pos = 0; pos < e.size(); ++pos) {
+    // The hybrid column ingest absorbed the unflagged endpoints into their
+    // exact sparse buffers during the serial pre-pass; only the dense ones
+    // reach the arena here.
+    if (endpoint_dense != nullptr && !endpoint_dense[pos]) continue;
     const VertexId v = e[pos];
     GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
     MarkDirty(t, v);
@@ -212,6 +226,83 @@ void SpanningForestSketch::PrefetchRound(int t, const Hyperedge& e,
   }
 }
 
+void SpanningForestSketch::ApplyLocalOrd(size_t ord, const PreparedCoord& pc,
+                                         int64_t coeff, bool concurrent) {
+  for (int t = 0; t < rounds_; ++t) {
+    const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
+    const int level = shape.LevelOfFolded(pc.fold);
+    if (concurrent) {
+      MarkDirtyOrdConcurrent(t, ord);
+    } else {
+      MarkDirtyOrd(t, ord);
+    }
+    MarkLevelOrd(t, ord, level);
+    SSparseSegmentUpdate(shape.level_shape(level),
+                         ColAt(ord, t) +
+                             static_cast<size_t>(level) * shape.SegmentWords(),
+                         pc, coeff, shape.basis().PowerFromExp(pc.exponent));
+  }
+}
+
+void SpanningForestSketch::ReplayBufferRounds(size_t ord, int w0, int w1,
+                                              uint64_t* dst,
+                                              uint64_t* masks) const {
+  for (const SparseEntry& entry : buffers_[ord]) {
+    const PreparedCoord pc = PrepareCoord(entry.index);
+    for (int r = w0; r < w1; ++r) {
+      const L0Shape& shape = *round_shapes_[static_cast<size_t>(r)];
+      const int level = shape.LevelOfFolded(pc.fold);
+      masks[r - w0] |= LevelMaskBit(level);
+      SSparseSegmentUpdate(
+          shape.level_shape(level),
+          dst + static_cast<size_t>(r - w0) * state_words_ +
+              static_cast<size_t>(level) * shape.SegmentWords(),
+          pc, entry.value, shape.basis().PowerFromExp(pc.exponent));
+    }
+  }
+}
+
+void SpanningForestSketch::EscalateOrdinal(size_t ord, bool concurrent) {
+  // Replay the buffer straight into ord's arena rows (they share the
+  // accumulator layout: rounds contiguous at stride state_words_), with the
+  // exact level bits landing in ord's own level-mask words.
+  if (!buffers_[ord].empty()) {
+    ReplayBufferRounds(ord, 0, rounds_, ColAt(ord, 0),
+                       level_mask_.data() + ord * static_cast<size_t>(rounds_));
+    for (int t = 0; t < rounds_; ++t) {
+      if (concurrent) {
+        MarkDirtyOrdConcurrent(t, ord);
+      } else {
+        MarkDirtyOrd(t, ord);
+      }
+    }
+    buffers_[ord].clear();
+    buffers_[ord].shrink_to_fit();
+  }
+  if (concurrent) {
+    __atomic_fetch_sub(&sparse_remaining_, size_t{1}, __ATOMIC_RELAXED);
+  } else {
+    --sparse_remaining_;
+  }
+}
+
+bool SpanningForestSketch::AbsorbUpdate(size_t ord, const PreparedCoord& pc,
+                                        int64_t coeff, bool concurrent) {
+  const uint32_t threshold = params_.config.sparse_threshold;
+  const uint32_t count = counters_[ord];
+  if (count >= threshold) {
+    // This is update threshold + 1: saturate the counter (it never moves
+    // again) and cross to the dense phase; the caller applies the current
+    // update through the kernel.
+    counters_[ord] = threshold + 1;
+    EscalateOrdinal(ord, concurrent);
+    return false;
+  }
+  counters_[ord] = count + 1;
+  SparseBufferAdd(&buffers_[ord], pc.index, coeff);
+  return true;
+}
+
 void SpanningForestSketch::Update(const Hyperedge& e, int delta) {
   GMS_CHECK_MSG(e.size() <= codec_.max_rank(), "hyperedge exceeds max_rank");
   UpdateEncoded(e, codec_.Encode(e), delta);
@@ -224,7 +315,26 @@ void SpanningForestSketch::UpdateEncoded(const Hyperedge& e, u128 index,
 
 void SpanningForestSketch::UpdatePrepared(const Hyperedge& e,
                                           const PreparedCoord& pc, int delta) {
-  for (int t = 0; t < rounds_; ++t) ApplyToRound(t, e, pc, delta);
+  if (sparse_remaining_ == 0) {
+    // Every endpoint is dense (or the sparse phase is disabled): the
+    // pre-hybrid fast path, unchanged.
+    for (int t = 0; t < rounds_; ++t) ApplyToRound(t, e, pc, delta);
+    return;
+  }
+  // Route each endpoint through its own phase with its Section 4.1
+  // incidence coefficient ((|e|-1) at the sorted head, -1 elsewhere).
+  const int64_t head = static_cast<int64_t>(e.size()) - 1;
+  for (size_t pos = 0; pos < e.size(); ++pos) {
+    const VertexId v = e[pos];
+    GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
+    const size_t ord = static_cast<size_t>(state_index_[v]);
+    const int64_t coeff = pos == 0 ? head * delta : -int64_t{delta};
+    if (!Escalated(ord) &&
+        AbsorbUpdate(ord, pc, coeff, /*concurrent=*/false)) {
+      continue;
+    }
+    ApplyLocalOrd(ord, pc, coeff, /*concurrent=*/false);
+  }
 }
 
 void SpanningForestSketch::UpdateLocal(VertexId v, const Hyperedge& e,
@@ -232,18 +342,13 @@ void SpanningForestSketch::UpdateLocal(VertexId v, const Hyperedge& e,
   GMS_CHECK_MSG(e.Contains(v), "UpdateLocal: vertex not in hyperedge");
   GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
   const PreparedCoord pc = PrepareCoord(codec_.Encode(e));
-  int64_t coeff = IncidenceCoefficient(e, v) * delta;
-  for (int t = 0; t < rounds_; ++t) {
-    const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
-    int level = shape.LevelOfFolded(pc.fold);
-    uint64_t power = shape.basis().PowerFromExp(pc.exponent);
-    MarkDirty(t, v);
-    MarkLevel(t, v, level);
-    SSparseSegmentUpdate(shape.level_shape(level),
-                         ArenaAt(v, t) +
-                             static_cast<size_t>(level) * shape.SegmentWords(),
-                         pc, coeff, power);
+  const int64_t coeff = IncidenceCoefficient(e, v) * delta;
+  const size_t ord = static_cast<size_t>(state_index_[v]);
+  if (sparse_remaining_ != 0 && !Escalated(ord) &&
+      AbsorbUpdate(ord, pc, coeff, /*concurrent=*/false)) {
+    return;
   }
+  ApplyLocalOrd(ord, pc, coeff, /*concurrent=*/false);
 }
 
 void SpanningForestSketch::ApplyUpdateBatch(size_t thr_id, VertexId v,
@@ -252,11 +357,28 @@ void SpanningForestSketch::ApplyUpdateBatch(size_t thr_id, VertexId v,
   if (batch.empty()) return;
   GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
   const size_t ord = static_cast<size_t>(state_index_[v]);
+  size_t start = 0;
+  // Phase gate: counters/buffers are vertex-owned (appliers hold disjoint
+  // vertex shards), but sparse_remaining_ is sketch-wide and escalations on
+  // other appliers decrement it concurrently -- load it relaxed.
+  if (__atomic_load_n(&sparse_remaining_, __ATOMIC_RELAXED) != 0 &&
+      !Escalated(ord)) {
+    // Absorb the batch into v's exact buffer in stream order until (if
+    // ever) an entry crosses the threshold; that entry and the rest of the
+    // batch then replay densely below, matching the serial path bit for
+    // bit. A fully absorbed batch touches no arena cell and no bitmap.
+    while (start < batch.size() &&
+           AbsorbUpdate(ord, batch[start].pc, batch[start].coeff,
+                        /*concurrent=*/true)) {
+      ++start;
+    }
+    if (start == batch.size()) return;
+  }
   for (int t = 0; t < rounds_; ++t) {
     const L0Shape& shape = *round_shapes_[static_cast<size_t>(t)];
     uint64_t* col = ArenaAt(v, t);
     uint64_t levels = 0;
-    for (const VertexUpdate& u : batch) {
+    for (const VertexUpdate& u : batch.subspan(start)) {
       const int level = shape.LevelOfFolded(u.pc.fold);
       levels |= LevelMaskBit(level);
       SSparseSegmentUpdate(
@@ -299,6 +421,47 @@ void SpanningForestSketch::ProcessColumns(
                   "hyperedge exceeds max_rank");
     prepared[j] = PrepareCoord(codec_.Encode(updates[j].edge));
   }
+  // Hybrid pre-pass: counters and buffers are per-vertex stream-order
+  // state, so they cannot be touched from the round-sharded fan-out (each
+  // worker would bump them once per round). Absorb every sparse endpoint
+  // serially here -- escalation replays land in the escalating vertex's
+  // arena rows before any worker starts -- and flag the endpoints that
+  // must still reach the arena. When nothing is sparse (the common steady
+  // state, and the whole sketch when the threshold is 0) this block is a
+  // single predictable branch.
+  std::vector<size_t> endpoint_off;
+  std::vector<char> endpoint_dense;
+  bool filtered = false;
+  if (sparse_remaining_ != 0) {
+    filtered = true;
+    endpoint_off.resize(updates.size() + 1);
+    size_t total = 0;
+    for (size_t j = 0; j < updates.size(); ++j) {
+      endpoint_off[j] = total;
+      total += updates[j].edge.size();
+    }
+    endpoint_off[updates.size()] = total;
+    endpoint_dense.assign(total, 0);
+    bool any_dense = false;
+    for (size_t j = 0; j < updates.size(); ++j) {
+      const Hyperedge& e = updates[j].edge;
+      const int delta = updates[j].delta;
+      const int64_t head = static_cast<int64_t>(e.size()) - 1;
+      for (size_t pos = 0; pos < e.size(); ++pos) {
+        const VertexId v = e[pos];
+        GMS_CHECK_MSG(IsActive(v), "update touches an inactive vertex");
+        const size_t ord = static_cast<size_t>(state_index_[v]);
+        const int64_t coeff = pos == 0 ? head * delta : -int64_t{delta};
+        if (!Escalated(ord) &&
+            AbsorbUpdate(ord, prepared[j], coeff, /*concurrent=*/false)) {
+          continue;
+        }
+        endpoint_dense[endpoint_off[j] + pos] = 1;
+        any_dense = true;
+      }
+    }
+    if (!any_dense) return;  // the whole span was absorbed exactly
+  }
   // Lookahead distance for the cell prefetch: far enough to cover DRAM
   // latency across the ~8 lines an update touches, near enough that the
   // lines are still resident when reached.
@@ -313,7 +476,10 @@ void SpanningForestSketch::ProcessColumns(
                                     prepared[jp]);
                     }
                     ApplyToRound(static_cast<int>(t), updates[j].edge,
-                                 prepared[j], updates[j].delta);
+                                 prepared[j], updates[j].delta,
+                                 filtered
+                                     ? endpoint_dense.data() + endpoint_off[j]
+                                     : nullptr);
                   }
                 }
               });
@@ -384,6 +550,35 @@ Result<Hypergraph> SpanningForestSketch::ExtractImpl(size_t threads,
   }
   if (stats != nullptr) *stats = ExtractStats();
   if (active_vertices.size() <= 1) return result;
+
+  // Hybrid exact pre-round: a sparse-phase vertex's buffer lists its net
+  // incident hyperedges VERBATIM, so they feed Borůvka directly -- no
+  // sampling, no decode attempts. Deterministic (vertices in active order,
+  // entries in key order) and shared by both decode paths, so the
+  // incremental-vs-reference stats stay identical.
+  const bool hybrid = Hybrid();
+  if (hybrid) {
+    uint64_t exact_edges = 0;
+    for (VertexId v : active_vertices) {
+      const size_t ord = static_cast<size_t>(state_index_[v]);
+      if (Escalated(ord)) continue;
+      for (const SparseEntry& entry : buffers_[ord]) {
+        auto decoded = codec_.Decode(entry.index);
+        if (!decoded.ok()) continue;  // hostile key; skip defensively
+        const Hyperedge& e = *decoded;
+        bool valid = true;
+        for (VertexId u : e) valid = valid && IsActive(u);
+        if (!valid) continue;  // only hostile frames buffer such keys
+        bool merged = false;
+        for (size_t i = 1; i < e.size(); ++i) merged |= uf.Union(e[0], e[i]);
+        if (merged) {
+          result.AddEdge(e);
+          ++exact_edges;
+        }
+      }
+    }
+    if (stats != nullptr) stats->edges_found += exact_edges;
+  }
 
   // Blocks live in the calling thread's scratch; inner parallel phases
   // write disjoint blocks, and every phase boundary is a pool join, so the
@@ -465,8 +660,14 @@ Result<Hypergraph> SpanningForestSketch::ExtractImpl(size_t threads,
           std::memset(dst, 0, block_words * sizeof(uint64_t));
           std::memset(masks, 0, kAccWindowRounds * sizeof(uint64_t));
           for (size_t i = 0; i < group.size(); ++i) {
-            const uint64_t* src = ArenaAt(group[i], block_w0);
             const size_t ord = static_cast<size_t>(state_index_[group[i]]);
+            if (hybrid && !Escalated(ord)) {
+              // A sparse member's measurement lives in its buffer, not the
+              // (zero) arena: replay it exactly into the block.
+              ReplayBufferRounds(ord, block_w0, block_w1, dst, masks);
+              continue;
+            }
+            const uint64_t* src = ColAt(ord, block_w0);
             for (int r = block_w0; r < block_w1; ++r) {
               const size_t off =
                   static_cast<size_t>(r - block_w0) * state_words_;
@@ -507,11 +708,36 @@ Result<Hypergraph> SpanningForestSketch::ExtractImpl(size_t threads,
             // differential oracle that masked extraction must match.
             uint64_t src_mask = ~uint64_t{0};
             if (group.size() == 1) {
+              // A still-singleton sparse vertex has an empty effective
+              // buffer (the pre-round united the endpoints of every
+              // decodable buffered edge), so its zero arena column IS its
+              // exact round-t measurement -- no replay needed here.
               src = ArenaAt(group[0], t);
               if (incremental) {
                 src_mask = ColumnLevelMask(
                     static_cast<size_t>(state_index_[group[0]]), t);
               }
+            } else if (incremental && t == 0) {
+              // The exact pre-round can unite components BEFORE the first
+              // round, but accumulator windows only start at round 1:
+              // accumulate round 0 on the fly (masked adds for dense
+              // members, exact buffer replay for sparse ones).
+              if (acc.empty()) acc.resize(state_words_);
+              std::memset(acc.data(), 0, state_words_ * sizeof(uint64_t));
+              uint64_t m = 0;
+              for (VertexId member : group) {
+                const size_t ord = static_cast<size_t>(state_index_[member]);
+                if (hybrid && !Escalated(ord)) {
+                  ReplayBufferRounds(ord, 0, 1, acc.data(), &m);
+                  continue;
+                }
+                const uint64_t cm = ColumnLevelMask(ord, 0);
+                m |= cm;
+                local_words += L0AddRawMasked(*round_shapes_[0], acc.data(),
+                                              ColAt(ord, 0), cm);
+              }
+              src = acc.data();
+              src_mask = m;
             } else if (incremental) {
               const int64_t b = es.block_of[group_root[g]];
               GMS_DCHECK(b >= 0);
@@ -522,12 +748,22 @@ Result<Hypergraph> SpanningForestSketch::ExtractImpl(size_t threads,
                   es.block_masks[static_cast<size_t>(b) * kAccWindowRounds +
                                  static_cast<size_t>(t - block_w0)];
             } else {
+              // Reference path: re-sum every member from scratch. Starting
+              // from an explicit zero block and field-adding EVERY member
+              // (instead of memcpy-ing the first) is bit-identical -- each
+              // cell op is exact with 0 as identity -- and lets sparse
+              // members replay their buffers like the incremental path.
               if (acc.empty()) acc.resize(state_words_);
-              std::memcpy(acc.data(), ArenaAt(group[0], t),
-                          state_words_ * sizeof(uint64_t));
-              for (size_t i = 1; i < group.size(); ++i) {
+              std::memset(acc.data(), 0, state_words_ * sizeof(uint64_t));
+              for (size_t i = 0; i < group.size(); ++i) {
+                const size_t ord = static_cast<size_t>(state_index_[group[i]]);
+                if (hybrid && !Escalated(ord)) {
+                  uint64_t scratch_mask = 0;
+                  ReplayBufferRounds(ord, t, t + 1, acc.data(), &scratch_mask);
+                  continue;
+                }
                 L0AddRaw(*round_shapes_[static_cast<size_t>(t)], acc.data(),
-                         ArenaAt(group[i], t));
+                         ColAt(ord, t));
               }
               local_words += group.size() * state_words_;
               src = acc.data();
@@ -635,8 +871,15 @@ Result<Hypergraph> SpanningForestSketch::ExtractImpl(size_t threads,
               const uint64_t* smask = nullptr;  // null => singleton part
               size_t ord = 0;
               if (group.size() == 1) {
-                src = ArenaAt(group[0], block_w0);
                 ord = static_cast<size_t>(state_index_[group[0]]);
+                if (hybrid && !Escalated(ord)) {
+                  // Sparse singleton part: replay its buffer (empty for
+                  // every stream-reachable state, but a hostile frame's
+                  // block must still equal the reference re-sum).
+                  ReplayBufferRounds(ord, block_w0, block_w1, dst, dmask);
+                  continue;
+                }
+                src = ArenaAt(group[0], block_w0);
               } else {
                 const size_t b =
                     static_cast<size_t>(es.block_of[group_root[part]]);
@@ -682,7 +925,9 @@ Result<Hypergraph> SpanningForestSketch::ExtractImpl(size_t threads,
 Status SpanningForestSketch::MergeFrom(const SpanningForestSketch& other) {
   if (seed_ != other.seed_ || n_ != other.n_ ||
       codec_.max_rank() != other.codec_.max_rank() ||
-      rounds_ != other.rounds_ || state_words_ != other.state_words_) {
+      rounds_ != other.rounds_ || state_words_ != other.state_words_ ||
+      params_.config.sparse_threshold !=
+          other.params_.config.sparse_threshold) {
     return Status::InvalidArgument(
         "SpanningForestSketch::MergeFrom: seed/shape mismatch (different "
         "measurement)");
@@ -695,6 +940,54 @@ Status SpanningForestSketch::MergeFrom(const SpanningForestSketch& other) {
       return Status::InvalidArgument(
           "SpanningForestSketch::MergeFrom: other sketch is active at a "
           "vertex this sketch is not");
+    }
+  }
+  // Hybrid phase lattice (DESIGN.md Section 12). Counters add saturating at
+  // threshold + 1 -- min(a + b, T + 1) is associative and commutative, so
+  // any shard split escalates a vertex at exactly the same total count as
+  // the serial stream. Buffers merge by sorted concat-and-cancel; a
+  // combined count past the threshold escalates by exact replay, after
+  // which the arena walk below adds the other's dense cells. The other's
+  // still-sparse columns are all-zero in its arena, so the walk (which may
+  // visit them when the other came from Deserialize and is all-dirty)
+  // contributes exactly the dense part.
+  if (Hybrid()) {
+    const uint32_t threshold = params_.config.sparse_threshold;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (!other.IsActive(v)) continue;
+      const size_t oo = static_cast<size_t>(other.state_index_[v]);
+      const uint32_t oc = other.counters_[oo];
+      if (oc == 0) continue;  // the other never touched this vertex
+      const size_t mo = static_cast<size_t>(state_index_[v]);
+      if (Escalated(mo)) {
+        if (!other.Escalated(oo)) {
+          // dense x sparse: replay the other's exact buffer into my arena.
+          for (const SparseEntry& entry : other.buffers_[oo]) {
+            ApplyLocalOrd(mo, PrepareCoord(entry.index), entry.value,
+                          /*concurrent=*/false);
+          }
+        }
+        continue;  // my counter is already saturated at threshold + 1
+      }
+      if (other.Escalated(oo)) {
+        // sparse x dense: escalate myself (replays my buffer); the arena
+        // walk then adds the other's cells on top.
+        counters_[mo] = threshold + 1;
+        EscalateOrdinal(mo, /*concurrent=*/false);
+        continue;
+      }
+      // sparse x sparse: exact signed union with cancellation. Both
+      // counters are <= threshold, so the sum cannot wrap.
+      const uint32_t combined = counters_[mo] + oc;
+      for (const SparseEntry& entry : other.buffers_[oo]) {
+        SparseBufferAdd(&buffers_[mo], entry.index, entry.value);
+      }
+      if (combined > threshold) {
+        counters_[mo] = threshold + 1;
+        EscalateOrdinal(mo, /*concurrent=*/false);
+      } else {
+        counters_[mo] = combined;
+      }
     }
   }
   // Sparse merge: only the columns the other sketch's dirty bitmap marks
@@ -754,6 +1047,14 @@ void SpanningForestSketch::Clear() {
   arena_.Fill0();
   std::fill(dirty_.begin(), dirty_.end(), 0);
   std::fill(level_mask_.begin(), level_mask_.end(), 0);
+  if (Hybrid()) {
+    std::fill(counters_.begin(), counters_.end(), 0u);
+    for (auto& buf : buffers_) {
+      buf.clear();
+      buf.shrink_to_fit();
+    }
+    sparse_remaining_ = num_active_;
+  }
 }
 
 void SpanningForestSketch::MarkAllDirty() {
@@ -772,18 +1073,204 @@ void SpanningForestSketch::MarkAllDirty() {
 }
 
 void SpanningForestSketch::AppendCells(wire::Writer* w) const {
-  w->Words(arena_.data(), arena_.size());
+  if (params_.config.sparse_threshold == 0) {
+    // Dense-from-the-start: a v1-style raw arena dump behind the repr byte.
+    w->U8(0);
+    w->Words(arena_.data(), arena_.size());
+    return;
+  }
+  // Hybrid section: counters travel so the phase survives a round trip
+  // (escalated <=> counter > threshold), escalated columns dump raw words,
+  // sparse columns dump their exact signed buffers. The escalated-column
+  // and total-entry counts up front pin the section size to a closed
+  // formula a skimmer can check without walking the counters.
+  w->U8(1);
+  uint64_t escalated = 0, entries = 0;
+  for (size_t ord = 0; ord < num_active_; ++ord) {
+    if (Escalated(ord)) {
+      ++escalated;
+    } else {
+      entries += buffers_[ord].size();
+    }
+  }
+  w->U64(escalated);
+  w->U64(entries);
+  for (size_t ord = 0; ord < num_active_; ++ord) w->U32(counters_[ord]);
+  const size_t col_words =
+      static_cast<size_t>(rounds_) * state_words_;
+  for (size_t ord = 0; ord < num_active_; ++ord) {
+    if (Escalated(ord)) {
+      w->Words(ColAt(ord, 0), col_words);
+    } else {
+      w->U32(static_cast<uint32_t>(buffers_[ord].size()));
+      for (const SparseEntry& entry : buffers_[ord]) {
+        w->U128(entry.index);
+        w->U64(static_cast<uint64_t>(entry.value));
+      }
+    }
+  }
 }
 
 Status SpanningForestSketch::ReadCells(wire::Reader* r) {
-  if (r->remaining() < arena_.size() * sizeof(uint64_t)) {
-    return Status::InvalidArgument("wire: forest payload size mismatch");
+  uint8_t repr = 0;
+  GMS_RETURN_IF_ERROR(r->U8(&repr));
+  const uint32_t threshold = params_.config.sparse_threshold;
+  if (repr == 0) {
+    if (threshold != 0) {
+      return Status::InvalidArgument(
+          "wire: dense forest cells under a sparse-threshold config");
+    }
+    if (r->remaining() < arena_.size() * sizeof(uint64_t)) {
+      return Status::InvalidArgument("wire: forest payload size mismatch");
+    }
+    GMS_RETURN_IF_ERROR(r->Words(arena_.data(), arena_.size()));
+    // Frames carry no bitmap; correctness only needs dirty ⊇ nonzero, so
+    // mark everything.
+    MarkAllDirty();
+    return Status::OK();
   }
-  GMS_RETURN_IF_ERROR(r->Words(arena_.data(), arena_.size()));
-  // Frames carry no bitmap (the wire format is unchanged); correctness
-  // only needs dirty ⊇ nonzero, so mark everything.
+  if (repr != 1) {
+    return Status::InvalidArgument("wire: unknown forest cell repr");
+  }
+  if (threshold == 0) {
+    return Status::InvalidArgument(
+        "wire: hybrid forest cells under a dense config");
+  }
+  uint64_t escalated = 0, entries = 0;
+  GMS_RETURN_IF_ERROR(r->U64(&escalated));
+  GMS_RETURN_IF_ERROR(r->U64(&entries));
+  uint64_t seen_escalated = 0, seen_entries = 0;
+  for (size_t ord = 0; ord < num_active_; ++ord) {
+    uint32_t counter = 0;
+    GMS_RETURN_IF_ERROR(r->U32(&counter));
+    if (counter > threshold + 1) {
+      return Status::InvalidArgument(
+          "wire: forest sparse counter above saturation");
+    }
+    counters_[ord] = counter;
+  }
+  const size_t col_words = static_cast<size_t>(rounds_) * state_words_;
+  const u128 domain = codec_.DomainSize();
+  for (size_t ord = 0; ord < num_active_; ++ord) {
+    if (counters_[ord] > threshold) {
+      ++seen_escalated;
+      GMS_RETURN_IF_ERROR(r->Words(ColAt(ord, 0), col_words));
+      continue;
+    }
+    uint32_t count = 0;
+    GMS_RETURN_IF_ERROR(r->U32(&count));
+    if (count > counters_[ord]) {
+      return Status::InvalidArgument(
+          "wire: forest buffer larger than its update counter");
+    }
+    // Entry bytes are bounded by what the frame actually carries BEFORE the
+    // reserve, so a hostile count cannot command an unbacked allocation.
+    if (static_cast<uint64_t>(count) * 24 > r->remaining()) {
+      return Status::InvalidArgument("wire: truncated forest sparse buffer");
+    }
+    seen_entries += count;
+    auto& buf = buffers_[ord];
+    buf.clear();
+    buf.reserve(count);
+    u128 prev_key = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      u128 key = 0;
+      uint64_t value_bits = 0;
+      GMS_RETURN_IF_ERROR(r->U128(&key));
+      GMS_RETURN_IF_ERROR(r->U64(&value_bits));
+      // Canonical form: strictly ascending keys inside the codec domain,
+      // no explicit zeros. Anything else cannot have come from Serialize.
+      if (i > 0 && key <= prev_key) {
+        return Status::InvalidArgument(
+            "wire: forest sparse buffer keys out of order");
+      }
+      if (key >= domain) {
+        return Status::InvalidArgument(
+            "wire: forest sparse key outside the codec domain");
+      }
+      if (value_bits == 0) {
+        return Status::InvalidArgument(
+            "wire: forest sparse entry with zero weight");
+      }
+      prev_key = key;
+      buf.push_back(SparseEntry{key, static_cast<int64_t>(value_bits)});
+    }
+  }
+  if (seen_escalated != escalated || seen_entries != entries) {
+    return Status::InvalidArgument(
+        "wire: forest hybrid section totals disagree with its columns");
+  }
+  sparse_remaining_ = num_active_ - static_cast<size_t>(seen_escalated);
   MarkAllDirty();
   return Status::OK();
+}
+
+Result<size_t> SkimForestCellSection(std::span<const uint8_t> bytes,
+                                     uint64_t num_active, uint64_t rounds,
+                                     uint64_t state_words,
+                                     uint32_t threshold) {
+  wire::Reader r(bytes);
+  uint8_t repr = 0;
+  GMS_RETURN_IF_ERROR(r.U8(&repr));
+  // Column words as u128: every operand below is <= 2^32 after the config
+  // range checks, so products of three of them cannot wrap 128 bits.
+  if (num_active > (uint64_t{1} << 32) || rounds > (uint64_t{1} << 32) ||
+      state_words > (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("wire: forest shape out of range");
+  }
+  const u128 col_words = u128{rounds} * state_words;
+  if (repr == 0) {
+    if (threshold != 0) {
+      return Status::InvalidArgument(
+          "wire: dense forest cells under a sparse-threshold config");
+    }
+    const u128 body = u128{8} * num_active * col_words;
+    if (body > r.remaining()) {
+      return Status::InvalidArgument("wire: forest payload size mismatch");
+    }
+    GMS_RETURN_IF_ERROR(r.Skip(static_cast<size_t>(body)));
+    return static_cast<size_t>(1 + body);
+  }
+  if (repr != 1) {
+    return Status::InvalidArgument("wire: unknown forest cell repr");
+  }
+  if (threshold == 0) {
+    return Status::InvalidArgument(
+        "wire: hybrid forest cells under a dense config");
+  }
+  // A hybrid frame's size is decoupled from the arena it commands (a few
+  // escalated columns can ride a huge (num_active, rounds) shape), so the
+  // PR 3 "payload bounds the allocation" rule needs explicit caps here:
+  // level_mask_ and dirty_ are REAL vectors of ~num_active * rounds words,
+  // and the arena is num_active * rounds * state_words words of lazily
+  // mapped virtual space. Anything larger is rejected before construction;
+  // Deserialize additionally catches bad_alloc for shapes under the caps.
+  if (u128{num_active} * rounds > (u128{1} << 31) ||
+      u128{8} * num_active * col_words > (u128{1} << 42)) {
+    return Status::InvalidArgument(
+        "wire: hybrid forest shape too large for a committed allocation");
+  }
+  uint64_t escalated = 0, entries = 0;
+  GMS_RETURN_IF_ERROR(r.U64(&escalated));
+  GMS_RETURN_IF_ERROR(r.U64(&entries));
+  if (escalated > num_active) {
+    return Status::InvalidArgument(
+        "wire: forest escalated count above the active count");
+  }
+  const uint64_t sparse_cols = num_active - escalated;
+  if (u128{entries} > u128{sparse_cols} * threshold) {
+    return Status::InvalidArgument(
+        "wire: forest sparse entries above capacity");
+  }
+  // Closed section size: repr + totals + u32 counters + u32 per sparse
+  // column + 24-byte entries + raw escalated columns.
+  const u128 body = u128{4} * num_active + u128{4} * sparse_cols +
+                    u128{24} * entries + u128{8} * escalated * col_words;
+  if (body > r.remaining()) {
+    return Status::InvalidArgument("wire: truncated forest hybrid section");
+  }
+  GMS_RETURN_IF_ERROR(r.Skip(static_cast<size_t>(body)));
+  return static_cast<size_t>(17 + body);
 }
 
 void SpanningForestSketch::Serialize(std::vector<uint8_t>* out) const {
@@ -830,19 +1317,32 @@ Result<SpanningForestSketch> SpanningForestSketch::Deserialize(
   if (!words.ok()) return words.status();
   uint64_t num_active = 0;
   for (bool a : active) num_active += a ? 1 : 0;
-  if (!wire::PayloadMatchesShape(
-          frame->payload.size(),
-          {num_active, static_cast<uint64_t>(params.rounds), *words})) {
+  // The section must account for the payload exactly -- and, for hybrid
+  // repr, pass the allocation caps -- BEFORE the sketch (and its arena) is
+  // constructed.
+  auto skim = SkimForestCellSection(frame->payload, num_active,
+                                    static_cast<uint64_t>(params.rounds),
+                                    *words, params.config.sparse_threshold);
+  if (!skim.ok()) return skim.status();
+  if (*skim != frame->payload.size()) {
     return Status::InvalidArgument(
         "wire: forest payload size disagrees with the header shape");
   }
-  SpanningForestSketch sketch(static_cast<size_t>(n),
-                              static_cast<size_t>(max_rank), seed, params,
-                              &active);
-  wire::Reader payload(frame->payload);
-  GMS_RETURN_IF_ERROR(sketch.ReadCells(&payload));
-  GMS_RETURN_IF_ERROR(payload.ExpectEnd());
-  return sketch;
+  try {
+    SpanningForestSketch sketch(static_cast<size_t>(n),
+                                static_cast<size_t>(max_rank), seed, params,
+                                &active);
+    wire::Reader payload(frame->payload);
+    GMS_RETURN_IF_ERROR(sketch.ReadCells(&payload));
+    GMS_RETURN_IF_ERROR(payload.ExpectEnd());
+    return sketch;
+  } catch (const std::bad_alloc&) {
+    // Hybrid shapes under the skim caps can still exceed what this machine
+    // will commit (level_mask_/dirty_ are eager vectors); surface that as a
+    // frame error rather than an abort.
+    return Status::InvalidArgument(
+        "wire: forest shape too large for available memory");
+  }
 }
 
 size_t SpanningForestSketch::SpaceBytes() const {

@@ -81,6 +81,19 @@ Status ReadForestParams(wire::Reader* r, ForestSketchParams* params);
 Result<uint64_t> ForestStateWords(size_t n, size_t max_rank,
                                   const SketchConfig& config);
 
+/// Size-validate ONE serialized forest cell section (the unit AppendCells
+/// writes) at the head of `bytes` WITHOUT allocating anything, and return
+/// its exact byte length. A v2 cell section is self-sizing: a repr byte
+/// (0 = raw arena words, only legal when sparse_threshold == 0; 1 = hybrid)
+/// and, for hybrid, escalated-column and buffered-entry totals that pin the
+/// section size to a closed formula. Containers skim each sub-sketch's
+/// section in turn and require the sum to equal the payload BEFORE
+/// constructing, preserving the PR 3 rule that a tiny hostile frame cannot
+/// command a huge committed allocation.
+Result<size_t> SkimForestCellSection(std::span<const uint8_t> bytes,
+                                     uint64_t num_active, uint64_t rounds,
+                                     uint64_t state_words, uint32_t threshold);
+
 class SpanningForestSketch {
  public:
   using Params = ForestSketchParams;
@@ -100,6 +113,16 @@ class SpanningForestSketch {
   int rounds() const { return rounds_; }
   uint64_t seed() const { return seed_; }
   bool IsActive(VertexId v) const { return state_index_[v] >= 0; }
+
+  /// Hybrid sparse/dense phase observers. Threshold 0 disables the sparse
+  /// phase (every vertex is dense from the first update, the pre-hybrid
+  /// behaviour); otherwise a vertex buffers its first `sparse_threshold`
+  /// updates exactly and escalates on the next one.
+  uint32_t sparse_threshold() const { return params_.config.sparse_threshold; }
+  bool VertexEscalated(VertexId v) const {
+    GMS_CHECK_MSG(IsActive(v), "phase query on an inactive vertex");
+    return Escalated(static_cast<size_t>(state_index_[v]));
+  }
 
   /// Linear update: insert (delta=+1) or delete (delta=-1) hyperedge e.
   /// CHECK-fails if any endpoint is inactive (callers filter first).
@@ -195,9 +218,14 @@ class SpanningForestSketch {
 
   /// True iff the other sketch carries bit-identical per-vertex state
   /// (same n, rounds, and measurement values; for the determinism suite).
+  /// The sparse buffers ARE measurement (the exact phase's state); the
+  /// update counters are NOT -- they count updates, so a net-zero stream
+  /// would otherwise stop equalling a fresh sketch. The determinism suite
+  /// pins the counters at serialized-frame strength instead.
   bool StateEquals(const SpanningForestSketch& other) const {
     return n_ == other.n_ && rounds_ == other.rounds_ &&
-           state_index_ == other.state_index_ && arena_ == other.arena_;
+           state_index_ == other.state_index_ && arena_ == other.arena_ &&
+           buffers_ == other.buffers_;
   }
 
   /// Cell-wise field addition of another sketch of the SAME measurement:
@@ -260,8 +288,48 @@ class SpanningForestSketch {
   SpanningForestSketch(const SpanningForestSketch& other, CloneEmptyTag);
 
   /// Apply hyperedge e (prepared coordinate) to round t's column only.
+  /// `endpoint_dense` (parallel to e's positions) restricts the write to
+  /// the flagged endpoints -- the hybrid column ingest absorbs the sparse
+  /// endpoints in a serial pre-pass and fans only the dense ones out here.
   void ApplyToRound(int t, const Hyperedge& e, const PreparedCoord& pc,
-                    int delta);
+                    int delta, const char* endpoint_dense = nullptr);
+
+  /// Hybrid phase predicates. A sketch built with sparse_threshold == 0
+  /// allocates no counters at all and reports every ordinal escalated.
+  bool Hybrid() const { return !counters_.empty(); }
+  bool Escalated(size_t ord) const {
+    return counters_.empty() ||
+           counters_[ord] > params_.config.sparse_threshold;
+  }
+
+  /// The dense single-endpoint apply: add coeff * coordinate pc to every
+  /// round column of ordinal `ord`. Bit-identical to ApplyToRound's
+  /// per-endpoint write (every cell is an exact field value, so the
+  /// coefficient-times-unit product equals the staged per-endpoint form).
+  void ApplyLocalOrd(size_t ord, const PreparedCoord& pc, int64_t coeff,
+                     bool concurrent);
+
+  /// Sparse phase: record one endpoint update (saturating counter bump +
+  /// sorted buffer insert with net-zero cancellation). Returns false when
+  /// THIS update crossed the threshold: the buffer has been replayed into
+  /// the arena (EscalateOrdinal) and the caller must apply the current
+  /// update densely.
+  bool AbsorbUpdate(size_t ord, const PreparedCoord& pc, int64_t coeff,
+                    bool concurrent);
+
+  /// Cross ordinal `ord` into the dense phase: replay its buffered updates
+  /// through the SoA kernel into the arena -- bit-identical to a
+  /// dense-from-the-start vertex because each cell is an exact field value
+  /// and a key's net weight contributes exactly the sum of its individual
+  /// updates -- then mark the touched columns and release the buffer.
+  void EscalateOrdinal(size_t ord, bool concurrent);
+
+  /// Field-add ord's buffered updates into `dst`, an accumulator laid out
+  /// like the arena's per-vertex rows [w0, w1) (stride state_words_), and
+  /// OR the exact level bits into masks[r - w0]. Extraction gives sparse
+  /// members of multi-vertex components their exact contribution this way.
+  void ReplayBufferRounds(size_t ord, int w0, int w1, uint64_t* dst,
+                          uint64_t* masks) const;
 
   /// Prefetch round t's target cells for hyperedge e (see PrefetchPrepared).
   void PrefetchRound(int t, const Hyperedge& e, const PreparedCoord& pc) const;
@@ -290,7 +358,9 @@ class SpanningForestSketch {
   /// word boundary): the column-sharded ingest gives each worker a block
   /// of rounds, so workers never read-modify-write a shared bitmap word.
   void MarkDirty(int t, VertexId v) {
-    const size_t ord = static_cast<size_t>(state_index_[v]);
+    MarkDirtyOrd(t, static_cast<size_t>(state_index_[v]));
+  }
+  void MarkDirtyOrd(int t, size_t ord) {
     dirty_[static_cast<size_t>(t) * dirty_words_per_round_ + (ord >> 6)] |=
         uint64_t{1} << (ord & 63);
   }
@@ -301,7 +371,9 @@ class SpanningForestSketch {
   /// same word. A relaxed atomic OR keeps the final bitmap -- a monotone
   /// union read only after the drive's join -- exact and race-free.
   void MarkDirtyConcurrent(int t, VertexId v) {
-    const size_t ord = static_cast<size_t>(state_index_[v]);
+    MarkDirtyOrdConcurrent(t, static_cast<size_t>(state_index_[v]));
+  }
+  void MarkDirtyOrdConcurrent(int t, size_t ord) {
     __atomic_fetch_or(
         &dirty_[static_cast<size_t>(t) * dirty_words_per_round_ + (ord >> 6)],
         uint64_t{1} << (ord & 63), __ATOMIC_RELAXED);
@@ -323,9 +395,11 @@ class SpanningForestSketch {
   /// low-degree vertex that is ~log(degree) of the ~log(domain) levels,
   /// which is where the finalize path's bandwidth goes.
   void MarkLevel(int t, VertexId v, int level) {
-    level_mask_[static_cast<size_t>(state_index_[v]) *
-                    static_cast<size_t>(rounds_) +
-                static_cast<size_t>(t)] |= LevelMaskBit(level);
+    MarkLevelOrd(t, static_cast<size_t>(state_index_[v]), level);
+  }
+  void MarkLevelOrd(int t, size_t ord, int level) {
+    level_mask_[ord * static_cast<size_t>(rounds_) + static_cast<size_t>(t)] |=
+        LevelMaskBit(level);
   }
   uint64_t ColumnLevelMask(size_t ord, int t) const {
     return level_mask_[ord * static_cast<size_t>(rounds_) +
@@ -338,13 +412,18 @@ class SpanningForestSketch {
   /// cache miss to the out-of-order window instead of serializing a
   /// state -> level-vector -> cell-array dependency chain.
   uint64_t* ArenaAt(VertexId v, int t) {
-    return arena_.data() + (static_cast<size_t>(state_index_[v]) *
-                                static_cast<size_t>(rounds_) +
-                            static_cast<size_t>(t)) *
-                               state_words_;
+    return ColAt(static_cast<size_t>(state_index_[v]), t);
   }
   const uint64_t* ArenaAt(VertexId v, int t) const {
     return const_cast<SpanningForestSketch*>(this)->ArenaAt(v, t);
+  }
+  uint64_t* ColAt(size_t ord, int t) {
+    return arena_.data() +
+           (ord * static_cast<size_t>(rounds_) + static_cast<size_t>(t)) *
+               state_words_;
+  }
+  const uint64_t* ColAt(size_t ord, int t) const {
+    return const_cast<SpanningForestSketch*>(this)->ColAt(ord, t);
   }
 
   size_t n_;
@@ -377,6 +456,25 @@ class SpanningForestSketch {
   // of the truly-nonzero segments, never on the wire, ignored by
   // StateEquals; deserialization conservatively fills it with all-ones.
   std::vector<uint64_t> level_mask_;
+  // Hybrid sparse phase (DESIGN.md Section 12; both vectors stay EMPTY when
+  // config.sparse_threshold == 0, so the dense configuration pays nothing).
+  // counters_[ord] counts ord's updates, saturating at threshold + 1:
+  // min(a + b, threshold + 1) is associative and commutative, so sharded
+  // counters merge to exactly the serial count, and ord is escalated iff
+  // its counter exceeds the threshold. Counters and buffers travel on the
+  // wire (the phase must survive a round trip or later merges would
+  // escalate at different points than the original), but counters are NOT
+  // part of StateEquals (see there).
+  std::vector<uint32_t> counters_;
+  // Per-ordinal exact signed-adjacency buffer: encoded update key + net
+  // int64 weight, sorted by key, an entry erased the moment its weight
+  // cancels to zero. Escalated ordinals keep an empty vector.
+  std::vector<std::vector<SparseEntry>> buffers_;
+  // Active ordinals still in the sparse phase. 0 sends every ingest path
+  // down the pre-hybrid dense branch (one predictable branch on the hot
+  // path); decremented with a relaxed atomic where appliers run
+  // concurrently (monotone countdown, read only as a != 0 phase gate).
+  size_t sparse_remaining_ = 0;
 };
 
 }  // namespace gms

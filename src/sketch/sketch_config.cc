@@ -10,6 +10,7 @@ void WriteSketchConfig(const SketchConfig& config, wire::Writer* w) {
   w->I32(config.rows);
   w->I32(config.buckets_per_capacity);
   w->I32(config.extra_boruvka_rounds);
+  w->U32(config.sparse_threshold);
 }
 
 Status ReadSketchConfig(wire::Reader* r, SketchConfig* config) {
@@ -17,6 +18,10 @@ Status ReadSketchConfig(wire::Reader* r, SketchConfig* config) {
   GMS_RETURN_IF_ERROR(r->I32(&config->rows));
   GMS_RETURN_IF_ERROR(r->I32(&config->buckets_per_capacity));
   GMS_RETURN_IF_ERROR(r->I32(&config->extra_boruvka_rounds));
+  GMS_RETURN_IF_ERROR(r->U32(&config->sparse_threshold));
+  if (config->sparse_threshold > (1u << 20)) {
+    return Status::InvalidArgument("wire: sparse threshold out of range");
+  }
   if (config->sparse_capacity < 1 || config->rows < 1 ||
       config->rows > kMaxSketchRows || config->buckets_per_capacity < 1 ||
       config->extra_boruvka_rounds < 0 ||

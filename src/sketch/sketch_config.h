@@ -36,6 +36,13 @@ struct SketchConfig {
   /// sampler failures).
   int extra_boruvka_rounds = 4;
 
+  /// Hybrid sparse/dense representation: a vertex column buffers its first
+  /// sparse_threshold updates exactly (signed adjacency, no field
+  /// arithmetic) and escalates to the dense L0 arena by replaying the
+  /// buffer once the count exceeds the threshold. 0 disables the sparse
+  /// phase entirely (dense-from-the-start, the pre-hybrid behaviour).
+  uint32_t sparse_threshold = 32;
+
   int BucketsPerRow() const { return sparse_capacity * buckets_per_capacity; }
 
   static SketchConfig Default() { return SketchConfig{}; }
@@ -53,6 +60,7 @@ struct SketchConfig {
     c.sparse_capacity = 8;
     c.rows = 3;
     c.extra_boruvka_rounds = 8;
+    c.sparse_threshold = 0;  // the paper's sketch is purely linear
     return c;
   }
 };

@@ -7,6 +7,20 @@
 
 namespace gms {
 
+void SparseBufferAdd(std::vector<SparseEntry>* buf, u128 key,
+                     int64_t weight) {
+  auto it = std::lower_bound(
+      buf->begin(), buf->end(), key,
+      [](const SparseEntry& entry, u128 k) { return entry.index < k; });
+  if (it != buf->end() && it->index == key) {
+    it->value = static_cast<int64_t>(static_cast<uint64_t>(it->value) +
+                                     static_cast<uint64_t>(weight));
+    if (it->value == 0) buf->erase(it);
+  } else {
+    buf->insert(it, SparseEntry{key, weight});
+  }
+}
+
 FingerprintBasis::FingerprintBasis(uint64_t z) : z_(z) {
   GMS_CHECK(z >= 1 && z < kMersenne61);
   // Window w holds z^(256^w * d) for d in [0, 256), so z^e is the product

@@ -57,6 +57,15 @@ struct SparseEntry {
   friend bool operator==(const SparseEntry&, const SparseEntry&) = default;
 };
 
+/// Sorted-insert one signed update into an exact sparse buffer (ascending
+/// index, net weights), erasing the entry when its net weight reaches
+/// zero. The weight sum wraps (like every count cell in the dense kernel),
+/// so buffer merging stays associative and commutative even for hostile
+/// out-of-range weights; stream-reachable weights never wrap, which is
+/// what the hybrid escalation bit-identity argument needs.
+void SparseBufferAdd(std::vector<SparseEntry>* buf, u128 key,
+                     int64_t weight);
+
 /// The 1-sparse recovery triple as a value type (states store these
 /// structure-of-arrays; this view is used by the 1-sparse decode probe).
 struct OneSparseCell {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 
 #include "stream/sharded_merge.h"
 #include "stream/stream_driver.h"
@@ -230,16 +231,24 @@ Result<HypergraphSparsifierSketch> HypergraphSparsifierSketch::Deserialize(
     return Status::InvalidArgument("wire: sparsifier shape out of range");
   }
   // levels+1 recovery structures, each a (k+1)-layer skeleton of all-active
-  // forests: payload = (levels+1)(k+1) * n * rounds * state-words cells.
-  // Checked BEFORE construction so in-range fields with an astronomical
-  // product cannot command allocations the payload never backs.
+  // forests: skim each forest's self-sizing cell section in turn and
+  // require the sum to account for the payload exactly BEFORE construction,
+  // so in-range fields with an astronomical product cannot command
+  // allocations the payload never backs.
   auto words = ForestStateWords(static_cast<size_t>(n),
                                 static_cast<size_t>(max_rank), forest.config);
   if (!words.ok()) return words.status();
-  if (!wire::PayloadMatchesShape(
-          frame->payload.size(),
-          {levels + 1, k + 1, n, static_cast<uint64_t>(forest.rounds),
-           *words})) {
+  const uint64_t forests = (levels + 1) * (k + 1);  // <= 2^41 by the caps
+  size_t offset = 0;
+  for (uint64_t i = 0; i < forests; ++i) {
+    auto section = SkimForestCellSection(
+        frame->payload.subspan(offset), n,
+        static_cast<uint64_t>(forest.rounds), *words,
+        forest.config.sparse_threshold);
+    if (!section.ok()) return section.status();
+    offset += *section;
+  }
+  if (offset != frame->payload.size()) {
     return Status::InvalidArgument(
         "wire: sparsifier payload size disagrees with the header shape");
   }
@@ -247,15 +256,20 @@ Result<HypergraphSparsifierSketch> HypergraphSparsifierSketch::Deserialize(
   params.levels = static_cast<size_t>(levels);
   params.k = static_cast<size_t>(k);
   params.forest = forest;
-  HypergraphSparsifierSketch sketch(static_cast<size_t>(n),
-                                    static_cast<size_t>(max_rank), params,
-                                    seed);
-  wire::Reader payload(frame->payload);
-  for (auto& level : sketch.level_sketches_) {
-    GMS_RETURN_IF_ERROR(level.ReadCells(&payload));
+  try {
+    HypergraphSparsifierSketch sketch(static_cast<size_t>(n),
+                                      static_cast<size_t>(max_rank), params,
+                                      seed);
+    wire::Reader payload(frame->payload);
+    for (auto& level : sketch.level_sketches_) {
+      GMS_RETURN_IF_ERROR(level.ReadCells(&payload));
+    }
+    GMS_RETURN_IF_ERROR(payload.ExpectEnd());
+    return sketch;
+  } catch (const std::bad_alloc&) {
+    return Status::InvalidArgument(
+        "wire: sparsifier shape too large for available memory");
   }
-  GMS_RETURN_IF_ERROR(payload.ExpectEnd());
-  return sketch;
 }
 
 size_t HypergraphSparsifierSketch::SpaceBytes() const {

@@ -92,6 +92,34 @@ std::vector<CorpusEntry> WireSeedCorpus() {
     add("spanning_forest_bad_magic.bin", bad_magic);
   }
   {
+    // Hybrid sparse-phase frames: a mixed forest (escalated hub, sparse
+    // leaves) and a sparse L0 sampler, plus truncation/corruption variants
+    // so the variable-length sparse sections' reject paths stay seeded.
+    ForestSketchParams p;
+    p.config = SketchConfig::Light();
+    p.config.sparse_threshold = 4;
+    SpanningForestSketch sketch(10, 2, 15, p);
+    for (VertexId v = 1; v <= 6; ++v) sketch.Update(Hyperedge{0, v}, +1);
+    std::vector<uint8_t> bytes;
+    sketch.Serialize(&bytes);
+    add("spanning_forest_hybrid_mixed.bin", bytes);
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + bytes.size() / 2);
+    add("spanning_forest_hybrid_truncated.bin", truncated);
+    std::vector<uint8_t> flipped = bytes;
+    flipped[flipped.size() / 2] ^= 0x40;
+    add("spanning_forest_hybrid_corrupt.bin", flipped);
+  }
+  {
+    SketchConfig config = SketchConfig::Light();
+    config.sparse_threshold = 8;
+    L0Sampler sampler(1000, config, 16);
+    for (int i = 0; i < 3; ++i) sampler.Update(static_cast<u128>(i * 53), +1);
+    std::vector<uint8_t> bytes;
+    sampler.Serialize(&bytes);
+    add("l0_sampler_sparse.bin", bytes);
+  }
+  {
     KSkeletonSketch sketch(10, 3, 2, 7);
     sketch.Process(DynamicStream::InsertOnly(h, 8));
     std::vector<uint8_t> bytes;

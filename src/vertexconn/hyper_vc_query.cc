@@ -237,12 +237,19 @@ Result<HyperVcQuerySketch> HyperVcQuerySketch::Deserialize(
     return Status::InvalidArgument(
         "wire: hyper-vc shape too large to reconstruct");
   }
-  const uint64_t active_total =
-      CountKeptVertices(seed, static_cast<size_t>(n), static_cast<size_t>(k),
-                        static_cast<size_t>(r));
-  if (!wire::PayloadMatchesShape(
-          frame->payload.size(),
-          {active_total, static_cast<uint64_t>(forest.rounds), *words})) {
+  const std::vector<uint64_t> active_counts = KeptVertexCounts(
+      seed, static_cast<size_t>(n), static_cast<size_t>(k),
+      static_cast<size_t>(r));
+  size_t offset = 0;
+  for (uint64_t active : active_counts) {
+    auto section = SkimForestCellSection(
+        frame->payload.subspan(offset), active,
+        static_cast<uint64_t>(forest.rounds), *words,
+        forest.config.sparse_threshold);
+    if (!section.ok()) return section.status();
+    offset += *section;
+  }
+  if (offset != frame->payload.size()) {
     return Status::InvalidArgument(
         "wire: hyper-vc payload size disagrees with the header shape");
   }

@@ -42,14 +42,24 @@ std::vector<bool> DrawKeptBitmap(Rng& rng, size_t n, size_t k) {
 }
 
 uint64_t CountKeptVertices(uint64_t seed, size_t n, size_t k, size_t r) {
-  Rng rng(seed);
   uint64_t total = 0;
+  for (uint64_t c : KeptVertexCounts(seed, n, k, r)) total += c;
+  return total;
+}
+
+std::vector<uint64_t> KeptVertexCounts(uint64_t seed, size_t n, size_t k,
+                                       size_t r) {
+  Rng rng(seed);
+  std::vector<uint64_t> counts;
+  counts.reserve(r);
   for (size_t i = 0; i < r; ++i) {
     const std::vector<bool> kept = DrawKeptBitmap(rng, n, k);
+    uint64_t total = 0;
     for (bool b : kept) total += b ? 1 : 0;
+    counts.push_back(total);
     rng.Fork();  // consumed by the sketch seed in the constructor replay
   }
-  return total;
+  return counts;
 }
 
 SubsampledForestUnion::SubsampledForestUnion(size_t n, size_t k,
@@ -354,12 +364,19 @@ Result<VcQuerySketch> VcQuerySketch::Deserialize(
     return Status::InvalidArgument(
         "wire: vc-query shape too large to reconstruct");
   }
-  const uint64_t active_total =
-      CountKeptVertices(seed, static_cast<size_t>(n), static_cast<size_t>(k),
-                        static_cast<size_t>(r));
-  if (!wire::PayloadMatchesShape(
-          frame->payload.size(),
-          {active_total, static_cast<uint64_t>(forest.rounds), *words})) {
+  const std::vector<uint64_t> active_counts = KeptVertexCounts(
+      seed, static_cast<size_t>(n), static_cast<size_t>(k),
+      static_cast<size_t>(r));
+  size_t offset = 0;
+  for (uint64_t active : active_counts) {
+    auto section = SkimForestCellSection(
+        frame->payload.subspan(offset), active,
+        static_cast<uint64_t>(forest.rounds), *words,
+        forest.config.sparse_threshold);
+    if (!section.ok()) return section.status();
+    offset += *section;
+  }
+  if (offset != frame->payload.size()) {
     return Status::InvalidArgument(
         "wire: vc-query payload size disagrees with the header shape");
   }

@@ -33,6 +33,13 @@ std::vector<bool> DrawKeptBitmap(Rng& rng, size_t n, size_t k);
 /// subsampled sketch WITHOUT constructing it.
 uint64_t CountKeptVertices(uint64_t seed, size_t n, size_t k, size_t r);
 
+/// As CountKeptVertices, but per subsample: entry i is the kept count of
+/// subsample i's bitmap. Hybrid forest cell sections are variable-length,
+/// so deserializers skim each subsample's section against ITS active count
+/// instead of one total product.
+std::vector<uint64_t> KeptVertexCounts(uint64_t seed, size_t n, size_t k,
+                                       size_t r);
+
 /// Deserialization cap on n * R for subsampled sketches. Reconstruction
 /// replays one Bernoulli draw and allocates ~8 bytes of dense-index state
 /// per (subsample, vertex) pair regardless of how many vertices were kept,

@@ -86,6 +86,14 @@ Status Reader::Words(uint64_t* dst, size_t count) {
   return Raw(dst, count * sizeof(uint64_t));
 }
 
+Status Reader::Skip(size_t len) {
+  if (len > remaining()) {
+    return Status::InvalidArgument("wire: truncated field");
+  }
+  pos_ += len;
+  return Status::OK();
+}
+
 Status Reader::ExpectEnd() const {
   if (remaining() != 0) {
     return Status::InvalidArgument("wire: trailing bytes after frame content");

@@ -37,7 +37,11 @@ namespace gms {
 namespace wire {
 
 inline constexpr uint32_t kMagic = 0x4B534D47u;  // "GMSK"
-inline constexpr uint16_t kVersion = 1;
+/// Version 2 added the hybrid sparse/dense cell sections (a `repr` byte
+/// followed by either raw arena words or per-column exact buffers) and the
+/// sparse_threshold field in every SketchConfig header. v1 frames carry
+/// neither and are rejected.
+inline constexpr uint16_t kVersion = 2;
 /// Bytes before the header (magic + version + type + lengths).
 inline constexpr size_t kPreambleBytes = 20;
 /// Trailing checksum bytes.
@@ -124,6 +128,10 @@ class Reader {
 
   /// Read exactly `count` little-endian u64 words into dst.
   Status Words(uint64_t* dst, size_t count);
+
+  /// Advance the cursor `len` bytes without copying (skim validation of
+  /// variable-length sections); fails like a read if fewer bytes remain.
+  Status Skip(size_t len);
 
   size_t remaining() const { return data_.size() - pos_; }
 
