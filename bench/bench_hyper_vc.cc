@@ -26,17 +26,23 @@ void AccuracySweep() {
         for (uint64_t t = 0; t < trials; ++t) {
           auto planted =
               PlantedHypergraphSeparator(n, k, r, 1000 + 10 * k + t);
-          VcQueryParams p;
-          p.k = k;
-          p.explicit_r = explicit_r;
-          p.forest.config = SketchConfig::Light();
+          const VcQueryParams p =
+              VcQueryParams::Builder()
+                  .K(k)
+                  .ExplicitR(explicit_r)
+                  .Forest(ForestSketchParams::Builder()
+                              .Config(SketchConfig::Light())
+                              .Build())
+                  .Build();
           HyperVcQuerySketch sketch(n, r, p, 2000 + t);
           sketch.Process(DynamicStream::WithChurn(
               planted.hypergraph, planted.hypergraph.NumEdges() / 2, r,
               3000 + t));
-          if (!sketch.Finalize().ok()) continue;
+          auto q = sketch.Query();
+          if (!q.ok()) continue;
+          const HyperVcUnionSnapshot& snap = q.value();
           bytes = sketch.MemoryBytes();
-          auto hit = sketch.Disconnects(planted.separator);
+          auto hit = snap.Disconnects(planted.separator);
           sep += (hit.ok() && *hit) ? 1 : 0;
           Rng rng(4000 + t);
           size_t agree = 0, total = 0;
@@ -48,7 +54,7 @@ void AccuracySweep() {
               for (VertexId w : s) dup |= w == v;
               if (!dup) s.push_back(v);
             }
-            auto got = sketch.Disconnects(s);
+            auto got = snap.Disconnects(s);
             bool truth = !IsConnectedExcluding(planted.hypergraph, s);
             agree += (got.ok() && *got == truth) ? 1 : 0;
             ++total;

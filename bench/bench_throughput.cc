@@ -135,9 +135,10 @@ void ParallelEngineSection(std::vector<EngineRow>* rows, size_t* out_n,
       {"mode", "threads", "ingest_s", "updates/s", "speedup", "finalize_s"});
   double serial_rate = 0;
   for (const Cell& cell : cells) {
-    VcQueryParams p = params;
-    p.engine.mode = cell.mode;
-    p.engine.threads = cell.threads;
+    const VcQueryParams p = VcQueryParams::Builder(params)
+                                .Mode(cell.mode)
+                                .Threads(cell.threads)
+                                .Build();
     VcQuerySketch sketch(kN, p, /*seed=*/4);
     *out_r = sketch.R();
     IngestTiming timing = BestOfThreeIngest(&sketch, stream);
@@ -149,9 +150,13 @@ void ParallelEngineSection(std::vector<EngineRow>* rows, size_t* out_n,
           static_cast<double>(frame_row->frame_bytes) / kN;
     }
     Timer finalize;
-    bool ok = sketch.Finalize(&row.stats).ok();
+    auto snap = sketch.Query();
     row.extract_secs = finalize.Seconds();
-    if (!ok) std::printf("  (finalize failed at threads=%zu)\n", cell.threads);
+    if (snap.ok()) {
+      row.stats = snap.stats();
+    } else {
+      std::printf("  (query failed at threads=%zu)\n", cell.threads);
+    }
     if (serial_rate == 0) serial_rate = row.ingest_rate;
     rows->push_back(row);
     table.AddRow({cell.name, Table::Fmt(uint64_t{cell.threads}),
@@ -208,9 +213,10 @@ void CompactStateSection(std::vector<EngineRow>* rows, size_t* out_n,
       {IngestMode::kShardedMerge, "sharded_merge", 8},
   };
   for (const Cell& cell : cells) {
-    ForestSketchParams p = params;
-    p.engine.mode = cell.mode;
-    p.engine.threads = cell.threads;
+    const ForestSketchParams p = ForestSketchParams::Builder(params)
+                                     .Mode(cell.mode)
+                                     .Threads(cell.threads)
+                                     .Build();
     SpanningForestSketch sketch(kN, 2, /*seed=*/7, p);
     IngestTiming timing = BestOfThreeIngest(&sketch, stream);
     EngineRow row = MakeIngestRow(cell.name, cell.threads, timing,
@@ -278,10 +284,14 @@ void DriverEngineSection(std::vector<EngineRow>* rows, size_t* out_n,
   std::vector<uint8_t> baseline_frame;
   bool identical = true;
   for (const Cell& cell : cells) {
-    ForestSketchParams p = params;
-    p.engine.mode = cell.mode;
-    p.engine.threads = cell.threads;
-    p.engine.driver_readers = cell.readers;
+    const ForestSketchParams p =
+        ForestSketchParams::Builder(params)
+            .Engine(EngineParams::Builder()
+                        .Mode(cell.mode)
+                        .Threads(cell.threads)
+                        .DriverReaders(cell.readers)
+                        .Build())
+            .Build();
     SpanningForestSketch sketch(kN, 2, /*seed=*/10, p);
     IngestTiming timing = BestOfThreeIngest(&sketch, stream);
     EngineRow row = MakeIngestRow(cell.name, cell.threads, timing,
@@ -628,11 +638,15 @@ void WriteJson(const std::vector<EngineRow>& rows, size_t n, size_t updates,
 /// so a regression back to per-round re-summing trips this immediately.
 int PerfSmoke() {
   constexpr size_t kN = 1 << 12;
-  VcQueryParams params;
-  params.k = 4;
-  params.explicit_r = 8;
-  params.forest.config = SketchConfig::Light();
-  params.forest.rounds = 3;
+  const VcQueryParams params =
+      VcQueryParams::Builder()
+          .K(4)
+          .ExplicitR(8)
+          .Forest(ForestSketchParams::Builder()
+                      .Config(SketchConfig::Light())
+                      .Rounds(3)
+                      .Build())
+          .Build();
   Graph g = UnionOfHamiltonianCycles(kN, 3, /*seed=*/2);
   DynamicStream stream = DynamicStream::WithChurn(g, /*decoys=*/kN / 2, 3);
   {
@@ -643,10 +657,11 @@ int PerfSmoke() {
   Timer ingest_timer;
   sketch.Process(stream);
   double ingest = ingest_timer.Seconds();
-  ExtractStats stats;
   Timer finalize_timer;
-  bool ok = sketch.Finalize(&stats).ok();
+  auto snap = sketch.Query();
   double finalize = finalize_timer.Seconds();
+  bool ok = snap.ok();
+  const ExtractStats& stats = snap.stats();
   std::printf(
       "perf_smoke: n=%zu updates=%zu ingest=%.4fs finalize=%.4fs "
       "(ratio %.2fx, rounds_run=%d, summed_words=%llu)\n",
@@ -757,10 +772,14 @@ int DriverSmoke() {
   SpanningForestSketch serial(kN, 2, /*seed=*/4, params);
   IngestTiming serial_t = BestOfThreeIngest(&serial, stream);
 
-  ForestSketchParams dp = params;
-  dp.engine.mode = IngestMode::kGutterDriver;
-  dp.engine.threads = 2;
-  dp.engine.driver_readers = 1;
+  const ForestSketchParams dp =
+      ForestSketchParams::Builder(params)
+          .Engine(EngineParams::Builder()
+                      .Mode(IngestMode::kGutterDriver)
+                      .Threads(2)
+                      .DriverReaders(1)
+                      .Build())
+          .Build();
   SpanningForestSketch driver(kN, 2, /*seed=*/4, dp);
   IngestTiming driver_t = BestOfThreeIngest(&driver, stream);
 
@@ -876,11 +895,14 @@ void BM_VcQueryBatchedProcess(benchmark::State& state) {
   // The batched path amortizes one codec Encode per update across all R
   // sketches; compare items/s against BM_VcQueryUpdate.
   size_t n = 128;
-  VcQueryParams p;
-  p.k = 4;
-  p.r_multiplier = 0.25;
-  p.forest.config = SketchConfig::Light();
-  p.engine.threads = static_cast<size_t>(state.range(0));
+  const VcQueryParams p =
+      VcQueryParams::Builder()
+          .K(4)
+          .RMultiplier(0.25)
+          .Forest(
+              ForestSketchParams::Builder().Config(SketchConfig::Light()).Build())
+          .Threads(static_cast<size_t>(state.range(0)))
+          .Build();
   Graph g = UnionOfHamiltonianCycles(n, 2, 11);
   DynamicStream stream = DynamicStream::WithChurn(g, n, 12);
   for (auto _ : state) {

@@ -24,15 +24,20 @@ void IndexReductionAccuracy() {
       size_t trials = 16, correct = 0, bytes = 0;
       for (uint64_t t = 0; t < trials; ++t) {
         auto inst = MakeVcLowerBoundInstance(k, n_r, 500 * k + t);
-        VcQueryParams p;
-        p.k = k;
-        p.explicit_r = explicit_r;
-        p.forest.config = SketchConfig::Light();
+        const VcQueryParams p =
+            VcQueryParams::Builder()
+                .K(k)
+                .ExplicitR(explicit_r)
+                .Forest(ForestSketchParams::Builder()
+                            .Config(SketchConfig::Light())
+                            .Build())
+                .Build();
         VcQuerySketch sketch(inst.graph.NumVertices(), p, 600 * k + t);
         sketch.Process(inst.stream);
-        if (!sketch.Finalize().ok()) continue;
+        auto q = sketch.Query();
+        if (!q.ok()) continue;
         bytes = sketch.MemoryBytes();
-        auto got = sketch.Disconnects(inst.query);
+        auto got = q.value().Disconnects(inst.query);
         if (got.ok() && *got == inst.ground_truth_disconnects) ++correct;
       }
       size_t kn_bytes = (k + 1) * n_r / 8 + 1;

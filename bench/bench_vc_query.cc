@@ -26,18 +26,23 @@ struct TrialResult {
 TrialResult RunTrial(size_t n, size_t k, double r_multiplier, uint64_t seed) {
   TrialResult out;
   auto planted = PlantedSeparator(n, k, seed);
-  VcQueryParams params;
-  params.k = k;
-  params.r_multiplier = r_multiplier;
-  params.forest.config = SketchConfig::Light();
+  const VcQueryParams params =
+      VcQueryParams::Builder()
+          .K(k)
+          .RMultiplier(r_multiplier)
+          .Forest(
+              ForestSketchParams::Builder().Config(SketchConfig::Light()).Build())
+          .Build();
   VcQuerySketch sketch(n, params, seed * 31 + 7);
   sketch.Process(DynamicStream::WithChurn(planted.graph,
                                           planted.graph.NumEdges() / 2,
                                           seed + 1));
-  if (!sketch.Finalize().ok()) return out;
+  auto q = sketch.Query();
+  if (!q.ok()) return out;
+  const VcUnionSnapshot& snap = q.value();
   out.bytes = sketch.MemoryBytes();
   out.r = sketch.R();
-  auto sep = sketch.Disconnects(planted.separator);
+  auto sep = snap.Disconnects(planted.separator);
   out.separator_found = sep.ok() && *sep;
   Rng rng(seed + 2);
   for (int t = 0; t < 8; ++t) {
@@ -48,7 +53,7 @@ TrialResult RunTrial(size_t n, size_t k, double r_multiplier, uint64_t seed) {
       for (VertexId w : s) dup |= w == v;
       if (!dup) s.push_back(v);
     }
-    auto got = sketch.Disconnects(s);
+    auto got = snap.Disconnects(s);
     bool truth = !IsConnectedExcluding(planted.graph, s);
     ++out.total_random;
     out.correct_random += (got.ok() && *got == truth) ? 1 : 0;

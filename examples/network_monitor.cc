@@ -45,10 +45,13 @@ int main() {
   std::printf("network_monitor: %zu routers, auditing %zu-failure sets\n\n",
               n, k);
 
-  VcQueryParams qp;
-  qp.k = k;
-  qp.r_multiplier = 0.5;
-  qp.forest.config = SketchConfig::Light();
+  const VcQueryParams qp =
+      VcQueryParams::Builder()
+          .K(k)
+          .RMultiplier(0.5)
+          .Forest(
+              ForestSketchParams::Builder().Config(SketchConfig::Light()).Build())
+          .Build();
   VcQuerySketch query(n, qp, 1);
 
   VcEstimatorParams ep;
@@ -85,8 +88,9 @@ int main() {
 
   std::printf("after %zu links live (stream included deletions):\n",
               fabric.graph.NumEdges());
-  if (!query.Finalize().ok()) {
-    std::printf("sketch finalize failed\n");
+  auto query_snap = query.Query();
+  if (!query_snap.ok()) {
+    std::printf("sketch query failed\n");
     return 1;
   }
 
@@ -95,7 +99,7 @@ int main() {
   std::vector<std::vector<VertexId>> scenarios = {
       {0, 1}, {0, 24}, {5, 6}, {10, 40}};
   for (const auto& s : scenarios) {
-    auto sketch_says = query.Disconnects(s);
+    auto sketch_says = query_snap.value().Disconnects(s);
     bool truth = !IsConnectedExcluding(fabric.graph, s);
     std::printf("  fail {%2u,%2u}: sketch=%s  truth=%s  %s\n", s[0], s[1],
                 sketch_says.ok() ? (*sketch_says ? "PARTITION" : "ok       ")

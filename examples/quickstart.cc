@@ -46,17 +46,21 @@ int main() {
   }
 
   // --- 3. Vertex-removal queries (Theorem 4). ---
-  VcQueryParams params;
-  params.k = 2;
-  params.r_multiplier = 0.5;  // fraction of the paper's 16 k^2 ln n
-  params.forest.config = SketchConfig::Light();
+  const VcQueryParams params =
+      VcQueryParams::Builder()
+          .K(2)
+          .RMultiplier(0.5)  // fraction of the paper's 16 k^2 ln n
+          .Forest(
+              ForestSketchParams::Builder().Config(SketchConfig::Light()).Build())
+          .Build();
   VcQuerySketch vc(n, params, /*seed=*/3);
   vc.Process(stream);
-  if (!vc.Finalize().ok()) {
-    std::printf("[3] finalize failed\n");
+  auto vc_snap = vc.Query();
+  if (!vc_snap.ok()) {
+    std::printf("[3] query failed\n");
     return 1;
   }
-  auto hit = vc.Disconnects(planted.separator);
+  auto hit = vc_snap.value().Disconnects(planted.separator);
   std::printf(
       "[3] vertex-removal sketch (R=%zu forests, %.1f KiB):\n"
       "    removing the planted separator {%u, %u}  -> %s\n",
@@ -64,7 +68,7 @@ int main() {
       planted.separator[1],
       hit.ok() && *hit ? "DISCONNECTS (correct!)" : "stays connected");
   std::vector<VertexId> decoy = {planted.side_a[0], planted.side_b[0]};
-  auto miss = vc.Disconnects(decoy);
+  auto miss = vc_snap.value().Disconnects(decoy);
   std::printf("    removing a non-separator pair {%u, %u} -> %s\n", decoy[0],
               decoy[1],
               miss.ok() && !*miss ? "stays connected (correct!)"

@@ -85,9 +85,10 @@ void KSkeletonSketch::RemoveHyperedges(const std::vector<Hyperedge>& edges) {
   for (auto& layer : layers_) layer.RemoveHyperedges(edges);
 }
 
-Result<Hypergraph> KSkeletonSketch::Extract() const {
+Result<Hypergraph> KSkeletonSketch::Extract(ExtractStats* stats) const {
   Hypergraph skeleton(n_);
   std::vector<Hyperedge> accumulated;
+  if (stats != nullptr) *stats = ExtractStats();
   for (size_t i = 0; i < k_; ++i) {
     // A^i(G - F_1 - ... - F_{i-1}) = A^i(G) - sum_j A^i(F_j): subtract the
     // accumulated layers from a copy of layer i, then decode.
@@ -95,13 +96,30 @@ Result<Hypergraph> KSkeletonSketch::Extract() const {
     layer.RemoveHyperedges(accumulated);
     // Layers must decode sequentially (each subtracts its predecessors),
     // but each decode's per-round component summations use the pool.
-    auto forest = layer.ExtractSpanningGraph(params_.engine.threads);
+    ExtractStats layer_stats;
+    auto forest = layer.ExtractSpanningGraph(
+        params_.engine.threads, stats != nullptr ? &layer_stats : nullptr);
     if (!forest.ok()) return forest.status();
+    if (stats != nullptr) AccumulateExtractStats(layer_stats, stats);
     for (const auto& e : forest->Edges()) {
       if (skeleton.AddEdge(e)) accumulated.push_back(e);
     }
   }
   return skeleton;
+}
+
+QueryResult<Hypergraph> KSkeletonSketch::Query() const {
+  ExtractStats stats;
+  auto skeleton = Extract(&stats);
+  if (!skeleton.ok()) return QueryResult<Hypergraph>(skeleton.status());
+  return QueryResult<Hypergraph>(std::move(*skeleton), std::move(stats));
+}
+
+bool KSkeletonSketch::SnapshotDirty() const {
+  for (const auto& layer : layers_) {
+    if (layer.SnapshotDirty()) return true;
+  }
+  return false;
 }
 
 Status KSkeletonSketch::MergeFrom(const KSkeletonSketch& other) {

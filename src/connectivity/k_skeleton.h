@@ -65,8 +65,18 @@ class KSkeletonSketch {
   void RemoveHyperedges(const std::vector<Hyperedge>& edges);
 
   /// Extract F_1 u ... u F_k where F_i spans G - F_1 - ... - F_{i-1}.
-  /// The extraction works on copies; the sketch itself is unchanged.
-  Result<Hypergraph> Extract() const;
+  /// The extraction works on copies; the sketch itself is unchanged. When
+  /// `stats` is non-null it receives the extraction-engine counters summed
+  /// over the k layer decodes, in layer order.
+  Result<Hypergraph> Extract(ExtractStats* stats = nullptr) const;
+
+  /// The unified non-destructive query: the decoded skeleton plus the
+  /// extraction counters in one value (wraps Extract()).
+  QueryResult<Hypergraph> Query() const;
+
+  /// Serving hook (src/serve/): true iff any layer's measurement state
+  /// changed since construction / the last Clear().
+  bool SnapshotDirty() const;
 
   size_t MemoryBytes() const;
 

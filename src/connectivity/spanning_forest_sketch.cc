@@ -537,6 +537,23 @@ Result<Hypergraph> SpanningForestSketch::ExtractSpanningGraphReference(
   return ExtractImpl(threads, stats, /*incremental=*/false);
 }
 
+QueryResult<Hypergraph> SpanningForestSketch::Query(size_t threads) const {
+  ExtractStats stats;
+  auto graph = ExtractImpl(threads, &stats, /*incremental=*/true);
+  if (!graph.ok()) return QueryResult<Hypergraph>(graph.status());
+  return QueryResult<Hypergraph>(std::move(*graph), std::move(stats));
+}
+
+bool SpanningForestSketch::SnapshotDirty() const {
+  for (uint64_t w : dirty_) {
+    if (w != 0) return true;
+  }
+  for (const auto& buf : buffers_) {
+    if (!buf.empty()) return true;
+  }
+  return false;
+}
+
 Result<Hypergraph> SpanningForestSketch::ExtractImpl(size_t threads,
                                                      ExtractStats* stats,
                                                      bool incremental) const {

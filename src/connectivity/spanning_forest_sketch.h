@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -56,6 +57,47 @@ struct ExtractStats {
 /// per-forest stats in sketch order; integer sums, so deterministic).
 void AccumulateExtractStats(const ExtractStats& in, ExtractStats* out);
 
+/// The unified non-destructive query surface (DESIGN.md Section 13): every
+/// sketch type answers `Query()` on a CONST sketch with one of these --
+/// Status, the typed payload, and the extraction-engine counters, all
+/// returned by value. Nothing in the sketch mutates, so queries can run
+/// against a frozen snapshot while another copy keeps ingesting (the
+/// serving layer in src/serve/ is built on exactly this property).
+/// Replaces the Finalize(ExtractStats*)-then-poke-accessors protocol; the
+/// old Finalize wrappers remain for one release, marked [[deprecated]].
+template <typename T>
+class QueryResult {
+ public:
+  /// The payload type, for generic wrappers (the serving engine deduces
+  /// its snapshot payload from `decltype(sketch.Query())::value_type`).
+  using value_type = T;
+
+  /// An error result (extraction failed); CHECK-fails on an OK status.
+  explicit QueryResult(Status status) : status_(std::move(status)) {
+    GMS_CHECK_MSG(!status_.ok(), "QueryResult: OK status requires a payload");
+  }
+  QueryResult(T value, ExtractStats stats = ExtractStats())
+      : value_(std::move(value)), stats_(std::move(stats)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const ExtractStats& stats() const { return stats_; }
+
+  const T& value() const& {
+    GMS_CHECK_MSG(ok(), "QueryResult::value() on an error result");
+    return *value_;
+  }
+  T&& value() && {
+    GMS_CHECK_MSG(ok(), "QueryResult::value() on an error result");
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_ = Status::OK();
+  std::optional<T> value_;
+  ExtractStats stats_;
+};
+
 struct ForestSketchParams {
   SketchConfig config = SketchConfig::Default();
   /// Borůvka rounds; 0 means ceil(log2 n) + config.extra_boruvka_rounds.
@@ -64,6 +106,61 @@ struct ForestSketchParams {
   /// per-round component summation in ExtractSpanningGraph (see
   /// util/parallel.h; outputs are bit-identical for every setting).
   EngineParams engine;
+
+  class Builder;
+};
+
+/// Fluent construction: ForestSketchParams::Builder().Rounds(12)
+///     .Engine(EngineParams::Builder().Threads(8).Build()).Build().
+/// Build() validates the sketch-shape knobs here and funnels the engine
+/// knobs through ValidateEngineParams (the single validator every params
+/// builder shares).
+class ForestSketchParams::Builder {
+ public:
+  Builder() = default;
+  /// Copy-with: seed the builder from existing params, override a few
+  /// knobs, Build(). (Re-)validates everything, including untouched fields.
+  explicit Builder(const ForestSketchParams& from) : p_(from) {}
+
+  Builder& Config(const SketchConfig& config) {
+    p_.config = config;
+    return *this;
+  }
+  Builder& Rounds(int rounds) {
+    p_.rounds = rounds;
+    return *this;
+  }
+  Builder& Engine(const EngineParams& engine) {
+    p_.engine = engine;
+    return *this;
+  }
+  /// Shortcuts into the embedded engine (the two knobs every thread-sweep
+  /// test and bench overrides).
+  Builder& Threads(size_t threads) {
+    p_.engine.threads = threads;
+    return *this;
+  }
+  Builder& Mode(IngestMode mode) {
+    p_.engine.mode = mode;
+    return *this;
+  }
+  ForestSketchParams Build() const {
+    GMS_CHECK_MSG(p_.rounds >= 0,
+                  "ForestSketchParams: rounds must be >= 0 (0 = auto)");
+    GMS_CHECK_MSG(p_.config.sparse_capacity >= 1,
+                  "ForestSketchParams: sparse_capacity must be >= 1");
+    GMS_CHECK_MSG(p_.config.rows >= 2,
+                  "ForestSketchParams: s-sparse recovery needs >= 2 rows");
+    GMS_CHECK_MSG(p_.config.buckets_per_capacity >= 1,
+                  "ForestSketchParams: buckets_per_capacity must be >= 1");
+    GMS_CHECK_MSG(p_.config.extra_boruvka_rounds >= 0,
+                  "ForestSketchParams: extra_boruvka_rounds must be >= 0");
+    ValidateEngineParams(p_.engine);
+    return p_;
+  }
+
+ private:
+  ForestSketchParams p_;
 };
 
 /// Wire helpers: forest params are part of every forest-based frame header.
@@ -206,6 +303,20 @@ class SpanningForestSketch {
   /// component merged and every remaining component's sketch is zero.
   Result<Hypergraph> ExtractSpanningGraph(size_t threads = 0,
                                           ExtractStats* stats = nullptr) const;
+
+  /// The unified non-destructive query: the decoded spanning graph plus the
+  /// extraction counters in one value (a thin wrapper over
+  /// ExtractSpanningGraph; same determinism and thread-count guarantees).
+  QueryResult<Hypergraph> Query(size_t threads = 0) const;
+
+  /// Serving hook (src/serve/): has any measurement state changed since
+  /// construction / the last Clear()? True iff some arena column was
+  /// touched or some sparse buffer holds entries. A superset check in the
+  /// same sense as the dirty bitmap: net-zero DENSE streams still report
+  /// dirty (their columns were written), but an untouched or net-zero
+  /// SPARSE delta reports clean -- either way, a clean delta's merge
+  /// cannot change any extraction, which is what cache validity needs.
+  bool SnapshotDirty() const;
 
   /// The retained reference decoder: re-sums every component from its
   /// members' arena rows each round (the pre-incremental algorithm), with

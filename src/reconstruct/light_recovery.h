@@ -85,6 +85,10 @@ class LightRecoverySketch {
   Result<LightRecoveryResult> Recover(
       const std::vector<Hyperedge>& pre_subtract) const;
 
+  /// Serving hook (src/serve/): true iff the underlying skeleton's
+  /// measurement state changed since construction / the last Clear().
+  bool SnapshotDirty() const { return skeleton_.SnapshotDirty(); }
+
   size_t MemoryBytes() const { return skeleton_.MemoryBytes(); }
 
   /// Bit-identity of the underlying skeleton state (determinism suite).

@@ -1,0 +1,169 @@
+#include "serve/serve_protocol.h"
+
+#include <cstring>
+#include <limits>
+
+#include "wire/wire.h"
+
+namespace gms {
+namespace serve {
+namespace {
+
+/// A query set names at most k+ vertices (single-digit in practice); the
+/// cap only exists so a hostile count field cannot command a huge
+/// allocation before the payload-shape check runs.
+constexpr uint64_t kMaxQuerySet = 1u << 20;
+/// Error messages are diagnostics, not bulk data.
+constexpr uint32_t kMaxMessageBytes = 1u << 16;
+
+bool KnownOp(uint16_t raw) {
+  return raw <= static_cast<uint16_t>(ServeOp::kStats);
+}
+
+}  // namespace
+
+const char* ServeOpName(ServeOp op) {
+  switch (op) {
+    case ServeOp::kPing: return "ping";
+    case ServeOp::kConnected: return "connected";
+    case ServeOp::kNumComponents: return "num_components";
+    case ServeOp::kDisconnects: return "disconnects";
+    case ServeOp::kVcAtLeast: return "vc_at_least";
+    case ServeOp::kSkeletonEdgeCount: return "skeleton_edge_count";
+    case ServeOp::kStats: return "stats";
+  }
+  return "unknown";
+}
+
+Status MakeStatus(StatusCode code, std::string message) {
+  switch (code) {
+    case StatusCode::kOk: return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kDecodeFailure:
+      return Status::DecodeFailure(std::move(message));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(message));
+    case StatusCode::kInternal: return Status::Internal(std::move(message));
+  }
+  return Status::Internal(std::move(message));
+}
+
+void EncodeServeRequest(const ServeRequest& req, std::vector<uint8_t>* out) {
+  wire::FrameBuilder fb(wire::FrameType::kServeRequest, out);
+  wire::Writer& w = fb.writer();
+  w.U16(static_cast<uint16_t>(req.op));
+  w.U64(req.u);
+  w.U64(req.v);
+  w.U64(req.t);
+  w.U64(req.query_set.size());
+  fb.EndHeader();
+  for (VertexId v : req.query_set) w.U64(v);
+  fb.Finish();
+}
+
+Result<ServeRequest> DecodeServeRequest(std::span<const uint8_t> buf) {
+  auto frame = wire::ParseFrame(buf, wire::FrameType::kServeRequest);
+  if (!frame.ok()) return frame.status();
+  wire::Reader r(frame->header);
+  uint16_t raw_op = 0;
+  uint64_t count = 0;
+  ServeRequest req;
+  if (Status s = r.U16(&raw_op); !s.ok()) return s;
+  if (Status s = r.U64(&req.u); !s.ok()) return s;
+  if (Status s = r.U64(&req.v); !s.ok()) return s;
+  if (Status s = r.U64(&req.t); !s.ok()) return s;
+  if (Status s = r.U64(&count); !s.ok()) return s;
+  if (Status s = r.ExpectEnd(); !s.ok()) return s;
+  if (!KnownOp(raw_op)) {
+    return Status::InvalidArgument("serve request: unknown op");
+  }
+  req.op = static_cast<ServeOp>(raw_op);
+  if (count > kMaxQuerySet) {
+    return Status::InvalidArgument("serve request: query set too large");
+  }
+  if (!wire::PayloadMatchesShape(frame->payload.size(), {count})) {
+    return Status::InvalidArgument(
+        "serve request: payload does not match query-set count");
+  }
+  wire::Reader p(frame->payload);
+  req.query_set.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    if (Status s = p.U64(&v); !s.ok()) return s;
+    if (v > std::numeric_limits<VertexId>::max()) {
+      return Status::InvalidArgument(
+          "serve request: query vertex exceeds the id domain");
+    }
+    req.query_set.push_back(static_cast<VertexId>(v));
+  }
+  if (Status s = p.ExpectEnd(); !s.ok()) return s;
+  return req;
+}
+
+void EncodeServeResponse(const ServeResponse& resp,
+                         std::vector<uint8_t>* out) {
+  wire::FrameBuilder fb(wire::FrameType::kServeResponse, out);
+  wire::Writer& w = fb.writer();
+  w.U16(static_cast<uint16_t>(resp.op));
+  w.U32(static_cast<uint32_t>(resp.code));
+  w.U64(resp.epoch);
+  w.U64(resp.prefix_updates);
+  w.U64(resp.value);
+  const uint32_t msg_len = static_cast<uint32_t>(
+      std::min<size_t>(resp.message.size(), kMaxMessageBytes));
+  w.U32(msg_len);
+  for (uint32_t i = 0; i < msg_len; ++i) {
+    w.U8(static_cast<uint8_t>(resp.message[i]));
+  }
+  fb.EndHeader();
+  fb.Finish();
+}
+
+Result<ServeResponse> DecodeServeResponse(std::span<const uint8_t> buf) {
+  auto frame = wire::ParseFrame(buf, wire::FrameType::kServeResponse);
+  if (!frame.ok()) return frame.status();
+  wire::Reader r(frame->header);
+  uint16_t raw_op = 0;
+  uint32_t raw_code = 0;
+  uint32_t msg_len = 0;
+  ServeResponse resp;
+  if (Status s = r.U16(&raw_op); !s.ok()) return s;
+  if (Status s = r.U32(&raw_code); !s.ok()) return s;
+  if (Status s = r.U64(&resp.epoch); !s.ok()) return s;
+  if (Status s = r.U64(&resp.prefix_updates); !s.ok()) return s;
+  if (Status s = r.U64(&resp.value); !s.ok()) return s;
+  if (Status s = r.U32(&msg_len); !s.ok()) return s;
+  if (!KnownOp(raw_op)) {
+    return Status::InvalidArgument("serve response: unknown op");
+  }
+  resp.op = static_cast<ServeOp>(raw_op);
+  if (raw_code > static_cast<uint32_t>(StatusCode::kInternal)) {
+    return Status::InvalidArgument("serve response: unknown status code");
+  }
+  resp.code = static_cast<StatusCode>(raw_code);
+  if (msg_len > kMaxMessageBytes) {
+    return Status::InvalidArgument("serve response: oversized message");
+  }
+  if (msg_len != r.remaining()) {
+    return Status::InvalidArgument(
+        "serve response: message length does not match the header");
+  }
+  resp.message.resize(msg_len);
+  for (uint32_t i = 0; i < msg_len; ++i) {
+    uint8_t b = 0;
+    if (Status s = r.U8(&b); !s.ok()) return s;
+    resp.message[i] = static_cast<char>(b);
+  }
+  if (!frame->payload.empty()) {
+    return Status::InvalidArgument("serve response: unexpected payload");
+  }
+  return resp;
+}
+
+}  // namespace serve
+}  // namespace gms

@@ -1,0 +1,100 @@
+// Request/response frames for querying a live SketchServer (DESIGN.md §13).
+//
+// Reuses the sketch wire envelope (wire/wire.h: magic, version, checksum,
+// header/payload split) with two new frame types, so the transport that
+// ships sketch state between shards can carry queries on the same socket:
+//
+//   kServeRequest   header = op + fixed args, payload = query-set words
+//   kServeResponse  header = op echo, status, snapshot coordinates
+//                   (epoch, prefix_updates), answer value, error message
+//
+// Decoding NEVER aborts: truncation, corruption, unknown ops, and hostile
+// lengths all surface as Status (tests/serve_test.cc throws mutated frames
+// at both decoders).
+#ifndef GMS_SERVE_SERVE_PROTOCOL_H_
+#define GMS_SERVE_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gms {
+namespace serve {
+
+/// Operations a server answers. Values are wire-stable: append only.
+enum class ServeOp : uint16_t {
+  /// Liveness probe; answers OK with the current snapshot coordinates.
+  kPing = 0,
+  /// value = 1 iff vertices u and v are in one component (forest engine).
+  kConnected = 1,
+  /// value = number of connected components (forest engine).
+  kNumComponents = 2,
+  /// value = 1 iff removing query_set disconnects the survivors
+  /// (VC engine, Theorem 4 semantics; |query_set| <= k after dedup).
+  kDisconnects = 3,
+  /// value = 1 iff vertex connectivity >= t (VC engine; t <= k + 1).
+  kVcAtLeast = 4,
+  /// value = edge count of the extracted k-skeleton (skeleton engine).
+  kSkeletonEdgeCount = 5,
+  /// value = total updates ingested across the server's engines.
+  kStats = 6,
+};
+
+/// Stable lower-case name ("ping", "connected", ...); "unknown" outside
+/// the enum. For diagnostics and logs.
+const char* ServeOpName(ServeOp op);
+
+/// Rebuild a Status from its wire form (Status's code+message constructor
+/// is private; this routes through the public factories). kOk ignores the
+/// message; codes outside the enum degrade to kInternal.
+Status MakeStatus(StatusCode code, std::string message);
+
+struct ServeRequest {
+  ServeOp op = ServeOp::kPing;
+  /// kConnected endpoints.
+  uint64_t u = 0;
+  uint64_t v = 0;
+  /// kVcAtLeast threshold.
+  uint64_t t = 0;
+  /// kDisconnects separator candidate.
+  std::vector<VertexId> query_set;
+};
+
+struct ServeResponse {
+  ServeOp op = ServeOp::kPing;
+  /// StatusCode of the answer (kOk = the query was answered; anything else
+  /// means `message` explains the refusal and `value` is meaningless).
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  /// Snapshot coordinates the answer was computed against: how many sealed
+  /// epochs it covers and the exact stream-prefix length. A client can
+  /// bound staleness by comparing prefix_updates across responses.
+  uint64_t epoch = 0;
+  uint64_t prefix_updates = 0;
+  /// The answer: 0/1 for boolean ops, a count otherwise.
+  uint64_t value = 0;
+
+  /// Convenience: the answer as a Status (OK iff code == kOk).
+  Status status() const { return MakeStatus(code, message); }
+};
+
+/// Append one kServeRequest frame to *out.
+void EncodeServeRequest(const ServeRequest& req, std::vector<uint8_t>* out);
+
+/// Parse a buffer holding exactly one kServeRequest frame.
+Result<ServeRequest> DecodeServeRequest(std::span<const uint8_t> buf);
+
+/// Append one kServeResponse frame to *out.
+void EncodeServeResponse(const ServeResponse& resp, std::vector<uint8_t>* out);
+
+/// Parse a buffer holding exactly one kServeResponse frame.
+Result<ServeResponse> DecodeServeResponse(std::span<const uint8_t> buf);
+
+}  // namespace serve
+}  // namespace gms
+
+#endif  // GMS_SERVE_SERVE_PROTOCOL_H_

@@ -1,0 +1,331 @@
+// Always-on query serving over a linear sketch (DESIGN.md §13).
+//
+// The problem: every sketch in this library is a linear function of the
+// stream, so extraction (Query()) is non-destructive -- but it is also
+// EXPENSIVE (decode loops, Borůvka rounds) next to ingestion, and a sketch
+// being written by an ingest thread cannot be read concurrently. A monitor
+// that wants to answer "are u and v connected right now?" thousands of
+// times a second cannot afford either an extraction per query or a stop-
+// the-world pause per answer.
+//
+// The fix exploits linearity directly. The engine splits the measurement
+//
+//     sketch(prefix) = serving + delta_open + delta_sealed
+//
+// into three sketches of the SAME measurement (equal seed/shape, so
+// MergeFrom is exact cell-wise field addition):
+//
+//   - `serving_`: the merged prefix up to the last sealed epoch boundary.
+//     Touched ONLY by the merger thread after construction; queries never
+//     read it directly, only the immutable snapshot extracted from it.
+//   - `open_`: the delta the ingest thread is writing this epoch. Sealed
+//     (moved into the merge queue) every `epoch_updates` stream updates,
+//     or on demand (AdvanceEpoch / Flush).
+//   - the sealed delta in flight: at most ONE -- sealing blocks until the
+//     merger has retired the previous epoch (backpressure), so a query's
+//     staleness is bounded by one sealed epoch plus the open epoch.
+//
+// The two deltas are recycled (double buffering): the merger Clear()s a
+// retired delta and hands it back as the next open buffer, so steady-state
+// serving allocates nothing on the ingest path.
+//
+// Cached extraction: each merged epoch publishes an immutable Snapshot
+// (std::shared_ptr -- queries pin it lock-free after one mutex-protected
+// pointer copy). The payload is re-extracted ONLY when the merged delta
+// actually dirtied the measurement (delta.SnapshotDirty()); an epoch whose
+// updates all routed nowhere re-publishes the previous payload pointer and
+// counts a cache hit. Dirty summaries are monotone ORs, so a clean delta
+// provably contributed nothing to any cell.
+//
+// Consistency: every snapshot is the EXACT sketch state of a stream
+// prefix (prefix_updates says which one). Linearity + the library-wide
+// bit-identical determinism guarantee make this testable: replaying the
+// prefix into a fresh sketch and extracting reproduces the snapshot
+// payload bit for bit (tests/serve_concurrency_test.cc).
+//
+// Threading contract: ONE ingest thread (Process / AdvanceEpoch / Flush),
+// ANY number of query threads (Current / stats), plus the internal merger
+// thread. Extraction on the merger thread may use the shared ThreadPool;
+// concurrent top-level Run calls are serialized by the pool itself.
+#ifndef GMS_SERVE_SERVING_ENGINE_H_
+#define GMS_SERVE_SERVING_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+
+#include "connectivity/spanning_forest_sketch.h"
+#include "stream/stream.h"
+#include "util/check.h"
+
+namespace gms {
+
+/// Default epoch length, in stream updates. Short next to the driver's
+/// reader epochs (kDefaultEpochUpdates = 2^18): a serving epoch bounds
+/// answer staleness, not reader memory, and a merge is one cell-wise
+/// addition -- cheap enough to take every few thousand updates.
+inline constexpr size_t kDefaultServingEpochUpdates = 1 << 13;
+
+struct ServingParams {
+  /// Stream updates per epoch; the open delta auto-seals when it has
+  /// ingested this many.
+  size_t epoch_updates = kDefaultServingEpochUpdates;
+
+  class Builder;
+};
+
+class ServingParams::Builder {
+ public:
+  Builder() = default;
+  explicit Builder(const ServingParams& from) : p_(from) {}
+
+  Builder& EpochUpdates(size_t epoch_updates) {
+    p_.epoch_updates = epoch_updates;
+    return *this;
+  }
+  ServingParams Build() const {
+    GMS_CHECK_MSG(p_.epoch_updates >= 1,
+                  "ServingParams: epoch_updates must be >= 1");
+    return p_;
+  }
+
+ private:
+  ServingParams p_;
+};
+
+template <typename Sketch>
+class ServingEngine {
+ public:
+  /// The extraction payload served to queries -- whatever this sketch's
+  /// Query() yields (Hypergraph for forests/skeletons, VcUnionSnapshot for
+  /// the VC sketch, ...).
+  using Payload = typename decltype(std::declval<const Sketch&>()
+                                        .Query())::value_type;
+
+  /// An immutable view of one stream prefix. Returned by shared_ptr; a
+  /// query thread can hold it as long as it likes while epochs advance.
+  struct Snapshot {
+    /// Sealed epochs merged into this view (0 = the base sketch only).
+    uint64_t epoch = 0;
+    /// Exact number of stream updates this view covers.
+    uint64_t prefix_updates = 0;
+    /// Extraction status; payload is non-null iff OK.
+    Status status = Status::OK();
+    std::shared_ptr<const Payload> payload;
+    ExtractStats extract_stats;
+  };
+
+  struct Stats {
+    uint64_t epochs_sealed = 0;
+    uint64_t epochs_merged = 0;
+    /// Merged epochs whose delta was clean: the previous payload pointer
+    /// was re-published without re-extracting.
+    uint64_t cache_hits = 0;
+    /// Merged epochs that dirtied the measurement and re-extracted.
+    uint64_t cache_rebuilds = 0;
+    uint64_t updates_ingested = 0;
+    /// Updates covered by the published snapshot (<= updates_ingested; the
+    /// difference is in the open/sealed deltas).
+    uint64_t updates_merged = 0;
+  };
+
+  /// Takes ownership of `base` (its state, possibly non-empty, becomes
+  /// epoch 0), extracts the initial snapshot synchronously, and starts the
+  /// merger thread.
+  explicit ServingEngine(Sketch base,
+                         const ServingParams& params = ServingParams())
+      : params_(ServingParams::Builder(params).Build()),
+        serving_(std::move(base)),
+        open_(serving_.CloneEmpty()),
+        spare_(serving_.CloneEmpty()) {
+    snapshot_ = ExtractSnapshot(/*epoch=*/0, /*prefix_updates=*/0);
+    merger_ = std::thread([this] { MergerLoop(); });
+  }
+
+  ~ServingEngine() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    merger_cv_.notify_all();
+    merger_.join();
+  }
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Ingest thread only. Feeds the open delta, sealing an epoch every
+  /// params.epoch_updates updates; blocks (backpressure) while a previous
+  /// sealed epoch is still being merged.
+  void Process(std::span<const StreamUpdate> updates) {
+    size_t i = 0;
+    while (i < updates.size()) {
+      const size_t room = params_.epoch_updates - open_count_;
+      const size_t take = std::min(room, updates.size() - i);
+      open_.Process(updates.subspan(i, take));
+      open_count_ += take;
+      i += take;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.updates_ingested += take;
+      }
+      if (open_count_ == params_.epoch_updates) SealEpoch();
+    }
+  }
+  void Process(const DynamicStream& stream) {
+    Process(std::span<const StreamUpdate>(stream.updates()));
+  }
+
+  /// Ingest thread only. Force an epoch boundary NOW, even for an empty or
+  /// partial open delta -- the time-driven counterpart of the update-count
+  /// auto-seal (an idle stream still wants its answers to advance).
+  void AdvanceEpoch() { SealEpoch(); }
+
+  /// Ingest thread only. Seal whatever is open and block until the merger
+  /// has retired every sealed epoch: afterwards Current() covers every
+  /// update ever passed to Process.
+  void Flush() {
+    if (open_count_ > 0) SealEpoch();
+    std::unique_lock<std::mutex> lock(mu_);
+    sealed_cv_.wait(lock, [&] { return !sealed_.has_value() && !merging_; });
+  }
+
+  /// Any thread. The current snapshot; never null.
+  std::shared_ptr<const Snapshot> Current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return snapshot_;
+  }
+
+  /// Any thread.
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  const ServingParams& params() const { return params_; }
+
+ private:
+  struct SealedJob {
+    Sketch delta;
+    uint64_t updates = 0;
+  };
+
+  /// Extract serving_ into a fresh immutable snapshot. Merger thread (or
+  /// the constructor, before the merger exists).
+  std::shared_ptr<const Snapshot> ExtractSnapshot(uint64_t epoch,
+                                                  uint64_t prefix_updates) {
+    auto q = serving_.Query();
+    auto snap = std::make_shared<Snapshot>();
+    snap->epoch = epoch;
+    snap->prefix_updates = prefix_updates;
+    snap->status = q.status();
+    snap->extract_stats = q.stats();
+    if (q.ok()) {
+      snap->payload = std::make_shared<const Payload>(std::move(q).value());
+    }
+    return snap;
+  }
+
+  void SealEpoch() {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Backpressure barrier: wait for the recycled delta (the merger hands
+    // it back when the previous epoch retires). Bounds staleness to one
+    // sealed epoch + the open epoch, and bounds memory to three sketches.
+    sealed_cv_.wait(lock,
+                    [&] { return !sealed_.has_value() && spare_.has_value(); });
+    sealed_.emplace(SealedJob{std::move(open_), open_count_});
+    open_ = std::move(*spare_);
+    spare_.reset();
+    open_count_ = 0;
+    ++stats_.epochs_sealed;
+    lock.unlock();
+    merger_cv_.notify_all();
+  }
+
+  void MergerLoop() {
+    for (;;) {
+      std::optional<SealedJob> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        merger_cv_.wait(lock, [&] { return stop_ || sealed_.has_value(); });
+        if (!sealed_.has_value()) return;  // stopped and drained
+        job.emplace(std::move(*sealed_));
+        sealed_.reset();
+        merging_ = true;
+      }
+      // A clean delta provably contributed nothing to any cell (dirty
+      // summaries are monotone ORs over every touched cell), so the cached
+      // payload stays valid and the merge itself can be skipped.
+      const bool dirty = job->delta.SnapshotDirty();
+      // Only this thread ever publishes, so the prior snapshot's counters
+      // are stable across the unlocked stretch below.
+      uint64_t base_epoch, base_prefix;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        base_epoch = snapshot_->epoch;
+        base_prefix = snapshot_->prefix_updates;
+      }
+      std::shared_ptr<const Snapshot> next;
+      if (dirty) {
+        const Status merged = serving_.MergeFrom(job->delta);
+        GMS_CHECK_MSG(merged.ok(),
+                      "ServingEngine: delta/serving shape mismatch");
+        job->delta.Clear();
+        // Extract WITHOUT holding mu_: backpressure guarantees no new seal
+        // lands until spare_ is handed back below, so serving_ is stable,
+        // and query threads keep copying the old snapshot pointer
+        // unblocked while the rebuild runs.
+        next = ExtractSnapshot(base_epoch + 1, base_prefix + job->updates);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (dirty) {
+          ++stats_.cache_rebuilds;
+        } else {
+          ++stats_.cache_hits;
+          auto reuse = std::make_shared<Snapshot>(*snapshot_);
+          reuse->epoch = base_epoch + 1;
+          reuse->prefix_updates = base_prefix + job->updates;
+          next = std::move(reuse);
+        }
+        ++stats_.epochs_merged;
+        stats_.updates_merged += job->updates;
+        snapshot_ = std::move(next);
+        spare_.emplace(std::move(job->delta));
+        merging_ = false;
+      }
+      sealed_cv_.notify_all();
+    }
+  }
+
+  const ServingParams params_;
+
+  /// Merger-thread state (constructor-only before the thread starts).
+  Sketch serving_;
+
+  /// Ingest-thread state.
+  Sketch open_;
+  size_t open_count_ = 0;
+
+  /// Shared state under mu_.
+  mutable std::mutex mu_;
+  std::condition_variable merger_cv_;  // signals: sealed job ready / stop
+  std::condition_variable sealed_cv_;  // signals: spare returned, drained
+  std::optional<Sketch> spare_;
+  std::optional<SealedJob> sealed_;
+  bool merging_ = false;
+  bool stop_ = false;
+  std::shared_ptr<const Snapshot> snapshot_;
+  Stats stats_;
+
+  std::thread merger_;
+};
+
+}  // namespace gms
+
+#endif  // GMS_SERVE_SERVING_ENGINE_H_

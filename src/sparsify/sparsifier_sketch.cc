@@ -190,6 +190,19 @@ Status HypergraphSparsifierSketch::MergeFrom(
   return Status::OK();
 }
 
+QueryResult<SparsifierOutput> HypergraphSparsifierSketch::Query() const {
+  auto out = ExtractSparsifier();
+  if (!out.ok()) return QueryResult<SparsifierOutput>(out.status());
+  return QueryResult<SparsifierOutput>(std::move(*out));
+}
+
+bool HypergraphSparsifierSketch::SnapshotDirty() const {
+  for (const auto& level : level_sketches_) {
+    if (level.SnapshotDirty()) return true;
+  }
+  return false;
+}
+
 void HypergraphSparsifierSketch::Clear() {
   for (auto& level : level_sketches_) level.Clear();
 }

@@ -42,6 +42,74 @@ struct SparsifierParams {
 
   size_t ResolveLevels(size_t n) const;
   size_t ResolveK(size_t n, size_t max_rank, size_t levels) const;
+
+  class Builder;
+};
+
+/// Fluent construction: SparsifierParams::Builder().Epsilon(0.5).Levels(8)
+///     .Engine(...).Build(). Build() validates the sparsifier knobs here
+/// and funnels the embedded engine/forest params through the shared
+/// ValidateEngineParams / ForestSketchParams::Builder validation.
+class SparsifierParams::Builder {
+ public:
+  Builder() = default;
+  /// Copy-with: seed the builder from existing params, override a few
+  /// knobs, Build(). (Re-)validates everything, including untouched fields.
+  explicit Builder(const SparsifierParams& from) : p_(from) {}
+
+  Builder& Epsilon(double epsilon) {
+    p_.epsilon = epsilon;
+    return *this;
+  }
+  Builder& Levels(size_t levels) {
+    p_.levels = levels;
+    return *this;
+  }
+  Builder& K(size_t k) {
+    p_.k = k;
+    return *this;
+  }
+  Builder& KConstant(double k_constant) {
+    p_.k_constant = k_constant;
+    return *this;
+  }
+  Builder& Reparameterize(bool reparameterize) {
+    p_.reparameterize = reparameterize;
+    return *this;
+  }
+  Builder& Engine(const EngineParams& engine) {
+    p_.engine = engine;
+    return *this;
+  }
+  Builder& Forest(const ForestSketchParams& forest) {
+    p_.forest = forest;
+    return *this;
+  }
+  /// Shortcuts into the embedded engine (the two knobs every thread-sweep
+  /// test and bench overrides).
+  Builder& Threads(size_t threads) {
+    p_.engine.threads = threads;
+    return *this;
+  }
+  Builder& Mode(IngestMode mode) {
+    p_.engine.mode = mode;
+    return *this;
+  }
+  SparsifierParams Build() const {
+    GMS_CHECK_MSG(p_.epsilon > 0.0, "SparsifierParams: epsilon must be > 0");
+    GMS_CHECK_MSG(p_.k > 0 || p_.k_constant > 0.0,
+                  "SparsifierParams: k_constant must be positive unless k "
+                  "overrides the resolved threshold");
+    ValidateEngineParams(p_.engine);
+    ForestSketchParams::Builder().Config(p_.forest.config)
+        .Rounds(p_.forest.rounds)
+        .Engine(p_.forest.engine)
+        .Build();
+    return p_;
+  }
+
+ private:
+  SparsifierParams p_;
 };
 
 struct SparsifierOutput {
@@ -88,6 +156,16 @@ class HypergraphSparsifierSketch {
 
   /// Run the per-level light-edge recoveries and assemble sum_i 2^i F_i.
   Result<SparsifierOutput> ExtractSparsifier() const;
+
+  /// The unified non-destructive query: the assembled sparsifier plus
+  /// (currently empty) extraction counters in one value. The per-level
+  /// peelings run their own extraction loops, so only success/failure is
+  /// reported -- the stats payload exists for surface uniformity.
+  QueryResult<SparsifierOutput> Query() const;
+
+  /// Serving hook (src/serve/): true iff any level row's measurement state
+  /// changed since construction / the last Clear().
+  bool SnapshotDirty() const;
 
   size_t MemoryBytes() const;
 

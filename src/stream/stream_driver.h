@@ -95,6 +95,13 @@ struct GutterDriverParams {
   /// and DriverStats counts all `size` entries as lost -- simulating a
   /// batch-granular decode failure on the apply path.
   std::function<bool(VertexId, size_t)> drop_batch;
+  /// Serving hook: invoked by a READER thread right after its deterministic
+  /// epoch flush, with (reader id, stream updates that reader has consumed
+  /// so far). This marks a reader-side boundary only -- the flushed batches
+  /// are queued, not yet applied -- so it is an observability / pacing
+  /// signal (the serving layer seals its own deltas; see src/serve/), not
+  /// an applied-prefix barrier. May fire concurrently on different readers.
+  std::function<void(size_t, uint64_t)> on_epoch;
 };
 
 /// Meters for one DriveStream call (summed over readers and appliers).
@@ -102,6 +109,7 @@ struct DriverStats {
   uint64_t updates = 0;          // stream updates consumed by readers
   uint64_t entries = 0;          // per-endpoint VertexUpdates buffered
   uint64_t batches = 0;          // gutters handed to appliers
+  uint64_t epochs = 0;           // reader epoch flushes (incl. final partial)
   uint64_t dropped_batches = 0;  // batches withheld by drop_batch
   uint64_t dropped_updates = 0;  // entries lost to dropped batches (N per
                                  // batch, never 1)
@@ -110,6 +118,7 @@ struct DriverStats {
     updates += o.updates;
     entries += o.entries;
     batches += o.batches;
+    epochs += o.epochs;
     dropped_batches += o.dropped_batches;
     dropped_updates += o.dropped_updates;
   }
@@ -207,6 +216,10 @@ DriverStats DriveStream(Sketch* sketch, std::span<const StreamUpdate> updates,
         }
       }
       gutters.FlushEpoch(flush);
+      ++local.epochs;
+      if (params.on_epoch) {
+        params.on_epoch(r, local.updates);
+      }
     }
     if (readers_left.fetch_sub(1) == 1) {
       for (auto& q : queues) q->Close();

@@ -230,11 +230,11 @@ OracleOutcome RunOracleOnStream(OracleKind kind, size_t n, size_t max_rank,
       for (const Hyperedge& e : truth.Edges()) g.AddEdge(e.AsEdge());
       VcQuerySketch sketch(n, VcParams(opt), sketch_seed);
       sketch.Process(span);
-      Status fin = sketch.Finalize();
-      if (!fin.ok()) return DecodeFailed(fin);
+      auto snap = sketch.Query();
+      if (!snap.ok()) return DecodeFailed(snap.status());
       for (const auto& s :
            VcQuerySets(n, planted_separator, sketch_seed, opt)) {
-        auto got = sketch.Disconnects(s);
+        auto got = snap.value().Disconnects(s);
         if (!got.ok()) return DecodeFailed(got.status());
         bool want = !IsConnectedExcluding(g, s);
         if (*got != want) {
@@ -249,11 +249,11 @@ OracleOutcome RunOracleOnStream(OracleKind kind, size_t n, size_t max_rank,
     case OracleKind::kHyperVcQuery: {
       HyperVcQuerySketch sketch(n, max_rank, VcParams(opt), sketch_seed);
       sketch.Process(span);
-      Status fin = sketch.Finalize();
-      if (!fin.ok()) return DecodeFailed(fin);
+      auto snap = sketch.Query();
+      if (!snap.ok()) return DecodeFailed(snap.status());
       for (const auto& s :
            VcQuerySets(n, planted_separator, sketch_seed, opt)) {
-        auto got = sketch.Disconnects(s);
+        auto got = snap.value().Disconnects(s);
         if (!got.ok()) return DecodeFailed(got.status());
         bool want = !IsConnectedExcluding(truth, s);
         if (*got != want) {

@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/check.h"
+
 namespace gms {
 
 /// Process-wide pool of helper threads, grown on demand and kept for the
@@ -121,6 +123,62 @@ struct EngineParams {
   /// wire, never affects output bits.
   size_t driver_readers = 0;
   size_t driver_gutter_capacity = 0;
+
+  class Builder;
+};
+
+/// THE engine-knob validator: every params builder (here, forest, VC,
+/// sparsifier) funnels its embedded EngineParams through this one function,
+/// so a bad knob combination fails identically no matter which surface it
+/// entered through. Aborts (GMS_CHECK) -- a malformed params struct is a
+/// programming error, not a runtime condition.
+inline const EngineParams& ValidateEngineParams(const EngineParams& p) {
+  GMS_CHECK_MSG(p.threads >= 1, "EngineParams: threads must be >= 1");
+  GMS_CHECK_MSG(p.mode == IngestMode::kColumnSharded ||
+                    p.mode == IngestMode::kShardedMerge ||
+                    p.mode == IngestMode::kGutterDriver,
+                "EngineParams: unknown ingest mode");
+  GMS_CHECK_MSG(p.driver_readers == 0 || p.mode == IngestMode::kGutterDriver,
+                "EngineParams: driver_readers is a kGutterDriver knob");
+  GMS_CHECK_MSG(
+      p.driver_gutter_capacity == 0 || p.mode == IngestMode::kGutterDriver,
+      "EngineParams: driver_gutter_capacity is a kGutterDriver knob");
+  return p;
+}
+
+/// Fluent construction: EngineParams::Builder().Threads(8)
+///     .Mode(IngestMode::kGutterDriver).Build().
+/// Build() routes through ValidateEngineParams, so hand-rolled aggregates
+/// and built params obey the same rules. The struct itself stays an
+/// aggregate (a nested class does not forfeit aggregate-ness), so existing
+/// brace/field initialization keeps compiling during migration.
+class EngineParams::Builder {
+ public:
+  Builder() = default;
+  /// Copy-with: seed the builder from existing params, override a few
+  /// knobs, Build(). (Re-)validates everything, including untouched fields.
+  explicit Builder(const EngineParams& from) : p_(from) {}
+
+  Builder& Threads(size_t threads) {
+    p_.threads = threads;
+    return *this;
+  }
+  Builder& Mode(IngestMode mode) {
+    p_.mode = mode;
+    return *this;
+  }
+  Builder& DriverReaders(size_t readers) {
+    p_.driver_readers = readers;
+    return *this;
+  }
+  Builder& DriverGutterCapacity(size_t capacity) {
+    p_.driver_gutter_capacity = capacity;
+    return *this;
+  }
+  EngineParams Build() const { return ValidateEngineParams(p_); }
+
+ private:
+  EngineParams p_;
 };
 
 /// Run body(begin, end) over contiguous static shards of [0, n). The shard

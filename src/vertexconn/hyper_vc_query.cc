@@ -116,7 +116,8 @@ void HyperVcQuerySketch::Process(const DynamicStream& stream) {
   Process(std::span<const StreamUpdate>(stream.updates()));
 }
 
-Status HyperVcQuerySketch::Finalize(ExtractStats* stats) {
+Result<Hypergraph> HyperVcQuerySketch::BuildUnionHypergraph(
+    ExtractStats* stats) const {
   // R independent decodes fan out across the pool (each worker reuses its
   // thread-local extraction scratch); H is assembled serially in sketch
   // order, so the union graph is deterministic.
@@ -148,7 +149,35 @@ Status HyperVcQuerySketch::Finalize(ExtractStats* stats) {
   for (const auto& edges : decoded) {
     for (const auto& e : edges) h.AddEdge(e);
   }
-  h_ = std::move(h);
+  return h;
+}
+
+QueryResult<HyperVcUnionSnapshot> HyperVcQuerySketch::Query() const {
+  ExtractStats stats;
+  auto h = BuildUnionHypergraph(&stats);
+  if (!h.ok()) return QueryResult<HyperVcUnionSnapshot>(h.status());
+  return QueryResult<HyperVcUnionSnapshot>(
+      HyperVcUnionSnapshot(std::move(*h), n_, params_.k), std::move(stats));
+}
+
+bool HyperVcQuerySketch::SnapshotDirty() const {
+  for (const auto& sketch : sketches_) {
+    if (sketch.SnapshotDirty()) return true;
+  }
+  return false;
+}
+
+Result<bool> HyperVcUnionSnapshot::Disconnects(
+    const std::vector<VertexId>& s) const {
+  auto distinct = NormalizeQuerySet(s, n_, k_);
+  if (!distinct.ok()) return distinct.status();
+  return !IsConnectedExcluding(h_, *distinct);
+}
+
+Status HyperVcQuerySketch::Finalize(ExtractStats* stats) {
+  auto h = BuildUnionHypergraph(stats);
+  if (!h.ok()) return h.status();
+  h_ = std::move(*h);
   finalized_ = true;
   return Status::OK();
 }
@@ -190,6 +219,9 @@ Status HyperVcQuerySketch::MergeFrom(const HyperVcQuerySketch& other) {
 
 void HyperVcQuerySketch::Clear() {
   for (auto& sketch : sketches_) sketch.Clear();
+  // Release the cached union hypergraph too: a cleared sketch that kept H
+  // alive pinned O(kn polylog n) heap for the lifetime of the object.
+  h_ = Hypergraph(n_);
   finalized_ = false;
 }
 

@@ -28,6 +28,32 @@
 
 namespace gms {
 
+/// The value type HyperVcQuerySketch::Query() returns: the assembled union
+/// hypergraph H plus the removal-query logic, detached from the sketch (see
+/// VcUnionSnapshot; Lemma 3's proof is oblivious to edge cardinality).
+/// There is no VertexConnectivityAtLeast here: under induced semantics
+/// exact hypergraph kappa has no known max-flow formulation (header note).
+class HyperVcUnionSnapshot {
+ public:
+  HyperVcUnionSnapshot() = default;
+  HyperVcUnionSnapshot(Hypergraph h, size_t n, size_t k)
+      : h_(std::move(h)), n_(n), k_(k) {}
+
+  /// Does removing S (|S| <= k) disconnect the hypergraph? Induced
+  /// semantics: hyperedges touching S are gone. S is deduplicated and
+  /// range-checked like VcUnionSnapshot::Disconnects.
+  Result<bool> Disconnects(const std::vector<VertexId>& s) const;
+
+  const Hypergraph& union_graph() const { return h_; }
+  size_t n() const { return n_; }
+  size_t k() const { return k_; }
+
+ private:
+  Hypergraph h_;
+  size_t n_ = 0;
+  size_t k_ = 0;
+};
+
 class HyperVcQuerySketch {
  public:
   using Params = VcQueryParams;
@@ -60,15 +86,28 @@ class HyperVcQuerySketch {
                         std::span<const VertexUpdate> batch);
   bool DriverSupported() const { return sketches_.size() <= 64; }
 
+  /// The unified non-destructive query: assemble H on a CONST sketch and
+  /// return it as a detached snapshot (plus the extraction counters summed
+  /// over the R decodes). Query repeatedly on the snapshot; the sketch
+  /// itself never changes, so ingestion can continue.
+  QueryResult<HyperVcUnionSnapshot> Query() const;
+
+  /// Serving hook (src/serve/): true iff any subsample sketch's measurement
+  /// state changed since construction / the last Clear().
+  bool SnapshotDirty() const;
+
   /// Assemble H = union of decoded spanning graphs; call once after the
   /// stream, then query repeatedly. `stats`, when non-null, receives the
   /// extraction-engine counters summed over the R decodes.
-  Status Finalize(ExtractStats* stats = nullptr);
+  [[deprecated(
+      "mutating query surface: use Query() and the returned "
+      "HyperVcUnionSnapshot instead")]] Status
+  Finalize(ExtractStats* stats = nullptr);
 
   /// Does removing S (|S| <= k) disconnect the hypergraph? Uses induced
   /// semantics: hyperedges touching S are gone. S is deduplicated and
   /// range-checked (out-of-range ids are InvalidArgument; distinct count
-  /// goes against k).
+  /// goes against k). Legacy surface -- prefer Query().value().
   Result<bool> Disconnects(const std::vector<VertexId>& s) const;
 
   const Hypergraph& union_graph() const { return h_; }
@@ -105,6 +144,10 @@ class HyperVcQuerySketch {
 
  private:
   HyperVcQuerySketch(const HyperVcQuerySketch& other, CloneEmptyTag);
+
+  /// Shared decode path of Query() and Finalize(): R parallel decodes, then
+  /// a deterministic serial union.
+  Result<Hypergraph> BuildUnionHypergraph(ExtractStats* stats) const;
 
   size_t n_;
   VcQueryParams params_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <new>
 
+#include "exact/vertex_connectivity.h"
 #include "graph/traversal.h"
 #include "stream/sharded_merge.h"
 #include "stream/stream_driver.h"
@@ -231,6 +232,13 @@ bool SubsampledForestUnion::StateEquals(
   return true;
 }
 
+bool SubsampledForestUnion::SnapshotDirty() const {
+  for (const auto& sketch : sketches_) {
+    if (sketch.SnapshotDirty()) return true;
+  }
+  return false;
+}
+
 size_t SubsampledForestUnion::NumUncovered() const {
   size_t count = 0;
   for (bool c : covered_) count += c ? 0 : 1;
@@ -297,6 +305,32 @@ VcQuerySketch::VcQuerySketch(size_t n, const Params& params, uint64_t seed)
       forests_(n, params.k, params.ResolveR(n), seed, params.forest,
                params.engine) {}
 
+Result<bool> VcUnionSnapshot::Disconnects(
+    const std::vector<VertexId>& s) const {
+  auto distinct = NormalizeQuerySet(s, n_, k_);
+  if (!distinct.ok()) return distinct.status();
+  return !IsConnectedExcluding(h_, *distinct);
+}
+
+Result<bool> VcUnionSnapshot::VertexConnectivityAtLeast(size_t t) const {
+  if (t == 0) return true;
+  if (t > k_ + 1) {
+    return Status::InvalidArgument(
+        "VertexConnectivityAtLeast: t exceeds the sketch's k + 1 (Lemma 3 "
+        "only covers removal sets up to k)");
+  }
+  return IsKVertexConnected(h_, t);
+}
+
+QueryResult<VcUnionSnapshot> VcQuerySketch::Query() const {
+  ExtractStats stats;
+  auto h = forests_.BuildUnionGraph(&stats);
+  if (!h.ok()) return QueryResult<VcUnionSnapshot>(h.status());
+  return QueryResult<VcUnionSnapshot>(
+      VcUnionSnapshot(std::move(*h), forests_.n(), params_.k),
+      std::move(stats));
+}
+
 Status VcQuerySketch::Finalize(ExtractStats* stats) {
   auto h = forests_.BuildUnionGraph(stats);
   if (!h.ok()) return h.status();
@@ -318,6 +352,10 @@ Status VcQuerySketch::MergeFrom(const VcQuerySketch& other) {
 
 void VcQuerySketch::Clear() {
   forests_.Clear();
+  // Release the cached union graph too: it can be megabytes at bench scale,
+  // and a cleared sketch holding a stale H both wastes that memory and
+  // risks a later accessor reading pre-Clear answers.
+  h_ = Graph();
   finalized_ = false;
 }
 

@@ -108,6 +108,10 @@ class SubsampledForestUnion {
   /// Bit-identity of all per-sketch states (for the determinism suite).
   bool StateEquals(const SubsampledForestUnion& other) const;
 
+  /// Serving hook (src/serve/): true iff any subsample sketch's measurement
+  /// state changed since construction / the last Clear().
+  bool SnapshotDirty() const;
+
   /// covered[v]: v was kept in at least one subsample (vertices never
   /// covered are invisible to H; with the paper's R this happens with
   /// probability <= n^{-(16k-1)}).
@@ -163,6 +167,100 @@ struct VcQueryParams {
   ForestSketchParams forest;
 
   size_t ResolveR(size_t n) const;
+
+  class Builder;
+};
+
+/// Fluent construction: VcQueryParams::Builder().K(3).RMultiplier(0.5)
+///     .Engine(...).Build(). Build() validates the VC knobs here and
+/// funnels the embedded engine/forest params through the shared
+/// ValidateEngineParams / ForestSketchParams::Builder validation.
+class VcQueryParams::Builder {
+ public:
+  Builder() = default;
+  /// Copy-with: seed the builder from existing params, override a few
+  /// knobs, Build(). (Re-)validates everything, including untouched fields.
+  explicit Builder(const VcQueryParams& from) : p_(from) {}
+
+  Builder& K(size_t k) {
+    p_.k = k;
+    return *this;
+  }
+  Builder& RMultiplier(double r_multiplier) {
+    p_.r_multiplier = r_multiplier;
+    return *this;
+  }
+  Builder& ExplicitR(size_t r) {
+    p_.explicit_r = r;
+    return *this;
+  }
+  Builder& Engine(const EngineParams& engine) {
+    p_.engine = engine;
+    return *this;
+  }
+  Builder& Forest(const ForestSketchParams& forest) {
+    p_.forest = forest;
+    return *this;
+  }
+  /// Shortcuts into the embedded engine (the two knobs every thread-sweep
+  /// test and bench overrides).
+  Builder& Threads(size_t threads) {
+    p_.engine.threads = threads;
+    return *this;
+  }
+  Builder& Mode(IngestMode mode) {
+    p_.engine.mode = mode;
+    return *this;
+  }
+  VcQueryParams Build() const {
+    GMS_CHECK_MSG(p_.k >= 1, "VcQueryParams: k must be >= 1");
+    GMS_CHECK_MSG(p_.explicit_r > 0 || p_.r_multiplier > 0.0,
+                  "VcQueryParams: r_multiplier must be positive unless "
+                  "explicit_r overrides R");
+    ValidateEngineParams(p_.engine);
+    ForestSketchParams::Builder().Config(p_.forest.config)
+        .Rounds(p_.forest.rounds)
+        .Engine(p_.forest.engine)
+        .Build();
+    return p_;
+  }
+
+ private:
+  VcQueryParams p_;
+};
+
+/// The value type VcQuerySketch::Query() returns: the assembled union graph
+/// H plus the removal-query logic, detached from the sketch. Lemma 3: for
+/// ANY S with |S| <= k, H \ S is connected iff G \ S is connected whp, so
+/// every query this snapshot can answer is answered from H alone -- the
+/// sketch can keep ingesting (or be merged, cleared, destroyed) without
+/// invalidating a snapshot already handed out.
+class VcUnionSnapshot {
+ public:
+  VcUnionSnapshot() = default;
+  VcUnionSnapshot(Graph h, size_t n, size_t k)
+      : h_(std::move(h)), n_(n), k_(k) {}
+
+  /// Whether removing S disconnects the graph (Lemma 3 semantics: the
+  /// surviving vertices fail to be mutually connected). S is deduplicated
+  /// and range-checked: out-of-range vertex ids are InvalidArgument, and
+  /// |S| counts DISTINCT vertices against k.
+  Result<bool> Disconnects(const std::vector<VertexId>& s) const;
+
+  /// kappa(G) >= t? Exact vertex connectivity of H, valid for t <= k + 1:
+  /// kappa(H) >= t iff no (t-1)-subset disconnects H, and Lemma 3 covers
+  /// every removal set of size <= k. t > k + 1 is InvalidArgument (the
+  /// sketch was not built to certify that much connectivity).
+  Result<bool> VertexConnectivityAtLeast(size_t t) const;
+
+  const Graph& union_graph() const { return h_; }
+  size_t n() const { return n_; }
+  size_t k() const { return k_; }
+
+ private:
+  Graph h_;
+  size_t n_ = 0;
+  size_t k_ = 0;
 };
 
 /// Theorem 4: after one pass over a dynamic edge stream, answers "does
@@ -180,18 +278,33 @@ class VcQuerySketch {
   }
   void Process(const DynamicStream& stream) { forests_.Process(stream); }
 
+  /// The unified non-destructive query: assemble H on a CONST sketch and
+  /// return it as a detached snapshot (plus the extraction counters summed
+  /// over the R per-subsample decodes). Query repeatedly on the snapshot;
+  /// the sketch itself never changes, so ingestion can continue.
+  QueryResult<VcUnionSnapshot> Query() const;
+
+  /// Serving hook (src/serve/): true iff any subsample sketch's measurement
+  /// state changed since construction / the last Clear().
+  bool SnapshotDirty() const { return forests_.SnapshotDirty(); }
+
   /// Assemble H once; call after the stream ends, then query repeatedly.
   /// `stats`, when non-null, receives the extraction-engine counters summed
   /// over the R per-subsample decodes (the bench breakdown).
-  Status Finalize(ExtractStats* stats = nullptr);
+  [[deprecated(
+      "mutating query surface: use Query() and the returned "
+      "VcUnionSnapshot instead")]] Status
+  Finalize(ExtractStats* stats = nullptr);
 
   /// Whether removing S disconnects the graph (Lemma 3 semantics: the
   /// surviving vertices fail to be mutually connected). Requires
   /// Finalize(). S is deduplicated and range-checked: out-of-range vertex
   /// ids are InvalidArgument, and |S| counts DISTINCT vertices against k.
+  /// Legacy surface -- prefer Query().value().Disconnects(s).
   Result<bool> Disconnects(const std::vector<VertexId>& s) const;
 
-  /// The assembled union graph H (valid after Finalize()).
+  /// The assembled union graph H (valid after Finalize()). Legacy surface
+  /// -- prefer Query().value().union_graph().
   const Graph& union_graph() const { return h_; }
 
   size_t n() const { return forests_.n(); }
@@ -208,6 +321,12 @@ class VcQuerySketch {
 
   /// Zero every subsample sketch; invalidates Finalize().
   void Clear();
+
+  /// A sketch of the SAME measurement with zero state (the sharded-merge /
+  /// serving-delta clone); the parent's cells are never copied.
+  VcQuerySketch CloneEmpty() const {
+    return VcQuerySketch(*this, CloneEmptyTag{});
+  }
 
   /// Append one wire frame (wire::FrameType::kVcQuery) to *out. The header
   /// reconstructs all R subsample shapes and kept-bitmaps from the seed;
@@ -227,6 +346,11 @@ class VcQuerySketch {
   }
 
  private:
+  VcQuerySketch(const VcQuerySketch& other, CloneEmptyTag)
+      : params_(other.params_),
+        seed_(other.seed_),
+        forests_(other.forests_.CloneEmpty()) {}
+
   VcQueryParams params_;
   uint64_t seed_;
   SubsampledForestUnion forests_;

@@ -140,6 +140,8 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kVcQuery: return "vc_query";
     case FrameType::kHyperVcQuery: return "hyper_vc_query";
     case FrameType::kSparsifier: return "sparsifier";
+    case FrameType::kServeRequest: return "serve_request";
+    case FrameType::kServeResponse: return "serve_response";
   }
   return "unknown";
 }
@@ -160,7 +162,7 @@ Result<FrameType> PeekFrameType(std::span<const uint8_t> buf) {
     return Status::InvalidArgument("wire: unsupported frame version");
   }
   if (type < static_cast<uint16_t>(FrameType::kL0Sampler) ||
-      type > static_cast<uint16_t>(FrameType::kSparsifier)) {
+      type > static_cast<uint16_t>(FrameType::kServeResponse)) {
     return Status::InvalidArgument("wire: unknown frame type");
   }
   return static_cast<FrameType>(type);

@@ -55,6 +55,11 @@ enum class FrameType : uint16_t {
   kVcQuery = 4,
   kHyperVcQuery = 5,
   kSparsifier = 6,
+  /// Serving-protocol frames (src/serve/serve_protocol.h): a query against
+  /// a live SketchServer and its answer. Same envelope (magic, version,
+  /// checksum) as the sketch-state frames so one transport carries both.
+  kServeRequest = 7,
+  kServeResponse = 8,
 };
 
 /// Stable lower-case name for a frame type ("l0_sampler", ...); "unknown"

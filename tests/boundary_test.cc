@@ -53,14 +53,18 @@ TEST(BoundaryTest, EmptyQuerySetMeansIsGraphDisconnected) {
   Graph g(10);
   for (VertexId i = 0; i + 1 < 5; ++i) g.AddEdge(i, i + 1);
   for (VertexId i = 5; i + 1 < 10; ++i) g.AddEdge(i, i + 1);
-  VcQueryParams p;
-  p.k = 2;
-  p.r_multiplier = 0.5;
-  p.forest.config = SketchConfig::Light();
+  const VcQueryParams p =
+      VcQueryParams::Builder()
+          .K(2)
+          .RMultiplier(0.5)
+          .Forest(
+              ForestSketchParams::Builder().Config(SketchConfig::Light()).Build())
+          .Build();
   VcQuerySketch sketch(10, p, 5);
   sketch.Process(DynamicStream::InsertOnly(g, 6));
-  ASSERT_TRUE(sketch.Finalize().ok());
-  auto r = sketch.Disconnects({});
+  auto snap = sketch.Query();
+  ASSERT_TRUE(snap.ok());
+  auto r = snap.value().Disconnects({});
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(*r);
 }
@@ -70,18 +74,22 @@ TEST(BoundaryTest, PaperConstantsPathWorks) {
   // subsampled forests. Expensive but affordable here; the answer must be
   // right and the structure must use the full R.
   auto planted = PlantedSeparator(24, 2, 7);
-  VcQueryParams p;
-  p.k = 2;
-  p.r_multiplier = 1.0;  // the paper's constant, no discount
-  p.forest.config = SketchConfig::Light();
+  const VcQueryParams p =
+      VcQueryParams::Builder()
+          .K(2)
+          .RMultiplier(1.0)  // the paper's constant, no discount
+          .Forest(
+              ForestSketchParams::Builder().Config(SketchConfig::Light()).Build())
+          .Build();
   VcQuerySketch sketch(24, p, 8);
   EXPECT_GE(sketch.R(), 200u);
   sketch.Process(DynamicStream::InsertOnly(planted.graph, 9));
-  ASSERT_TRUE(sketch.Finalize().ok());
-  auto hit = sketch.Disconnects(planted.separator);
+  auto snap = sketch.Query();
+  ASSERT_TRUE(snap.ok());
+  auto hit = snap.value().Disconnects(planted.separator);
   ASSERT_TRUE(hit.ok());
   EXPECT_TRUE(*hit);
-  auto miss = sketch.Disconnects({planted.side_a[0], planted.side_b[0]});
+  auto miss = snap.value().Disconnects({planted.side_a[0], planted.side_b[0]});
   ASSERT_TRUE(miss.ok());
   EXPECT_FALSE(*miss);
 }

@@ -39,16 +39,16 @@ TEST(DeterminismTest, SpanningForestProcessMatchesSerialUpdates) {
   constexpr uint64_t kSeed = 77;
   DynamicStream stream = GraphStream(kN, kSeed);
 
-  ForestSketchParams serial_params;
-  serial_params.config = SketchConfig::Light();
+  const ForestSketchParams serial_params =
+      ForestSketchParams::Builder().Config(SketchConfig::Light()).Build();
   SpanningForestSketch serial(kN, /*max_rank=*/2, kSeed, serial_params);
   for (const auto& u : stream.updates()) serial.Update(u.edge, u.delta);
   auto serial_span = serial.ExtractSpanningGraph();
   ASSERT_TRUE(serial_span.ok());
 
   for (size_t threads : kThreadSweep) {
-    ForestSketchParams params = serial_params;
-    params.engine.threads = threads;
+    const ForestSketchParams params =
+        ForestSketchParams::Builder(serial_params).Threads(threads).Build();
     SpanningForestSketch parallel(kN, 2, kSeed, params);
     parallel.Process(stream);
     EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
@@ -69,16 +69,16 @@ TEST(DeterminismTest, SpanningForestHypergraphStreams) {
   constexpr uint64_t kSeed = 31;
   DynamicStream stream = HypergraphStream(kN, /*r=*/3, kSeed);
 
-  ForestSketchParams serial_params;
-  serial_params.config = SketchConfig::Light();
+  const ForestSketchParams serial_params =
+      ForestSketchParams::Builder().Config(SketchConfig::Light()).Build();
   SpanningForestSketch serial(kN, /*max_rank=*/3, kSeed, serial_params);
   for (const auto& u : stream.updates()) serial.Update(u.edge, u.delta);
   auto serial_span = serial.ExtractSpanningGraph();
   ASSERT_TRUE(serial_span.ok());
 
   for (size_t threads : kThreadSweep) {
-    ForestSketchParams params = serial_params;
-    params.engine.threads = threads;
+    const ForestSketchParams params =
+        ForestSketchParams::Builder(serial_params).Threads(threads).Build();
     SpanningForestSketch parallel(kN, 3, kSeed, params);
     parallel.Process(stream);
     EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
@@ -93,8 +93,8 @@ TEST(DeterminismTest, SubsampledForestUnionBitIdentical) {
   constexpr uint64_t kSeed = 5;
   DynamicStream stream = GraphStream(kN, kSeed);
 
-  ForestSketchParams forest;
-  forest.config = SketchConfig::Light();
+  const ForestSketchParams forest =
+      ForestSketchParams::Builder().Config(SketchConfig::Light()).Build();
   SubsampledForestUnion serial(kN, /*k=*/2, /*r_subgraphs=*/12, kSeed, forest);
   for (const auto& u : stream.updates()) {
     serial.Update(Edge(u.edge[0], u.edge[1]), u.delta);
@@ -103,8 +103,9 @@ TEST(DeterminismTest, SubsampledForestUnionBitIdentical) {
   ASSERT_TRUE(serial_h.ok());
 
   for (size_t threads : kThreadSweep) {
-    SubsampledForestUnion parallel(kN, 2, 12, kSeed, forest,
-                                   EngineParams{threads});
+    SubsampledForestUnion parallel(
+        kN, 2, 12, kSeed, forest,
+        EngineParams::Builder().Threads(threads).Build());
     parallel.Process(stream);
     EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
     auto h = parallel.BuildUnionGraph();
@@ -118,16 +119,16 @@ TEST(DeterminismTest, KSkeletonHypergraphBitIdentical) {
   constexpr uint64_t kSeed = 13;
   DynamicStream stream = HypergraphStream(kN, /*r=*/3, kSeed);
 
-  SpanningForestSketch::Params serial_params;
-  serial_params.config = SketchConfig::Light();
+  const SpanningForestSketch::Params serial_params =
+      ForestSketchParams::Builder().Config(SketchConfig::Light()).Build();
   KSkeletonSketch serial(kN, /*max_rank=*/3, /*k=*/3, kSeed, serial_params);
   for (const auto& u : stream.updates()) serial.Update(u.edge, u.delta);
   auto serial_skel = serial.Extract();
   ASSERT_TRUE(serial_skel.ok());
 
   for (size_t threads : kThreadSweep) {
-    SpanningForestSketch::Params params = serial_params;
-    params.engine.threads = threads;
+    const SpanningForestSketch::Params params =
+        ForestSketchParams::Builder(serial_params).Threads(threads).Build();
     KSkeletonSketch parallel(kN, 3, 3, kSeed, params);
     parallel.Process(stream);
     EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
@@ -142,18 +143,21 @@ TEST(DeterminismTest, SparsifierBitIdentical) {
   constexpr uint64_t kSeed = 21;
   DynamicStream stream = HypergraphStream(kN, /*r=*/3, kSeed);
 
-  SparsifierParams serial_params;
-  serial_params.forest.config = SketchConfig::Light();
-  serial_params.levels = 6;
-  serial_params.k = 4;
+  const SparsifierParams serial_params =
+      SparsifierParams::Builder()
+          .Forest(
+              ForestSketchParams::Builder().Config(SketchConfig::Light()).Build())
+          .Levels(6)
+          .K(4)
+          .Build();
   HypergraphSparsifierSketch serial(kN, /*max_rank=*/3, serial_params, kSeed);
   for (const auto& u : stream.updates()) serial.Update(u.edge, u.delta);
   auto serial_out = serial.ExtractSparsifier();
   ASSERT_TRUE(serial_out.ok());
 
   for (size_t threads : kThreadSweep) {
-    SparsifierParams params = serial_params;
-    params.engine.threads = threads;
+    const SparsifierParams params =
+        SparsifierParams::Builder(serial_params).Threads(threads).Build();
     HypergraphSparsifierSketch parallel(kN, 3, params, kSeed);
     parallel.Process(stream);
     EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
@@ -171,26 +175,31 @@ TEST(DeterminismTest, HyperVcQueryBitIdentical) {
   constexpr uint64_t kSeed = 9;
   DynamicStream stream = HypergraphStream(kN, /*r=*/3, kSeed);
 
-  VcQueryParams serial_params;
-  serial_params.k = 2;
-  serial_params.explicit_r = 10;
-  serial_params.forest.config = SketchConfig::Light();
+  const VcQueryParams serial_params =
+      VcQueryParams::Builder()
+          .K(2)
+          .ExplicitR(10)
+          .Forest(
+              ForestSketchParams::Builder().Config(SketchConfig::Light()).Build())
+          .Build();
   HyperVcQuerySketch serial(kN, /*max_rank=*/3, serial_params, kSeed);
   for (const auto& u : stream.updates()) serial.Update(u.edge, u.delta);
-  ASSERT_TRUE(serial.Finalize().ok());
+  auto serial_snap = serial.Query();
+  ASSERT_TRUE(serial_snap.ok());
 
   for (size_t threads : kThreadSweep) {
-    VcQueryParams params = serial_params;
-    params.engine.threads = threads;
+    const VcQueryParams params =
+        VcQueryParams::Builder(serial_params).Threads(threads).Build();
     HyperVcQuerySketch parallel(kN, 3, params, kSeed);
     parallel.Process(stream);
     EXPECT_TRUE(parallel.StateEquals(serial)) << "threads=" << threads;
-    ASSERT_TRUE(parallel.Finalize().ok()) << "threads=" << threads;
-    EXPECT_TRUE(parallel.union_graph() == serial.union_graph())
+    auto snap = parallel.Query();
+    ASSERT_TRUE(snap.ok()) << "threads=" << threads;
+    EXPECT_TRUE(snap.value().union_graph() == serial_snap.value().union_graph())
         << "threads=" << threads;
     for (VertexId v = 0; v < 6; ++v) {
-      auto a = serial.Disconnects({v});
-      auto b = parallel.Disconnects({v});
+      auto a = serial_snap.value().Disconnects({v});
+      auto b = snap.value().Disconnects({v});
       ASSERT_TRUE(a.ok());
       ASSERT_TRUE(b.ok());
       EXPECT_EQ(a.value(), b.value()) << "threads=" << threads << " v=" << v;
@@ -204,27 +213,32 @@ TEST(DeterminismTest, VcQuerySketchEndToEnd) {
   Graph g = UnionOfHamiltonianCycles(kN, 3, kSeed);
   DynamicStream stream = DynamicStream::WithChurn(g, /*decoys=*/kN, kSeed + 1);
 
-  VcQueryParams serial_params;
-  serial_params.k = 2;
-  serial_params.explicit_r = 12;
-  serial_params.forest.config = SketchConfig::Light();
+  const VcQueryParams serial_params =
+      VcQueryParams::Builder()
+          .K(2)
+          .ExplicitR(12)
+          .Forest(
+              ForestSketchParams::Builder().Config(SketchConfig::Light()).Build())
+          .Build();
   VcQuerySketch serial(kN, serial_params, kSeed);
   for (const auto& u : stream.updates()) {
     serial.Update(Edge(u.edge[0], u.edge[1]), u.delta);
   }
-  ASSERT_TRUE(serial.Finalize().ok());
+  auto serial_snap = serial.Query();
+  ASSERT_TRUE(serial_snap.ok());
 
   for (size_t threads : kThreadSweep) {
-    VcQueryParams params = serial_params;
-    params.engine.threads = threads;
+    const VcQueryParams params =
+        VcQueryParams::Builder(serial_params).Threads(threads).Build();
     VcQuerySketch parallel(kN, params, kSeed);
     parallel.Process(stream);
-    ASSERT_TRUE(parallel.Finalize().ok()) << "threads=" << threads;
-    EXPECT_TRUE(parallel.union_graph() == serial.union_graph())
+    auto snap = parallel.Query();
+    ASSERT_TRUE(snap.ok()) << "threads=" << threads;
+    EXPECT_TRUE(snap.value().union_graph() == serial_snap.value().union_graph())
         << "threads=" << threads;
     for (VertexId v = 0; v < 8; ++v) {
-      auto a = serial.Disconnects({v});
-      auto b = parallel.Disconnects({v});
+      auto a = serial_snap.value().Disconnects({v});
+      auto b = snap.value().Disconnects({v});
       ASSERT_TRUE(a.ok());
       ASSERT_TRUE(b.ok());
       EXPECT_EQ(a.value(), b.value()) << "threads=" << threads << " v=" << v;
@@ -251,12 +265,12 @@ constexpr testkit::Churn kDriverChurn[] = {testkit::Churn::kInsertOnly,
 // and a tiny gutter capacity so auto-flush (not just the final epoch
 // flush) fires even on test-sized streams.
 EngineParams DriverEngine(size_t readers, size_t appliers) {
-  EngineParams engine;
-  engine.threads = appliers;
-  engine.mode = IngestMode::kGutterDriver;
-  engine.driver_readers = readers;
-  engine.driver_gutter_capacity = 4;
-  return engine;
+  return EngineParams::Builder()
+      .Threads(appliers)
+      .Mode(IngestMode::kGutterDriver)
+      .DriverReaders(readers)
+      .DriverGutterCapacity(4)
+      .Build();
 }
 
 std::vector<uint8_t> Frame(const SpanningForestSketch& s) {
@@ -278,8 +292,8 @@ TEST(DeterminismTest, GutterDriverMatrixBitIdentical) {
     spec.sseed = 19;
     testkit::BuiltStream built = spec.Build();
 
-    ForestSketchParams serial_params;
-    serial_params.config = SketchConfig::Light();
+    const ForestSketchParams serial_params =
+        ForestSketchParams::Builder().Config(SketchConfig::Light()).Build();
     SpanningForestSketch serial(spec.n, /*max_rank=*/2, kSeed, serial_params);
     for (const auto& u : built.stream.updates()) serial.Update(u.edge, u.delta);
     const std::vector<uint8_t> serial_frame = Frame(serial);
@@ -288,8 +302,10 @@ TEST(DeterminismTest, GutterDriverMatrixBitIdentical) {
 
     for (size_t readers : kDriverSplit) {
       for (size_t appliers : kDriverSplit) {
-        ForestSketchParams params = serial_params;
-        params.engine = DriverEngine(readers, appliers);
+        const ForestSketchParams params =
+            ForestSketchParams::Builder(serial_params)
+                .Engine(DriverEngine(readers, appliers))
+                .Build();
         SpanningForestSketch driver(spec.n, 2, kSeed, params);
         driver.Process(built.stream);
         const std::string where = testkit::ChurnName(churn) +
@@ -318,12 +334,13 @@ TEST(DeterminismTest, GutterDriverRoutedContainersBitIdentical) {
   const EngineParams engine = DriverEngine(/*readers=*/2, /*appliers=*/2);
 
   {  // K-skeleton (hypergraph).
-    SpanningForestSketch::Params params;
-    params.config = SketchConfig::Light();
+    const SpanningForestSketch::Params params =
+        ForestSketchParams::Builder().Config(SketchConfig::Light()).Build();
     KSkeletonSketch serial(kN, /*max_rank=*/3, /*k=*/3, kSeed, params);
     for (const auto& u : hyper_stream.updates()) serial.Update(u.edge, u.delta);
-    params.engine = engine;
-    KSkeletonSketch driver(kN, 3, 3, kSeed, params);
+    KSkeletonSketch driver(
+        kN, 3, 3, kSeed,
+        ForestSketchParams::Builder(params).Engine(engine).Build());
     driver.Process(hyper_stream);
     EXPECT_TRUE(driver.StateEquals(serial));
     std::vector<uint8_t> a, b;
@@ -332,16 +349,20 @@ TEST(DeterminismTest, GutterDriverRoutedContainersBitIdentical) {
     EXPECT_EQ(a, b) << "k-skeleton driver frame diverges";
   }
   {  // Vertex-connectivity query union (graph, subsample routing bits).
-    VcQueryParams params;
-    params.k = 2;
-    params.explicit_r = 12;
-    params.forest.config = SketchConfig::Light();
+    const VcQueryParams params =
+        VcQueryParams::Builder()
+            .K(2)
+            .ExplicitR(12)
+            .Forest(ForestSketchParams::Builder()
+                        .Config(SketchConfig::Light())
+                        .Build())
+            .Build();
     VcQuerySketch serial(kN, params, kSeed);
     for (const auto& u : graph_stream.updates()) {
       serial.Update(Edge(u.edge[0], u.edge[1]), u.delta);
     }
-    params.engine = engine;
-    VcQuerySketch driver(kN, params, kSeed);
+    VcQuerySketch driver(kN, VcQueryParams::Builder(params).Engine(engine).Build(),
+                         kSeed);
     driver.Process(graph_stream);
     std::vector<uint8_t> a, b;
     serial.Serialize(&a);
@@ -349,14 +370,18 @@ TEST(DeterminismTest, GutterDriverRoutedContainersBitIdentical) {
     EXPECT_EQ(a, b) << "vc-query driver frame diverges";
   }
   {  // Hypergraph vertex-connectivity (all-endpoints-kept routing bits).
-    VcQueryParams params;
-    params.k = 2;
-    params.explicit_r = 10;
-    params.forest.config = SketchConfig::Light();
+    const VcQueryParams params =
+        VcQueryParams::Builder()
+            .K(2)
+            .ExplicitR(10)
+            .Forest(ForestSketchParams::Builder()
+                        .Config(SketchConfig::Light())
+                        .Build())
+            .Build();
     HyperVcQuerySketch serial(kN, /*max_rank=*/3, params, kSeed);
     for (const auto& u : hyper_stream.updates()) serial.Update(u.edge, u.delta);
-    params.engine = engine;
-    HyperVcQuerySketch driver(kN, 3, params, kSeed);
+    HyperVcQuerySketch driver(
+        kN, 3, VcQueryParams::Builder(params).Engine(engine).Build(), kSeed);
     driver.Process(hyper_stream);
     EXPECT_TRUE(driver.StateEquals(serial));
     std::vector<uint8_t> a, b;
@@ -365,14 +390,18 @@ TEST(DeterminismTest, GutterDriverRoutedContainersBitIdentical) {
     EXPECT_EQ(a, b) << "hyper-vc driver frame diverges";
   }
   {  // Sparsifier (depth re-derived per level at apply time).
-    SparsifierParams params;
-    params.forest.config = SketchConfig::Light();
-    params.levels = 6;
-    params.k = 4;
+    const SparsifierParams params =
+        SparsifierParams::Builder()
+            .Forest(ForestSketchParams::Builder()
+                        .Config(SketchConfig::Light())
+                        .Build())
+            .Levels(6)
+            .K(4)
+            .Build();
     HypergraphSparsifierSketch serial(kN, /*max_rank=*/3, params, kSeed);
     for (const auto& u : hyper_stream.updates()) serial.Update(u.edge, u.delta);
-    params.engine = engine;
-    HypergraphSparsifierSketch driver(kN, 3, params, kSeed);
+    HypergraphSparsifierSketch driver(
+        kN, 3, SparsifierParams::Builder(params).Engine(engine).Build(), kSeed);
     driver.Process(hyper_stream);
     EXPECT_TRUE(driver.StateEquals(serial));
     std::vector<uint8_t> a, b;

@@ -154,14 +154,16 @@ TEST(EdgeCases, EmptyStreamQueriesAreHonest) {
   // vertices, which is "disconnected" under the same semantics the exact
   // oracle uses.
   auto vc = MakeVc();
-  ASSERT_TRUE(vc.Finalize().ok());
-  Result<bool> disc = vc.Disconnects({0});
+  auto vc_snap = vc.Query();
+  ASSERT_TRUE(vc_snap.ok());
+  Result<bool> disc = vc_snap.value().Disconnects({0});
   ASSERT_TRUE(disc.ok()) << disc.status().ToString();
   EXPECT_EQ(*disc, !IsConnectedExcluding(Graph(4), {0}));
 
   auto hvc = MakeHyperVc();
-  ASSERT_TRUE(hvc.Finalize().ok());
-  Result<bool> hdisc = hvc.Disconnects({0});
+  auto hvc_snap = hvc.Query();
+  ASSERT_TRUE(hvc_snap.ok());
+  Result<bool> hdisc = hvc_snap.value().Disconnects({0});
   ASSERT_TRUE(hdisc.ok()) << hdisc.status().ToString();
   EXPECT_EQ(*hdisc, !IsConnectedExcluding(Hypergraph(4), {0}));
 }

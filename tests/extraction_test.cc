@@ -206,16 +206,17 @@ TEST(ExtractionShardedMergeTest, GuardAndIngestAgreeOnTinySpans) {
   const auto& updates = built.stream.updates();
   ASSERT_GE(updates.size(), 1u);
 
-  EngineParams engine;
-  engine.mode = IngestMode::kShardedMerge;
-  engine.threads = 2;
+  const EngineParams engine = EngineParams::Builder()
+                                  .Mode(IngestMode::kShardedMerge)
+                                  .Threads(2)
+                                  .Build();
   EXPECT_FALSE(UseShardedMerge(engine, 0));
   EXPECT_FALSE(UseShardedMerge(engine, 1));
   EXPECT_EQ(ShardedMergeShards(2, 1), 1u);
   EXPECT_EQ(ShardedMergeShards(8, 0), 0u);
 
-  ForestSketchParams params = LightParams();
-  params.engine = engine;
+  const ForestSketchParams params =
+      ForestSketchParams::Builder(LightParams()).Engine(engine).Build();
   SpanningForestSketch sharded(spec.n, built.max_rank, /*seed=*/29, params);
   std::span<const StreamUpdate> one(updates.data(), 1);
   ShardedMergeIngest(&sharded, one, /*max_shards=*/2);
@@ -243,9 +244,10 @@ TEST(ExtractionShardedMergeTest, TinySpansFallBackSerialAndStayBitIdentical) {
   constexpr size_t kThreads = 4;
   ASSERT_GE(updates.size(), kThreads + 1);
 
-  EngineParams engine;
-  engine.mode = IngestMode::kShardedMerge;
-  engine.threads = kThreads;
+  const EngineParams engine = EngineParams::Builder()
+                                  .Mode(IngestMode::kShardedMerge)
+                                  .Threads(kThreads)
+                                  .Build();
   EXPECT_FALSE(UseShardedMerge(engine, 0));
   EXPECT_FALSE(UseShardedMerge(engine, 1));
   EXPECT_FALSE(UseShardedMerge(engine, kThreads - 1));
@@ -259,8 +261,8 @@ TEST(ExtractionShardedMergeTest, TinySpansFallBackSerialAndStayBitIdentical) {
                      kThreads + 1}) {
     std::span<const StreamUpdate> prefix(updates.data(), len);
 
-    ForestSketchParams params = LightParams();
-    params.engine = engine;
+    const ForestSketchParams params =
+        ForestSketchParams::Builder(LightParams()).Engine(engine).Build();
     SpanningForestSketch sharded(spec.n, built.max_rank, /*seed=*/31, params);
     sharded.Process(prefix);
 

@@ -67,9 +67,8 @@ TEST(HybridTest, EscalationBoundaryBitIdentityAcrossEngines) {
                                 IngestMode::kShardedMerge,
                                 IngestMode::kGutterDriver};
     for (IngestMode mode : modes) {
-      ForestSketchParams engine_params = params;
-      engine_params.engine.threads = 4;
-      engine_params.engine.mode = mode;
+      const ForestSketchParams engine_params =
+          ForestSketchParams::Builder(params).Threads(4).Mode(mode).Build();
       SpanningForestSketch parallel(kN, 2, kSeed, engine_params);
       parallel.Process(std::span<const StreamUpdate>(updates));
       EXPECT_TRUE(parallel.StateEquals(serial))

@@ -12,6 +12,21 @@
 namespace gms {
 namespace {
 
+VcQueryParams HyperTestParams(size_t k, double r_multiplier) {
+  return VcQueryParams::Builder()
+      .K(k)
+      .RMultiplier(r_multiplier)
+      .Forest(
+          ForestSketchParams::Builder().Config(SketchConfig::Light()).Build())
+      .Build();
+}
+
+HyperVcUnionSnapshot Snapshot(const HyperVcQuerySketch& sketch) {
+  auto snap = sketch.Query();
+  EXPECT_TRUE(snap.ok());
+  return std::move(snap).value();
+}
+
 TEST(HypergraphExcludingTest, InducedSemantics) {
   // {0,1,2} dies when 2 is removed even though 0,1 survive.
   Hypergraph h(5);
@@ -68,14 +83,9 @@ TEST(HypergraphKappaBruteTest, PlantedSeparatorIsExact) {
 
 TEST(HyperVcQueryTest, FindsPlantedSeparator) {
   auto planted = PlantedHypergraphSeparator(24, 2, 3, 1);
-  VcQueryParams p;
-  p.k = 2;
-  p.r_multiplier = 0.5;
-  p.forest.config = SketchConfig::Light();
-  HyperVcQuerySketch sketch(24, 3, p, 2);
+  HyperVcQuerySketch sketch(24, 3, HyperTestParams(2, 0.5), 2);
   sketch.Process(DynamicStream::InsertOnly(planted.hypergraph, 3));
-  ASSERT_TRUE(sketch.Finalize().ok());
-  auto hit = sketch.Disconnects(planted.separator);
+  auto hit = Snapshot(sketch).Disconnects(planted.separator);
   ASSERT_TRUE(hit.ok());
   EXPECT_TRUE(*hit);
 }
@@ -83,13 +93,9 @@ TEST(HyperVcQueryTest, FindsPlantedSeparator) {
 TEST(HyperVcQueryTest, AgreesWithTruthOnRandomQueries) {
   auto planted = PlantedHypergraphSeparator(24, 2, 3, 4);
   const Hypergraph& h = planted.hypergraph;
-  VcQueryParams p;
-  p.k = 2;
-  p.r_multiplier = 0.5;
-  p.forest.config = SketchConfig::Light();
-  HyperVcQuerySketch sketch(24, 3, p, 5);
+  HyperVcQuerySketch sketch(24, 3, HyperTestParams(2, 0.5), 5);
   sketch.Process(DynamicStream::WithChurn(h, 40, 3, 6));
-  ASSERT_TRUE(sketch.Finalize().ok());
+  HyperVcUnionSnapshot snap = Snapshot(sketch);
   Rng rng(7);
   size_t agree = 0, total = 0;
   for (int t = 0; t < 15; ++t) {
@@ -100,7 +106,7 @@ TEST(HyperVcQueryTest, AgreesWithTruthOnRandomQueries) {
       for (VertexId w : s) dup |= w == v;
       if (!dup) s.push_back(v);
     }
-    auto got = sketch.Disconnects(s);
+    auto got = snap.Disconnects(s);
     ASSERT_TRUE(got.ok());
     bool truth = !IsConnectedExcluding(h, s);
     agree += (*got == truth) ? 1 : 0;
@@ -111,27 +117,66 @@ TEST(HyperVcQueryTest, AgreesWithTruthOnRandomQueries) {
 
 TEST(HyperVcQueryTest, UnionGraphIsSubhypergraph) {
   Hypergraph h = HyperCycle(20, 3);
-  VcQueryParams p;
-  p.k = 2;
-  p.r_multiplier = 0.5;
-  p.forest.config = SketchConfig::Light();
-  HyperVcQuerySketch sketch(20, 3, p, 8);
+  HyperVcQuerySketch sketch(20, 3, HyperTestParams(2, 0.5), 8);
   sketch.Process(DynamicStream::InsertOnly(h, 9));
-  ASSERT_TRUE(sketch.Finalize().ok());
-  for (const auto& e : sketch.union_graph().Edges()) {
+  HyperVcUnionSnapshot snap = Snapshot(sketch);
+  for (const auto& e : snap.union_graph().Edges()) {
     EXPECT_TRUE(h.HasEdge(e));
   }
 }
 
 TEST(HyperVcQueryTest, OversizedQueryRejected) {
-  VcQueryParams p;
-  p.k = 1;
-  p.explicit_r = 4;
-  p.forest.config = SketchConfig::Light();
+  const VcQueryParams p =
+      VcQueryParams::Builder()
+          .K(1)
+          .ExplicitR(4)
+          .Forest(
+              ForestSketchParams::Builder().Config(SketchConfig::Light()).Build())
+          .Build();
   HyperVcQuerySketch sketch(10, 3, p, 10);
-  ASSERT_TRUE(sketch.Finalize().ok());
-  auto r = sketch.Disconnects({0, 1});
+  auto r = Snapshot(sketch).Disconnects({0, 1});
   EXPECT_FALSE(r.ok());
+}
+
+TEST(HyperVcQueryTest, ClearReleasesCachedUnionHypergraph) {
+  // Regression: Clear() used to zero the subsample sketches but keep the
+  // Finalize-era union hypergraph H allocated and answerable.
+  auto planted = PlantedHypergraphSeparator(20, 2, 3, 20);
+  HyperVcQuerySketch sketch(20, 3, HyperTestParams(2, 0.5), 21);
+  sketch.Process(DynamicStream::InsertOnly(planted.hypergraph, 22));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ASSERT_TRUE(sketch.Finalize().ok());
+#pragma GCC diagnostic pop
+  ASSERT_GT(sketch.union_graph().NumEdges(), 0u);
+  sketch.Clear();
+  EXPECT_EQ(sketch.union_graph().NumEdges(), 0u);
+  auto r = sketch.Disconnects({0});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Snapshot(sketch).union_graph().NumEdges(), 0u);
+}
+
+// Coverage for the [[deprecated]] Finalize wrapper: the legacy destructive
+// surface must keep answering exactly like the Query() path until removal.
+TEST(HyperVcQueryTest, DeprecatedFinalizeMatchesQuery) {
+  auto planted = PlantedHypergraphSeparator(20, 2, 3, 30);
+  HyperVcQuerySketch legacy(20, 3, HyperTestParams(2, 0.5), 31);
+  legacy.Process(DynamicStream::InsertOnly(planted.hypergraph, 32));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ASSERT_TRUE(legacy.Finalize().ok());
+#pragma GCC diagnostic pop
+
+  HyperVcQuerySketch fresh(20, 3, HyperTestParams(2, 0.5), 31);
+  fresh.Process(DynamicStream::InsertOnly(planted.hypergraph, 32));
+  HyperVcUnionSnapshot snap = Snapshot(fresh);
+  EXPECT_TRUE(legacy.union_graph() == snap.union_graph());
+  auto a = legacy.Disconnects(planted.separator);
+  auto b = snap.Disconnects(planted.separator);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
 }
 
 }  // namespace

@@ -83,8 +83,9 @@ TEST(IntegrationTest, VertexConnectivityPipelineOnPlantedInstance) {
     query.Update(u.edge.AsEdge(), u.delta);
     estimator.Update(u.edge.AsEdge(), u.delta);
   }
-  ASSERT_TRUE(query.Finalize().ok());
-  auto sep = query.Disconnects(planted.separator);
+  auto query_snap = query.Query();
+  ASSERT_TRUE(query_snap.ok());
+  auto sep = query_snap.value().Disconnects(planted.separator);
   ASSERT_TRUE(sep.ok());
   EXPECT_TRUE(*sep);
   // kappa(G) = 2 < k = 3: the estimator must not certify.

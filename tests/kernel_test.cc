@@ -172,8 +172,8 @@ TEST(KernelTest, BatchedIngestBitIdenticalAcrossThreadCounts) {
   SpanningForestSketch reference(n, 2, 55, base);
   reference.Process(stream);
   for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
-    ForestSketchParams params = base;
-    params.engine.threads = threads;
+    const ForestSketchParams params =
+        ForestSketchParams::Builder(base).Threads(threads).Build();
     SpanningForestSketch sketch(n, 2, 55, params);
     sketch.Process(stream);
     EXPECT_TRUE(reference.StateEquals(sketch)) << "threads=" << threads;

@@ -25,14 +25,19 @@ TEST(VcLowerBoundTest, SketchDecodesTheBitGivenEnoughSpace) {
   size_t correct = 0, total = 0;
   for (uint64_t seed = 0; seed < 8; ++seed) {
     auto inst = MakeVcLowerBoundInstance(2, 12, 50 + seed);
-    VcQueryParams p;
-    p.k = 2;
-    p.r_multiplier = 0.5;
-    p.forest.config = SketchConfig::Light();
+    const VcQueryParams p =
+        VcQueryParams::Builder()
+            .K(2)
+            .RMultiplier(0.5)
+            .Forest(ForestSketchParams::Builder()
+                        .Config(SketchConfig::Light())
+                        .Build())
+            .Build();
     VcQuerySketch sketch(inst.graph.NumVertices(), p, 60 + seed);
     sketch.Process(inst.stream);
-    ASSERT_TRUE(sketch.Finalize().ok());
-    auto got = sketch.Disconnects(inst.query);
+    auto snap = sketch.Query();
+    ASSERT_TRUE(snap.ok());
+    auto got = snap.value().Disconnects(inst.query);
     ASSERT_TRUE(got.ok());
     correct += (*got == inst.ground_truth_disconnects) ? 1 : 0;
     ++total;

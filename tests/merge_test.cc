@@ -220,9 +220,10 @@ TEST(ShardedMergeTest, SpanningForestBitIdentical) {
   SpanningForestSketch serial(64, 2, /*seed=*/79, serial_params);
   serial.Process(stream);
   for (size_t threads : kThreadSweep) {
-    ForestSketchParams p = serial_params;
-    p.engine.mode = IngestMode::kShardedMerge;
-    p.engine.threads = threads;
+    const ForestSketchParams p = ForestSketchParams::Builder(serial_params)
+                                     .Mode(IngestMode::kShardedMerge)
+                                     .Threads(threads)
+                                     .Build();
     SpanningForestSketch sharded(64, 2, /*seed=*/79, p);
     sharded.Process(stream);
     EXPECT_TRUE(sharded.StateEquals(serial)) << "threads=" << threads;
@@ -236,9 +237,11 @@ TEST(ShardedMergeTest, KSkeletonBitIdentical) {
   KSkeletonSketch serial(40, 3, /*k=*/2, /*seed=*/89, serial_params);
   serial.Process(stream);
   for (size_t threads : kThreadSweep) {
-    KSkeletonSketch::Params p = serial_params;
-    p.engine.mode = IngestMode::kShardedMerge;
-    p.engine.threads = threads;
+    const KSkeletonSketch::Params p =
+        ForestSketchParams::Builder(serial_params)
+            .Mode(IngestMode::kShardedMerge)
+            .Threads(threads)
+            .Build();
     KSkeletonSketch sharded(40, 3, /*k=*/2, /*seed=*/89, p);
     sharded.Process(stream);
     EXPECT_TRUE(sharded.StateEquals(serial)) << "threads=" << threads;
@@ -254,9 +257,10 @@ TEST(ShardedMergeTest, VcQueryBitIdentical) {
   VcQuerySketch serial(40, serial_params, /*seed=*/101);
   serial.Process(stream);
   for (size_t threads : kThreadSweep) {
-    VcQueryParams p = serial_params;
-    p.engine.mode = IngestMode::kShardedMerge;
-    p.engine.threads = threads;
+    const VcQueryParams p = VcQueryParams::Builder(serial_params)
+                                .Mode(IngestMode::kShardedMerge)
+                                .Threads(threads)
+                                .Build();
     VcQuerySketch sharded(40, p, /*seed=*/101);
     sharded.Process(stream);
     EXPECT_TRUE(sharded.StateEquals(serial)) << "threads=" << threads;
@@ -272,9 +276,10 @@ TEST(ShardedMergeTest, HyperVcQueryBitIdentical) {
   HyperVcQuerySketch serial(30, 3, serial_params, /*seed=*/107);
   serial.Process(stream);
   for (size_t threads : kThreadSweep) {
-    VcQueryParams p = serial_params;
-    p.engine.mode = IngestMode::kShardedMerge;
-    p.engine.threads = threads;
+    const VcQueryParams p = VcQueryParams::Builder(serial_params)
+                                .Mode(IngestMode::kShardedMerge)
+                                .Threads(threads)
+                                .Build();
     HyperVcQuerySketch sharded(30, 3, p, /*seed=*/107);
     sharded.Process(stream);
     EXPECT_TRUE(sharded.StateEquals(serial)) << "threads=" << threads;
@@ -290,9 +295,10 @@ TEST(ShardedMergeTest, SparsifierBitIdentical) {
   HypergraphSparsifierSketch serial(28, 3, serial_params, /*seed=*/113);
   serial.Process(stream);
   for (size_t threads : kThreadSweep) {
-    SparsifierParams p = serial_params;
-    p.engine.mode = IngestMode::kShardedMerge;
-    p.engine.threads = threads;
+    const SparsifierParams p = SparsifierParams::Builder(serial_params)
+                                   .Mode(IngestMode::kShardedMerge)
+                                   .Threads(threads)
+                                   .Build();
     HypergraphSparsifierSketch sharded(28, 3, p, /*seed=*/113);
     sharded.Process(stream);
     EXPECT_TRUE(sharded.StateEquals(serial)) << "threads=" << threads;
@@ -302,10 +308,11 @@ TEST(ShardedMergeTest, SparsifierBitIdentical) {
 TEST(ShardedMergeTest, ShardedResultsDecodeCorrectly) {
   // Bit-identity already implies this, but check the end-to-end claim on
   // its own terms: a sharded-merge sketch answers the query correctly.
-  ForestSketchParams p;
-  p.config = SketchConfig::Light();
-  p.engine.mode = IngestMode::kShardedMerge;
-  p.engine.threads = 8;
+  const ForestSketchParams p = ForestSketchParams::Builder()
+                                   .Config(SketchConfig::Light())
+                                   .Mode(IngestMode::kShardedMerge)
+                                   .Threads(8)
+                                   .Build();
   Graph g = UnionOfHamiltonianCycles(64, 3, 5);
   SpanningForestSketch sketch(64, 2, /*seed=*/127, p);
   sketch.Process(DynamicStream::WithChurn(g, /*decoys=*/128, 6));

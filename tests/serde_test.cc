@@ -150,12 +150,14 @@ TEST(SerdeTest, VcQueryRoundTrip) {
   EXPECT_EQ(back->R(), sketch.R());
   EXPECT_EQ(back->k(), sketch.k());
 
-  ASSERT_TRUE(sketch.Finalize().ok());
-  ASSERT_TRUE(back->Finalize().ok());
-  EXPECT_TRUE(back->union_graph() == sketch.union_graph());
+  auto snap = sketch.Query();
+  auto back_snap = back->Query();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(back_snap.ok());
+  EXPECT_TRUE(back_snap.value().union_graph() == snap.value().union_graph());
   for (VertexId v = 0; v < 6; ++v) {
-    auto a = sketch.Disconnects({v});
-    auto b = back->Disconnects({v});
+    auto a = snap.value().Disconnects({v});
+    auto b = back_snap.value().Disconnects({v});
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(a.value(), b.value()) << "v=" << v;
@@ -178,9 +180,11 @@ TEST(SerdeTest, HyperVcQueryRoundTrip) {
   auto back = HyperVcQuerySketch::Deserialize(frame);
   ASSERT_TRUE(back.ok()) << back.status().message();
   EXPECT_TRUE(back->StateEquals(sketch));
-  ASSERT_TRUE(sketch.Finalize().ok());
-  ASSERT_TRUE(back->Finalize().ok());
-  EXPECT_TRUE(back->union_graph() == sketch.union_graph());
+  auto snap = sketch.Query();
+  auto back_snap = back->Query();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(back_snap.ok());
+  EXPECT_TRUE(back_snap.value().union_graph() == snap.value().union_graph());
 }
 
 TEST(SerdeTest, SparsifierRoundTrip) {

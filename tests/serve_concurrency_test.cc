@@ -1,0 +1,154 @@
+// Query-during-ingest correctness under real thread interleavings (run
+// under the tsan preset as part of the data-race smoke check).
+//
+// Two query threads hammer snapshots while the ingest thread feeds a
+// churny stream. Every observed snapshot names the exact stream prefix it
+// covers (prefix_updates); linearity plus the library-wide determinism
+// guarantee make that claim falsifiable: replaying the prefix into a
+// fresh sketch must reproduce the payload bit for bit. The test records
+// every distinct prefix observed mid-flight and verifies each one after
+// the threads join.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "serve/sketch_server.h"
+#include "serve/serving_engine.h"
+#include "util/random.h"
+
+namespace gms {
+namespace {
+
+ForestSketchParams LightForest() {
+  return ForestSketchParams::Builder()
+      .Config(SketchConfig::Light())
+      .Build();
+}
+
+TEST(ServeConcurrencyTest, SnapshotsArePrefixConsistent) {
+  const size_t n = 80;
+  const Graph g = UnionOfHamiltonianCycles(n, 3, 101);
+  const DynamicStream stream = DynamicStream::WithChurn(g, 600, 102);
+  const auto& updates = stream.updates();
+
+  ServingEngine<SpanningForestSketch> engine(
+      SpanningForestSketch(n, 2, 103, LightForest()),
+      ServingParams::Builder().EpochUpdates(128).Build());
+
+  using Snapshot = ServingEngine<SpanningForestSketch>::Snapshot;
+  std::atomic<bool> done{false};
+  constexpr size_t kQueryThreads = 2;
+  // Each thread keeps the snapshots it saw, keyed by prefix; payload
+  // pointers stay alive because the snapshot holds them.
+  std::vector<std::map<uint64_t, std::shared_ptr<const Snapshot>>> seen(
+      kQueryThreads);
+  std::vector<std::thread> queriers;
+  for (size_t q = 0; q < kQueryThreads; ++q) {
+    queriers.emplace_back([&, q] {
+      uint64_t last_prefix = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto snap = engine.Current();
+        ASSERT_TRUE(snap->status.ok());
+        // A single observer must never see the prefix move backwards.
+        ASSERT_GE(snap->prefix_updates, last_prefix);
+        last_prefix = snap->prefix_updates;
+        seen[q].emplace(snap->prefix_updates, snap);
+      }
+    });
+  }
+
+  constexpr size_t kChunk = 64;
+  for (size_t i = 0; i < updates.size(); i += kChunk) {
+    const size_t take = std::min(kChunk, updates.size() - i);
+    engine.Process(std::span<const StreamUpdate>(updates.data() + i, take));
+  }
+  engine.Flush();
+  done.store(true, std::memory_order_release);
+  for (auto& t : queriers) t.join();
+
+  // Every observed snapshot is the exact extraction of its stream prefix.
+  size_t distinct = 0;
+  for (const auto& thread_seen : seen) {
+    EXPECT_FALSE(thread_seen.empty());
+    for (const auto& [prefix, snap] : thread_seen) {
+      ASSERT_LE(prefix, updates.size());
+      SpanningForestSketch replay(n, 2, 103, LightForest());
+      replay.Process(std::span<const StreamUpdate>(updates.data(), prefix));
+      auto direct = replay.Query();
+      ASSERT_TRUE(direct.ok());
+      EXPECT_TRUE(*snap->payload == direct.value())
+          << "snapshot for prefix " << prefix
+          << " does not match its replay";
+      ++distinct;
+    }
+  }
+  EXPECT_GT(distinct, 0u);
+}
+
+TEST(ServeConcurrencyTest, ServerHandlesFramesDuringIngest) {
+  const size_t n = 64;
+  const Graph g = UnionOfHamiltonianCycles(n, 2, 111);
+  const DynamicStream stream = DynamicStream::WithChurn(g, 400, 112);
+  const auto& updates = stream.updates();
+
+  const auto params = serve::SketchServerParams::Builder()
+                          .Forest(LightForest())
+                          .EpochUpdates(128)
+                          .Build();
+  serve::SketchServer server(n, params, 113);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> queriers;
+  std::vector<uint64_t> answered(2);
+  for (size_t q = 0; q < answered.size(); ++q) {
+    queriers.emplace_back([&, q] {
+      Rng rng(114 + q);
+      uint64_t last_prefix = 0;
+      std::vector<uint8_t> req_buf, resp_buf;
+      while (!done.load(std::memory_order_acquire)) {
+        req_buf.clear();
+        resp_buf.clear();
+        serve::ServeRequest req;
+        req.op = serve::ServeOp::kConnected;
+        req.u = rng.Below(n);
+        req.v = rng.Below(n);
+        serve::EncodeServeRequest(req, &req_buf);
+        server.HandleFrame(req_buf, &resp_buf);
+        auto resp = serve::DecodeServeResponse(resp_buf);
+        ASSERT_TRUE(resp.ok());
+        ASSERT_EQ(resp->code, StatusCode::kOk);
+        ASSERT_GE(resp->prefix_updates, last_prefix);
+        last_prefix = resp->prefix_updates;
+        ++answered[q];
+      }
+    });
+  }
+
+  constexpr size_t kChunk = 64;
+  for (size_t i = 0; i < updates.size(); i += kChunk) {
+    const size_t take = std::min(kChunk, updates.size() - i);
+    server.Ingest(std::span<const StreamUpdate>(updates.data() + i, take));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : queriers) t.join();
+  server.Flush();
+
+  for (uint64_t a : answered) EXPECT_GT(a, 0u);
+
+  // Post-flush, the final answers are exact: the generator graph is
+  // connected, so every surviving pair connects.
+  serve::ServeRequest req;
+  req.op = serve::ServeOp::kNumComponents;
+  const auto resp = server.Handle(req);
+  EXPECT_EQ(resp.code, StatusCode::kOk);
+  EXPECT_EQ(resp.value, 1u);
+  EXPECT_EQ(resp.prefix_updates, updates.size());
+}
+
+}  // namespace
+}  // namespace gms

@@ -1,0 +1,395 @@
+// Tests for the always-on serving layer: engine equivalence with one-shot
+// extraction, cached-payload validity, snapshot immutability, the server
+// dispatch surface, and adversarial decoding of the serve protocol.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "serve/serve_protocol.h"
+#include "serve/sketch_server.h"
+#include "serve/serving_engine.h"
+#include "util/random.h"
+#include "wire/wire.h"
+
+namespace gms {
+namespace {
+
+ForestSketchParams LightForest() {
+  return ForestSketchParams::Builder()
+      .Config(SketchConfig::Light())
+      .Build();
+}
+
+ServingParams SmallEpochs(size_t epoch_updates) {
+  return ServingParams::Builder().EpochUpdates(epoch_updates).Build();
+}
+
+TEST(ServeEngineTest, FlushedSnapshotMatchesOneShotExtraction) {
+  const size_t n = 64;
+  const Graph g = UnionOfHamiltonianCycles(n, 2, 21);
+  const DynamicStream stream = DynamicStream::WithChurn(g, 300, 22);
+
+  ServingEngine<SpanningForestSketch> engine(
+      SpanningForestSketch(n, 2, 23, LightForest()), SmallEpochs(128));
+  engine.Process(stream);
+  engine.Flush();
+  auto snap = engine.Current();
+  ASSERT_TRUE(snap->status.ok());
+  EXPECT_EQ(snap->prefix_updates, stream.updates().size());
+
+  SpanningForestSketch oneshot(n, 2, 23, LightForest());
+  oneshot.Process(stream);
+  auto direct = oneshot.Query();
+  ASSERT_TRUE(direct.ok());
+  // Linearity: merging per-epoch deltas must land on the exact same cells,
+  // so the extracted forests agree bit for bit.
+  EXPECT_TRUE(*snap->payload == direct.value());
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.updates_ingested, stream.updates().size());
+  EXPECT_EQ(stats.updates_merged, stream.updates().size());
+  EXPECT_EQ(stats.epochs_sealed, stats.epochs_merged);
+  EXPECT_GE(stats.epochs_sealed,
+            stream.updates().size() / engine.params().epoch_updates);
+}
+
+TEST(ServeEngineTest, CleanEpochReusesCachedPayload) {
+  const size_t n = 32;
+  const Graph g = UnionOfHamiltonianCycles(n, 2, 31);
+  ServingEngine<SpanningForestSketch> engine(
+      SpanningForestSketch(n, 2, 32, LightForest()), SmallEpochs(1 << 12));
+
+  engine.Process(DynamicStream::InsertOnly(g, 33));
+  engine.AdvanceEpoch();
+  engine.Flush();
+  auto dirty_snap = engine.Current();
+  ASSERT_TRUE(dirty_snap->status.ok());
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.cache_rebuilds, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+
+  // An empty epoch (time-driven boundary on an idle stream) must advance
+  // the epoch counter while re-publishing the SAME payload object.
+  engine.AdvanceEpoch();
+  engine.Flush();
+  auto clean_snap = engine.Current();
+  EXPECT_EQ(clean_snap->epoch, dirty_snap->epoch + 1);
+  EXPECT_EQ(clean_snap->prefix_updates, dirty_snap->prefix_updates);
+  EXPECT_EQ(clean_snap->payload.get(), dirty_snap->payload.get());
+  stats = engine.stats();
+  EXPECT_EQ(stats.cache_rebuilds, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+
+  // A subsequent dirty epoch invalidates: new payload object.
+  engine.Process(DynamicStream::WithChurn(g, 50, 34));
+  engine.AdvanceEpoch();
+  engine.Flush();
+  auto rebuilt = engine.Current();
+  EXPECT_NE(rebuilt->payload.get(), clean_snap->payload.get());
+  EXPECT_EQ(engine.stats().cache_rebuilds, 2u);
+}
+
+TEST(ServeEngineTest, HeldSnapshotSurvivesLaterEpochs) {
+  const size_t n = 48;
+  const Graph g = UnionOfHamiltonianCycles(n, 3, 41);
+  const DynamicStream stream = DynamicStream::InsertOnly(g, 42);
+  const auto& updates = stream.updates();
+  const size_t half = updates.size() / 2;
+
+  ServingEngine<SpanningForestSketch> engine(
+      SpanningForestSketch(n, 2, 43, LightForest()), SmallEpochs(64));
+  engine.Process(std::span<const StreamUpdate>(updates.data(), half));
+  engine.Flush();
+  auto early = engine.Current();
+  ASSERT_TRUE(early->status.ok());
+  EXPECT_EQ(early->prefix_updates, half);
+
+  engine.Process(std::span<const StreamUpdate>(updates.data() + half,
+                                               updates.size() - half));
+  engine.Flush();
+  auto late = engine.Current();
+  EXPECT_GT(late->prefix_updates, early->prefix_updates);
+
+  // The held snapshot still answers for its prefix: a fresh sketch over
+  // exactly that prefix extracts the identical payload.
+  SpanningForestSketch prefix(n, 2, 43, LightForest());
+  prefix.Process(std::span<const StreamUpdate>(updates.data(), half));
+  auto prefix_q = prefix.Query();
+  ASSERT_TRUE(prefix_q.ok());
+  EXPECT_TRUE(*early->payload == prefix_q.value());
+}
+
+TEST(ServeEngineTest, VcEngineServesTheoremFourAnswers) {
+  const size_t n = 40;
+  auto planted = PlantedSeparator(n, 2, 51);
+  const auto params = VcQueryParams::Builder()
+                          .K(2)
+                          .RMultiplier(0.5)
+                          .Forest(LightForest())
+                          .Build();
+  ServingEngine<VcQuerySketch> engine(VcQuerySketch(n, params, 52),
+                                      SmallEpochs(64));
+  engine.Process(DynamicStream::InsertOnly(planted.graph, 53));
+  engine.Flush();
+  auto snap = engine.Current();
+  ASSERT_TRUE(snap->status.ok());
+  auto cuts = snap->payload->Disconnects(planted.separator);
+  ASSERT_TRUE(cuts.ok());
+  EXPECT_TRUE(*cuts);
+}
+
+TEST(ServeServerTest, DispatchAnswersEveryOp) {
+  const size_t n = 60;
+  const Graph g = UnionOfHamiltonianCycles(n, 3, 61);
+  const auto params = serve::SketchServerParams::Builder()
+                          .Forest(LightForest())
+                          .Vc(VcQueryParams::Builder()
+                                  .K(2)
+                                  .RMultiplier(0.5)
+                                  .Forest(LightForest())
+                                  .Build())
+                          .SkeletonK(2)
+                          .EpochUpdates(256)
+                          .Build();
+  serve::SketchServer server(n, params, 62);
+  server.Ingest(DynamicStream::InsertOnly(g, 63));
+  server.Flush();
+
+  serve::ServeRequest req;
+  req.op = serve::ServeOp::kPing;
+  EXPECT_EQ(server.Handle(req).code, StatusCode::kOk);
+
+  req.op = serve::ServeOp::kConnected;
+  req.u = 0;
+  req.v = n - 1;
+  auto resp = server.Handle(req);
+  EXPECT_EQ(resp.code, StatusCode::kOk);
+  EXPECT_EQ(resp.value, 1u);
+
+  req = serve::ServeRequest{};
+  req.op = serve::ServeOp::kNumComponents;
+  resp = server.Handle(req);
+  EXPECT_EQ(resp.code, StatusCode::kOk);
+  EXPECT_EQ(resp.value, 1u);
+
+  req = serve::ServeRequest{};
+  req.op = serve::ServeOp::kDisconnects;
+  req.query_set = {0, 1};
+  resp = server.Handle(req);
+  EXPECT_EQ(resp.code, StatusCode::kOk);
+  EXPECT_EQ(resp.value,
+            IsConnectedExcluding(g, {0, 1}) ? 0u : 1u);
+
+  req = serve::ServeRequest{};
+  req.op = serve::ServeOp::kVcAtLeast;
+  req.t = 2;
+  resp = server.Handle(req);
+  EXPECT_EQ(resp.code, StatusCode::kOk);
+  EXPECT_EQ(resp.value, 1u);  // union of 3 Hamiltonian cycles
+
+  req = serve::ServeRequest{};
+  req.op = serve::ServeOp::kSkeletonEdgeCount;
+  resp = server.Handle(req);
+  EXPECT_EQ(resp.code, StatusCode::kOk);
+  EXPECT_GT(resp.value, 0u);
+
+  req = serve::ServeRequest{};
+  req.op = serve::ServeOp::kStats;
+  resp = server.Handle(req);
+  EXPECT_EQ(resp.code, StatusCode::kOk);
+  EXPECT_EQ(resp.value, DynamicStream::InsertOnly(g, 63).updates().size());
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 7u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(ServeServerTest, RefusalsCarryStatusCodes) {
+  const auto params =
+      serve::SketchServerParams::Builder().Forest(LightForest()).Build();
+  serve::SketchServer server(16, params, 71);
+  server.Flush();
+
+  // VC serving is disabled on this server.
+  serve::ServeRequest req;
+  req.op = serve::ServeOp::kDisconnects;
+  req.query_set = {0};
+  EXPECT_EQ(server.Handle(req).code, StatusCode::kFailedPrecondition);
+
+  // Out-of-range endpoint.
+  req = serve::ServeRequest{};
+  req.op = serve::ServeOp::kConnected;
+  req.u = 16;
+  req.v = 0;
+  EXPECT_EQ(server.Handle(req).code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.stats().errors, 2u);
+}
+
+TEST(ServeServerTest, VcRefusalsFlowThroughTheSnapshot) {
+  const auto params = serve::SketchServerParams::Builder()
+                          .Forest(LightForest())
+                          .Vc(VcQueryParams::Builder()
+                                  .K(2)
+                                  .RMultiplier(0.5)
+                                  .Forest(LightForest())
+                                  .Build())
+                          .Build();
+  serve::SketchServer server(24, params, 72);
+  server.Ingest(
+      DynamicStream::InsertOnly(UnionOfHamiltonianCycles(24, 3, 73), 74));
+  server.Flush();
+
+  // t beyond what a k=2 build certifies.
+  serve::ServeRequest req;
+  req.op = serve::ServeOp::kVcAtLeast;
+  req.t = 4;
+  EXPECT_EQ(server.Handle(req).code, StatusCode::kInvalidArgument);
+
+  // Query set larger than k (after dedup).
+  req = serve::ServeRequest{};
+  req.op = serve::ServeOp::kDisconnects;
+  req.query_set = {0, 1, 2};
+  EXPECT_EQ(server.Handle(req).code, StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, RequestRoundTrip) {
+  serve::ServeRequest req;
+  req.op = serve::ServeOp::kDisconnects;
+  req.u = 7;
+  req.v = 9;
+  req.t = 3;
+  req.query_set = {4, 2, 4, 11};
+  std::vector<uint8_t> buf;
+  serve::EncodeServeRequest(req, &buf);
+
+  auto peek = wire::PeekFrameType(buf);
+  ASSERT_TRUE(peek.ok());
+  EXPECT_EQ(*peek, wire::FrameType::kServeRequest);
+
+  auto back = serve::DecodeServeRequest(buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->op, req.op);
+  EXPECT_EQ(back->u, req.u);
+  EXPECT_EQ(back->v, req.v);
+  EXPECT_EQ(back->t, req.t);
+  EXPECT_EQ(back->query_set, req.query_set);
+}
+
+TEST(ServeProtocolTest, ResponseRoundTrip) {
+  serve::ServeResponse resp;
+  resp.op = serve::ServeOp::kVcAtLeast;
+  resp.code = StatusCode::kInvalidArgument;
+  resp.message = "t exceeds the build";
+  resp.epoch = 12;
+  resp.prefix_updates = 98304;
+  resp.value = 0;
+  std::vector<uint8_t> buf;
+  serve::EncodeServeResponse(resp, &buf);
+
+  auto back = serve::DecodeServeResponse(buf);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->op, resp.op);
+  EXPECT_EQ(back->code, resp.code);
+  EXPECT_EQ(back->message, resp.message);
+  EXPECT_EQ(back->epoch, resp.epoch);
+  EXPECT_EQ(back->prefix_updates, resp.prefix_updates);
+  EXPECT_EQ(back->status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, HostileFramesNeverCrash) {
+  serve::ServeRequest req;
+  req.op = serve::ServeOp::kDisconnects;
+  req.query_set = {1, 2, 3};
+  std::vector<uint8_t> buf;
+  serve::EncodeServeRequest(req, &buf);
+
+  // Every truncation fails cleanly.
+  for (size_t len = 0; len < buf.size(); ++len) {
+    auto r = serve::DecodeServeRequest(
+        std::span<const uint8_t>(buf.data(), len));
+    EXPECT_FALSE(r.ok()) << "truncation to " << len << " bytes decoded";
+  }
+  // Every single-byte corruption fails cleanly (the frame checksum
+  // catches whatever the field validation does not).
+  for (size_t i = 0; i < buf.size(); ++i) {
+    std::vector<uint8_t> mutated = buf;
+    mutated[i] ^= 0x5A;
+    auto r = serve::DecodeServeRequest(mutated);
+    EXPECT_FALSE(r.ok()) << "corruption at byte " << i << " decoded";
+  }
+
+  serve::ServeResponse resp;
+  resp.op = serve::ServeOp::kStats;
+  resp.message = "ok";
+  resp.value = 17;
+  std::vector<uint8_t> rbuf;
+  serve::EncodeServeResponse(resp, &rbuf);
+  for (size_t len = 0; len < rbuf.size(); ++len) {
+    EXPECT_FALSE(serve::DecodeServeResponse(
+                     std::span<const uint8_t>(rbuf.data(), len))
+                     .ok());
+  }
+  for (size_t i = 0; i < rbuf.size(); ++i) {
+    std::vector<uint8_t> mutated = rbuf;
+    mutated[i] ^= 0x5A;
+    EXPECT_FALSE(serve::DecodeServeResponse(mutated).ok());
+  }
+}
+
+TEST(ServeProtocolTest, ServerAnswersGarbageWithAnErrorFrame) {
+  const auto params =
+      serve::SketchServerParams::Builder().Forest(LightForest()).Build();
+  serve::SketchServer server(8, params, 81);
+
+  const std::vector<uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01};
+  std::vector<uint8_t> out;
+  server.HandleFrame(garbage, &out);
+  auto resp = serve::DecodeServeResponse(out);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_NE(resp->code, StatusCode::kOk);
+  EXPECT_EQ(server.stats().errors, 1u);
+
+  // A sketch-state frame is not a serve request either.
+  SpanningForestSketch sketch(8, 2, 82, LightForest());
+  std::vector<uint8_t> state;
+  sketch.Serialize(&state);
+  out.clear();
+  server.HandleFrame(state, &out);
+  resp = serve::DecodeServeResponse(out);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_NE(resp->code, StatusCode::kOk);
+}
+
+TEST(ServeProtocolTest, OpNamesAreStable) {
+  EXPECT_STREQ(serve::ServeOpName(serve::ServeOp::kPing), "ping");
+  EXPECT_STREQ(serve::ServeOpName(serve::ServeOp::kDisconnects),
+               "disconnects");
+  EXPECT_STREQ(serve::ServeOpName(static_cast<serve::ServeOp>(999)),
+               "unknown");
+  EXPECT_STREQ(wire::FrameTypeName(wire::FrameType::kServeRequest),
+               "serve_request");
+  EXPECT_STREQ(wire::FrameTypeName(wire::FrameType::kServeResponse),
+               "serve_response");
+}
+
+TEST(ServeComponentIndexTest, MatchesTraversal) {
+  Rng rng(91);
+  Graph g(50);
+  for (int i = 0; i < 40; ++i) {
+    VertexId a = static_cast<VertexId>(rng.Below(50));
+    VertexId b = static_cast<VertexId>(rng.Below(50));
+    if (a != b) g.AddEdge(Edge(a, b));
+  }
+  // Index the graph itself (any forest of it yields the same components).
+  serve::ComponentIndex index(50, Hypergraph::FromGraph(g));
+  const std::vector<uint32_t> truth = ConnectedComponents(g);
+  EXPECT_EQ(index.num_components(), NumComponents(g));
+  for (int t = 0; t < 100; ++t) {
+    VertexId a = static_cast<VertexId>(rng.Below(50));
+    VertexId b = static_cast<VertexId>(rng.Below(50));
+    EXPECT_EQ(index.Connected(a, b), truth[a] == truth[b]);
+  }
+}
+
+}  // namespace
+}  // namespace gms

@@ -11,19 +11,24 @@ namespace gms {
 namespace {
 
 VcQueryParams TestParams(size_t k) {
-  VcQueryParams p;
-  p.k = k;
   // The paper's R = 16 k^2 ln n is overkill at test scales; half suffices
   // empirically and keeps the suite fast (the bench sweeps this knob).
-  p.r_multiplier = 0.5;
-  p.forest.config = SketchConfig::Light();
-  return p;
+  return VcQueryParams::Builder()
+      .K(k)
+      .RMultiplier(0.5)
+      .Forest(
+          ForestSketchParams::Builder().Config(SketchConfig::Light()).Build())
+      .Build();
+}
+
+VcUnionSnapshot Snapshot(const VcQuerySketch& sketch) {
+  auto snap = sketch.Query();
+  EXPECT_TRUE(snap.ok());
+  return std::move(snap).value();
 }
 
 TEST(VcQueryParamsTest, ResolveRFollowsPaperFormula) {
-  VcQueryParams p;
-  p.k = 3;
-  p.r_multiplier = 1.0;
+  VcQueryParams p = VcQueryParams::Builder().K(3).RMultiplier(1.0).Build();
   size_t r = p.ResolveR(100);
   // 16 * 9 * ln(100) ~ 663.
   EXPECT_NEAR(static_cast<double>(r), 663.0, 2.0);
@@ -35,8 +40,7 @@ TEST(VcQueryTest, FindsPlantedSeparator) {
   auto planted = PlantedSeparator(40, 2, 1);
   VcQuerySketch sketch(40, TestParams(2), 2);
   sketch.Process(DynamicStream::InsertOnly(planted.graph, 3));
-  ASSERT_TRUE(sketch.Finalize().ok());
-  auto disconnects = sketch.Disconnects(planted.separator);
+  auto disconnects = Snapshot(sketch).Disconnects(planted.separator);
   ASSERT_TRUE(disconnects.ok());
   EXPECT_TRUE(*disconnects);
 }
@@ -45,13 +49,13 @@ TEST(VcQueryTest, NonSeparatorsPass) {
   auto planted = PlantedSeparator(40, 2, 4);
   VcQuerySketch sketch(40, TestParams(2), 5);
   sketch.Process(DynamicStream::InsertOnly(planted.graph, 6));
-  ASSERT_TRUE(sketch.Finalize().ok());
+  VcUnionSnapshot snap = Snapshot(sketch);
   // Random non-separator pairs must not disconnect.
   Rng rng(7);
   for (int t = 0; t < 10; ++t) {
     VertexId a = planted.side_a[rng.Below(planted.side_a.size())];
     VertexId b = planted.side_b[rng.Below(planted.side_b.size())];
-    auto disconnects = sketch.Disconnects({a, b});
+    auto disconnects = snap.Disconnects({a, b});
     ASSERT_TRUE(disconnects.ok());
     bool truth = !IsConnectedExcluding(planted.graph, {a, b});
     EXPECT_EQ(*disconnects, truth);
@@ -62,7 +66,7 @@ TEST(VcQueryTest, AgreesWithGroundTruthOnRandomQueries) {
   Graph g = UnionOfHamiltonianCycles(36, 2, 8);
   VcQuerySketch sketch(36, TestParams(3), 9);
   sketch.Process(DynamicStream::InsertOnly(g, 10));
-  ASSERT_TRUE(sketch.Finalize().ok());
+  VcUnionSnapshot snap = Snapshot(sketch);
   Rng rng(11);
   size_t agreements = 0, total = 0;
   for (int t = 0; t < 20; ++t) {
@@ -73,7 +77,7 @@ TEST(VcQueryTest, AgreesWithGroundTruthOnRandomQueries) {
       for (VertexId w : s) dup |= w == v;
       if (!dup) s.push_back(v);
     }
-    auto got = sketch.Disconnects(s);
+    auto got = snap.Disconnects(s);
     ASSERT_TRUE(got.ok());
     bool truth = !IsConnectedExcluding(g, s);
     agreements += (*got == truth) ? 1 : 0;
@@ -88,23 +92,63 @@ TEST(VcQueryTest, WorksUnderChurn) {
   DynamicStream stream = DynamicStream::WithChurn(planted.graph, 200, 13);
   VcQuerySketch sketch(32, TestParams(2), 14);
   sketch.Process(stream);
-  ASSERT_TRUE(sketch.Finalize().ok());
-  auto disconnects = sketch.Disconnects(planted.separator);
+  auto disconnects = Snapshot(sketch).Disconnects(planted.separator);
   ASSERT_TRUE(disconnects.ok());
   EXPECT_TRUE(*disconnects);
 }
 
-TEST(VcQueryTest, QueryBeforeFinalizeFails) {
-  VcQuerySketch sketch(16, TestParams(2), 15);
-  auto r = sketch.Disconnects({0});
-  EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+TEST(VcQueryTest, QueryIsNonDestructive) {
+  // The whole point of the Query() surface: the sketch can keep ingesting
+  // after a snapshot is taken, and a snapshot outlives any later mutation.
+  Graph g = UnionOfHamiltonianCycles(28, 3, 60);
+  VcQuerySketch sketch(28, TestParams(2), 61);
+  DynamicStream stream = DynamicStream::InsertOnly(g, 62);
+  const auto& updates = stream.updates();
+  const size_t half = updates.size() / 2;
+  sketch.Process(std::span<const StreamUpdate>(updates.data(), half));
+  VcUnionSnapshot early = Snapshot(sketch);
+
+  // Keep ingesting; the early snapshot must be unaffected.
+  sketch.Process(
+      std::span<const StreamUpdate>(updates.data() + half,
+                                    updates.size() - half));
+  VcUnionSnapshot late = Snapshot(sketch);
+  EXPECT_LE(early.union_graph().NumEdges(), late.union_graph().NumEdges());
+
+  // A prefix-only sketch must agree with the early snapshot bit-for-bit
+  // (linearity + determinism).
+  VcQuerySketch prefix(28, TestParams(2), 61);
+  prefix.Process(std::span<const StreamUpdate>(updates.data(), half));
+  EXPECT_TRUE(Snapshot(prefix).union_graph() == early.union_graph());
+
+  // And the sketch state itself was never mutated by querying.
+  VcQuerySketch replay(28, TestParams(2), 61);
+  replay.Process(stream);
+  EXPECT_TRUE(replay.StateEquals(sketch));
+}
+
+TEST(VcQueryTest, VertexConnectivityAtLeastBounds) {
+  // A 3-connected graph (union of 3 Hamiltonian cycles is whp 3-connected
+  // at this scale, and certainly 2-connected).
+  Graph g = UnionOfHamiltonianCycles(24, 3, 63);
+  VcQuerySketch sketch(24, TestParams(2), 64);
+  sketch.Process(DynamicStream::InsertOnly(g, 65));
+  VcUnionSnapshot snap = Snapshot(sketch);
+  auto at_least_0 = snap.VertexConnectivityAtLeast(0);
+  ASSERT_TRUE(at_least_0.ok());
+  EXPECT_TRUE(*at_least_0);
+  auto at_least_2 = snap.VertexConnectivityAtLeast(2);
+  ASSERT_TRUE(at_least_2.ok());
+  EXPECT_EQ(*at_least_2, IsKVertexConnected(g, 2));
+  // k = 2 certifies up to t = k + 1 = 3; t = 4 exceeds the build.
+  auto too_far = snap.VertexConnectivityAtLeast(4);
+  EXPECT_FALSE(too_far.ok());
+  EXPECT_EQ(too_far.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(VcQueryTest, OversizedQueryRejected) {
   VcQuerySketch sketch(16, TestParams(2), 16);
-  ASSERT_TRUE(sketch.Finalize().ok());
-  auto r = sketch.Disconnects({0, 1, 2});
+  auto r = Snapshot(sketch).Disconnects({0, 1, 2});
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
@@ -115,9 +159,9 @@ TEST(VcQueryTest, DuplicateQueryVerticesCountOnce) {
   Graph g = UnionOfHamiltonianCycles(24, 3, 40);
   VcQuerySketch sketch(24, TestParams(2), 41);
   sketch.Process(DynamicStream::InsertOnly(g, 42));
-  ASSERT_TRUE(sketch.Finalize().ok());
-  auto dup = sketch.Disconnects({0, 0, 1});
-  auto distinct = sketch.Disconnects({0, 1});
+  VcUnionSnapshot snap = Snapshot(sketch);
+  auto dup = snap.Disconnects({0, 0, 1});
+  auto distinct = snap.Disconnects({0, 1});
   ASSERT_TRUE(dup.ok());
   ASSERT_TRUE(distinct.ok());
   EXPECT_EQ(dup.value(), distinct.value());
@@ -125,8 +169,7 @@ TEST(VcQueryTest, DuplicateQueryVerticesCountOnce) {
 
 TEST(VcQueryTest, OutOfRangeQueryVertexRejected) {
   VcQuerySketch sketch(16, TestParams(2), 43);
-  ASSERT_TRUE(sketch.Finalize().ok());
-  auto r = sketch.Disconnects({16});
+  auto r = Snapshot(sketch).Disconnects({16});
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
@@ -146,15 +189,66 @@ TEST(VcQueryTest, UnionGraphIsSubgraph) {
   Graph g = UnionOfHamiltonianCycles(30, 3, 17);
   VcQuerySketch sketch(30, TestParams(2), 18);
   sketch.Process(DynamicStream::InsertOnly(g, 19));
-  ASSERT_TRUE(sketch.Finalize().ok());
-  for (const Edge& e : sketch.union_graph().Edges()) {
+  VcUnionSnapshot snap = Snapshot(sketch);
+  for (const Edge& e : snap.union_graph().Edges()) {
     EXPECT_TRUE(g.HasEdge(e));
   }
 }
 
+TEST(VcQueryTest, ClearReleasesCachedUnionGraph) {
+  // Regression: Clear() used to zero the subsample sketches but keep the
+  // Finalize-era union graph H allocated AND answerable -- a cleared sketch
+  // answered queries from stale state. Clear must drop H and put the legacy
+  // surface back into the not-finalized state.
+  Graph g = UnionOfHamiltonianCycles(30, 3, 50);
+  VcQuerySketch sketch(30, TestParams(2), 51);
+  sketch.Process(DynamicStream::InsertOnly(g, 52));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ASSERT_TRUE(sketch.Finalize().ok());
+#pragma GCC diagnostic pop
+  ASSERT_GT(sketch.union_graph().NumEdges(), 0u);
+  sketch.Clear();
+  EXPECT_EQ(sketch.union_graph().NumEdges(), 0u);
+  auto r = sketch.Disconnects({0});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  // A cleared sketch is the empty-stream measurement; Query still works.
+  EXPECT_TRUE(Snapshot(sketch).union_graph().NumEdges() == 0u);
+}
+
+// Coverage for the [[deprecated]] Finalize wrapper: the legacy destructive
+// surface must keep answering exactly like the Query() path until removal.
+// This is the ONE place the old API is intentionally exercised.
+TEST(VcQueryTest, DeprecatedFinalizeMatchesQuery) {
+  auto planted = PlantedSeparator(32, 2, 53);
+  VcQuerySketch legacy(32, TestParams(2), 54);
+  legacy.Process(DynamicStream::InsertOnly(planted.graph, 55));
+
+  // Before Finalize the legacy surface refuses queries.
+  auto premature = legacy.Disconnects({0});
+  EXPECT_FALSE(premature.ok());
+  EXPECT_EQ(premature.status().code(), StatusCode::kFailedPrecondition);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ASSERT_TRUE(legacy.Finalize().ok());
+#pragma GCC diagnostic pop
+
+  VcQuerySketch fresh(32, TestParams(2), 54);
+  fresh.Process(DynamicStream::InsertOnly(planted.graph, 55));
+  VcUnionSnapshot snap = Snapshot(fresh);
+  EXPECT_TRUE(legacy.union_graph() == snap.union_graph());
+  auto a = legacy.Disconnects(planted.separator);
+  auto b = snap.Disconnects(planted.separator);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
 TEST(SubsampledForestUnionTest, CoverageGrowsWithR) {
-  ForestSketchParams fp;
-  fp.config = SketchConfig::Light();
+  const ForestSketchParams fp =
+      ForestSketchParams::Builder().Config(SketchConfig::Light()).Build();
   SubsampledForestUnion few(60, 4, 2, 20, fp);
   SubsampledForestUnion many(60, 4, 60, 21, fp);
   EXPECT_GE(few.NumUncovered(), many.NumUncovered());
@@ -162,8 +256,8 @@ TEST(SubsampledForestUnionTest, CoverageGrowsWithR) {
 }
 
 TEST(SubsampledForestUnionTest, MemoryScalesWithR) {
-  ForestSketchParams fp;
-  fp.config = SketchConfig::Light();
+  const ForestSketchParams fp =
+      ForestSketchParams::Builder().Config(SketchConfig::Light()).Build();
   SubsampledForestUnion a(40, 2, 5, 22, fp);
   SubsampledForestUnion b(40, 2, 20, 22, fp);
   EXPECT_LT(a.MemoryBytes(), b.MemoryBytes());
