@@ -2,14 +2,16 @@
 //
 //   gms_gen_corpus <output-root>
 //
-// writes <root>/wire/  (valid + deliberately corrupted frames of all six
-// sketch types) and <root>/stream/ (byte-encoded generator streams).
+// writes <root>/wire/ (valid + deliberately corrupted frames of all six
+// sketch types), <root>/stream/ (byte-encoded generator streams), and
+// <root>/stream_file/ (GMSB binary stream-file images, valid + hostile).
 // Deterministic: rerunning produces identical bytes, so corpus churn in
 // review means the wire format or the generators actually changed.
 #include <cstdio>
 #include <string>
 
 #include "testkit/corpus.h"
+#include "workload/file_corpus.h"
 
 int main(int argc, char** argv) {
   if (argc != 2) {
@@ -23,6 +25,7 @@ int main(int argc, char** argv) {
   } corpora[] = {
       {"wire", gms::testkit::WireSeedCorpus()},
       {"stream", gms::testkit::StreamSeedCorpus()},
+      {"stream_file", gms::workload::StreamFileSeedCorpus()},
   };
   for (const auto& c : corpora) {
     const std::string dir = root + "/" + c.subdir;

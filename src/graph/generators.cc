@@ -116,6 +116,70 @@ Graph Gnm(size_t n, size_t m, uint64_t seed) {
   return g;
 }
 
+Graph RmatGraph(size_t n, size_t m, uint64_t seed, double a, double b,
+                double c) {
+  GMS_CHECK(n >= 2);
+  GMS_CHECK_MSG(a >= 0 && b >= 0 && c >= 0 && a + b + c <= 1.0,
+                "RmatGraph: quadrant probabilities must form a distribution");
+  size_t levels = 0;
+  while ((size_t{1} << levels) < n) ++levels;
+  Rng rng(seed);
+  Graph g(n);
+  const size_t max_m = n * (n - 1) / 2;
+  const size_t want = std::min(m, max_m);
+  size_t attempts = 0;
+  const size_t max_attempts = 100 * (want + 1) + 100;
+  while (g.NumEdges() < want && ++attempts < max_attempts) {
+    size_t u = 0;
+    size_t v = 0;
+    for (size_t l = 0; l < levels; ++l) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: both high bits 0
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v || u >= n || v >= n) continue;
+    g.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return g;
+}
+
+Graph RoadNetwork(size_t n, size_t shortcuts, uint64_t seed) {
+  GMS_CHECK(n >= 2);
+  size_t cols = 1;
+  while (cols * cols < n) ++cols;
+  Graph g(n);
+  for (size_t v = 0; v < n; ++v) {
+    const size_t col = v % cols;
+    if (col + 1 < cols && v + 1 < n) {
+      g.AddEdge(static_cast<VertexId>(v), static_cast<VertexId>(v + 1));
+    }
+    if (v + cols < n) {
+      g.AddEdge(static_cast<VertexId>(v), static_cast<VertexId>(v + cols));
+    }
+  }
+  Rng rng(seed);
+  size_t placed = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = 100 * (shortcuts + 1) + 100;
+  while (placed < shortcuts && ++attempts < max_attempts) {
+    VertexId u = static_cast<VertexId>(rng.Below(n));
+    VertexId v = static_cast<VertexId>(rng.Below(n));
+    if (u == v) continue;
+    if (g.AddEdge(u, v)) ++placed;
+  }
+  return g;
+}
+
 Graph RandomTree(size_t n, uint64_t seed) {
   Rng rng(seed);
   std::vector<VertexId> label(n);

@@ -37,6 +37,20 @@ Graph ErdosRenyi(size_t n, double p, uint64_t seed);
 /// Uniform random graph with exactly m distinct edges.
 Graph Gnm(size_t n, size_t m, uint64_t seed);
 
+/// R-MAT / Kronecker power-law graph (Chakrabarti-Zhan-Faloutsos): each
+/// edge descends ceil(log2 n) quadrant levels with probabilities
+/// (a, b, c, 1-a-b-c); the defaults are the standard skewed setting that
+/// yields a power-law degree sequence. Self-loops, duplicates, and
+/// endpoints >= n (when n is not a power of two) are rejection-sampled;
+/// stops short of m on saturated small domains like Gnm's contract.
+Graph RmatGraph(size_t n, size_t m, uint64_t seed, double a = 0.57,
+                double b = 0.19, double c = 0.19);
+
+/// Road-like bounded-degree network: the n vertices on a near-square
+/// lattice (4-neighbor grid edges, degree <= 4) plus `shortcuts` extra
+/// random edges (highways); degree stays O(1) for shortcuts = O(n).
+Graph RoadNetwork(size_t n, size_t shortcuts, uint64_t seed);
+
 /// Uniformly random spanning tree (random Prüfer-free attachment tree:
 /// vertex i attaches to a uniform earlier vertex, then labels shuffled).
 Graph RandomTree(size_t n, uint64_t seed);

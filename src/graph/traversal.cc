@@ -109,4 +109,81 @@ Hypergraph SpanningSubhypergraph(const Hypergraph& g) {
   return span;
 }
 
+std::vector<uint32_t> BridgeHyperedgeIndices(const Hypergraph& g) {
+  // Articulation points of the bipartite incidence graph B: nodes
+  // [0, n) are g's vertices, node n + i is hyperedge i, and B links a
+  // hyperedge node to each of its member vertices. A component of B
+  // always contains vertex nodes (hyperedge nodes have degree >= 2), so
+  // components of B restricted to vertex nodes are exactly components of
+  // g, with or without any one hyperedge -- hence hyperedge i is a bridge
+  // of g iff node n + i is an articulation point of B.
+  const size_t n = g.NumVertices();
+  const auto& edges = g.Edges();
+  const size_t total = n + edges.size();
+  std::vector<uint32_t> out;
+  if (edges.empty()) return out;
+
+  // Neighbor j of node x, materialized lazily from the incidence lists.
+  auto neighbor_count = [&](size_t x) {
+    return x < n ? g.IncidentIndices(static_cast<VertexId>(x)).size()
+                 : edges[x - n].size();
+  };
+  auto neighbor = [&](size_t x, size_t j) -> size_t {
+    return x < n ? n + g.IncidentIndices(static_cast<VertexId>(x))[j]
+                 : static_cast<size_t>(edges[x - n][j]);
+  };
+
+  constexpr uint32_t kUnvisited = 0xffffffffu;
+  std::vector<uint32_t> disc(total, kUnvisited);
+  std::vector<uint32_t> low(total, 0);
+  std::vector<bool> is_cut(total, false);
+  // Explicit DFS stack: (node, parent, next neighbor index to visit).
+  struct Frame {
+    uint32_t node;
+    uint32_t parent;
+    uint32_t next;
+  };
+  std::vector<Frame> stack;
+  uint32_t time = 0;
+  for (size_t root = 0; root < total; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    size_t root_children = 0;
+    disc[root] = low[root] = time++;
+    stack.push_back({static_cast<uint32_t>(root), kUnvisited, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next < neighbor_count(f.node)) {
+        const size_t w = neighbor(f.node, f.next++);
+        if (disc[w] == kUnvisited) {
+          if (f.node == root) ++root_children;
+          disc[w] = low[w] = time++;
+          stack.push_back({static_cast<uint32_t>(w), f.node, 0});
+        } else if (w != f.parent) {
+          low[f.node] = std::min(low[f.node], disc[w]);
+        }
+      } else {
+        const Frame done = f;
+        stack.pop_back();
+        if (done.parent != kUnvisited) {
+          low[done.parent] = std::min(low[done.parent], low[done.node]);
+          if (done.parent != root && low[done.node] >= disc[done.parent]) {
+            is_cut[done.parent] = true;
+          }
+        }
+      }
+    }
+    if (root_children >= 2) is_cut[root] = true;
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (is_cut[n + i]) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+std::vector<Hyperedge> BridgeHyperedges(const Hypergraph& g) {
+  std::vector<Hyperedge> out;
+  for (uint32_t i : BridgeHyperedgeIndices(g)) out.push_back(g.Edges()[i]);
+  return out;
+}
+
 }  // namespace gms

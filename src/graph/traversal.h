@@ -39,6 +39,17 @@ Graph SpanningForest(const Graph& g);
 /// of union-find components (a 1-skeleton in the paper's terminology).
 Hypergraph SpanningSubhypergraph(const Hypergraph& g);
 
+/// Indices (into g.Edges()) of the bridge hyperedges: those whose removal
+/// increases the number of connected components. Linear time via one
+/// articulation-point DFS over the bipartite incidence graph (vertex nodes
+/// + one node per hyperedge): a hyperedge is a bridge of g iff its
+/// incidence node is a cut vertex there -- removing the node splits the
+/// vertex nodes exactly as removing the hyperedge splits g.
+std::vector<uint32_t> BridgeHyperedgeIndices(const Hypergraph& g);
+
+/// The bridge hyperedges themselves, in g.Edges() order.
+std::vector<Hyperedge> BridgeHyperedges(const Hypergraph& g);
+
 }  // namespace gms
 
 #endif  // GMS_GRAPH_TRAVERSAL_H_

@@ -17,7 +17,7 @@ constexpr uint64_t kMaxQuerySet = 1u << 20;
 constexpr uint32_t kMaxMessageBytes = 1u << 16;
 
 bool KnownOp(uint16_t raw) {
-  return raw <= static_cast<uint16_t>(ServeOp::kStats);
+  return raw <= static_cast<uint16_t>(ServeOp::kIsBridge);
 }
 
 }  // namespace
@@ -31,6 +31,7 @@ const char* ServeOpName(ServeOp op) {
     case ServeOp::kVcAtLeast: return "vc_at_least";
     case ServeOp::kSkeletonEdgeCount: return "skeleton_edge_count";
     case ServeOp::kStats: return "stats";
+    case ServeOp::kIsBridge: return "is_bridge";
   }
   return "unknown";
 }

@@ -42,6 +42,10 @@ enum class ServeOp : uint16_t {
   kSkeletonEdgeCount = 5,
   /// value = total updates ingested across the server's engines.
   kStats = 6,
+  /// value = 1 iff graph edge {u, v} is a bridge: it is in the served
+  /// k-skeleton (k >= 2) and removing it disconnects the skeleton --
+  /// equivalently, whp, removing it disconnects G (skeleton engine).
+  kIsBridge = 7,
 };
 
 /// Stable lower-case name ("ping", "connected", ...); "unknown" outside

@@ -1,7 +1,9 @@
 #include "serve/sketch_server.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "graph/traversal.h"
 #include "graph/union_find.h"
 
 namespace gms {
@@ -32,6 +34,24 @@ ComponentIndex::ComponentIndex(size_t n, const Hypergraph& forest) {
   }
   comp_ = uf.ComponentIds();
   num_components_ = uf.NumComponents();
+}
+
+BridgeIndex::BridgeIndex(size_t n, const Hypergraph& skeleton) : n_(n) {
+  const std::vector<Hyperedge> bridges = BridgeHyperedges(skeleton);
+  num_bridges_ = bridges.size();
+  pairs_.reserve(bridges.size());
+  for (const Hyperedge& e : bridges) {
+    if (!e.IsGraphEdge()) continue;
+    pairs_.push_back(static_cast<uint64_t>(e[0]) << 32 | e[1]);
+  }
+  std::sort(pairs_.begin(), pairs_.end());
+}
+
+bool BridgeIndex::IsBridge(VertexId u, VertexId v) const {
+  if (u == v) return false;
+  const uint64_t key =
+      static_cast<uint64_t>(std::min(u, v)) << 32 | std::max(u, v);
+  return std::binary_search(pairs_.begin(), pairs_.end(), key);
 }
 
 SketchServerParams SketchServerParams::Builder::Build() const {
@@ -88,6 +108,16 @@ std::shared_ptr<const ComponentIndex> SketchServer::IndexFor(
     indexed_payload_ = payload;
   }
   return index_;
+}
+
+std::shared_ptr<const BridgeIndex> SketchServer::BridgeIndexFor(
+    const std::shared_ptr<const Hypergraph>& payload) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (bridge_indexed_payload_ != payload) {
+    bridge_index_ = std::make_shared<const BridgeIndex>(n_, *payload);
+    bridge_indexed_payload_ = payload;
+  }
+  return bridge_index_;
 }
 
 ServeResponse SketchServer::Handle(const ServeRequest& req) {
@@ -173,6 +203,33 @@ ServeResponse SketchServer::Dispatch(const ServeRequest& req) {
       resp.op = req.op;
       StampSnapshot(*snap, &resp);
       resp.value = snap->payload->NumEdges();
+      return resp;
+    }
+    case ServeOp::kIsBridge: {
+      if (!skeleton_ || params_.skeleton_k < 2) {
+        return Refuse(req.op,
+                      Status::FailedPrecondition(
+                          "bridge serving needs a skeleton engine with "
+                          "k >= 2"));
+      }
+      if (req.u >= n_ || req.v >= n_) {
+        return Refuse(req.op, Status::InvalidArgument(
+                                  "is_bridge: vertex id out of range"));
+      }
+      auto snap = skeleton_->Current();
+      if (!snap->status.ok()) {
+        ServeResponse resp = Refuse(req.op, snap->status);
+        StampSnapshot(*snap, &resp);
+        return resp;
+      }
+      auto index = BridgeIndexFor(snap->payload);
+      ServeResponse resp;
+      resp.op = req.op;
+      StampSnapshot(*snap, &resp);
+      resp.value = index->IsBridge(static_cast<VertexId>(req.u),
+                                   static_cast<VertexId>(req.v))
+                       ? 1
+                       : 0;
       return resp;
     }
     case ServeOp::kStats: {

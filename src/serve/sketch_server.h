@@ -57,6 +57,28 @@ class ComponentIndex {
   size_t num_components_ = 0;
 };
 
+/// The bridge edges of a served k-skeleton payload (k >= 2), flattened to
+/// a hash set of rank-2 endpoint pairs so a kIsBridge query is one probe.
+/// Like ComponentIndex: immutable after construction, built at most once
+/// per published payload (payload-pointer cache), shared across query
+/// threads. A skeleton bridge is whp a bridge of G itself: a G-cut of
+/// size 1 survives into any k >= 2 skeleton as that same single edge.
+class BridgeIndex {
+ public:
+  BridgeIndex(size_t n, const Hypergraph& skeleton);
+
+  /// True iff {u, v} is a rank-2 bridge hyperedge of the skeleton.
+  /// (Bridges of cardinality > 2 exist for hypergraphs but have no (u, v)
+  /// addressing; num_bridges() still counts them.)
+  bool IsBridge(VertexId u, VertexId v) const;
+  size_t num_bridges() const { return num_bridges_; }
+
+ private:
+  size_t n_ = 0;
+  std::vector<uint64_t> pairs_;  // sorted packed (min << 32 | max) keys
+  size_t num_bridges_ = 0;
+};
+
 struct SketchServerParams {
   /// The connectivity engine (always on).
   ForestSketchParams forest;
@@ -174,9 +196,15 @@ class SketchServer {
   std::optional<VcEngine> vc_;
   std::optional<SkeletonEngine> skeleton_;
 
+  /// As IndexFor, for the skeleton engine's bridge index.
+  std::shared_ptr<const BridgeIndex> BridgeIndexFor(
+      const std::shared_ptr<const Hypergraph>& payload);
+
   std::mutex index_mu_;
   std::shared_ptr<const Hypergraph> indexed_payload_;
   std::shared_ptr<const ComponentIndex> index_;
+  std::shared_ptr<const Hypergraph> bridge_indexed_payload_;
+  std::shared_ptr<const BridgeIndex> bridge_index_;
 
   mutable std::mutex stats_mu_;
   Stats stats_;

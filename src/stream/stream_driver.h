@@ -154,16 +154,26 @@ inline GutterDriverParams DriverParamsFromEngine(const EngineParams& engine) {
   return p;
 }
 
-/// Run the full reader/applier pipeline over `updates` into *sketch.
-/// Blocks until every batch is applied; the sketch is then in the exact
-/// state the serial per-update path would produce. Occupies the shared
-/// pool with readers + appliers workers for the duration (nested sketch
-/// dispatch inside degrades serial, like every other engine path).
-template <typename Sketch>
-DriverStats DriveStream(Sketch* sketch, std::span<const StreamUpdate> updates,
-                        const GutterDriverParams& params) {
+/// Run the full reader/applier pipeline over `num_updates` records into
+/// *sketch, pulling each record through `get`: a callable
+///
+///   const StreamUpdate& get(uint64_t j, StreamUpdate* scratch)
+///
+/// returning record j, either by reference into backing storage (span
+/// sources ignore `scratch`) or by decoding into *scratch and returning
+/// *scratch (disk sources; see workload/binary_stream.h). `get` is called
+/// concurrently from several reader threads but never twice for the same
+/// j, and each reader passes its own scratch -- so a decoding source needs
+/// no locking. Blocks until every batch is applied; the sketch is then in
+/// the exact state the serial per-update path would produce. Occupies the
+/// shared pool with readers + appliers workers for the duration (nested
+/// sketch dispatch inside degrades serial, like every other engine path).
+template <typename Sketch, typename GetUpdate>
+DriverStats DriveStreamRecords(Sketch* sketch, uint64_t num_updates,
+                               GetUpdate&& get,
+                               const GutterDriverParams& params) {
   DriverStats total;
-  if (updates.empty()) return total;
+  if (num_updates == 0) return total;
   const size_t n = sketch->n();
   const size_t appliers = std::max<size_t>(1, params.appliers);
   const size_t readers = std::max<size_t>(1, params.readers);
@@ -189,8 +199,9 @@ DriverStats DriveStream(Sketch* sketch, std::span<const StreamUpdate> updates,
 
   auto reader_loop = [&](size_t r) {
     DriverStats local;
-    const ShardRange slice = ShardOf(updates.size(), r, readers);
+    const ShardRange slice = ShardOf(num_updates, r, readers);
     Gutters gutters(n, gutter_cap);
+    StreamUpdate scratch;
     const Gutters::FlushFn flush = [&](VertexId v,
                                        std::vector<VertexUpdate>&& buf) {
       ++local.batches;
@@ -199,7 +210,7 @@ DriverStats DriveStream(Sketch* sketch, std::span<const StreamUpdate> updates,
     for (size_t begin = slice.begin; begin < slice.end; begin += epoch) {
       const size_t end = std::min(slice.end, begin + epoch);
       for (size_t j = begin; j < end; ++j) {
-        const StreamUpdate& u = updates[j];
+        const StreamUpdate& u = get(j, &scratch);
         GMS_CHECK_MSG(u.edge.size() <= codec.max_rank(),
                       "hyperedge exceeds max_rank");
         ++local.updates;
@@ -253,6 +264,19 @@ DriverStats DriveStream(Sketch* sketch, std::span<const StreamUpdate> updates,
     }
   });
   return total;
+}
+
+/// The in-memory source: drive a materialized update span through the
+/// pipeline (the record getter is a span index).
+template <typename Sketch>
+DriverStats DriveStream(Sketch* sketch, std::span<const StreamUpdate> updates,
+                        const GutterDriverParams& params) {
+  return DriveStreamRecords(
+      sketch, updates.size(),
+      [updates](uint64_t j, StreamUpdate*) -> const StreamUpdate& {
+        return updates[j];
+      },
+      params);
 }
 
 }  // namespace gms

@@ -1,11 +1,15 @@
 #include "testkit/oracle.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <algorithm>
+#include <utility>
 
+#include "apps/approx_min_cut.h"
+#include "apps/two_edge_connect.h"
 #include "connectivity/connectivity_query.h"
 #include "exact/hypergraph_mincut.h"
+#include "serve/sketch_server.h"
 #include "exact/strength.h"
 #include "graph/edge_codec.h"
 #include "graph/traversal.h"
@@ -103,6 +107,24 @@ OracleOutcome NotApplicable() {
   return out;
 }
 
+/// Ground-truth bridges by the definition: hyperedge e is a bridge iff
+/// deleting it increases the component count. Deliberately independent of
+/// the Tarjan-based BridgeHyperedges the apps use (quadratic, but the spec
+/// grid is tiny).
+std::vector<Hyperedge> BruteBridges(const Hypergraph& g) {
+  const std::vector<Hyperedge>& edges = g.Edges();
+  const size_t base = NumComponents(g);
+  std::vector<Hyperedge> bridges;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    Hypergraph h(g.NumVertices());
+    for (size_t j = 0; j < edges.size(); ++j) {
+      if (j != i) h.AddEdge(edges[j]);
+    }
+    if (NumComponents(h) > base) bridges.push_back(edges[i]);
+  }
+  return bridges;
+}
+
 }  // namespace
 
 const char* OracleName(OracleKind k) {
@@ -123,6 +145,12 @@ const char* OracleName(OracleKind k) {
       return "sparsifier";
     case OracleKind::kL0Sampler:
       return "l0_sampler";
+    case OracleKind::kTwoEdgeConnect:
+      return "two_edge_connect";
+    case OracleKind::kApproxMinCut:
+      return "approx_min_cut";
+    case OracleKind::kBridgeQuery:
+      return "bridge_query";
   }
   return "unknown";
 }
@@ -131,7 +159,9 @@ std::vector<OracleKind> AllOracles() {
   return {OracleKind::kComponents,   OracleKind::kSpanningNoGhost,
           OracleKind::kEdgeConnectivity, OracleKind::kLightRecovery,
           OracleKind::kVcQuery,      OracleKind::kHyperVcQuery,
-          OracleKind::kSparsifier,   OracleKind::kL0Sampler};
+          OracleKind::kSparsifier,   OracleKind::kL0Sampler,
+          OracleKind::kTwoEdgeConnect, OracleKind::kApproxMinCut,
+          OracleKind::kBridgeQuery};
 }
 
 OracleOutcome RunOracleOnStream(OracleKind kind, size_t n, size_t max_rank,
@@ -323,6 +353,128 @@ OracleOutcome RunOracleOnStream(OracleKind kind, size_t n, size_t max_rank,
         return Disagree("l0_sampler: edge " + edge->ToString() +
                         " has multiplicity " + std::to_string(sample->value) +
                         " (want 1)");
+      }
+      return OracleOutcome();
+    }
+
+    case OracleKind::kTwoEdgeConnect: {
+      apps::TwoEdgeConnect app(n, max_rank, sketch_seed);
+      app.Process(span);
+      auto got = app.Query();
+      if (!got.ok()) return DecodeFailed(got.status());
+      const apps::TwoEdgeConnectAnswer& ans = got.value();
+      const size_t want_components = NumComponents(truth);
+      if (ans.num_components != want_components) {
+        return Disagree("two_edge_connect: components sketch=" +
+                        std::to_string(ans.num_components) +
+                        " exact=" + std::to_string(want_components));
+      }
+      for (const Hyperedge& e : ans.skeleton.Edges()) {
+        if (!truth.HasEdge(e)) {
+          return Disagree("two_edge_connect: ghost skeleton edge " +
+                          e.ToString());
+        }
+      }
+      const Hypergraph got_bridges(n, ans.bridges);
+      const Hypergraph want_bridges(n, BruteBridges(truth));
+      if (!(got_bridges == want_bridges)) {
+        return Disagree("two_edge_connect: bridge set mismatch (sketch " +
+                        std::to_string(got_bridges.NumEdges()) + ", exact " +
+                        std::to_string(want_bridges.NumEdges()) + ")");
+      }
+      const bool want_2ec =
+          want_components == 1 && want_bridges.NumEdges() == 0;
+      if (ans.two_edge_connected != want_2ec) {
+        return Disagree("two_edge_connect: verdict sketch=" +
+                        std::to_string(ans.two_edge_connected) +
+                        " exact=" + std::to_string(want_2ec));
+      }
+      return OracleOutcome();
+    }
+
+    case OracleKind::kApproxMinCut: {
+      apps::ApproxMinCut app(n, max_rank, /*k_cap=*/opt.k, sketch_seed);
+      app.Process(span);
+      auto got = app.Query();
+      if (!got.ok()) return DecodeFailed(got.status());
+      const apps::MinCutEstimate& est = got.value();
+      size_t lambda = 0;
+      if (IsConnected(truth)) {
+        const HypergraphCut exact = truth.NumVertices() <= 16
+                                        ? HypergraphMinCutBrute(truth)
+                                        : HypergraphMinCut(truth);
+        lambda = static_cast<size_t>(exact.value + 0.5);
+      }
+      const size_t want = std::min(lambda, opt.k);
+      if (est.value != want) {
+        return Disagree("approx_min_cut: sketch=" + std::to_string(est.value) +
+                        " exact=" + std::to_string(want) +
+                        " (lambda=" + std::to_string(lambda) + ")");
+      }
+      if (est.exact) {
+        // An exact answer must certify itself: value below the resolving
+        // level's k, and a shore of the TRUE graph achieving it.
+        if (est.value >= est.resolved_k) {
+          return Disagree("approx_min_cut: exact answer " +
+                          std::to_string(est.value) +
+                          " not below resolved_k=" +
+                          std::to_string(est.resolved_k));
+        }
+        if (est.shore.size() != n ||
+            truth.CutSize(est.shore) != est.value) {
+          return Disagree("approx_min_cut: shore does not achieve the "
+                          "claimed cut value " + std::to_string(est.value));
+        }
+      } else if (lambda < opt.k) {
+        return Disagree("approx_min_cut: saturated at k_cap=" +
+                        std::to_string(opt.k) + " but lambda=" +
+                        std::to_string(lambda));
+      }
+      return OracleOutcome();
+    }
+
+    case OracleKind::kBridgeQuery: {
+      if (truth.Rank() > 2) return NotApplicable();
+      serve::SketchServerParams params =
+          serve::SketchServerParams::Builder()
+              .MaxRank(max_rank)
+              .SkeletonK(std::max<size_t>(2, opt.k))
+              .Build();
+      serve::SketchServer server(n, params, sketch_seed);
+      server.Ingest(span);
+      server.Flush();
+      const Hypergraph exact_bridges(n, BruteBridges(truth));
+      // Every true edge, then random (possibly absent) pairs: a non-edge
+      // is never a bridge, and the server must say so too.
+      std::vector<std::pair<VertexId, VertexId>> pairs;
+      for (const Hyperedge& e : truth.Edges()) pairs.push_back({e[0], e[1]});
+      Rng rng(Mix64(sketch_seed ^ 0x3c6ef372fe94f82bULL));
+      for (size_t q = 0; q < opt.num_queries; ++q) {
+        pairs.push_back({static_cast<VertexId>(rng.Below(n)),
+                         static_cast<VertexId>(rng.Below(n))});
+      }
+      for (const auto& [u, v] : pairs) {
+        serve::ServeRequest req;
+        req.op = serve::ServeOp::kIsBridge;
+        req.u = u;
+        req.v = v;
+        std::vector<uint8_t> frame, reply;
+        serve::EncodeServeRequest(req, &frame);
+        server.HandleFrame(frame, &reply);
+        auto resp = serve::DecodeServeResponse(reply);
+        if (!resp.ok()) return DecodeFailed(resp.status());
+        if (resp->code != StatusCode::kOk) {
+          return DecodeFailed(resp->status());
+        }
+        const bool want =
+            u != v && exact_bridges.HasEdge(Hyperedge(std::vector<VertexId>{
+                          std::min(u, v), std::max(u, v)}));
+        if ((resp->value != 0) != want) {
+          return Disagree("bridge_query: edge {" + std::to_string(u) + "," +
+                          std::to_string(v) + "} sketch=" +
+                          (resp->value ? "bridge" : "not bridge") +
+                          " exact=" + (want ? "bridge" : "not bridge"));
+        }
       }
       return OracleOutcome();
     }

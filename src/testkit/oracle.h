@@ -17,6 +17,11 @@
 //   kSparsifier        HypergraphSparsifierSketch   cut_eval sampled cuts
 //   kL0Sampler         L0Sampler over the edge      support membership
 //                      codec domain
+//   kTwoEdgeConnect    apps::TwoEdgeConnect         per-edge-removal brute
+//                                                   bridges + components
+//   kApproxMinCut      apps::ApproxMinCut           HypergraphMinCut[Brute]
+//   kBridgeQuery       serve::SketchServer          per-edge-removal brute
+//                      kIsBridge over wire frames   bridges (graphs only)
 #ifndef GMS_TESTKIT_ORACLE_H_
 #define GMS_TESTKIT_ORACLE_H_
 
@@ -42,6 +47,17 @@ enum class OracleKind : uint8_t {
   kHyperVcQuery,
   kSparsifier,
   kL0Sampler,
+  /// apps::TwoEdgeConnect (forest peeling) vs per-edge-removal brute
+  /// bridges + exact component count of the final graph.
+  kTwoEdgeConnect,
+  /// apps::ApproxMinCut (k-skeleton doubling, k_cap = opt.k) vs exact
+  /// global min cut (brute enumeration for small n, Queyranne otherwise);
+  /// exact answers must also ship a shore achieving the value.
+  kApproxMinCut,
+  /// serve::SketchServer kIsBridge through the WIRE protocol (encode
+  /// request, HandleFrame, decode response) vs brute bridges. Graph
+  /// streams only (bridge queries address edges as (u, v) pairs).
+  kBridgeQuery,
 };
 
 const char* OracleName(OracleKind k);

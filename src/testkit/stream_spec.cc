@@ -31,6 +31,9 @@ constexpr FamilyEntry kFamilies[] = {
     {Family::kRandomHypergraph, "random_hypergraph"},
     {Family::kPlantedHyperSeparator, "planted_hyper_separator"},
     {Family::kPlantedHyperCut, "planted_hyper_cut"},
+    {Family::kRmat, "rmat"},
+    {Family::kRoadLike, "road_like"},
+    {Family::kTemporalChurn, "temporal_churn"},
 };
 
 struct ChurnEntry {
@@ -141,6 +144,37 @@ BuiltStream StreamSpec::Build() const {
       out.planted_cut = planted.planted_cut_size;
       out.max_rank = rank;
       break;
+    }
+    case Family::kRmat:
+      out.final_graph = Hypergraph::FromGraph(RmatGraph(n, m, gseed));
+      break;
+    case Family::kRoadLike:
+      out.final_graph = Hypergraph::FromGraph(RoadNetwork(n, m, gseed));
+      break;
+    case Family::kTemporalChurn: {
+      // Sliding-window replay over a Gnm edge population: the stream IS
+      // the schedule, so this family bypasses the churn switch below.
+      // `m` is the window (= final edge count), `decoys` the edges that
+      // expire out of the window before the stream ends.
+      const size_t max_m = size_t{n} * (n - 1) / 2;
+      const size_t population = std::min<size_t>(max_m, size_t{m} + decoys);
+      Graph pool = Gnm(n, population, gseed);
+      std::vector<Edge> order = pool.Edges();
+      Rng rng(sseed);
+      Shuffle(order, rng);
+      const size_t window = std::min<size_t>(m, order.size());
+      out.final_graph = Hypergraph(n);
+      for (size_t i = order.size() - window; i < order.size(); ++i) {
+        out.final_graph.AddEdge(Hyperedge(order[i]));
+      }
+      for (size_t i = 0; i < order.size(); ++i) {
+        out.stream.Push(Hyperedge(order[i]), +1);
+        if (i >= window) {
+          out.stream.Push(Hyperedge(order[i - window]), -1);
+        }
+      }
+      out.max_rank = 2;
+      return out;
     }
   }
   // A family can legally emit edges above its nominal rank field (e.g.
@@ -323,7 +357,12 @@ std::vector<StreamSpec> DefaultSpecGrid() {
                     .m = 14,
                     .k = 3,
                     .rank = 3}));
+    add(with_churn({.family = Family::kRmat, .n = 20, .m = 36}));
+    add(with_churn({.family = Family::kRoadLike, .n = 20, .m = 5}));
   }
+  // kTemporalChurn owns its stream schedule (the churn field is ignored),
+  // so it appears once, not once per churn.
+  add({.family = Family::kTemporalChurn, .n = 18, .m = 24, .decoys = 16});
   return grid;
 }
 

@@ -35,6 +35,14 @@ enum class Family : uint8_t {
   kRandomHypergraph,    // RandomHypergraph(n, m, rank_min, rank, gseed)
   kPlantedHyperSeparator,  // PlantedHypergraphSeparator(n, k, rank, gseed)
   kPlantedHyperCut,        // PlantedHypergraphCut(n, rank, k, m, gseed)
+  kRmat,                   // RmatGraph(n, m, gseed): power-law / Kronecker
+  kRoadLike,               // RoadNetwork(n, m shortcuts, gseed)
+  kTemporalChurn,          // sliding-window Gnm replay; see Build() -- this
+                           // family OWNS its stream schedule (the churn
+                           // field is ignored): insert `m + decoys` edges
+                           // in seeded order, deleting edge i-m right
+                           // after inserting edge i, so the final graph is
+                           // the last m edges and `decoys` edges expired.
 };
 
 /// Churn schedules layered over the family's final graph.

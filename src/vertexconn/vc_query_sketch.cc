@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <new>
+#include <string>
 
 #include "exact/vertex_connectivity.h"
 #include "graph/traversal.h"
@@ -19,9 +20,14 @@ Result<std::vector<VertexId>> NormalizeQuerySet(const std::vector<VertexId>& s,
                                                 size_t n, size_t k) {
   std::vector<VertexId> distinct;
   distinct.reserve(s.size());
-  for (VertexId v : s) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    const VertexId v = s[i];
     if (v >= n) {
-      return Status::InvalidArgument("query vertex id out of range");
+      // Cite the position in the CALLER'S vector, before dedup, so the
+      // caller can index straight into what they passed.
+      return Status::InvalidArgument(
+          "query vertex id out of range at position " + std::to_string(i) +
+          ": " + std::to_string(v) + " >= n=" + std::to_string(n));
     }
     if (std::find(distinct.begin(), distinct.end(), v) == distinct.end()) {
       distinct.push_back(v);

@@ -1,0 +1,63 @@
+#include "workload/file_corpus.h"
+
+#include <string>
+#include <utility>
+
+#include "testkit/stream_spec.h"
+#include "workload/spec_convert.h"
+
+namespace gms {
+namespace workload {
+
+std::vector<testkit::CorpusEntry> StreamFileSeedCorpus() {
+  using testkit::Family;
+  std::vector<testkit::CorpusEntry> entries;
+  auto add = [&entries](std::string name, std::vector<uint8_t> bytes) {
+    entries.push_back({std::move(name), std::move(bytes)});
+  };
+
+  // One small instance per structurally distinct family: enough header and
+  // record diversity to seed the mutator without bloating the checkout.
+  const testkit::StreamSpec specs[] = {
+      {.family = Family::kGnm, .n = 12, .m = 18},
+      {.family = Family::kRandomUniform, .n = 10, .m = 12, .rank = 4},
+      {.family = Family::kRmat, .n = 16, .m = 24},
+      {.family = Family::kRoadLike, .n = 16, .m = 4},
+      {.family = Family::kTemporalChurn, .n = 12, .m = 14, .decoys = 10},
+  };
+  for (const testkit::StreamSpec& spec : specs) {
+    add(std::string(testkit::FamilyName(spec.family)) + ".gmsb",
+        EncodeSpecStream(spec));
+  }
+
+  // Hostile variants of the first (plain graph) image.
+  const std::vector<uint8_t> base = EncodeSpecStream(specs[0]);
+  {
+    std::vector<uint8_t> truncated(base.begin(),
+                                   base.begin() + base.size() / 2);
+    add("gnm_truncated.gmsb", std::move(truncated));
+  }
+  {
+    std::vector<uint8_t> bad_magic = base;
+    bad_magic[0] ^= 0xff;
+    add("gnm_bad_magic.gmsb", std::move(bad_magic));
+  }
+  {
+    // Flip one checksum byte: the record region stays valid but the header
+    // no longer vouches for it.
+    std::vector<uint8_t> bad_sum = base;
+    bad_sum[32] ^= 0x01;
+    add("gnm_bad_checksum.gmsb", std::move(bad_sum));
+  }
+  {
+    // Corrupt one record id (breaks strict ordering or the id domain) and
+    // leave the checksum stale too.
+    std::vector<uint8_t> bad_record = base;
+    bad_record[kBinaryStreamHeaderBytes + 3] ^= 0x80;
+    add("gnm_bad_record.gmsb", std::move(bad_record));
+  }
+  return entries;
+}
+
+}  // namespace workload
+}  // namespace gms

@@ -1,0 +1,24 @@
+// Seed corpus for the binary stream-file fuzzer (fuzz/fuzz_stream_file.cc):
+// valid GMSB images of representative generator families, plus deliberately
+// broken variants (truncated, bad magic, checksum flip, corrupt record) so
+// the unmutated smoke replay already exercises every rejection path.
+// Lives in workload/ (not testkit/corpus.*) because encoding needs the
+// format layer, which itself layers ABOVE testkit.
+#ifndef GMS_WORKLOAD_FILE_CORPUS_H_
+#define GMS_WORKLOAD_FILE_CORPUS_H_
+
+#include <vector>
+
+#include "testkit/corpus.h"
+
+namespace gms {
+namespace workload {
+
+/// Deterministic GMSB seed entries (valid + hostile). Written to
+/// fuzz/corpus/stream_file by gms_gen_corpus.
+std::vector<testkit::CorpusEntry> StreamFileSeedCorpus();
+
+}  // namespace workload
+}  // namespace gms
+
+#endif  // GMS_WORKLOAD_FILE_CORPUS_H_

@@ -1,0 +1,26 @@
+#include "workload/spec_convert.h"
+
+namespace gms {
+namespace workload {
+
+std::vector<uint8_t> EncodeSpecStream(const testkit::StreamSpec& spec,
+                                      testkit::BuiltStream* built) {
+  testkit::BuiltStream b = spec.Build();
+  std::vector<uint8_t> bytes = EncodeBinaryStream(
+      spec.n, b.max_rank,
+      std::span<const StreamUpdate>(b.stream.updates()));
+  if (built != nullptr) *built = std::move(b);
+  return bytes;
+}
+
+Status WriteSpecStreamFile(const testkit::StreamSpec& spec,
+                           const std::string& path,
+                           testkit::BuiltStream* built) {
+  testkit::BuiltStream b = spec.Build();
+  Status s = WriteBinaryStreamFile(path, spec.n, b.max_rank, b.stream);
+  if (built != nullptr) *built = std::move(b);
+  return s;
+}
+
+}  // namespace workload
+}  // namespace gms

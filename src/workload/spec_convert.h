@@ -1,0 +1,33 @@
+// StreamSpec -> binary stream file conversion: materialize any testkit
+// generator family (including the real-graph-shaped ones this layer added:
+// rmat, road_like, temporal_churn) into the disk format, so benches and
+// examples replay identical bytes instead of regenerating per run. The
+// one-line spec string stays the provenance record: encode it next to the
+// file and any corpus entry is reproducible from the line alone.
+#ifndef GMS_WORKLOAD_SPEC_CONVERT_H_
+#define GMS_WORKLOAD_SPEC_CONVERT_H_
+
+#include <string>
+#include <vector>
+
+#include "testkit/stream_spec.h"
+#include "workload/binary_stream.h"
+
+namespace gms {
+namespace workload {
+
+/// Build the spec and encode its stream as a full binary file image.
+/// When `built` is non-null it receives the materialized stream and final
+/// graph (for callers that also need the ground truth).
+std::vector<uint8_t> EncodeSpecStream(const testkit::StreamSpec& spec,
+                                      testkit::BuiltStream* built = nullptr);
+
+/// Build the spec and write its stream to `path`.
+Status WriteSpecStreamFile(const testkit::StreamSpec& spec,
+                           const std::string& path,
+                           testkit::BuiltStream* built = nullptr);
+
+}  // namespace workload
+}  // namespace gms
+
+#endif  // GMS_WORKLOAD_SPEC_CONVERT_H_

@@ -411,5 +411,63 @@ TEST(DeterminismTest, GutterDriverRoutedContainersBitIdentical) {
   }
 }
 
+// Workload-corpus families through every ingest mode: one power-law
+// (kRmat, with churn) and one temporal-churn instance (the family that
+// owns its own sliding-delete schedule), serial vs sharded-merge vs
+// gutter-driver, compared at serialized-frame strength. These families
+// stress skew the expander matrix above does not: rmat hubs concentrate
+// updates on few gutters, and temporal churn interleaves every insert
+// with a delete of the edge that expired.
+TEST(DeterminismTest, WorkloadFamiliesAcrossIngestModesBitIdentical) {
+  constexpr uint64_t kSeed = 67;
+  std::vector<testkit::StreamSpec> specs(2);
+  specs[0].family = testkit::Family::kRmat;
+  specs[0].n = 64;
+  specs[0].m = 160;
+  specs[0].gseed = 23;
+  specs[0].churn = testkit::Churn::kWithChurn;
+  specs[0].decoys = 64;
+  specs[0].sseed = 29;
+  specs[1].family = testkit::Family::kTemporalChurn;
+  specs[1].n = 48;
+  specs[1].m = 96;
+  specs[1].gseed = 31;
+  specs[1].decoys = 64;
+  specs[1].sseed = 37;
+
+  for (const testkit::StreamSpec& spec : specs) {
+    SCOPED_TRACE(spec.ToString());
+    testkit::BuiltStream built = spec.Build();
+    ASSERT_TRUE(built.stream.Validate());
+
+    const ForestSketchParams serial_params =
+        ForestSketchParams::Builder().Config(SketchConfig::Light()).Build();
+    SpanningForestSketch serial(spec.n, /*max_rank=*/2, kSeed, serial_params);
+    for (const auto& u : built.stream.updates()) serial.Update(u.edge, u.delta);
+    const std::vector<uint8_t> serial_frame = Frame(serial);
+
+    SpanningForestSketch sharded(
+        spec.n, 2, kSeed,
+        ForestSketchParams::Builder(serial_params)
+            .Engine(EngineParams::Builder()
+                        .Threads(4)
+                        .Mode(IngestMode::kShardedMerge)
+                        .Build())
+            .Build());
+    sharded.Process(built.stream);
+    EXPECT_TRUE(sharded.StateEquals(serial));
+    EXPECT_EQ(Frame(sharded), serial_frame) << "sharded-merge frame diverges";
+
+    SpanningForestSketch driver(
+        spec.n, 2, kSeed,
+        ForestSketchParams::Builder(serial_params)
+            .Engine(DriverEngine(/*readers=*/2, /*appliers=*/2))
+            .Build());
+    driver.Process(built.stream);
+    EXPECT_TRUE(driver.StateEquals(serial));
+    EXPECT_EQ(Frame(driver), serial_frame) << "gutter-driver frame diverges";
+  }
+}
+
 }  // namespace
 }  // namespace gms

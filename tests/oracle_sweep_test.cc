@@ -157,6 +157,36 @@ TEST(OracleSweep, SparsifierPreservesCutsWithinEpsilon) {
   RunCase(c);
 }
 
+TEST(OracleSweep, TwoEdgeConnectMatchesBruteBridges) {
+  SweepCase c;
+  c.kind = OracleKind::kTwoEdgeConnect;
+  c.specs = GridSpecs(/*insert_only=*/false, /*family_filter=*/-1);
+  c.min_success = 0.9;
+  RunCase(c);
+}
+
+TEST(OracleSweep, ApproxMinCutMatchesExactGlobalMinCut) {
+  SweepCase c;
+  c.kind = OracleKind::kApproxMinCut;
+  c.specs = GridSpecs(/*insert_only=*/true, /*family_filter=*/-1);
+  // k_cap = 4: the doubling ladder runs levels k = 1, 2, 4, so both the
+  // exact-below-k exit and the saturated cap are exercised across the grid.
+  c.opt.k = 4;
+  c.min_success = 0.85;
+  RunCase(c);
+}
+
+TEST(OracleSweep, BridgeQueriesOverTheWireMatchBruteBridges) {
+  SweepCase c;
+  c.kind = OracleKind::kBridgeQuery;
+  // Each trial stands up a full SketchServer (engine threads + wire
+  // round-trips), so sweep the graph-only insert-only slice of the grid.
+  c.specs = GridSpecs(/*insert_only=*/true, /*family_filter=*/0);
+  c.opt.num_queries = 4;
+  c.min_success = 0.9;
+  RunCase(c);
+}
+
 // Churn schedules must not change ANY oracle's behavior (the sketches are
 // linear; decoys cancel exactly). One representative expensive-oracle case
 // to complement the cheap all-churn sweeps above.

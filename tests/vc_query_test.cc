@@ -246,6 +246,21 @@ TEST(VcQueryTest, DeprecatedFinalizeMatchesQuery) {
   EXPECT_EQ(a.value(), b.value());
 }
 
+TEST(NormalizeQuerySetTest, RangeErrorCitesCallerVisiblePosition) {
+  // Regression: the range check used to report the index into the
+  // DEDUPLICATED vector, so with duplicates ahead of the bad id the cited
+  // position pointed at the wrong element of the caller's vector. The
+  // message must cite position 2 -- where {0, 0, 99} holds the 99 -- not
+  // position 1, where dedup would have landed it.
+  auto r = NormalizeQuerySet({0, 0, 99}, /*n=*/16, /*k=*/4);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("position 2"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("99"), std::string::npos)
+      << r.status().message();
+}
+
 TEST(SubsampledForestUnionTest, CoverageGrowsWithR) {
   const ForestSketchParams fp =
       ForestSketchParams::Builder().Config(SketchConfig::Light()).Build();
