@@ -21,9 +21,12 @@
 //
 // --serve_smoke: reduced workload, same asserts minus the rate floor; the
 // ServeSmoke ctest (default + tsan presets) runs this mode.
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -210,7 +213,73 @@ ServingResult RunServing(size_t n, size_t decoys, size_t epoch_updates,
   return r;
 }
 
-void WriteJson(const std::vector<ServingResult>& rows) {
+// prepare_once comparison: SketchServer::Ingest routes ONE shared
+// encode/prepare/route pass through the ingest plane into every engine's
+// open delta; IngestIndependent is the pre-plane baseline where each
+// engine re-prepares every update. Both timings flow through the shared
+// best-of-3 helper (bench_util.h), so the printed table and the JSON row
+// cannot report different reps. The two paths must land bit-identical
+// snapshots -- asserted here on the flushed forest payload (gms_plane_tests
+// covers all three engines at frame strength).
+struct PrepareOnceRow {
+  size_t n = 0;
+  size_t updates = 0;
+  double shared_seconds = 0;
+  double independent_seconds = 0;
+};
+
+PrepareOnceRow RunPrepareOnce(size_t n, size_t decoys, uint64_t seed) {
+  const Graph g = UnionOfHamiltonianCycles(n, 3, seed);
+  const DynamicStream stream = DynamicStream::WithChurn(g, decoys, seed + 1);
+  const std::span<const StreamUpdate> updates(stream.updates());
+
+  // Every engine must actually ride the plane for the row to measure it:
+  // the VC engine's subsample count R is its route-bit demand, and the
+  // paper-default R at this n overflows the plane's 64-bit budget, which
+  // would silently drop VC to the per-engine fallback in BOTH columns.
+  // R=32 keeps forest (1 bit) + skeleton (1) + vc (32) on one pass.
+  const auto params =
+      serve::SketchServerParams::Builder()
+          .Forest(ForestSketchParams::Builder()
+                      .Config(SketchConfig::Light())
+                      .Build())
+          .Vc(VcQueryParams::Builder()
+                  .K(2)
+                  .ExplicitR(32)
+                  .Forest(ForestSketchParams::Builder()
+                              .Config(SketchConfig::Light())
+                              .Build())
+                  .Build())
+          .SkeletonK(2)
+          .EpochUpdates(4096)
+          .Build();
+  std::optional<serve::SketchServer> server;
+  const auto reset = [&] { server.emplace(n, params, seed + 2); };
+
+  reset();
+  const bench::IngestTiming shared =
+      bench::BestOfThree(reset, [&] { server->Ingest(updates); });
+  server->Flush();
+  const Hypergraph shared_forest = *server->forest_engine().Current()->payload;
+
+  reset();
+  const bench::IngestTiming independent =
+      bench::BestOfThree(reset, [&] { server->IngestIndependent(updates); });
+  server->Flush();
+  GMS_CHECK_MSG(*server->forest_engine().Current()->payload == shared_forest,
+                "serving bench: prepare_once forest payload diverges from "
+                "the independent ingest baseline");
+
+  PrepareOnceRow r;
+  r.n = n;
+  r.updates = updates.size();
+  r.shared_seconds = shared.best_secs;
+  r.independent_seconds = independent.best_secs;
+  return r;
+}
+
+void WriteJson(const std::vector<ServingResult>& rows,
+               const std::vector<PrepareOnceRow>& prepare_rows) {
   FILE* f = std::fopen("BENCH_serving.json", "w");
   if (f == nullptr) {
     std::printf("could not open BENCH_serving.json for writing\n");
@@ -244,6 +313,18 @@ void WriteJson(const std::vector<ServingResult>& rows) {
         static_cast<unsigned long long>(r.engine.updates_merged),
         i + 1 < rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"prepare_once\": [\n");
+  for (size_t i = 0; i < prepare_rows.size(); ++i) {
+    const PrepareOnceRow& r = prepare_rows[i];
+    std::fprintf(
+        f,
+        "    {\"n\": %zu, \"updates\": %zu, \"shared_seconds\": %.6f,\n"
+        "     \"independent_seconds\": %.6f, "
+        "\"prepare_once_speedup\": %.3f}%s\n",
+        r.n, r.updates, r.shared_seconds, r.independent_seconds,
+        r.independent_seconds / std::max(r.shared_seconds, 1e-9),
+        i + 1 < prepare_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote BENCH_serving.json\n");
@@ -257,10 +338,13 @@ int Run(bool smoke) {
                 "epoch.");
 
   std::vector<ServingResult> rows;
+  std::vector<PrepareOnceRow> prepare_rows;
   if (smoke) {
     rows.push_back(RunServing(/*n=*/512, /*decoys=*/2000,
                               /*epoch_updates=*/1024, /*query_threads=*/2,
                               /*require_rate=*/false, /*seed=*/11));
+    prepare_rows.push_back(
+        RunPrepareOnce(/*n=*/512, /*decoys=*/2000, /*seed=*/21));
   } else {
     rows.push_back(RunServing(/*n=*/2000, /*decoys=*/20000,
                               /*epoch_updates=*/4096, /*query_threads=*/2,
@@ -268,6 +352,8 @@ int Run(bool smoke) {
     rows.push_back(RunServing(/*n=*/2000, /*decoys=*/20000,
                               /*epoch_updates=*/16384, /*query_threads=*/4,
                               /*require_rate=*/true, /*seed=*/12));
+    prepare_rows.push_back(
+        RunPrepareOnce(/*n=*/2000, /*decoys=*/20000, /*seed=*/21));
   }
 
   Table table({"n", "updates", "epoch", "qthreads", "ingest", "queries/s",
@@ -286,7 +372,20 @@ int Run(bool smoke) {
   }
   table.Print();
 
-  if (!smoke) WriteJson(rows);
+  Table prepare_table(
+      {"n", "updates", "shared_s", "independent_s", "prep1x"});
+  for (const PrepareOnceRow& r : prepare_rows) {
+    prepare_table.AddRow(
+        {Table::Fmt(r.n), Table::Fmt(r.updates),
+         Table::Fmt(r.shared_seconds, 3), Table::Fmt(r.independent_seconds, 3),
+         Table::Fmt(r.independent_seconds / std::max(r.shared_seconds, 1e-9),
+                    2)});
+  }
+  prepare_table.Print(
+      "prepare_once: one shared encode/route pass (Ingest) vs per-engine "
+      "re-prepare (IngestIndependent), forest + vc + skeleton");
+
+  if (!smoke) WriteJson(rows, prepare_rows);
   std::printf("serving bench: all assertions held\n");
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "reconstruct/light_recovery.h"
 #include "reconstruct/row_reconstruct.h"
 #include "sparsify/sparsifier_sketch.h"
+#include "stream/ingest_plane.h"
 #include "stream/stream.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -41,27 +42,11 @@ struct EngineRow {
   ExtractStats stats;       // extraction-engine counters for that finalize
 };
 
-/// Best-of-3 ingest wall time. The state is linear, so Clear + re-Process
-/// replays the identical measurement; min over repeats is the standard
-/// noise-robust estimator. ALL reps are kept so consumers can audit that
-/// the reported number really is the min (perf_smoke asserts it).
-struct IngestTiming {
-  double best_secs = 0;  // min over reps -- the ONE number emitters report
-  double reps[3] = {0, 0, 0};
-};
-
-template <typename Sketch>
-IngestTiming BestOfThreeIngest(Sketch* sketch, const DynamicStream& stream) {
-  IngestTiming t;
-  for (int rep = 0; rep < 3; ++rep) {
-    if (rep > 0) sketch->Clear();
-    Timer ingest;
-    sketch->Process(stream);
-    t.reps[rep] = ingest.Seconds();
-    if (rep == 0 || t.reps[rep] < t.best_secs) t.best_secs = t.reps[rep];
-  }
-  return t;
-}
+// Best-of-3 timing lives in bench_util.h (bench::IngestTiming /
+// bench::BestOfThreeIngest) so every bench binary's printed and JSON
+// ingest rows flow through the same helper.
+using bench::BestOfThreeIngest;
+using bench::IngestTiming;
 
 /// The single constructor of an ingest row. The printed table and the
 /// JSON emitter both read the fields this fills from ONE IngestTiming, so
@@ -630,6 +615,90 @@ void WriteJson(const std::vector<EngineRow>& rows, size_t n, size_t updates,
   bench::MirrorToRepoRoot("BENCH_throughput.json");
 }
 
+/// The shared-ingestion-plane guard (`--plane_smoke`, also folded into
+/// `--perf_smoke`): three same-codec forest consumers ingest one churn
+/// stream twice -- independently (each consumer encodes, prepares, and
+/// routes every update itself: the N-times re-prepare cost the plane
+/// exists to delete) and through ONE IngestPlane pass. Hard-fails if
+///   - the plane pass costs more than 1.15x the independent pass + 20ms
+///     absolute slack (expected value is BELOW 1x -- the plane pays one
+///     encode/route where independent pays three -- so any trip means the
+///     per-consumer re-prepare crept back in, plus overhead on top), or
+///   - any consumer's serialized frame differs between the two passes
+///     (the fan-out broke bit-identity).
+int PlaneGuard() {
+  constexpr size_t kN = 1 << 12;
+  Graph g = UnionOfHamiltonianCycles(kN, 3, /*seed=*/40);
+  DynamicStream stream = DynamicStream::WithChurn(g, /*decoys=*/kN, 41);
+  const std::span<const StreamUpdate> updates(stream.updates());
+  ForestSketchParams params;
+  params.config = SketchConfig::Light();
+  params.rounds = 3;
+
+  std::vector<SpanningForestSketch> consumers;
+  consumers.reserve(3);
+  for (uint64_t seed = 42; seed < 45; ++seed) {
+    consumers.emplace_back(kN, 2, seed, params);
+  }
+  {
+    // Untimed warm-up of both code paths (page faults, branch history).
+    for (auto& c : consumers) c.Process(stream);
+    for (auto& c : consumers) c.Clear();
+    IngestPlane warm;
+    for (auto& c : consumers) warm.Add(&c);
+    warm.Process(updates);
+    for (auto& c : consumers) c.Clear();
+  }
+
+  const auto clear_all = [&] {
+    for (auto& c : consumers) c.Clear();
+  };
+  const IngestTiming independent = bench::BestOfThree(clear_all, [&] {
+    for (auto& c : consumers) c.Process(stream);
+  });
+  std::vector<std::vector<uint8_t>> independent_frames(consumers.size());
+  for (size_t i = 0; i < consumers.size(); ++i) {
+    consumers[i].Serialize(&independent_frames[i]);
+  }
+
+  clear_all();
+  IngestPlane plane;
+  for (auto& c : consumers) plane.Add(&c);
+  const IngestTiming shared = bench::BestOfThree(clear_all, [&] {
+    plane.Process(updates);
+  });
+
+  const double ratio = shared.best_secs / std::max(independent.best_secs, 1e-9);
+  std::printf(
+      "plane_smoke: n=%zu updates=%zu consumers=%zu independent=%.4fs "
+      "plane=%.4fs (%.2fx)\n",
+      kN, stream.size(), consumers.size(), independent.best_secs,
+      shared.best_secs, ratio);
+  for (size_t i = 0; i < consumers.size(); ++i) {
+    std::vector<uint8_t> frame;
+    consumers[i].Serialize(&frame);
+    if (frame != independent_frames[i]) {
+      std::printf(
+          "plane_smoke: FAIL (consumer %zu's plane-ingested frame diverges "
+          "from its independently ingested frame)\n",
+          i);
+      return 1;
+    }
+  }
+  const double limit = 1.15 * independent.best_secs + 0.02;
+  if (shared.best_secs > limit) {
+    std::printf(
+        "plane_smoke: FAIL (one shared pass %.4fs exceeds 1.15x the "
+        "independent passes + 20ms = %.4fs; the per-consumer re-prepare "
+        "cost is back)\n",
+        shared.best_secs, limit);
+    return 1;
+  }
+  std::printf("plane_smoke: PASS (frames bit-identical, limit was %.4fs)\n",
+              limit);
+  return 0;
+}
+
 /// `--perf_smoke`: a CI-sized guard on the finalize path (the `perf_smoke`
 /// ctest label, run in the tsan preset too). Ingests a reduced VcQuery
 /// workload and HARD-FAILS if finalize costs more than 2x ingest (plus a
@@ -744,6 +813,9 @@ int PerfSmoke() {
       return 1;
     }
   }
+  // Shared-plane guard: perf_smoke also owns the "one prepared pass beats
+  // N independent re-prepares" contract (standalone as --plane_smoke).
+  if (PlaneGuard() != 0) return 1;
   std::printf("perf_smoke: PASS (limit was %.4fs)\n", limit);
   return 0;
 }
@@ -968,6 +1040,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--perf_smoke") return gms::PerfSmoke();
     if (std::string(argv[i]) == "--driver_smoke") return gms::DriverSmoke();
+    if (std::string(argv[i]) == "--plane_smoke") return gms::PlaneGuard();
   }
   gms::bench::Banner(
       "E-throughput: update/decode constants + parallel engine",

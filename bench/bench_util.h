@@ -37,6 +37,41 @@ inline std::string Rate(double per_sec) {
   return Table::Fmt(per_sec, 1) + "/s";
 }
 
+/// Best-of-3 ingest wall time. Sketch state is linear, so Clear +
+/// re-Process replays the identical measurement; min over repeats is the
+/// standard noise-robust estimator. ALL reps are kept so consumers can
+/// audit that the reported number really is the min (perf_smoke asserts
+/// it). Every bench that prints an ingest comparison row reads ONE of
+/// these, so the printed table and the JSON emitter cannot disagree about
+/// which rep was reported.
+struct IngestTiming {
+  double best_secs = 0;  // min over reps -- the ONE number emitters report
+  double reps[3] = {0, 0, 0};
+};
+
+/// Generic best-of-3 core: times `run()` three times, calling `reset()`
+/// (untimed) before the second and third reps.
+template <typename Reset, typename Run>
+IngestTiming BestOfThree(const Reset& reset, const Run& run) {
+  IngestTiming t;
+  for (int rep = 0; rep < 3; ++rep) {
+    if (rep > 0) reset();
+    Timer timer;
+    run();
+    t.reps[rep] = timer.Seconds();
+    if (rep == 0 || t.reps[rep] < t.best_secs) t.best_secs = t.reps[rep];
+  }
+  return t;
+}
+
+/// The common shape: Clear + Process on anything sketch-like (a sketch, an
+/// app, or the ingest plane's consumer set).
+template <typename Sketch, typename Stream>
+IngestTiming BestOfThreeIngest(Sketch* sketch, const Stream& stream) {
+  return BestOfThree([sketch] { sketch->Clear(); },
+                     [sketch, &stream] { sketch->Process(stream); });
+}
+
 /// Copy a freshly written BENCH_*.json from the working directory into the
 /// source tree root (GMS_REPO_ROOT, injected by bench/CMakeLists.txt), so
 /// the checked-in result files track the binaries that produced them. A

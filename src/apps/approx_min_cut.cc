@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "exact/hypergraph_mincut.h"
+#include "stream/ingest_plane.h"
+#include "stream/stream_driver.h"
 #include "util/check.h"
 #include "util/random.h"
 
@@ -11,7 +13,7 @@ namespace apps {
 
 ApproxMinCut::ApproxMinCut(size_t n, size_t max_rank, size_t k_cap,
                            uint64_t seed, const Params& params)
-    : k_cap_(k_cap) {
+    : k_cap_(k_cap), params_(params) {
   GMS_CHECK_MSG(k_cap >= 1, "ApproxMinCut: k_cap must be >= 1");
   std::vector<size_t> ks;
   for (size_t k = 1; k < k_cap; k *= 2) ks.push_back(k);
@@ -30,11 +32,35 @@ void ApproxMinCut::Update(const Hyperedge& e, int delta) {
 }
 
 void ApproxMinCut::Process(std::span<const StreamUpdate> updates) {
-  for (auto& level : levels_) level.Process(updates);
+  if (updates.empty()) return;
+  if (UseGutterDriver(params_.engine, updates.size())) {
+    // One parallel reader/applier pipeline over the WHOLE ladder (the app
+    // itself models the driver-sketch concept): each update is prepared
+    // once, instead of once per rung.
+    DriveStream(this, updates, DriverParamsFromEngine(params_.engine));
+    return;
+  }
+  if (params_.engine.threads > 1) {
+    // The per-level column/sharded-merge paths parallelize within a rung;
+    // keep them when the caller asked for workers.
+    ProcessIndependent(updates);
+    return;
+  }
+  IngestPlane plane;
+  for (auto& level : levels_) plane.Add(&level);
+  plane.Process(updates);
 }
 
 void ApproxMinCut::Process(const DynamicStream& stream) {
   Process(std::span<const StreamUpdate>(stream.updates()));
+}
+
+void ApproxMinCut::ProcessIndependent(std::span<const StreamUpdate> updates) {
+  for (auto& level : levels_) level.Process(updates);
+}
+
+void ApproxMinCut::Clear() {
+  for (auto& level : levels_) level.Clear();
 }
 
 QueryResult<MinCutEstimate> ApproxMinCut::Query() const {

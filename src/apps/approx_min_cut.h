@@ -55,8 +55,19 @@ class ApproxMinCut {
   size_t num_levels() const { return levels_.size(); }
 
   void Update(const Hyperedge& e, int delta);
+  /// Batched ingestion through the shared ingestion plane (stream/
+  /// ingest_plane.h): encode + PrepareCoord + gutter routing happen ONCE
+  /// per update and every prepared batch fans out to the whole k = 1, 2,
+  /// 4, ..., k_cap ladder -- instead of one full pass per rung. Driver
+  /// mode drives the plane with the parallel reader/applier pipeline;
+  /// other modes with threads > 1 keep the per-level parallel paths.
+  /// Bit-identical to ProcessIndependent for every setting.
   void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
+  /// The pre-plane baseline (each level re-encodes the updates itself);
+  /// the comparison target for the determinism suite and the prepare_once
+  /// bench rows.
+  void ProcessIndependent(std::span<const StreamUpdate> updates);
 
   /// Gutter-driver hooks: all levels share one codec domain; every update
   /// fans out to every level.
@@ -74,8 +85,15 @@ class ApproxMinCut {
 
   size_t MemoryBytes() const;
 
+  /// Zero every level (the empty-stream measurement); for bench reps.
+  void Clear();
+
+  /// The raw ladder rungs, for frame-strength determinism checks.
+  const KSkeletonSketch& level(size_t i) const { return levels_[i]; }
+
  private:
   size_t k_cap_;
+  Params params_;
   std::vector<KSkeletonSketch> levels_;
 };
 

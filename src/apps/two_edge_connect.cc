@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "graph/traversal.h"
+#include "stream/ingest_plane.h"
+#include "stream/stream_driver.h"
 #include "util/random.h"
 
 namespace gms {
@@ -10,7 +12,8 @@ namespace apps {
 
 TwoEdgeConnect::TwoEdgeConnect(size_t n, size_t max_rank, uint64_t seed,
                                const Params& params)
-    : layer1_(n, max_rank, Mix64(seed ^ 0x2ec1a9b7d64f8c31ULL), params),
+    : params_(params),
+      layer1_(n, max_rank, Mix64(seed ^ 0x2ec1a9b7d64f8c31ULL), params),
       layer2_(n, max_rank, Mix64(seed ^ 0x9d3f60b1e8c45a77ULL), params) {}
 
 void TwoEdgeConnect::Update(const Hyperedge& e, int delta) {
@@ -21,12 +24,38 @@ void TwoEdgeConnect::Update(const Hyperedge& e, int delta) {
 }
 
 void TwoEdgeConnect::Process(std::span<const StreamUpdate> updates) {
-  layer1_.Process(updates);
-  layer2_.Process(updates);
+  if (updates.empty()) return;
+  if (UseGutterDriver(params_.engine, updates.size())) {
+    // One parallel reader/applier pipeline over BOTH layers (the app
+    // itself models the driver-sketch concept): each update is prepared
+    // once, instead of once per layer.
+    DriveStream(this, updates, DriverParamsFromEngine(params_.engine));
+    return;
+  }
+  if (params_.engine.threads > 1) {
+    // The per-layer column/sharded-merge paths parallelize within a layer;
+    // keep them when the caller asked for workers.
+    ProcessIndependent(updates);
+    return;
+  }
+  IngestPlane plane;
+  plane.Add(&layer1_);
+  plane.Add(&layer2_);
+  plane.Process(updates);
 }
 
 void TwoEdgeConnect::Process(const DynamicStream& stream) {
   Process(std::span<const StreamUpdate>(stream.updates()));
+}
+
+void TwoEdgeConnect::ProcessIndependent(std::span<const StreamUpdate> updates) {
+  layer1_.Process(updates);
+  layer2_.Process(updates);
+}
+
+void TwoEdgeConnect::Clear() {
+  layer1_.Clear();
+  layer2_.Clear();
 }
 
 QueryResult<TwoEdgeConnectAnswer> TwoEdgeConnect::Query() const {

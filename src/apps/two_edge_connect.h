@@ -49,8 +49,18 @@ class TwoEdgeConnect {
   size_t max_rank() const { return layer1_.max_rank(); }
 
   void Update(const Hyperedge& e, int delta);
+  /// Batched ingestion through the shared ingestion plane (stream/
+  /// ingest_plane.h): encode + PrepareCoord + gutter routing happen ONCE
+  /// per update, fanning each prepared batch out to both forest layers.
+  /// Driver mode drives the plane with the parallel reader/applier
+  /// pipeline; other modes with threads > 1 keep the per-layer parallel
+  /// paths. Bit-identical to ProcessIndependent for every setting.
   void Process(std::span<const StreamUpdate> updates);
   void Process(const DynamicStream& stream);
+  /// The pre-plane baseline (each layer re-encodes the updates itself);
+  /// the comparison target for the determinism suite and the prepare_once
+  /// bench rows.
+  void ProcessIndependent(std::span<const StreamUpdate> updates);
 
   /// Gutter-driver hooks (stream/stream_driver.h): both layers share the
   /// (n, max_rank) codec domain; every update fans out to both.
@@ -71,7 +81,16 @@ class TwoEdgeConnect {
     return layer1_.MemoryBytes() + layer2_.MemoryBytes();
   }
 
+  /// Zero both layers (the empty-stream measurement); for bench reps.
+  void Clear();
+
+  /// The raw layers, for frame-strength determinism checks and space
+  /// accounting.
+  const SpanningForestSketch& layer1() const { return layer1_; }
+  const SpanningForestSketch& layer2() const { return layer2_; }
+
  private:
+  Params params_;
   SpanningForestSketch layer1_;
   SpanningForestSketch layer2_;
 };

@@ -70,6 +70,7 @@ void AccumulateExtractStats(const ExtractStats& in, ExtractStats* out) {
   out->sample_attempts += in.sample_attempts;
   out->decode_attempts += in.decode_attempts;
   out->edges_found += in.edges_found;
+  out->sparse_exact_forests += in.sparse_exact_forests;
   if (out->groups_per_round.size() < in.groups_per_round.size()) {
     out->groups_per_round.resize(in.groups_per_round.size(), 0);
   }
@@ -554,6 +555,47 @@ bool SpanningForestSketch::SnapshotDirty() const {
   return false;
 }
 
+uint64_t SpanningForestSketch::SparsePreRound(UnionFind* uf,
+                                              Hypergraph* result) const {
+  uint64_t exact_edges = 0;
+  for (VertexId v = 0; v < n_; ++v) {
+    if (!IsActive(v)) continue;
+    const size_t ord = static_cast<size_t>(state_index_[v]);
+    if (Escalated(ord)) continue;
+    for (const SparseEntry& entry : buffers_[ord]) {
+      auto decoded = codec_.Decode(entry.index);
+      if (!decoded.ok()) continue;  // hostile key; skip defensively
+      const Hyperedge& e = *decoded;
+      bool valid = true;
+      for (VertexId u : e) valid = valid && IsActive(u);
+      if (!valid) continue;  // only hostile frames buffer such keys
+      bool merged = false;
+      for (size_t i = 1; i < e.size(); ++i) merged |= uf->Union(e[0], e[i]);
+      if (merged) {
+        result->AddEdge(e);
+        ++exact_edges;
+      }
+    }
+  }
+  return exact_edges;
+}
+
+Result<Hypergraph> SpanningForestSketch::ExtractSparseExact(
+    ExtractStats* stats) const {
+  GMS_CHECK_MSG(AllSparse(),
+                "ExtractSparseExact: an escalated column needs sampling");
+  if (stats != nullptr) {
+    *stats = ExtractStats();
+    stats->sparse_exact_forests = 1;
+  }
+  Hypergraph result(n_);
+  if (num_active_ <= 1) return result;
+  UnionFind uf(n_);
+  const uint64_t exact_edges = SparsePreRound(&uf, &result);
+  if (stats != nullptr) stats->edges_found += exact_edges;
+  return result;
+}
+
 Result<Hypergraph> SpanningForestSketch::ExtractImpl(size_t threads,
                                                      ExtractStats* stats,
                                                      bool incremental) const {
@@ -575,25 +617,7 @@ Result<Hypergraph> SpanningForestSketch::ExtractImpl(size_t threads,
   // incremental-vs-reference stats stay identical.
   const bool hybrid = Hybrid();
   if (hybrid) {
-    uint64_t exact_edges = 0;
-    for (VertexId v : active_vertices) {
-      const size_t ord = static_cast<size_t>(state_index_[v]);
-      if (Escalated(ord)) continue;
-      for (const SparseEntry& entry : buffers_[ord]) {
-        auto decoded = codec_.Decode(entry.index);
-        if (!decoded.ok()) continue;  // hostile key; skip defensively
-        const Hyperedge& e = *decoded;
-        bool valid = true;
-        for (VertexId u : e) valid = valid && IsActive(u);
-        if (!valid) continue;  // only hostile frames buffer such keys
-        bool merged = false;
-        for (size_t i = 1; i < e.size(); ++i) merged |= uf.Union(e[0], e[i]);
-        if (merged) {
-          result.AddEdge(e);
-          ++exact_edges;
-        }
-      }
-    }
+    const uint64_t exact_edges = SparsePreRound(&uf, &result);
     if (stats != nullptr) stats->edges_found += exact_edges;
   }
 

@@ -29,6 +29,8 @@
 
 namespace gms {
 
+class UnionFind;
+
 /// Instrumentation from one spanning-graph extraction (or, accumulated, a
 /// whole Finalize over R forests). Every counter is a deterministic
 /// function of the sketch state -- independent of thread count -- except
@@ -49,6 +51,10 @@ struct ExtractStats {
   uint64_t decode_attempts = 0;
   /// Crossing hyperedges accepted into the spanning graph.
   uint64_t edges_found = 0;
+  /// Forests answered by the sparse-exact fast path (ExtractSparseExact):
+  /// every column still in the hybrid sparse phase, so the exact pre-round
+  /// IS the whole extraction and the Borůvka rounds were skipped entirely.
+  uint64_t sparse_exact_forests = 0;
   /// Component-group count per executed round.
   std::vector<uint64_t> groups_per_round;
 };
@@ -304,6 +310,30 @@ class SpanningForestSketch {
   Result<Hypergraph> ExtractSpanningGraph(size_t threads = 0,
                                           ExtractStats* stats = nullptr) const;
 
+  /// True iff every active vertex is still in the hybrid sparse-exact
+  /// phase (no column escalated). The arena is then identically zero and
+  /// the buffers carry the WHOLE measurement exactly -- which makes the
+  /// sparse-exact extraction below valid.
+  bool AllSparse() const {
+    return Hybrid() && sparse_remaining_ == num_active_;
+  }
+
+  /// Exact extraction for an all-sparse sketch: run ONLY the hybrid exact
+  /// pre-round (buffers fed to Borůvka verbatim) and skip every sampling
+  /// round. Bit-identical to ExtractSpanningGraph, because on an
+  /// all-sparse sketch the pre-round already decides everything: a
+  /// net-nonzero hyperedge is buffered at EVERY endpoint (per-endpoint
+  /// cancellation is coefficient-consistent), so the pre-round's
+  /// components are the true connected components, no crossing hyperedge
+  /// survives it, and each component's summed round sketch is identically
+  /// zero (incidence coefficients cancel within a component) -- the
+  /// skipped rounds could not have added an edge. CHECK-fails unless
+  /// AllSparse(); stats report the skip via sparse_exact_forests = 1 with
+  /// zero rounds_run / sample_attempts. Containers decoding R subsample
+  /// forests take this path per all-sparse forest (the common case under
+  /// aggressive subsampling), skipping whole extraction loops.
+  Result<Hypergraph> ExtractSparseExact(ExtractStats* stats = nullptr) const;
+
   /// The unified non-destructive query: the decoded spanning graph plus the
   /// extraction counters in one value (a thin wrapper over
   /// ExtractSpanningGraph; same determinism and thread-count guarantees).
@@ -454,6 +484,12 @@ class SpanningForestSketch {
   /// Shared Borůvka driver: incremental or reference accumulation.
   Result<Hypergraph> ExtractImpl(size_t threads, ExtractStats* stats,
                                  bool incremental) const;
+
+  /// The hybrid exact pre-round shared by ExtractImpl and
+  /// ExtractSparseExact: feed every sparse vertex's buffered hyperedges
+  /// into the union-find verbatim (active-vertex order, key order),
+  /// appending each merging edge to *result. Returns the edges added.
+  uint64_t SparsePreRound(UnionFind* uf, Hypergraph* result) const;
 
   /// Sample round t's accumulated state `src` (whose nonzero levels are
   /// covered by `src_mask`; pass all-ones for a dense scan) for component

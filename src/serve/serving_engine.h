@@ -43,13 +43,19 @@
 // prefix into a fresh sketch and extracting reproduces the snapshot
 // payload bit for bit (tests/serve_concurrency_test.cc).
 //
-// Threading contract: ONE ingest thread (Process / AdvanceEpoch / Flush),
-// ANY number of query threads (Current / stats), plus the internal merger
-// thread. Extraction on the merger thread may use the shared ThreadPool;
-// concurrent top-level Run calls are serialized by the pool itself.
+// Threading contract: ONE ingest thread (Process / AdvanceEpoch / Flush /
+// ExternalIngestScope), ANY number of query threads (Current / stats),
+// plus the internal merger thread -- and, when epoch_deadline_ms is set,
+// an internal pacer thread that seals a non-empty open delta on a
+// wall-clock deadline. The open delta is guarded by ingest_mu_ (shared by
+// the ingest thread and the pacer); with the pacer disabled the mutex is
+// uncontended. Extraction on the merger thread may use the shared
+// ThreadPool; concurrent top-level Run calls are serialized by the pool
+// itself.
 #ifndef GMS_SERVE_SERVING_ENGINE_H_
 #define GMS_SERVE_SERVING_ENGINE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -76,6 +82,15 @@ struct ServingParams {
   /// ingested this many.
   size_t epoch_updates = kDefaultServingEpochUpdates;
 
+  /// Adaptive pacing: when nonzero, a pacer thread additionally seals a
+  /// NON-EMPTY open delta once this many milliseconds have passed since
+  /// the last epoch boundary -- whichever of the two triggers fires first
+  /// wins, so a slow or idle stream still publishes fresh answers instead
+  /// of parking updates in the open delta until epoch_updates arrives.
+  /// Zero (the default) disables the pacer entirely: behaviour and thread
+  /// count are exactly the count-only engine.
+  uint64_t epoch_deadline_ms = 0;
+
   class Builder;
 };
 
@@ -86,6 +101,10 @@ class ServingParams::Builder {
 
   Builder& EpochUpdates(size_t epoch_updates) {
     p_.epoch_updates = epoch_updates;
+    return *this;
+  }
+  Builder& EpochDeadlineMillis(uint64_t epoch_deadline_ms) {
+    p_.epoch_deadline_ms = epoch_deadline_ms;
     return *this;
   }
   ServingParams Build() const {
@@ -132,6 +151,9 @@ class ServingEngine {
     /// Updates covered by the published snapshot (<= updates_ingested; the
     /// difference is in the open/sealed deltas).
     uint64_t updates_merged = 0;
+    /// Epochs sealed by the wall-clock pacer rather than the update count
+    /// (only ever nonzero when epoch_deadline_ms > 0).
+    uint64_t deadline_seals = 0;
   };
 
   /// Takes ownership of `base` (its state, possibly non-empty, becomes
@@ -142,12 +164,27 @@ class ServingEngine {
       : params_(ServingParams::Builder(params).Build()),
         serving_(std::move(base)),
         open_(serving_.CloneEmpty()),
+        last_seal_(Clock::now()),
         spare_(serving_.CloneEmpty()) {
     snapshot_ = ExtractSnapshot(/*epoch=*/0, /*prefix_updates=*/0);
     merger_ = std::thread([this] { MergerLoop(); });
+    if (params_.epoch_deadline_ms > 0) {
+      pacer_ = std::thread([this] { PacerLoop(); });
+    }
   }
 
   ~ServingEngine() {
+    // Stop the pacer FIRST: it may be mid-seal (waiting on the merger for
+    // the spare delta), so the merger must still be alive while the pacer
+    // winds down.
+    if (pacer_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(pacer_mu_);
+        pacer_stop_ = true;
+      }
+      pacer_cv_.notify_all();
+      pacer_.join();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       stop_ = true;
@@ -165,6 +202,7 @@ class ServingEngine {
   void Process(std::span<const StreamUpdate> updates) {
     size_t i = 0;
     while (i < updates.size()) {
+      std::lock_guard<std::mutex> ingest(ingest_mu_);
       const size_t room = params_.epoch_updates - open_count_;
       const size_t take = std::min(room, updates.size() - i);
       open_.Process(updates.subspan(i, take));
@@ -181,16 +219,62 @@ class ServingEngine {
     Process(std::span<const StreamUpdate>(stream.updates()));
   }
 
+  /// Shared-plane ingestion hook (stream/ingest_plane.h): exposes the open
+  /// delta so an external driver can apply ONE prepared update batch to
+  /// several engines' deltas at once, instead of each engine re-encoding
+  /// the same updates in Process. The scope holds ingest_mu_ for its whole
+  /// lifetime (excluding the pacer, like Process does); the caller writes
+  /// at most room() updates into *delta() by any ingest path, then calls
+  /// Commit(count) exactly once -- which books the updates and seals the
+  /// epoch when the count boundary lands. Ingest thread only; chunk
+  /// updates at min(room()) across engines so every scope's count stays
+  /// within its epoch.
+  class ExternalIngestScope {
+   public:
+    explicit ExternalIngestScope(ServingEngine* engine)
+        : engine_(engine), lock_(engine->ingest_mu_) {}
+
+    ExternalIngestScope(const ExternalIngestScope&) = delete;
+    ExternalIngestScope& operator=(const ExternalIngestScope&) = delete;
+
+    Sketch* delta() { return &engine_->open_; }
+    size_t room() const {
+      return engine_->params_.epoch_updates - engine_->open_count_;
+    }
+    void Commit(size_t count) {
+      GMS_CHECK_MSG(count <= room(),
+                    "ExternalIngestScope: commit exceeds epoch room");
+      engine_->open_count_ += count;
+      {
+        std::lock_guard<std::mutex> lock(engine_->mu_);
+        engine_->stats_.updates_ingested += count;
+      }
+      if (engine_->open_count_ == engine_->params_.epoch_updates) {
+        engine_->SealEpoch();
+      }
+    }
+
+   private:
+    ServingEngine* engine_;
+    std::lock_guard<std::mutex> lock_;
+  };
+
   /// Ingest thread only. Force an epoch boundary NOW, even for an empty or
-  /// partial open delta -- the time-driven counterpart of the update-count
-  /// auto-seal (an idle stream still wants its answers to advance).
-  void AdvanceEpoch() { SealEpoch(); }
+  /// partial open delta -- the on-demand counterpart of the update-count
+  /// auto-seal and the wall-clock pacer.
+  void AdvanceEpoch() {
+    std::lock_guard<std::mutex> ingest(ingest_mu_);
+    SealEpoch();
+  }
 
   /// Ingest thread only. Seal whatever is open and block until the merger
   /// has retired every sealed epoch: afterwards Current() covers every
   /// update ever passed to Process.
   void Flush() {
-    if (open_count_ > 0) SealEpoch();
+    {
+      std::lock_guard<std::mutex> ingest(ingest_mu_);
+      if (open_count_ > 0) SealEpoch();
+    }
     std::unique_lock<std::mutex> lock(mu_);
     sealed_cv_.wait(lock, [&] { return !sealed_.has_value() && !merging_; });
   }
@@ -231,7 +315,9 @@ class ServingEngine {
     return snap;
   }
 
-  void SealEpoch() {
+  /// Caller holds ingest_mu_ (the open delta moves out here).
+  void SealEpoch(bool deadline_seal = false) {
+    last_seal_ = Clock::now();
     std::unique_lock<std::mutex> lock(mu_);
     // Backpressure barrier: wait for the recycled delta (the merger hands
     // it back when the previous epoch retires). Bounds staleness to one
@@ -243,8 +329,32 @@ class ServingEngine {
     spare_.reset();
     open_count_ = 0;
     ++stats_.epochs_sealed;
+    if (deadline_seal) ++stats_.deadline_seals;
     lock.unlock();
     merger_cv_.notify_all();
+  }
+
+  /// The wall-clock pacer (epoch_deadline_ms > 0 only): wakes once per
+  /// deadline interval and seals the open delta when it is non-empty and
+  /// stale -- the "whichever fires first" half the count-triggered seal
+  /// cannot provide on a slow stream. Empty deltas are left alone: an idle
+  /// stream's published snapshot is already exact, and sealing nothing
+  /// would only churn the merger.
+  void PacerLoop() {
+    const auto deadline = std::chrono::milliseconds(params_.epoch_deadline_ms);
+    std::unique_lock<std::mutex> lock(pacer_mu_);
+    while (!pacer_stop_) {
+      pacer_cv_.wait_for(lock, deadline);
+      if (pacer_stop_) return;
+      lock.unlock();
+      {
+        std::lock_guard<std::mutex> ingest(ingest_mu_);
+        if (open_count_ > 0 && Clock::now() - last_seal_ >= deadline) {
+          SealEpoch(/*deadline_seal=*/true);
+        }
+      }
+      lock.lock();
+    }
   }
 
   void MergerLoop() {
@@ -303,14 +413,24 @@ class ServingEngine {
     }
   }
 
+  using Clock = std::chrono::steady_clock;
+
   const ServingParams params_;
 
   /// Merger-thread state (constructor-only before the thread starts).
   Sketch serving_;
 
-  /// Ingest-thread state.
+  /// Open-delta state under ingest_mu_ (the ingest thread and, when
+  /// enabled, the pacer thread).
+  std::mutex ingest_mu_;
   Sketch open_;
   size_t open_count_ = 0;
+  Clock::time_point last_seal_;
+
+  /// Pacer-thread signalling (epoch_deadline_ms > 0 only).
+  std::mutex pacer_mu_;
+  std::condition_variable pacer_cv_;
+  bool pacer_stop_ = false;
 
   /// Shared state under mu_.
   mutable std::mutex mu_;
@@ -324,6 +444,7 @@ class ServingEngine {
   Stats stats_;
 
   std::thread merger_;
+  std::thread pacer_;
 };
 
 }  // namespace gms

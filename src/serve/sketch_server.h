@@ -35,6 +35,7 @@
 #include "connectivity/spanning_forest_sketch.h"
 #include "serve/serve_protocol.h"
 #include "serve/serving_engine.h"
+#include "stream/ingest_plane.h"
 #include "vertexconn/vc_query_sketch.h"
 
 namespace gms {
@@ -150,9 +151,18 @@ class SketchServer {
 
   size_t n() const { return n_; }
 
-  /// Ingest thread only: fan the batch out to every enabled engine.
+  /// Ingest thread only: one shared encode/prepare/route pass per epoch
+  /// chunk, fanned out to every enabled engine's open delta through the
+  /// ingestion plane (stream/ingest_plane.h) -- one pass instead of three.
+  /// Engines that cannot share the plane (a VC engine under a max_rank > 2
+  /// codec, or R > 62 route bits) transparently fall back to their own
+  /// Process on the same chunks.
   void Ingest(std::span<const StreamUpdate> updates);
   void Ingest(const DynamicStream& stream);
+  /// The pre-plane baseline: each engine re-encodes the updates itself.
+  /// Kept as the comparison target for the determinism suite and the
+  /// prepare_once bench rows; answers are byte-identical to Ingest.
+  void IngestIndependent(std::span<const StreamUpdate> updates);
   /// Ingest thread only: force an epoch boundary on every engine.
   void AdvanceEpoch();
   /// Ingest thread only: quiesce -- afterwards answers cover every update.
@@ -195,6 +205,11 @@ class SketchServer {
   std::optional<ForestEngine> forest_;
   std::optional<VcEngine> vc_;
   std::optional<SkeletonEngine> skeleton_;
+
+  /// Reused across Ingest chunks (keeps the per-vertex gutter buffers
+  /// warm); consumers are re-registered per chunk because the open-delta
+  /// scopes are chunk-scoped.
+  IngestPlane plane_;
 
   /// As IndexFor, for the skeleton engine's bridge index.
   std::shared_ptr<const BridgeIndex> BridgeIndexFor(

@@ -128,9 +128,16 @@ Result<Hypergraph> HyperVcQuerySketch::BuildUnionHypergraph(
   ParallelFor(params_.engine.threads, sketches_.size(),
               [&](size_t begin, size_t end) {
                 for (size_t i = begin; i < end; ++i) {
-                  auto span = sketches_[i].ExtractSpanningGraph(
-                      /*threads=*/1,
-                      stats != nullptr ? &per_sketch[i] : nullptr);
+                  // All-sparse forests decode exactly from their buffers
+                  // alone -- skip the whole Borůvka loop (stats count the
+                  // skip).
+                  auto span =
+                      sketches_[i].AllSparse()
+                          ? sketches_[i].ExtractSparseExact(
+                                stats != nullptr ? &per_sketch[i] : nullptr)
+                          : sketches_[i].ExtractSpanningGraph(
+                                /*threads=*/1,
+                                stats != nullptr ? &per_sketch[i] : nullptr);
                   if (!span.ok()) {
                     status[i] = span.status();
                     continue;

@@ -85,6 +85,9 @@ class HyperVcQuerySketch {
   void ApplyUpdateBatch(size_t thr_id, VertexId v,
                         std::span<const VertexUpdate> batch);
   bool DriverSupported() const { return sketches_.size() <= 64; }
+  /// Route-word width for the shared ingestion plane (stream/
+  /// ingest_plane.h): one packed bit per subsample.
+  size_t DriverRouteBits() const { return sketches_.size(); }
 
   /// The unified non-destructive query: assemble H on a CONST sketch and
   /// return it as a detached snapshot (plus the extraction counters summed

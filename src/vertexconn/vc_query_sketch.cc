@@ -206,8 +206,14 @@ Result<Graph> SubsampledForestUnion::BuildUnionGraph(
   ParallelFor(engine_.threads, sketches_.size(),
               [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      auto forest = sketches_[i].ExtractSpanningGraph(
-          /*threads=*/1, stats != nullptr ? &per_sketch[i] : nullptr);
+      // All-sparse forests decode exactly from their buffers alone --
+      // skip the whole Borůvka loop (stats count the skip).
+      auto forest =
+          sketches_[i].AllSparse()
+              ? sketches_[i].ExtractSparseExact(
+                    stats != nullptr ? &per_sketch[i] : nullptr)
+              : sketches_[i].ExtractSpanningGraph(
+                    /*threads=*/1, stats != nullptr ? &per_sketch[i] : nullptr);
       if (!forest.ok()) {
         status[i] = forest.status();
         continue;

@@ -96,6 +96,9 @@ class SubsampledForestUnion {
   /// Driver mode carries one routing bit per subsample; R > 64 falls back
   /// to the column path.
   bool DriverSupported() const { return sketches_.size() <= 64; }
+  /// Route-word width for the shared ingestion plane (stream/
+  /// ingest_plane.h): one packed bit per subsample.
+  size_t DriverRouteBits() const { return sketches_.size(); }
 
   /// H = union of one extracted spanning forest per subsample; the R
   /// per-sketch extractions fan out across the pool (each worker reuses its
@@ -287,6 +290,20 @@ class VcQuerySketch {
   /// Serving hook (src/serve/): true iff any subsample sketch's measurement
   /// state changed since construction / the last Clear().
   bool SnapshotDirty() const { return forests_.SnapshotDirty(); }
+
+  /// Gutter-driver / ingest-plane hooks (stream/stream_driver.h,
+  /// stream/ingest_plane.h), forwarded to the R-subsample union so the
+  /// serving layer can register this sketch on a shared plane directly.
+  const EdgeCodec& codec() const { return forests_.codec(); }
+  uint64_t DriverRouteMask(const Hyperedge& e) const {
+    return forests_.DriverRouteMask(e);
+  }
+  void ApplyUpdateBatch(size_t thr_id, VertexId v,
+                        std::span<const VertexUpdate> batch) {
+    forests_.ApplyUpdateBatch(thr_id, v, batch);
+  }
+  bool DriverSupported() const { return forests_.DriverSupported(); }
+  size_t DriverRouteBits() const { return forests_.DriverRouteBits(); }
 
   /// Assemble H once; call after the stream ends, then query repeatedly.
   /// `stats`, when non-null, receives the extraction-engine counters summed

@@ -279,6 +279,65 @@ TEST(HybridTest, SparsePhaseExtractionIsExact) {
   }
 }
 
+TEST(HybridTest, AllSparseExtractSparseExactMatchesFullExtraction) {
+  constexpr size_t kN = 96;
+  constexpr uint64_t kSeed = 131;
+  ForestSketchParams params;
+  params.config = SketchConfig::Light();
+
+  // Two disjoint paths plus churn decoys: more than one true component,
+  // deletions exercise buffer cancellation, and every degree stays far
+  // below the sparse threshold -- the container fast-path case.
+  Graph g(kN);
+  for (VertexId v = 1; v < kN / 2; ++v) g.AddEdge(v - 1, v);
+  for (VertexId v = kN / 2 + 1; v < kN; ++v) g.AddEdge(v - 1, v);
+  const DynamicStream stream = DynamicStream::WithChurn(g, 64, kSeed + 1);
+
+  SpanningForestSketch sketch(kN, /*max_rank=*/2, kSeed, params);
+  sketch.Process(stream);
+  ASSERT_TRUE(sketch.AllSparse());
+
+  ExtractStats full_stats;
+  auto full = sketch.ExtractSpanningGraph(/*threads=*/1, &full_stats);
+  ASSERT_TRUE(full.ok());
+  ExtractStats fast_stats;
+  auto fast = sketch.ExtractSparseExact(&fast_stats);
+  ASSERT_TRUE(fast.ok());
+  // The skipped Borůvka rounds could not have added anything: identical
+  // graphs (same edges, same order), identical edge counts.
+  EXPECT_TRUE(fast.value() == full.value());
+  EXPECT_EQ(fast_stats.edges_found, full_stats.edges_found);
+  EXPECT_EQ(fast_stats.sparse_exact_forests, 1u);
+  EXPECT_EQ(fast_stats.rounds_run, 0);
+  EXPECT_EQ(fast_stats.sample_attempts, 0u);
+  EXPECT_EQ(fast_stats.summed_words, 0u);
+  EXPECT_EQ(full_stats.sparse_exact_forests, 0u);
+}
+
+TEST(HybridTest, AllSparseFlipsOffAtFirstEscalation) {
+  constexpr size_t kN = 64;
+  constexpr uint64_t kSeed = 137;
+  constexpr uint32_t kT = 8;
+  ForestSketchParams params;
+  params.config = SketchConfig::Light();
+  params.config.sparse_threshold = kT;
+
+  SpanningForestSketch sketch(kN, 2, kSeed, params);
+  EXPECT_TRUE(sketch.AllSparse());
+  const std::vector<StreamUpdate> updates = StarStream(kT + 1);
+  for (const auto& u : updates) sketch.Update(u.edge, u.delta);
+  // The hub crossed the threshold: one escalated column disqualifies the
+  // sparse-exact path for the whole sketch.
+  EXPECT_TRUE(sketch.VertexEscalated(0));
+  EXPECT_FALSE(sketch.AllSparse());
+
+  // Threshold 0 (pure dense) is never "all sparse".
+  ForestSketchParams dense = params;
+  dense.config.sparse_threshold = 0;
+  SpanningForestSketch dense_sketch(kN, 2, kSeed, dense);
+  EXPECT_FALSE(dense_sketch.AllSparse());
+}
+
 TEST(HybridTest, SparseFrameRejectsEveryByteFlipAndTruncation) {
   constexpr size_t kN = 16;
   constexpr uint64_t kSeed = 23;

@@ -42,6 +42,29 @@ TEST(HypergraphExcludingTest, InducedSemantics) {
   EXPECT_TRUE(IsConnectedExcluding(h, {0, 1}));
 }
 
+TEST(HyperVcQueryTest, AllSparseForestsSkipExtractionAndStillAnswer) {
+  // A rank-3 hypercycle keeps every vertex at degree 3, far below the
+  // Light sparse threshold: every subsample forest decodes through the
+  // sparse-exact fast path and the union stats count all R skips.
+  const size_t n = 36;
+  Hypergraph g = HyperCycle(n, 3);
+  const VcQueryParams params = VcQueryParams::Builder()
+                                   .K(2)
+                                   .ExplicitR(10)
+                                   .Forest(ForestSketchParams::Builder()
+                                               .Config(SketchConfig::Light())
+                                               .Build())
+                                   .Build();
+  HyperVcQuerySketch sketch(n, /*max_rank=*/3, params, 83);
+  sketch.Process(DynamicStream::InsertOnly(g, 84));
+
+  auto snap = sketch.Query();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.stats().sparse_exact_forests, 10u);
+  EXPECT_EQ(snap.stats().sample_attempts, 0u);
+  EXPECT_GT(snap.value().union_graph().NumEdges(), 0u);
+}
+
 TEST(HypergraphExcludingTest, MatchesGraphSemanticsOn2Uniform) {
   Graph g = ErdosRenyi(12, 0.3, 1);
   Hypergraph h = Hypergraph::FromGraph(g);

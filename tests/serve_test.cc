@@ -3,6 +3,9 @@
 // dispatch surface, and adversarial decoding of the serve protocol.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "graph/generators.h"
 #include "graph/traversal.h"
 #include "serve/serve_protocol.h"
@@ -389,6 +392,89 @@ TEST(ServeComponentIndexTest, MatchesTraversal) {
     VertexId b = static_cast<VertexId>(rng.Below(50));
     EXPECT_EQ(index.Connected(a, b), truth[a] == truth[b]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive epoch pacing: with epoch_deadline_ms set, the engine seals on
+// the wall-clock deadline OR the update count, whichever fires first -- a
+// slow stream's updates stop parking in the open delta indefinitely.
+// ---------------------------------------------------------------------------
+
+TEST(ServeAdaptivePacingTest, DeadlineSealsSlowStreamWithoutFlush) {
+  const size_t n = 48;
+  const Graph g = UnionOfHamiltonianCycles(n, 2, 51);
+  const DynamicStream stream = DynamicStream::InsertOnly(g, 52);
+
+  // The epoch count alone would NEVER seal this stream (epoch_updates far
+  // exceeds it); only the pacer can publish the updates.
+  ServingEngine<SpanningForestSketch> engine(
+      SpanningForestSketch(n, 2, 53, LightForest()),
+      ServingParams::Builder()
+          .EpochUpdates(1 << 20)
+          .EpochDeadlineMillis(10)
+          .Build());
+  engine.Process(stream);
+
+  // No Flush, no AdvanceEpoch: wait (bounded) for the pacer to publish.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (engine.Current()->prefix_updates < stream.updates().size()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up)
+        << "pacer never sealed the open delta";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto stats = engine.stats();
+  EXPECT_GE(stats.deadline_seals, 1u);
+
+  // Staleness test: the deadline-sealed snapshot is the EXACT prefix
+  // measurement, bit for bit, like any count-sealed epoch.
+  auto snap = engine.Current();
+  ASSERT_TRUE(snap->status.ok());
+  SpanningForestSketch oneshot(n, 2, 53, LightForest());
+  oneshot.Process(stream);
+  auto direct = oneshot.Query();
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(*snap->payload == direct.value());
+}
+
+TEST(ServeAdaptivePacingTest, CountStillSealsFirstOnFastStreams) {
+  const size_t n = 48;
+  const Graph g = UnionOfHamiltonianCycles(n, 3, 61);
+  const DynamicStream stream = DynamicStream::WithChurn(g, 200, 62);
+
+  // Tiny epochs + a deadline far beyond the test's runtime: every seal
+  // should be count-triggered even with the pacer thread running.
+  ServingEngine<SpanningForestSketch> engine(
+      SpanningForestSketch(n, 2, 63, LightForest()),
+      ServingParams::Builder()
+          .EpochUpdates(64)
+          .EpochDeadlineMillis(60 * 1000)
+          .Build());
+  engine.Process(stream);
+  engine.Flush();
+  const auto stats = engine.stats();
+  EXPECT_GE(stats.epochs_sealed,
+            stream.updates().size() / engine.params().epoch_updates);
+  EXPECT_EQ(stats.deadline_seals, 0u);
+
+  auto snap = engine.Current();
+  ASSERT_TRUE(snap->status.ok());
+  EXPECT_EQ(snap->prefix_updates, stream.updates().size());
+}
+
+TEST(ServeAdaptivePacingTest, DisabledPacerLeavesOpenDeltaParked) {
+  const size_t n = 32;
+  const Graph g = UnionOfHamiltonianCycles(n, 2, 71);
+  ServingEngine<SpanningForestSketch> engine(
+      SpanningForestSketch(n, 2, 72, LightForest()), SmallEpochs(1 << 20));
+  engine.Process(DynamicStream::InsertOnly(g, 73));
+
+  // Default params: no pacer thread at all. The open delta must still be
+  // unpublished after a wait longer than any pacing interval above.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(engine.Current()->prefix_updates, 0u);
+  EXPECT_EQ(engine.stats().deadline_seals, 0u);
+  EXPECT_EQ(engine.stats().epochs_sealed, 0u);
 }
 
 }  // namespace

@@ -217,6 +217,33 @@ TEST(VcQueryTest, ClearReleasesCachedUnionGraph) {
   EXPECT_TRUE(Snapshot(sketch).union_graph().NumEdges() == 0u);
 }
 
+TEST(VcQueryTest, AllSparseForestsSkipExtractionAndStillAnswer) {
+  // A degree-2 cycle keeps every subsample forest deep inside the sparse
+  // phase (SketchConfig::Light threshold), so the union decode should take
+  // the sparse-exact fast path for ALL R forests -- counted in the stats
+  // -- while answering exactly like always.
+  const size_t n = 40;
+  Graph g = UnionOfHamiltonianCycles(n, 1, 80);
+  const VcQueryParams params = VcQueryParams::Builder()
+                                   .K(2)
+                                   .ExplicitR(12)
+                                   .Forest(ForestSketchParams::Builder()
+                                               .Config(SketchConfig::Light())
+                                               .Build())
+                                   .Build();
+  VcQuerySketch sketch(n, params, 81);
+  sketch.Process(DynamicStream::InsertOnly(g, 82));
+
+  auto snap = sketch.Query();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap.stats().sparse_exact_forests, 12u);
+  EXPECT_EQ(snap.stats().sample_attempts, 0u);
+  // Degree-2 vertices cannot be escalated, and the union graph is a
+  // subgraph of the (sparse-buffered) cycle.
+  EXPECT_LE(snap.value().union_graph().NumEdges(), g.NumEdges());
+  EXPECT_GT(snap.value().union_graph().NumEdges(), 0u);
+}
+
 // Coverage for the [[deprecated]] Finalize wrapper: the legacy destructive
 // surface must keep answering exactly like the Query() path until removal.
 // This is the ONE place the old API is intentionally exercised.
